@@ -1,0 +1,48 @@
+"""Ablation A3 — outlier contamination vs coverage calibration.
+
+The paper's Figure 3 argues that the real systems' mild outliers do not
+de-calibrate the Eq. 1 intervals.  This ablation turns the knob: how
+much contamination *does* it take before t-interval coverage at small n
+visibly degrades?
+"""
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.core.coverage import coverage_study
+
+
+def _sweep(n_sims=40_000):
+    rng = np.random.default_rng(7)
+    base = rng.normal(210.0, 5.3, 516)
+    rows = []
+    for rate in (0.0, 0.01, 0.05, 0.15):
+        pilot = base.copy()
+        n_out = int(rate * pilot.size)
+        if n_out:
+            idx = rng.choice(pilot.size, size=n_out, replace=False)
+            pilot[idx] *= rng.uniform(1.5, 2.5, size=n_out)
+        res = coverage_study(
+            pilot, population=9216, sample_sizes=(5,),
+            confidences=(0.95,), n_sims=n_sims,
+            rng=np.random.default_rng(11),
+        )
+        rows.append((rate, float(res.coverage[0, 0])))
+    return rows
+
+
+def bench_ablation_outliers(benchmark, report_sink):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    t = Table(
+        ["outlier rate", "95% CI coverage at n=5"],
+        title="A3 — outlier contamination vs t-interval calibration",
+    )
+    for rate, cov in rows:
+        t.add_row([f"{rate:.0%}", f"{cov:.4f}"])
+    clean = rows[0][1]
+    heavy = rows[-1][1]
+    # Mild contamination (paper's regime) stays calibrated; heavy
+    # right-skew contamination visibly dents coverage at n = 5.
+    assert abs(clean - 0.95) < 0.01
+    assert heavy < clean - 0.005
+    report_sink("A3 / outlier ablation", t.render())

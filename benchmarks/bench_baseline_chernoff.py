@@ -1,0 +1,41 @@
+"""Baseline B1 — Eq. 5 vs the Chernoff-Hoeffding rule of Davis et al.
+
+Section 2.1: Davis et al. "propose using a very conservative
+Chernoff-Hoeffding bound to select the subset size ... For regular
+workloads ... we find that a much less conservative bound is
+sufficient."  This bench puts numbers on "much less conservative".
+"""
+
+from repro.analysis.report import Table
+from repro.core.sampling import (
+    chernoff_hoeffding_sample_size,
+    recommend_sample_size,
+)
+
+
+def _compare():
+    rows = []
+    # A typical fleet: mean 400 W, sigma/mu 2.5%, node range 300-550 W
+    # (idle-capable hardware has a wide *possible* range even when the
+    # loaded distribution is tight — exactly why Hoeffding is loose).
+    mean, cv, rng_w = 400.0, 0.025, (300.0, 550.0)
+    for lam in (0.005, 0.01, 0.02, 0.05):
+        eq5 = recommend_sample_size(10_000, cv, lam).n
+        ch = chernoff_hoeffding_sample_size(rng_w, mean, lam)
+        rows.append((lam, eq5, ch, ch / eq5))
+    return rows
+
+
+def bench_baseline_chernoff(benchmark, report_sink):
+    rows = benchmark(_compare)
+    t = Table(
+        ["lambda", "Eq. 5 nodes", "Chernoff-Hoeffding nodes", "ratio"],
+        title="B1 — Eq. 5 vs the Chernoff-Hoeffding baseline "
+              "(mean 400 W, sigma/mu 2.5%, range 300-550 W, N=10000)",
+    )
+    for lam, eq5, ch, ratio in rows:
+        t.add_row([f"{lam:.1%}", eq5, ch, f"{ratio:.0f}x"])
+    # The baseline demands at least an order of magnitude more nodes at
+    # every accuracy level.
+    assert all(ch > 10 * eq5 for _, eq5, ch, _ in rows)
+    report_sink("B1 / Chernoff-Hoeffding baseline", t.render())

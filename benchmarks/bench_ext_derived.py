@@ -1,0 +1,11 @@
+"""Extension X5 — derived power numbers vs ground truth."""
+
+from repro.experiments import ext_derived
+
+
+def bench_ext_derived(benchmark, report_sink):
+    result = benchmark(ext_derived.run)
+    assert result.all_ok(), "\n".join(
+        c.line() for c in result.comparisons() if not c.ok
+    )
+    report_sink("X5 / derived numbers extension", result.report())

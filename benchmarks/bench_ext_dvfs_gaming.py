@@ -1,0 +1,11 @@
+"""Extension X2 — DVFS × partial-window interaction."""
+
+from repro.experiments import ext_dvfs_gaming
+
+
+def bench_ext_dvfs_gaming(benchmark, report_sink):
+    result = benchmark.pedantic(ext_dvfs_gaming.run, rounds=1, iterations=1)
+    assert result.all_ok(), "\n".join(
+        c.line() for c in result.comparisons() if not c.ok
+    )
+    report_sink("X2 / DVFS gaming extension", result.report())

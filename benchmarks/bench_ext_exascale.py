@@ -1,0 +1,11 @@
+"""Extension X3 — exascale outlook: rule adequacy as variability grows."""
+
+from repro.experiments import ext_exascale
+
+
+def bench_ext_exascale(benchmark, report_sink):
+    result = benchmark(ext_exascale.run)
+    assert result.all_ok(), "\n".join(
+        c.line() for c in result.comparisons() if not c.ok
+    )
+    report_sink("X3 / exascale outlook extension", result.report())

@@ -1,0 +1,14 @@
+"""Extension X1 — imbalanced workloads vs the sampling methodology."""
+
+from repro.experiments import ext_imbalance
+
+
+def bench_ext_imbalance(benchmark, report_sink):
+    result = benchmark.pedantic(
+        ext_imbalance.run, kwargs={"n_sims": 50_000}, rounds=1,
+        iterations=1,
+    )
+    assert result.all_ok(), "\n".join(
+        c.line() for c in result.comparisons() if not c.ok
+    )
+    report_sink("X1 / imbalance extension", result.report())

@@ -1,0 +1,11 @@
+"""Extension X4 — instrument quality and metering-point sensitivity."""
+
+from repro.experiments import ext_meter_quality
+
+
+def bench_ext_meter_quality(benchmark, report_sink):
+    result = benchmark.pedantic(ext_meter_quality.run, rounds=1, iterations=1)
+    assert result.all_ok(), "\n".join(
+        c.line() for c in result.comparisons() if not c.ok
+    )
+    report_sink("X4 / meter quality extension", result.report())

@@ -1,0 +1,11 @@
+"""Extension X6 — subsystem coverage by level (the [19] overstatement)."""
+
+from repro.experiments import ext_subsystems
+
+
+def bench_ext_subsystems(benchmark, report_sink):
+    result = benchmark.pedantic(ext_subsystems.run, rounds=1, iterations=1)
+    assert result.all_ok(), "\n".join(
+        c.line() for c in result.comparisons() if not c.ok
+    )
+    report_sink("X6 / subsystem-coverage extension", result.report())

@@ -1,0 +1,11 @@
+"""Bench F1 — regenerate paper Figure 1 (power-vs-time series)."""
+
+from repro.experiments import figure1
+
+
+def bench_figure1(benchmark, report_sink):
+    result = benchmark.pedantic(figure1.run, rounds=1, iterations=1)
+    assert result.all_ok(), "\n".join(
+        c.line() for c in result.comparisons() if not c.ok
+    )
+    report_sink("F1 / Figure 1", result.report())

@@ -1,0 +1,11 @@
+"""Bench F2 — regenerate paper Figure 2 (per-node power histograms)."""
+
+from repro.experiments import figure2
+
+
+def bench_figure2(benchmark, report_sink):
+    result = benchmark.pedantic(figure2.run, rounds=1, iterations=1)
+    assert result.all_ok(), "\n".join(
+        c.line() for c in result.comparisons() if not c.ok
+    )
+    report_sink("F2 / Figure 2", result.report())

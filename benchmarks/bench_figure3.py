@@ -1,0 +1,41 @@
+"""Bench F3 — regenerate paper Figure 3 (CI coverage calibration).
+
+Paper-scale: 100 000 simulations per (n, level) point on a 516-node
+LRZ pilot, plus the Section 4.2 claim that calibration holds on *all*
+systems as low as n = 5.
+"""
+
+from repro.analysis.report import Table
+from repro.experiments import figure3
+
+
+def bench_figure3(benchmark, report_sink):
+    result = benchmark.pedantic(
+        figure3.run, kwargs={"n_sims": 100_000}, rounds=1, iterations=1
+    )
+    assert result.all_ok(), "\n".join(
+        c.line() for c in result.comparisons() if not c.ok
+    )
+    report_sink("F3 / Figure 3", result.report())
+
+    # "good calibration as low as n = 5 on all systems".  Calibration
+    # failure means *under*-coverage; mild over-coverage happens on the
+    # 210-node TU Dresden fleet, where Eq. 1's missing FPC makes the
+    # intervals conservative at n = 20 (n/N no longer negligible).
+    import numpy as np
+
+    per_system = figure3.run_all_systems(n_sims=40_000)
+    t = Table(
+        ["system", "worst under-coverage", "worst over-coverage"],
+        title="Figure 3 addendum — calibration across every fleet "
+              "(n in 5/10/20)",
+    )
+    for name, cov in per_system.items():
+        nominal = np.asarray(cov.confidences)[:, None]
+        delta = cov.coverage - nominal
+        under = float(-delta.min())
+        over = float(delta.max())
+        t.add_row([name, f"{max(under, 0):.4f}", f"{max(over, 0):.4f}"])
+        assert under < 0.012, f"{name} under-covers by {under:.4f}"
+        assert over < 0.03, f"{name} over-covers by {over:.4f}"
+    report_sink("F3b / all-systems calibration", t.render())

@@ -1,0 +1,11 @@
+"""Bench F4 — regenerate paper Figure 4 (L-CSC efficiency vs VID)."""
+
+from repro.experiments import figure4
+
+
+def bench_figure4(benchmark, report_sink):
+    result = benchmark(figure4.run)
+    assert result.all_ok(), "\n".join(
+        c.line() for c in result.comparisons() if not c.ok
+    )
+    report_sink("F4 / Figure 4", result.report())

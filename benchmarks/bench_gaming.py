@@ -1,0 +1,14 @@
+"""Bench G1 — the Section 3 gaming case studies (TSUBAME-KFC −10.9%,
+L-CSC −23.9%)."""
+
+from repro.experiments import gaming_case_studies
+
+
+def bench_gaming(benchmark, report_sink):
+    result = benchmark.pedantic(
+        gaming_case_studies.run, rounds=1, iterations=1
+    )
+    assert result.all_ok(), "\n".join(
+        c.line() for c in result.comparisons() if not c.ok
+    )
+    report_sink("G1 / gaming case studies", result.report())

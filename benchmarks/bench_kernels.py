@@ -1,0 +1,70 @@
+"""Performance microbenchmarks of the library's hot kernels.
+
+Unlike the artefact benches (one pedantic round each), these run
+pytest-benchmark properly — many rounds — so regressions in the
+vectorised cores show up in the timing table:
+
+* whole-fleet power evaluation at Titan scale (18 688 nodes),
+* the 100 000-replicate coverage engine per sample-size point,
+* the sliding-window sweep over an hour-long 1 Hz trace,
+* trace synthesis for a 5 000-node GPU machine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.gaming import optimal_window_gain
+from repro.cluster.registry import get_system, get_trace_setup
+from repro.core.coverage import coverage_study
+from repro.traces.synth import simulate_run
+
+
+@pytest.fixture(scope="module")
+def titan():
+    system = get_system("titan")
+    system.node_total_powers(0.9)  # materialise the fleet off the clock
+    return system
+
+
+def bench_fleet_power_titan(benchmark, titan):
+    """18 688-node fleet power evaluation (one utilisation point)."""
+    watts = benchmark(titan.node_total_powers, 0.9)
+    assert watts.shape == (18_688,)
+
+
+def bench_coverage_engine(benchmark):
+    """100k-replicate coverage at one (n, level) point, LRZ-scale."""
+    rng = np.random.default_rng(0)
+    pilot = rng.normal(210.0, 5.3, 516)
+
+    def run():
+        return coverage_study(
+            pilot, population=9216, sample_sizes=(10,),
+            confidences=(0.95,), n_sims=100_000,
+            rng=np.random.default_rng(1),
+        )
+
+    res = benchmark(run)
+    assert abs(res.coverage[0, 0] - 0.95) < 0.01
+
+
+def bench_window_sweep(benchmark):
+    """Optimal-window search over a 1 Hz hour-long trace."""
+    from repro.traces.powertrace import PowerTrace
+
+    t = np.arange(3600.0)
+    watts = 1000.0 * (1.0 - 0.3 * np.clip((t / 3600.0 - 0.5) * 2, 0, 1))
+    trace = PowerTrace(t, watts)
+    res = benchmark(optimal_window_gain, trace)
+    assert res.spread > 0
+
+
+def bench_trace_synthesis(benchmark):
+    """Full-run synthesis for the 5 272-node Piz Daint model at 1 Hz."""
+    system, workload = get_trace_setup("piz-daint")
+
+    def run():
+        return simulate_run(system, workload, dt=1.0)
+
+    sim = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert sim.trace.mean_power() > 0

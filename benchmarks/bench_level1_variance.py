@@ -1,0 +1,15 @@
+"""Bench V1 — the abstract's Level 1 variance decomposition
+(~20% timing + 10-15% sampling)."""
+
+from repro.experiments import level1_variance
+
+
+def bench_level1_variance(benchmark, report_sink):
+    result = benchmark.pedantic(
+        level1_variance.run, kwargs={"n_trials": 400}, rounds=1,
+        iterations=1,
+    )
+    assert result.all_ok(), "\n".join(
+        c.line() for c in result.comparisons() if not c.ok
+    )
+    report_sink("V1 / Level 1 variance decomposition", result.report())

@@ -1,0 +1,14 @@
+"""Bench R1 — the Section 1 ranking discussion (list mix, #1-vs-#3
+gap, rank churn under measurement error)."""
+
+from repro.experiments import ranking
+
+
+def bench_ranking_impact(benchmark, report_sink):
+    result = benchmark.pedantic(
+        ranking.run, kwargs={"n_trials": 1000}, rounds=1, iterations=1
+    )
+    assert result.all_ok(), "\n".join(
+        c.line() for c in result.comparisons() if not c.ok
+    )
+    report_sink("R1 / ranking impact", result.report())

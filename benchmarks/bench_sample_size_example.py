@@ -1,0 +1,11 @@
+"""Bench S1 — the Section 4 worked example (1/64 rule accuracy)."""
+
+from repro.experiments import sample_size_example
+
+
+def bench_sample_size_example(benchmark, report_sink):
+    result = benchmark(sample_size_example.run)
+    assert result.all_ok(), "\n".join(
+        c.line() for c in result.comparisons() if not c.ok
+    )
+    report_sink("S1 / worked example", result.report())

@@ -1,0 +1,14 @@
+"""Bench Z1 — the Section 4.2 t-vs-z approximation error (~9% too
+narrow at n = 15)."""
+
+from repro.experiments import t_vs_z
+
+
+def bench_t_vs_z(benchmark, report_sink):
+    result = benchmark.pedantic(
+        t_vs_z.run, kwargs={"n_sims": 100_000}, rounds=1, iterations=1
+    )
+    assert result.all_ok(), "\n".join(
+        c.line() for c in result.comparisons() if not c.ok
+    )
+    report_sink("Z1 / t vs z", result.report())

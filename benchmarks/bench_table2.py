@@ -1,0 +1,11 @@
+"""Bench T2 — regenerate paper Table 2 (HPL segment averages)."""
+
+from repro.experiments import table2
+
+
+def bench_table2(benchmark, report_sink):
+    result = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    assert result.all_ok(), "\n".join(
+        c.line() for c in result.comparisons() if not c.ok
+    )
+    report_sink("T2 / Table 2", result.report())

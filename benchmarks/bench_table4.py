@@ -1,0 +1,30 @@
+"""Bench T4 — regenerate paper Table 4 (per-node power statistics).
+
+The report header also covers Table 3 (the system inventory the fleets
+are built from).
+"""
+
+from repro.analysis.report import Table
+from repro.cluster.registry import PAPER_TABLE3
+from repro.experiments import table4
+
+
+def _table3_report() -> str:
+    t = Table(
+        ["system", "CPUs per node", "RAM per node", "components measured",
+         "workload"],
+        title="Table 3 — test systems (registry inventory)",
+    )
+    for name, row in PAPER_TABLE3.items():
+        t.add_row([name, row.cpus_per_node, row.ram_per_node,
+                   row.components_measured, row.workload])
+    return t.render()
+
+
+def bench_table4(benchmark, report_sink):
+    result = benchmark.pedantic(table4.run, rounds=1, iterations=1)
+    assert result.all_ok(), "\n".join(
+        c.line() for c in result.comparisons() if not c.ok
+    )
+    report_sink("T3 / Table 3", _table3_report())
+    report_sink("T4 / Table 4", result.report())

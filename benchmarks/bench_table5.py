@@ -1,0 +1,15 @@
+"""Bench T5 — regenerate paper Table 5 (recommended sample sizes).
+
+Exact reproduction: the grid must match the published integers cell
+for cell.
+"""
+
+import numpy as np
+
+from repro.experiments import table5
+
+
+def bench_table5(benchmark, report_sink):
+    result = benchmark(table5.run)
+    assert np.array_equal(result.grid, table5.PAPER_TABLE5)
+    report_sink("T5 / Table 5", result.report())

@@ -1,0 +1,36 @@
+"""Benchmark-harness plumbing.
+
+Each bench regenerates one paper artefact (timed with pytest-benchmark)
+and registers its report here; the reports are printed in the terminal
+summary so that ``pytest benchmarks/ --benchmark-only`` emits the
+regenerated tables/figures alongside the timing table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+@pytest.fixture()
+def report_sink():
+    """Collects ``(title, text)`` artefact reports for the summary."""
+
+    def sink(title: str, text: str) -> None:
+        _REPORTS.append((title, text))
+
+    return sink
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    tr = terminalreporter
+    tr.section("regenerated paper artefacts")
+    for title, text in _REPORTS:
+        tr.write_line("")
+        tr.write_line(f"===== {title} =====")
+        for line in text.splitlines():
+            tr.write_line(line)
+    _REPORTS.clear()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Audit a raw meter log, end to end.
+
+A list operator receives a power trace as a CSV meter log and a claimed
+Level 1 submission.  This example:
+
+1. exports a simulated Piz-Daint-class run as a meter-log CSV (the
+   format a rack PDU produces),
+2. reads it back cold, with no knowledge of the run structure,
+3. detects the core phase from the power signal alone,
+4. checks the submission's claimed measurement window against the
+   detected phase and the timing rules, and
+5. estimates how much the claimed window flattered the result.
+
+Run:  python examples/audit_meter_log.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis.gaming import optimal_window_gain
+from repro.analysis.phases import detect_core_phase
+from repro.cluster import get_trace_setup
+from repro.core.windows import MeasurementWindow, is_legal_level1_window
+from repro.traces.io import read_trace_csv, write_trace_csv
+from repro.traces.synth import simulate_run
+
+
+def main() -> None:
+    # --- the site's side: run HPL, export the meter log --------------
+    system, workload = get_trace_setup("piz-daint")
+    run = simulate_run(system, workload, dt=1.0)
+    log_path = Path(tempfile.mkdtemp()) / "pdu-log.csv"
+    write_trace_csv(run.trace, log_path)
+    print(f"meter log written: {log_path} "
+          f"({len(run.trace)} samples at 1 Hz)")
+
+    # The submitter claims this (legal but tail-hugging) window:
+    claimed = MeasurementWindow(0.74, 0.90)
+
+    # --- the auditor's side: cold read -------------------------------
+    trace = read_trace_csv(log_path)
+    phase = detect_core_phase(trace, threshold_fraction=0.35)
+    print(f"detected core phase: [{phase.start_s:.0f}, {phase.end_s:.0f}] s "
+          f"({phase.duration_s / 3600:.2f} h)")
+    t0, t1 = run.core_window
+    print(f"(simulation ground truth: [{t0:.0f}, {t1:.0f}] s; overlap "
+          f"{phase.overlap_fraction(t0, t1):.1%})")
+    print()
+
+    core = trace.window(phase.start_s, phase.end_s)
+    legal = is_legal_level1_window(claimed, core.duration)
+    a = phase.start_s + claimed.start * core.duration
+    b = phase.start_s + claimed.end * core.duration
+    claimed_avg = trace.window(a, b).mean_power()
+    full_avg = core.mean_power()
+    print(f"claimed window {claimed}: "
+          f"{'legal' if legal else 'ILLEGAL'} under pre-2015 Level 1")
+    print(f"claimed-window average: {claimed_avg / 1e3:.1f} kW")
+    print(f"full-core average:      {full_avg / 1e3:.1f} kW")
+    print(f"understatement:         "
+          f"{(claimed_avg - full_avg) / full_avg:+.1%}")
+    print()
+
+    worst = optimal_window_gain(core)
+    print("window-placement exposure on this trace "
+          f"(any legal choice): {worst.spread:.1%} spread, best case "
+          f"{worst.gaming_gain:+.1%}")
+    print("verdict: request a full-core-phase measurement "
+          "(post-2015 rule) before accepting.")
+
+
+if __name__ == "__main__":
+    main()

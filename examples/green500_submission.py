@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""A site prepares a Green500 submission — at every quality level.
+
+Simulates a full HPL run on an L-CSC-class GPU machine, executes the
+EE HPC WG Level 1, 2 and 3 measurement procedures on it, validates each
+against the Table 1 rules *and* the paper's new requirements, and shows
+what each level would have reported vs the truth.
+
+Run:  python examples/green500_submission.py
+"""
+
+from repro.cluster import get_trace_setup
+from repro.core.methodology import Level
+from repro.lists.submission import PowerSource, Submission
+from repro.lists.validation import validate_submission
+from repro.metering import MeasurementCampaign, MeterSpec
+from repro.traces.synth import simulate_run
+from repro.units import gflops_per_watt
+
+
+def main() -> None:
+    # The machine and its calibrated HPL workload (paper Table 2 row).
+    system, workload = get_trace_setup("l-csc")
+    print(f"machine: {system.name}, {system.n_nodes} nodes, "
+          f"4 GPUs per node")
+    print(f"HPL core phase: {workload.core_runtime_s / 3600:.1f} h")
+
+    run = simulate_run(system, workload, dt=1.0)
+    truth = run.true_core_average()
+    rmax_gflops = 316_000.0  # L-CSC's Nov 2014 Rmax
+    print(f"true core-phase average power: {truth / 1e3:.2f} kW")
+    print(f"true efficiency: {gflops_per_watt(rmax_gflops, truth):.3f} "
+          "GFLOPS/W")
+    print()
+
+    campaign = MeasurementCampaign(
+        run, meter_spec=MeterSpec(gain_error_cv=0.01)
+    )
+    results = {
+        Level.L1: campaign.level1(),
+        Level.L2: campaign.level2(),
+        Level.L3: campaign.level3(),
+    }
+
+    for level, result in results.items():
+        sub = Submission(
+            system_name=f"{system.name}-L{int(level)}",
+            rmax_gflops=rmax_gflops,
+            power_watts=result.reported_watts,
+            source=PowerSource.MEASURED,
+            level=level,
+            description=result.description,
+            true_power_watts=truth,
+        )
+        report = validate_submission(sub)
+        print(f"--- Level {int(level)} ---")
+        print(f"  reported: {result.reported_watts / 1e3:.2f} kW "
+              f"({result.relative_error:+.2%} vs truth)")
+        print(f"  efficiency: {sub.efficiency_gflops_per_watt:.3f} GFLOPS/W")
+        print(f"  window: {result.window}, "
+              f"nodes: {len(result.node_indices)}/{system.n_nodes}")
+        print(f"  Table 1 compliant: {report.complies_with_level}")
+        print(f"  new (post-2015) rules: "
+              f"{'pass' if report.complies_with_new_rules else 'FAIL'}")
+        for failure in report.new_rule_failures:
+            print(f"    - {failure}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: plan, take and assess a node-subset power measurement.
+
+Walks the paper's core workflow on the (simulated) LRZ system:
+
+1. look up the system and its per-node power distribution,
+2. plan a subset size with Eq. 5 from the σ/μ band,
+3. "measure" that many nodes and extrapolate to the full system,
+4. attach the accuracy assessment the paper wants every submission to
+   carry.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cluster import get_system, workload_utilisation
+from repro.core import (
+    assess_accuracy,
+    extrapolate_full_system,
+    recommend_sample_size,
+)
+from repro.rng import default_rng
+
+
+def main() -> None:
+    rng = default_rng(2015)
+
+    # 1. The fleet: LRZ's 9216 thin nodes under MPrime (Table 3/4).
+    lrz = get_system("lrz")
+    fleet = lrz.node_sample(workload_utilisation("lrz"))
+    print(f"system: {lrz.name}, N = {len(fleet)} nodes")
+    print(f"fleet mean node power: {fleet.mean():.2f} W")
+    print(f"fleet sigma/mu:        {fleet.coefficient_of_variation():.2%}")
+    print()
+
+    # 2. Plan: ±1% at 95% confidence, assuming the paper's conservative
+    #    sigma/mu = 3% (we pretend we have not measured everything).
+    plan = recommend_sample_size(len(fleet), cv=0.03, accuracy=0.01)
+    print(f"plan (Eq. 5): {plan}")
+    print()
+
+    # 3. Measure the planned subset and extrapolate linearly.
+    subset = fleet.random_subset(plan.n, rng)
+    estimate = extrapolate_full_system(subset.watts, len(fleet))
+    truth = fleet.total()
+    print(f"extrapolated full-system power: {estimate}")
+    print(f"true full-system power:         {truth / 1e3:.1f} kW")
+    print(f"error: {(estimate.total_watts - truth) / truth:+.3%}")
+    print()
+
+    # 4. The accuracy statement the paper recommends submitting.
+    assessment = assess_accuracy(
+        subset.watts, len(fleet), target_lambda=0.015
+    )
+    print("accuracy assessment:", assessment.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Reproduce the L-CSC efficiency-tuning campaign (Section 5).
+
+Sweeps the GPU frequency/voltage space for the most efficient Linpack
+operating point (the real team found 774 MHz / 1.018 V), then shows the
+two node-variability mitigations the paper derives from the case study:
+fixing the voltage (instead of per-ASIC VIDs) and pinning the fans.
+
+Run:  python examples/tune_gpu_efficiency.py
+"""
+
+import numpy as np
+
+from repro.cluster.components import GpuModel
+from repro.cluster.dvfs import (
+    OperatingPoint,
+    VoltageFrequencyCurve,
+    efficiency_search,
+)
+from repro.experiments import figure4
+
+
+def main() -> None:
+    gpu = GpuModel(
+        idle_watts=18.0, peak_watts=230.0,
+        nominal_mhz=900.0, nominal_volts=1.1425,
+    )
+    curve = VoltageFrequencyCurve(
+        f0_mhz=774.0, v0=1.018, slope_v_per_mhz=0.0006
+    )
+
+    print("== frequency/voltage sweep ==")
+    grid = np.arange(500.0, 1001.0, 2.0)
+    best, eff = efficiency_search(gpu, curve, grid)
+    print(f"most efficient point: {best.freq_mhz:.0f} MHz "
+          f"@ {best.volts:.3f} V (paper: 774 MHz @ 1.018 V)")
+    default = OperatingPoint(900.0, float(curve.min_stable_volts(900.0)))
+    p_best = gpu.power_at(0.95, best.freq_mhz, best.volts)
+    p_def = gpu.power_at(0.95, default.freq_mhz, default.volts)
+    eff_gain = (best.freq_mhz / p_best) / (default.freq_mhz / p_def) - 1.0
+    print(f"efficiency gain vs default 900 MHz: {eff_gain:+.1%} "
+          "(paper reports ~22% from DVFS)\n")
+
+    print("== node-variability mitigations (Figure 4 experiment) ==")
+    result = figure4.run()
+    vids = np.array([r.vid for r in result.rows], dtype=float)
+    fixed = np.array([r.eff_fixed for r in result.rows])
+    default_eff = np.array([r.eff_default for r in result.rows])
+    print(f"fixed 774 MHz/1.018 V: efficiency CV "
+          f"{fixed.std(ddof=1) / fixed.mean():.2%} "
+          "(paper: 1.2%), no VID trend "
+          f"(corr {np.corrcoef(fixed, vids)[0, 1]:+.2f})")
+    print(f"default VID voltages:  clear VID trend "
+          f"(corr {np.corrcoef(default_eff, vids)[0, 1]:+.2f})")
+    print(f"fan-speed power delta: {result.fan_power_delta_w:.0f} W — "
+          f"{result.fan_power_delta_w / result.gpu_power_spread_w:.0f}x "
+          "the GPU silicon spread")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e .`` works on offline environments whose setuptools
+cannot PEP 517-build editable wheels (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

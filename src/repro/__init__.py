@@ -1,0 +1,47 @@
+"""repro — reproduction of *Node Variability in Large-Scale Power
+Measurements: Perspectives from the Green500, Top500 and EEHPCWG*
+(Scogland et al., SC '15).
+
+The package has three layers:
+
+* **Substrates** — a simulated supercomputing estate:
+  :mod:`repro.cluster` (component/node/fleet power models with
+  manufacturing variability, VIDs, fans, DVFS), :mod:`repro.workloads`
+  (HPL and the stress workloads the paper's datasets used),
+  :mod:`repro.traces` (power time series), :mod:`repro.metering`
+  (meters, power-delivery hierarchy, and executable EE HPC WG Level
+  1/2/3 measurement campaigns), and :mod:`repro.lists` (a Green500-style
+  list substrate).
+
+* **Core contribution** — :mod:`repro.core`: the statistical
+  sample-size rule (Eqs. 1–5), confidence-interval machinery with
+  finite-population correction, measurement-window rules, the bootstrap
+  coverage study, and the paper's new submission requirements.
+
+* **Analysis & experiments** — :mod:`repro.analysis` (descriptive
+  stats, normality diagnostics, window-gaming search, ranking impact)
+  and :mod:`repro.experiments` (one module per paper table/figure,
+  regenerating each artefact and comparing against the published
+  values).
+
+Quickstart::
+
+    from repro.cluster import get_system
+    from repro.core import recommend_sample_size
+
+    lrz = get_system("lrz")
+    sample = lrz.node_sample(utilisation=0.96)
+    n = recommend_sample_size(
+        n_nodes=len(sample),
+        cv=sample.coefficient_of_variation(),
+        accuracy=0.01,
+        confidence=0.95,
+    )
+"""
+
+from repro import units
+from repro.rng import default_rng
+
+__version__ = "1.0.0"
+
+__all__ = ["units", "default_rng", "__version__"]

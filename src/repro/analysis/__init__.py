@@ -1,0 +1,40 @@
+"""Statistical analysis and reporting utilities.
+
+* :mod:`~repro.analysis.descriptive` — summary statistics and the
+  histogram machinery behind Figure 2.
+* :mod:`~repro.analysis.normality` — the normality diagnostics the
+  paper's Section 4 leans on.
+* :mod:`~repro.analysis.bootstrap` — generic vectorised resampling.
+* :mod:`~repro.analysis.gaming` — optimal measurement-window search
+  (the TSUBAME-KFC / L-CSC case studies).
+* :mod:`~repro.analysis.ranking_impact` — how measurement error moves
+  Green500 ranks.
+* :mod:`~repro.analysis.report` — plain-text table rendering shared by
+  the benchmark harness.
+"""
+
+from repro.analysis.descriptive import DescriptiveStats, describe, histogram
+from repro.analysis.normality import NormalityReport, normality_report
+from repro.analysis.bootstrap import bootstrap_ci, bootstrap_statistic
+from repro.analysis.gaming import WindowGamingResult, optimal_window_gain
+from repro.analysis.phases import DetectedPhase, detect_core_phase
+from repro.analysis.ranking_impact import RankImpactResult, rank_impact_study
+from repro.analysis.report import Table, format_paper_vs_measured
+
+__all__ = [
+    "DescriptiveStats",
+    "describe",
+    "histogram",
+    "NormalityReport",
+    "normality_report",
+    "bootstrap_ci",
+    "bootstrap_statistic",
+    "WindowGamingResult",
+    "optimal_window_gain",
+    "DetectedPhase",
+    "detect_core_phase",
+    "RankImpactResult",
+    "rank_impact_study",
+    "Table",
+    "format_paper_vs_measured",
+]

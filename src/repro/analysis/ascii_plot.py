@@ -1,0 +1,143 @@
+"""Terminal line plots for the figure-regenerating benches.
+
+The benchmark harness runs in a terminal; these renderers let the F1/F3
+benches *show* the regenerated curves rather than only summarising
+them.  Pure text, no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["line_plot", "multi_line_plot", "histogram_sparkline"]
+
+_MARKS = "abcdefghij"
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def histogram_sparkline(counts, *, width: int | None = None) -> str:
+    """Render histogram counts as a one-line block sparkline.
+
+    Used by the Figure 2 report to show each fleet's distribution shape
+    inline.  Counts are rebinned to ``width`` columns if narrower than
+    the input.
+    """
+    c = np.asarray(counts, dtype=float).ravel()
+    if c.size == 0:
+        raise ValueError("empty counts")
+    if np.any(c < 0):
+        raise ValueError("counts must be non-negative")
+    if width is not None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        if width < c.size:
+            edges = np.linspace(0, c.size, width + 1).astype(int)
+            c = np.array([
+                c[a:b].sum() for a, b in zip(edges[:-1], edges[1:])
+            ])
+    peak = c.max()
+    if peak == 0:
+        return _BLOCKS[0] * c.size
+    levels = np.ceil(c / peak * (len(_BLOCKS) - 1)).astype(int)
+    return "".join(_BLOCKS[v] for v in levels)
+
+
+def line_plot(
+    x,
+    y,
+    *,
+    width: int = 72,
+    height: int = 14,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one series as an ASCII plot."""
+    return multi_line_plot(
+        x, {y_label or "y": np.asarray(y)}, width=width, height=height,
+        title=title,
+    )
+
+
+def multi_line_plot(
+    x,
+    series: dict,
+    *,
+    width: int = 72,
+    height: int = 14,
+    title: str = "",
+) -> str:
+    """Render several aligned series in one ASCII plot.
+
+    Parameters
+    ----------
+    x:
+        Common x values (monotone).
+    series:
+        Mapping label → y array (same length as ``x``).  Each series is
+        drawn with its own letter mark; the legend maps letters back.
+    width / height:
+        Plot canvas size in characters.
+    """
+    xv = np.asarray(x, dtype=float).ravel()
+    if xv.size < 2:
+        raise ValueError("need at least two x values")
+    if not series:
+        raise ValueError("need at least one series")
+    if len(series) > len(_MARKS):
+        raise ValueError(f"at most {len(_MARKS)} series supported")
+    if width < 16 or height < 4:
+        raise ValueError("canvas too small")
+    ys = {}
+    for label, y in series.items():
+        arr = np.asarray(y, dtype=float).ravel()
+        if arr.shape != xv.shape:
+            raise ValueError(
+                f"series {label!r} length {arr.size} != x length {xv.size}"
+            )
+        ys[label] = arr
+
+    all_y = np.concatenate(list(ys.values()))
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if y_hi - y_lo < 1e-12:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(xv[0]), float(xv[-1])
+
+    canvas = [[" "] * width for _ in range(height)]
+    for mark, (label, y) in zip(_MARKS, ys.items()):
+        cols = np.clip(
+            ((xv - x_lo) / (x_hi - x_lo) * (width - 1)).round().astype(int),
+            0, width - 1,
+        )
+        rows = np.clip(
+            ((y_hi - y) / (y_hi - y_lo) * (height - 1)).round().astype(int),
+            0, height - 1,
+        )
+        for c, r in zip(cols, rows):
+            cell = canvas[r][c]
+            canvas[r][c] = "*" if cell not in (" ", mark) else mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_hi = f"{y_hi:.4g}"
+    label_lo = f"{y_lo:.4g}"
+    pad = max(len(label_hi), len(label_lo))
+    for i, row in enumerate(canvas):
+        if i == 0:
+            prefix = label_hi.rjust(pad)
+        elif i == height - 1:
+            prefix = label_lo.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row)}")
+    axis = " " * pad + " +" + "-" * width
+    lines.append(axis)
+    lines.append(
+        " " * pad + f"  {x_lo:<.4g}" + " " * max(width - 16, 1)
+        + f"{x_hi:>.4g}"
+    )
+    legend = ", ".join(
+        f"{mark}={label}" for mark, label in zip(_MARKS, ys)
+    )
+    lines.append(" " * pad + f"  [{legend}; *=overlap]")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Generic vectorised bootstrap machinery.
+
+:mod:`repro.core.coverage` implements the paper's specific Figure 3
+procedure; this module provides the general-purpose resampling the
+other experiments (and downstream users) need: bootstrap distributions
+and percentile CIs for arbitrary statistics of per-node samples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["bootstrap_statistic", "bootstrap_ci"]
+
+
+def bootstrap_statistic(
+    values,
+    statistic: Callable[[np.ndarray], np.ndarray],
+    *,
+    n_boot: int = 10_000,
+    rng: np.random.Generator | None = None,
+    batch: int = 1_000,
+) -> np.ndarray:
+    """Bootstrap distribution of ``statistic`` over resamples of
+    ``values``.
+
+    ``statistic`` must be vectorised: given a ``(b, n)`` array it
+    returns a length-``b`` array (e.g. ``lambda x: x.mean(axis=1)``).
+    Resampling proceeds in batches of ``batch`` replicates to bound
+    memory for large samples.
+    """
+    x = np.asarray(values, dtype=float).ravel()
+    if x.size < 2:
+        raise ValueError("need at least two observations")
+    if n_boot < 1:
+        raise ValueError("n_boot must be >= 1")
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    out = np.empty(n_boot)
+    n = x.size
+    for lo in range(0, n_boot, batch):
+        hi = min(lo + batch, n_boot)
+        idx = rng.integers(0, n, size=(hi - lo, n))
+        stat = np.asarray(statistic(x[idx]), dtype=float)
+        if stat.shape != (hi - lo,):
+            raise ValueError(
+                "statistic must map a (b, n) array to a length-b array; "
+                f"got shape {stat.shape} for batch {hi - lo}"
+            )
+        out[lo:hi] = stat
+    return out
+
+
+def bootstrap_ci(
+    values,
+    statistic: Callable[[np.ndarray], np.ndarray],
+    *,
+    confidence: float = 0.95,
+    n_boot: int = 10_000,
+    rng: np.random.Generator | None = None,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for a statistic."""
+    if not (0.0 < confidence < 1.0):
+        raise ValueError("confidence must be in (0, 1)")
+    dist = bootstrap_statistic(values, statistic, n_boot=n_boot, rng=rng)
+    alpha = 1.0 - confidence
+    lo, hi = np.quantile(dist, [alpha / 2.0, 1.0 - alpha / 2.0])
+    return float(lo), float(hi)

@@ -1,0 +1,101 @@
+"""Descriptive statistics and histograms.
+
+Table 4 reports (N, μ̂, σ̂, σ̂/μ̂) per system; Figure 2 shows the
+per-node power histograms those numbers summarise.  This module
+produces both from a :class:`~repro.traces.nodeset.NodeSample` or any
+array of per-node powers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DescriptiveStats", "describe", "histogram"]
+
+
+@dataclass(frozen=True)
+class DescriptiveStats:
+    """Summary statistics of a per-node power sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    skewness: float
+    excess_kurtosis: float
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation σ̂/μ̂."""
+        if self.mean == 0:
+            raise ValueError("cv undefined for zero mean")
+        return self.std / self.mean
+
+    @property
+    def range_fraction(self) -> float:
+        """(max − min)/mean — the full node-to-node spread."""
+        if self.mean == 0:
+            raise ValueError("range fraction undefined for zero mean")
+        return (self.maximum - self.minimum) / self.mean
+
+
+def describe(watts) -> DescriptiveStats:
+    """Summarise per-node powers (sample std, ddof=1)."""
+    x = np.asarray(watts, dtype=float).ravel()
+    if x.size == 0:
+        raise ValueError("empty sample")
+    if not np.all(np.isfinite(x)):
+        raise ValueError("sample contains non-finite values")
+    mu = float(x.mean())
+    sd = float(x.std(ddof=1)) if x.size > 1 else 0.0
+    if x.size > 2 and sd > 0:
+        c = x - mu
+        m2 = float((c**2).mean())
+        skew = float((c**3).mean() / m2**1.5)
+        kurt = float((c**4).mean() / m2**2 - 3.0)
+    else:
+        skew = 0.0
+        kurt = 0.0
+    return DescriptiveStats(
+        n=int(x.size),
+        mean=mu,
+        std=sd,
+        minimum=float(x.min()),
+        maximum=float(x.max()),
+        median=float(np.median(x)),
+        skewness=skew,
+        excess_kurtosis=kurt,
+    )
+
+
+def histogram(
+    watts, *, bins: int = 40, range_sigmas: float | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram counts and bin edges for a Figure 2-style panel.
+
+    ``range_sigmas`` optionally clips the plotted range to
+    ``median ± k·σ_robust`` (MAD-based scale, so the outliers being
+    clipped cannot inflate the clip bounds themselves); clipped values
+    land in the edge bins rather than stretching the axis.
+    """
+    x = np.asarray(watts, dtype=float).ravel()
+    if x.size == 0:
+        raise ValueError("empty sample")
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    if range_sigmas is not None:
+        if range_sigmas <= 0:
+            raise ValueError("range_sigmas must be positive")
+        center = float(np.median(x))
+        mad = float(np.median(np.abs(x - center)))
+        scale = 1.4826 * mad if mad > 0 else float(x.std(ddof=1) if x.size > 1 else 0.0)
+        lo = center - range_sigmas * scale
+        hi = center + range_sigmas * scale
+        if hi > lo:
+            x = np.clip(x, lo, hi)
+    counts, edges = np.histogram(x, bins=bins)
+    return counts, edges

@@ -1,0 +1,133 @@
+"""Core-phase detection in raw power traces.
+
+The methodology's rules are phrased relative to the **core phase**, but
+a meter log is just power vs time — before any window rule can be
+applied or audited, the core phase must be located.  (List operators
+face exactly this when auditing a submission from its raw trace.)
+
+:func:`detect_core_phase` finds the sustained high-power region of a
+full-run trace: the longest contiguous stretch where power stays above
+a threshold between the idle/setup floor and the plateau level.  It is
+deliberately simple and transparent — an auditable rule, not a learned
+detector — and is validated against the trace synthesiser's known
+ground truth in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.powertrace import PowerTrace
+
+__all__ = ["DetectedPhase", "detect_core_phase"]
+
+
+@dataclass(frozen=True)
+class DetectedPhase:
+    """A detected core phase within a full-run trace."""
+
+    start_s: float
+    end_s: float
+    threshold_watts: float
+    plateau_watts: float
+
+    @property
+    def duration_s(self) -> float:
+        """Detected core-phase length."""
+        return self.end_s - self.start_s
+
+    def overlap_fraction(self, true_start: float, true_end: float) -> float:
+        """Intersection-over-union with a known core window (for
+        validation)."""
+        if true_end <= true_start:
+            raise ValueError("need true_start < true_end")
+        inter = max(
+            0.0, min(self.end_s, true_end) - max(self.start_s, true_start)
+        )
+        union = (
+            max(self.end_s, true_end) - min(self.start_s, true_start)
+        )
+        return inter / union if union > 0 else 0.0
+
+
+def detect_core_phase(
+    trace: PowerTrace,
+    *,
+    threshold_fraction: float = 0.5,
+    min_duration_fraction: float = 0.05,
+) -> DetectedPhase:
+    """Locate the core phase of a full-run trace.
+
+    Parameters
+    ----------
+    trace:
+        The full-run power trace (idle/setup + core + teardown).
+    threshold_fraction:
+        Where to place the detection threshold between the trace's low
+        level (5th percentile) and plateau level (95th percentile);
+        0.5 = midway.
+    min_duration_fraction:
+        Shortest admissible core phase, as a fraction of the trace
+        span — guards against a power spike being mistaken for the run.
+
+    Raises
+    ------
+    ValueError
+        If no above-threshold region of the minimum duration exists
+        (e.g. an idle-only trace).
+    """
+    if not (0.0 < threshold_fraction < 1.0):
+        raise ValueError("threshold_fraction must be in (0, 1)")
+    if not (0.0 < min_duration_fraction <= 1.0):
+        raise ValueError("min_duration_fraction must be in (0, 1]")
+    if len(trace) < 8 or trace.duration <= 0:
+        raise ValueError("trace too short for phase detection")
+
+    # Level estimation on a lightly smoothed signal: the smoothing
+    # window (~1% of the trace) makes the floor/plateau levels robust
+    # to sample noise and keeps short spikes from defining the plateau,
+    # while not requiring the idle phases to be any minimum length
+    # (a 28 h HPL run has seconds of setup in hours of core).
+    watts = trace.watts
+    win = max(3, len(trace) // 100)
+    kernel = np.full(win, 1.0 / win)
+    # Edge-pad before convolving: zero padding would fabricate a dip at
+    # the trace boundaries and a spurious "plateau" on flat signals.
+    padded = np.pad(watts, (win // 2, win - 1 - win // 2), mode="edge")
+    smooth = np.convolve(padded, kernel, mode="valid")
+    lo = float(smooth.min())
+    hi = float(smooth.max())
+    if hi - lo < 1e-9 or (hi - lo) / max(hi, 1e-9) < 0.02:
+        raise ValueError(
+            "trace has no distinguishable plateau (flat signal); the "
+            "core phase cannot be detected from power alone"
+        )
+    threshold = lo + threshold_fraction * (hi - lo)
+
+    above = watts >= threshold
+    # Longest contiguous run of `above`.
+    edges = np.flatnonzero(np.diff(above.astype(np.int8)))
+    starts = np.concatenate(([0], edges + 1))
+    ends = np.concatenate((edges + 1, [above.size]))
+    best_len = -1.0
+    best: tuple[int, int] | None = None
+    for s, e in zip(starts, ends):
+        if not above[s]:
+            continue
+        length = trace.times[e - 1] - trace.times[s]
+        if length > best_len:
+            best_len = length
+            best = (int(s), int(e))
+    if best is None or best_len < min_duration_fraction * trace.duration:
+        raise ValueError(
+            "no above-threshold region long enough to be a core phase"
+        )
+    s, e = best
+    return DetectedPhase(
+        start_s=float(trace.times[s]),
+        end_s=float(trace.times[e - 1]),
+        threshold_watts=threshold,
+        plateau_watts=hi,
+    )

@@ -1,0 +1,89 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every bench regenerates a paper table or figure and prints it in a
+stable, diff-friendly format; this module is the single place that
+formatting lives.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["Table", "format_paper_vs_measured"]
+
+
+class Table:
+    """A fixed-column text table.
+
+    Examples
+    --------
+    >>> t = Table(["system", "mu (W)"])
+    >>> t.add_row(["lrz", 209.88])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], *, title: str = "") -> None:
+        if not headers:
+            raise ValueError("need at least one column")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, cells: Iterable) -> None:
+        """Append a row; numbers are formatted compactly."""
+        row = [self._fmt(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _fmt(cell) -> str:
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 10_000:
+                return f"{cell:,.1f}"
+            if abs(cell) >= 1:
+                return f"{cell:.2f}"
+            return f"{cell:.4f}"
+        return str(cell)
+
+    def render(self) -> str:
+        """Render the table with aligned columns."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(c.rjust(w) for c, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_paper_vs_measured(
+    label: str, paper_value: float, measured_value: float, unit: str = ""
+) -> str:
+    """One comparison line: ``label: paper X, measured Y (+Z%)``."""
+    if paper_value == 0:
+        rel = float("nan")
+    else:
+        rel = (measured_value - paper_value) / abs(paper_value)
+    unit_s = f" {unit}" if unit else ""
+    return (
+        f"{label}: paper {paper_value:g}{unit_s}, "
+        f"measured {measured_value:g}{unit_s} ({rel:+.2%})"
+    )

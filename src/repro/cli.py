@@ -1,0 +1,256 @@
+"""Command-line interface.
+
+Four subcommands mirror the workflows the paper prescribes for sites::
+
+    python -m repro.cli plan --nodes 9216 --cv 0.025 --accuracy 0.01
+    python -m repro.cli assess --nodes 9216 --watts 207.1,210.4,...
+    python -m repro.cli systems
+    python -m repro.cli experiments T5 F3 --markdown out.md
+
+``plan`` sizes a measurement subset (Eq. 5, or the two-step pilot
+procedure when per-node pilot watts are given); ``assess`` produces the
+accuracy statement the paper wants attached to every submission;
+``systems`` prints the calibrated registry; ``experiments`` is a
+shortcut to :mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.cluster.registry import (
+    NODE_VARIABILITY_SYSTEMS,
+    PAPER_TABLE4,
+    TRACE_SYSTEMS,
+    get_system,
+    workload_utilisation,
+)
+from repro.core.accuracy import assess_accuracy
+from repro.core.recommendations import recommended_measurement_nodes
+from repro.core.sampling import recommend_sample_size, two_step_pilot_plan
+
+__all__ = ["main"]
+
+
+def _parse_watts(text: str) -> np.ndarray:
+    try:
+        values = np.array([float(x) for x in text.split(",") if x.strip()])
+    except ValueError as exc:
+        raise SystemExit(f"error: could not parse watts list: {exc}")
+    if values.size == 0:
+        raise SystemExit("error: empty watts list")
+    return values
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    if args.pilot is not None:
+        pilot = _parse_watts(args.pilot)
+        plan = two_step_pilot_plan(
+            args.nodes, pilot, accuracy=args.accuracy,
+            confidence=args.confidence,
+        )
+        print(f"pilot of {pilot.size} nodes: mean {pilot.mean():.1f} W, "
+              f"sigma/mu {plan.cv:.2%}")
+    else:
+        plan = recommend_sample_size(
+            args.nodes, args.cv, args.accuracy, args.confidence
+        )
+    print(f"Eq. 5 plan: {plan}")
+    new_rule = recommended_measurement_nodes(args.nodes)
+    print(f"post-2015 submission rule: measure at least {new_rule} nodes "
+          f"(max of 16 or 10% of {args.nodes})")
+    if plan.n > new_rule:
+        print("note: your accuracy target needs more nodes than the "
+              "submission rule minimum.")
+    return 0
+
+
+def _cmd_assess(args: argparse.Namespace) -> int:
+    watts = _parse_watts(args.watts)
+    if watts.size < 2:
+        raise SystemExit("error: need at least two node measurements")
+    assessment = assess_accuracy(
+        watts, args.nodes,
+        confidence=args.confidence,
+        target_lambda=args.target,
+    )
+    print(assessment.summary())
+    return 0 if assessment.meets_target in (True, None) else 1
+
+
+def _cmd_budget(args: argparse.Namespace) -> int:
+    from repro.core.planning import (
+        InstrumentationConstraints,
+        plan_measurement,
+    )
+    from repro.metering.meter import MeterSpec
+
+    constraints = InstrumentationConstraints(
+        n_meters=args.meters,
+        channels_per_meter=args.channels,
+        meter_spec=MeterSpec(gain_error_cv=args.meter_gain_cv),
+        full_core_window=not args.partial_window,
+        machine_class=args.machine_class,
+        conversion_modeling_error=args.conversion_error,
+    )
+    plan = plan_measurement(
+        args.nodes, args.cv, args.accuracy, constraints
+    )
+    print(plan.summary())
+    return 0 if plan.feasible else 1
+
+
+def _cmd_systems(_: argparse.Namespace) -> int:
+    table = Table(
+        ["system", "kind", "N", "mean node W (paper)", "sigma/mu (paper)"],
+        title="calibrated paper systems",
+    )
+    for name in NODE_VARIABILITY_SYSTEMS:
+        row = PAPER_TABLE4[name]
+        system = get_system(name)
+        sample = system.node_sample(workload_utilisation(name))
+        table.add_row(
+            [name, "node-variability", system.n_nodes,
+             f"{sample.mean():.1f} ({row.mean_w:.1f})",
+             f"{sample.coefficient_of_variation():.2%} ({row.cv:.2%})"]
+        )
+    for name in TRACE_SYSTEMS:
+        table.add_row([name, "trace (Table 2)", "-", "-", "-"])
+    print(table.render())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core.recommendations import NEW_RULES
+    from repro.lists.jsonio import submission_from_json
+    from repro.lists.validation import validate_submission
+
+    try:
+        text = Path(args.path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {args.path}: {exc}")
+    try:
+        submission = submission_from_json(text)
+    except (ValueError, KeyError, TypeError) as exc:
+        raise SystemExit(f"error: invalid submission: {exc}")
+    report = validate_submission(
+        submission,
+        new_rules=None if args.old_rules_only else NEW_RULES,
+    )
+    print(report.summary())
+    for v in report.violations:
+        print(f"  violation: {v}")
+    for f in report.new_rule_failures:
+        print(f"  new-rule failure: {f}")
+    for n in report.notes:
+        print(f"  note: {n}")
+    ok = report.complies_with_level and report.complies_with_new_rules
+    return 0 if ok else 1
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import main as runner_main
+
+    argv = list(args.ids)
+    if args.markdown:
+        argv += ["--markdown", args.markdown]
+    if args.quiet:
+        argv += ["--quiet"]
+    return runner_main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EE HPC WG power-measurement methodology tools "
+                    "(SC '15 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser(
+        "plan", help="size a node-subset measurement (Eq. 5)"
+    )
+    plan.add_argument("--nodes", type=int, required=True,
+                      help="fleet size N")
+    plan.add_argument("--cv", type=float, default=0.03,
+                      help="assumed sigma/mu (default 0.03, the paper's "
+                           "conservative band edge)")
+    plan.add_argument("--accuracy", type=float, default=0.01,
+                      help="target relative accuracy lambda (default 1%%)")
+    plan.add_argument("--confidence", type=float, default=0.95)
+    plan.add_argument("--pilot", type=str, default=None,
+                      help="comma-separated pilot node watts; switches to "
+                           "the two-step procedure")
+    plan.set_defaults(func=_cmd_plan)
+
+    assess = sub.add_parser(
+        "assess", help="assess a subset measurement's accuracy"
+    )
+    assess.add_argument("--nodes", type=int, required=True)
+    assess.add_argument("--watts", type=str, required=True,
+                        help="comma-separated measured node watts")
+    assess.add_argument("--target", type=float, default=None,
+                        help="accuracy target lambda to verify")
+    assess.add_argument("--confidence", type=float, default=0.95)
+    assess.set_defaults(func=_cmd_assess)
+
+    budget = sub.add_parser(
+        "budget",
+        help="full error budget for a measurement plan under "
+             "instrumentation constraints",
+    )
+    budget.add_argument("--nodes", type=int, required=True)
+    budget.add_argument("--cv", type=float, default=0.03)
+    budget.add_argument("--accuracy", type=float, default=0.02)
+    budget.add_argument("--meters", type=int, default=2)
+    budget.add_argument("--channels", type=int, default=24,
+                        help="nodes per instrument")
+    budget.add_argument("--meter-gain-cv", type=float, default=0.01)
+    budget.add_argument("--partial-window", action="store_true",
+                        help="use the pre-2015 partial window instead of "
+                             "the full core phase")
+    budget.add_argument("--machine-class", choices=("cpu", "gpu"),
+                        default="cpu")
+    budget.add_argument("--conversion-error", type=float, default=0.0)
+    budget.set_defaults(func=_cmd_budget)
+
+    systems = sub.add_parser("systems", help="list the calibrated registry")
+    systems.set_defaults(func=_cmd_systems)
+
+    validate = sub.add_parser(
+        "validate",
+        help="validate a submission JSON against the methodology",
+    )
+    validate.add_argument("path", help="submission JSON file")
+    validate.add_argument(
+        "--old-rules-only", action="store_true",
+        help="check only the claimed level's Table 1 rules, not the "
+             "post-2015 requirements",
+    )
+    validate.set_defaults(func=_cmd_validate)
+
+    experiments = sub.add_parser(
+        "experiments", help="run the paper-reproduction experiments"
+    )
+    experiments.add_argument("ids", nargs="*")
+    experiments.add_argument("--markdown", default=None)
+    experiments.add_argument("--quiet", action="store_true")
+    experiments.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Simulated supercomputer substrate.
+
+The paper measured real machines at eight sites; we rebuild the
+machinery those measurements exercised: component-level power models
+(:mod:`~repro.cluster.components`), manufacturing variability and
+voltage-ID binning (:mod:`~repro.cluster.variability`), fan/thermal
+behaviour (:mod:`~repro.cluster.thermal`), DVFS operating points
+(:mod:`~repro.cluster.dvfs`), and their composition into nodes
+(:mod:`~repro.cluster.node`) and systems (:mod:`~repro.cluster.system`).
+:mod:`~repro.cluster.registry` instantiates the nine systems the paper
+reports on, calibrated to its published figures.
+"""
+
+from repro.cluster.components import (
+    ComponentPowerModel,
+    CpuModel,
+    DramModel,
+    FanModel,
+    GpuModel,
+    NicModel,
+)
+from repro.cluster.variability import (
+    ManufacturingVariation,
+    VidBinning,
+    assign_vids,
+)
+from repro.cluster.thermal import FanController, FanPolicy, ThermalEnvironment
+from repro.cluster.dvfs import (
+    DvfsGovernor,
+    OperatingPoint,
+    VoltageFrequencyCurve,
+    efficiency_search,
+)
+from repro.cluster.node import Node, NodeConfig
+from repro.cluster.shared import SharedInfrastructure
+from repro.cluster.system import SystemModel
+from repro.cluster.registry import (
+    PAPER_SYSTEMS,
+    NODE_VARIABILITY_SYSTEMS,
+    TRACE_SYSTEMS,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    get_system,
+    get_trace_setup,
+    list_systems,
+    workload_utilisation,
+)
+
+__all__ = [
+    "ComponentPowerModel",
+    "CpuModel",
+    "GpuModel",
+    "DramModel",
+    "NicModel",
+    "FanModel",
+    "ManufacturingVariation",
+    "VidBinning",
+    "assign_vids",
+    "FanController",
+    "FanPolicy",
+    "ThermalEnvironment",
+    "DvfsGovernor",
+    "OperatingPoint",
+    "VoltageFrequencyCurve",
+    "efficiency_search",
+    "Node",
+    "NodeConfig",
+    "SharedInfrastructure",
+    "SystemModel",
+    "PAPER_SYSTEMS",
+    "NODE_VARIABILITY_SYSTEMS",
+    "TRACE_SYSTEMS",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "get_system",
+    "get_trace_setup",
+    "list_systems",
+    "workload_utilisation",
+]

@@ -1,0 +1,193 @@
+"""Dynamic voltage/frequency scaling: operating points and governors.
+
+Models the mechanisms behind two of the paper's observations:
+
+* The L-CSC team searched the frequency/voltage space and found the most
+  efficient Linpack point at **774 MHz / 1.018 V** — below the default
+  900 MHz point whose voltage the per-ASIC VID defines
+  (:func:`efficiency_search` reproduces that optimisation).
+* DVFS governors move power around *within* a run, which interacts
+  badly with partial-run measurement windows ("placing the power
+  measurement interval in this period, the power measurement could
+  completely avoid the period where the processor runs at higher
+  frequencies") — :class:`DvfsGovernor` provides the time-varying
+  frequency profile that the trace synthesiser consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.cluster.components import _ProcessorModel
+
+__all__ = [
+    "OperatingPoint",
+    "VoltageFrequencyCurve",
+    "DvfsGovernor",
+    "efficiency_search",
+]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A (frequency, voltage) pair a processor can be clocked at."""
+
+    freq_mhz: float
+    volts: float
+
+    def __post_init__(self) -> None:
+        if self.freq_mhz <= 0 or self.volts <= 0:
+            raise ValueError("operating point must have positive f and V")
+
+
+@dataclass(frozen=True)
+class VoltageFrequencyCurve:
+    """Minimum stable voltage as a function of frequency for one ASIC.
+
+    The stability frontier is modeled as affine in frequency with a
+    per-ASIC offset — the silicon-quality term the VID encodes — and a
+    hard voltage floor below which the rail cannot scale::
+
+        V_min(f) = max(v0 + slope · (f − f0) + quality_offset,
+                       v_floor + quality_offset)
+
+    A requested point below the frontier is unstable (the real L-CSC
+    tuning campaign discovered this boundary empirically, by crashing).
+    The floor is what creates an *interior* efficiency optimum: below
+    the knee, voltage is pinned, so performance-per-watt falls with
+    frequency; above it, voltage grows with frequency and the V² term
+    dominates — L-CSC's sweet spot at 774 MHz / 1.018 V is exactly the
+    knee.
+    """
+
+    f0_mhz: float = 774.0
+    v0: float = 1.000
+    slope_v_per_mhz: float = 0.0004
+    quality_offset: float = 0.0
+    v_floor: float | None = None  # defaults to v0 (knee at f0)
+
+    def __post_init__(self) -> None:
+        if self.f0_mhz <= 0 or self.v0 <= 0:
+            raise ValueError("curve anchors must be positive")
+        if self.slope_v_per_mhz < 0:
+            raise ValueError("slope must be >= 0 (voltage rises with frequency)")
+        if self.v_floor is not None and self.v_floor <= 0:
+            raise ValueError("v_floor must be positive")
+
+    def min_stable_volts(self, freq_mhz) -> np.ndarray | float:
+        """Minimum voltage for stability at ``freq_mhz``."""
+        f = np.asarray(freq_mhz, dtype=float)
+        if np.any(f <= 0):
+            raise ValueError("frequency must be positive")
+        floor = self.v0 if self.v_floor is None else self.v_floor
+        v = self.v0 + self.slope_v_per_mhz * (f - self.f0_mhz)
+        v = np.maximum(v, floor) + self.quality_offset
+        return float(v) if np.ndim(freq_mhz) == 0 else v
+
+    def is_stable(self, point: OperatingPoint) -> bool:
+        """Whether the ASIC can run at ``point`` without errors."""
+        return point.volts >= float(self.min_stable_volts(point.freq_mhz)) - 1e-12
+
+
+@dataclass(frozen=True)
+class DvfsGovernor:
+    """A frequency-selection policy over the course of a run.
+
+    Attributes
+    ----------
+    name:
+        Governor label (``"performance"``, ``"powersave"``,
+        ``"efficiency"``...).
+    profile:
+        Callable mapping run fraction in ``[0, 1]`` (vectorised) to a
+        frequency multiplier relative to nominal.  The default is the
+        constant 1 (performance governor).
+    """
+
+    name: str = "performance"
+    profile: Callable[[np.ndarray], np.ndarray] | None = None
+
+    def frequency_multiplier(self, run_fraction) -> np.ndarray | float:
+        """Frequency multiplier at the given run fraction(s)."""
+        x = np.asarray(run_fraction, dtype=float)
+        if np.any(x < 0) or np.any(x > 1):
+            raise ValueError("run_fraction must be in [0, 1]")
+        if self.profile is None:
+            out = np.ones_like(x)
+        else:
+            out = np.asarray(self.profile(x), dtype=float)
+            if np.any(out <= 0):
+                raise ValueError("governor produced non-positive multiplier")
+        return float(out) if np.ndim(run_fraction) == 0 else out
+
+    @staticmethod
+    def performance() -> "DvfsGovernor":
+        """Constant nominal frequency."""
+        return DvfsGovernor(name="performance")
+
+    @staticmethod
+    def stepped(breaks: Sequence[float], multipliers: Sequence[float]) -> "DvfsGovernor":
+        """Piecewise-constant governor.
+
+        ``breaks`` are run-fraction boundaries (strictly increasing,
+        within (0,1)); ``multipliers`` has ``len(breaks) + 1`` entries.
+        A ``stepped([0.6], [1.0, 0.8])`` governor drops the clock 20%
+        for the final 40% of the run — the shape a window-gaming
+        submitter would exploit.
+        """
+        br = list(breaks)
+        mu = list(multipliers)
+        if len(mu) != len(br) + 1:
+            raise ValueError("need len(multipliers) == len(breaks) + 1")
+        if any(not (0.0 < b < 1.0) for b in br) or sorted(set(br)) != br:
+            raise ValueError("breaks must be strictly increasing within (0, 1)")
+        if any(m <= 0 for m in mu):
+            raise ValueError("multipliers must be positive")
+        br_arr = np.asarray(br, dtype=float)
+        mu_arr = np.asarray(mu, dtype=float)
+
+        def profile(x: np.ndarray) -> np.ndarray:
+            # Intervals are closed on the right: a break at 0.6 means
+            # the first multiplier applies through x = 0.6 inclusive.
+            return mu_arr[np.searchsorted(br_arr, x, side="left")]
+
+        return DvfsGovernor(name=f"stepped[{len(br)}]", profile=profile)
+
+
+def efficiency_search(
+    processor: _ProcessorModel,
+    curve: VoltageFrequencyCurve,
+    freq_grid_mhz: Sequence[float] | np.ndarray,
+    *,
+    utilisation: float = 0.95,
+    perf_exponent: float = 1.0,
+    voltage_margin: float = 0.0,
+) -> tuple[OperatingPoint, np.ndarray]:
+    """Sweep the frequency grid for the most energy-efficient point.
+
+    For each frequency, the voltage is set to the ASIC's minimum stable
+    voltage (plus ``voltage_margin``), performance is taken as
+    ``f^perf_exponent`` (Linpack on L-CSC is compute-bound, exponent 1),
+    and efficiency is performance per watt.  Returns the best
+    :class:`OperatingPoint` and the full efficiency array for the grid —
+    the curve the L-CSC team traced by hand.
+    """
+    freqs = np.asarray(freq_grid_mhz, dtype=float)
+    if freqs.size == 0:
+        raise ValueError("frequency grid is empty")
+    if np.any(freqs <= 0):
+        raise ValueError("frequencies must be positive")
+    if not (0.0 < utilisation <= 1.0):
+        raise ValueError("utilisation must be in (0, 1]")
+
+    volts = np.asarray(curve.min_stable_volts(freqs), dtype=float) + voltage_margin
+    power = np.array(
+        [processor.power_at(utilisation, f, v) for f, v in zip(freqs, volts)]
+    )
+    perf = freqs**perf_exponent
+    eff = perf / power
+    best = int(np.argmax(eff))
+    return OperatingPoint(float(freqs[best]), float(volts[best])), eff

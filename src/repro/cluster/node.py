@@ -1,0 +1,232 @@
+"""Node composition: components + variability + thermal state.
+
+A :class:`NodeConfig` describes the *design* of a node (how many CPUs,
+GPUs, how much DRAM, the fan bank); a :class:`Node` is one manufactured
+instance of that design, carrying its own silicon lottery draws
+(per-processor power multipliers, GPU VIDs, inlet temperature).
+
+For the large population studies, :class:`~repro.cluster.system.SystemModel`
+evaluates whole fleets with vectorised arrays instead of instantiating
+one :class:`Node` per machine; :class:`Node` exists for the
+small-sample case studies (the L-CSC Figure 4 experiment measures a
+handful of nodes individually).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.cluster.components import (
+    CpuModel,
+    DramModel,
+    FanModel,
+    GpuModel,
+    NicModel,
+)
+from repro.cluster.dvfs import OperatingPoint
+from repro.cluster.thermal import FanController, FanPolicy, ThermalEnvironment
+from repro.cluster.variability import ManufacturingVariation, VidBinning
+
+__all__ = ["NodeConfig", "Node"]
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Design of one node type.
+
+    Attributes
+    ----------
+    cpu / n_cpus:
+        CPU socket model and count per node.
+    gpu / n_gpus:
+        Accelerator model and count per node (0 for CPU-only nodes).
+    dram:
+        Aggregate DRAM model for the node.
+    nic:
+        Network interface model.
+    fan:
+        Fan-bank model (set ``fan.max_watts = 0`` for blade designs
+        whose fans are chassis-level and metered separately).
+    other_watts:
+        Constant board overhead (VRM losses at the board level, BMC,
+        storage) in watts.
+    """
+
+    cpu: CpuModel = field(default_factory=CpuModel)
+    n_cpus: int = 2
+    gpu: GpuModel | None = None
+    n_gpus: int = 0
+    dram: DramModel = field(default_factory=lambda: DramModel.for_capacity(32.0))
+    nic: NicModel = field(default_factory=NicModel)
+    fan: FanModel = field(default_factory=FanModel)
+    other_watts: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.n_cpus < 0 or self.n_gpus < 0:
+            raise ValueError("component counts must be >= 0")
+        if self.n_cpus == 0 and self.n_gpus == 0:
+            raise ValueError("a node needs at least one processor")
+        if self.n_gpus > 0 and self.gpu is None:
+            raise ValueError("n_gpus > 0 requires a gpu model")
+        if self.other_watts < 0:
+            raise ValueError("other_watts must be >= 0")
+
+    def nominal_it_power(self, utilisation: float = 1.0) -> float:
+        """IT (non-fan) power of a nominal node at the given utilisation."""
+        p = self.n_cpus * self.cpu.power(utilisation)
+        if self.n_gpus:
+            p += self.n_gpus * self.gpu.power(utilisation)
+        p += self.dram.power(utilisation) + self.nic.power(utilisation)
+        return p + self.other_watts
+
+    def nominal_peak_power(self) -> float:
+        """Nominal node IT power at full load plus fans at full speed."""
+        return self.nominal_it_power(1.0) + self.fan.power(1.0)
+
+
+@dataclass(frozen=True)
+class Node:
+    """One manufactured node.
+
+    Attributes
+    ----------
+    node_id:
+        Identifier within the system.
+    config:
+        The node design.
+    cpu_multipliers / gpu_multipliers:
+        Per-socket power multipliers from process variation, length
+        ``n_cpus`` / ``n_gpus``.
+    gpu_vids:
+        VID code per GPU (empty for CPU-only nodes).
+    inlet_c:
+        The node's machine-room inlet temperature.
+    fan_controller:
+        Fan regulation policy shared by a system, possibly pinned.
+    """
+
+    node_id: int
+    config: NodeConfig
+    cpu_multipliers: np.ndarray
+    gpu_multipliers: np.ndarray
+    gpu_vids: np.ndarray
+    inlet_c: float
+    fan_controller: FanController
+    environment: ThermalEnvironment = field(default_factory=ThermalEnvironment)
+
+    def __post_init__(self) -> None:
+        if len(self.cpu_multipliers) != self.config.n_cpus:
+            raise ValueError("cpu_multipliers length mismatch")
+        if len(self.gpu_multipliers) != self.config.n_gpus:
+            raise ValueError("gpu_multipliers length mismatch")
+        if len(self.gpu_vids) != self.config.n_gpus:
+            raise ValueError("gpu_vids length mismatch")
+        if np.any(self.cpu_multipliers <= 0) or np.any(self.gpu_multipliers <= 0):
+            raise ValueError("multipliers must be positive")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def manufacture(
+        node_id: int,
+        config: NodeConfig,
+        rng: np.random.Generator,
+        *,
+        variation: ManufacturingVariation | None = None,
+        environment: ThermalEnvironment | None = None,
+        fan_controller: FanController | None = None,
+        vid_binning: VidBinning | None = None,
+    ) -> "Node":
+        """Roll the silicon lottery for one node."""
+        variation = variation or ManufacturingVariation()
+        environment = environment or ThermalEnvironment()
+        fan_controller = fan_controller or FanController(fan_model=config.fan)
+        cpu_mult = variation.sample_multipliers(max(config.n_cpus, 1), rng)[
+            : config.n_cpus
+        ]
+        if config.n_gpus:
+            gpu_mult = variation.sample_multipliers(config.n_gpus, rng)
+            binning = vid_binning or VidBinning()
+            # VID encodes the ASIC's *timing* quality (minimum stable
+            # voltage), which the paper's L-CSC study found to be
+            # unrelated to its leakage draw — so the VID is an
+            # independent sample, not a re-ranking of the multipliers.
+            quality = rng.beta(2.0, 2.0, size=config.n_gpus)
+            vids = binning.quality_to_vid(quality)
+        else:
+            gpu_mult = np.empty(0)
+            vids = np.empty(0, dtype=np.int64)
+        inlet = float(environment.sample_inlet_temperatures(1, rng)[0])
+        return Node(
+            node_id=node_id,
+            config=config,
+            cpu_multipliers=np.asarray(cpu_mult, dtype=float),
+            gpu_multipliers=np.asarray(gpu_mult, dtype=float),
+            gpu_vids=vids,
+            inlet_c=inlet,
+            fan_controller=fan_controller,
+            environment=environment,
+        )
+
+    # ------------------------------------------------------------------
+    def it_power(
+        self,
+        utilisation,
+        *,
+        gpu_point: OperatingPoint | None = None,
+        cpu_freq_multiplier: float = 1.0,
+    ):
+        """IT (non-fan) node power at the given utilisation.
+
+        ``gpu_point`` overrides every GPU's operating point (the fixed
+        774 MHz / 1.018 V configuration); when ``None``, each GPU runs
+        at its nominal frequency with its VID-programmed voltage.
+        ``cpu_freq_multiplier`` scales CPU frequency (DVFS), with
+        voltage following linearly — the usual f/V rail coupling.
+        """
+        cfg = self.config
+        u = np.asarray(utilisation, dtype=float)
+        total = np.zeros_like(u, dtype=float)
+        for mult in self.cpu_multipliers:
+            total = total + mult * cfg.cpu.power_at(
+                u,
+                cfg.cpu.nominal_mhz * cpu_freq_multiplier,
+                cfg.cpu.nominal_volts * cpu_freq_multiplier,
+            )
+        if cfg.n_gpus:
+            binning = VidBinning()
+            for mult, vid in zip(self.gpu_multipliers, self.gpu_vids):
+                if gpu_point is None:
+                    f = cfg.gpu.nominal_mhz
+                    v = float(binning.voltage_for_vid(int(vid)))
+                else:
+                    f, v = gpu_point.freq_mhz, gpu_point.volts
+                total = total + mult * cfg.gpu.power_at(u, f, v)
+        total = total + cfg.dram.power(u) + cfg.nic.power(u) + cfg.other_watts
+        return float(total) if np.ndim(utilisation) == 0 else total
+
+    def fan_power(self, it_watts):
+        """Fan power given the node's current IT draw."""
+        return self.fan_controller.power(it_watts, self.inlet_c, self.environment)
+
+    def total_power(self, utilisation, **kwargs):
+        """IT power plus fan power at the given utilisation."""
+        it = self.it_power(utilisation, **kwargs)
+        return it + self.fan_power(it)
+
+    def with_fan_policy(self, policy: FanPolicy, pinned_speed: float | None = None) -> "Node":
+        """Copy of this node with a different fan policy."""
+        ctrl = self.fan_controller
+        if policy is FanPolicy.PINNED:
+            ctrl = ctrl.pinned(pinned_speed)
+        else:
+            ctrl = FanController(
+                fan_model=ctrl.fan_model,
+                policy=FanPolicy.AUTO,
+                pinned_speed=ctrl.pinned_speed,
+                k_power=ctrl.k_power,
+                k_inlet=ctrl.k_inlet,
+                reference_watts=ctrl.reference_watts,
+            )
+        return replace(self, fan_controller=ctrl)

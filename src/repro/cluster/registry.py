@@ -1,0 +1,483 @@
+"""Catalog of the paper's test systems, calibrated to its published data.
+
+Two families:
+
+* **Node-variability systems** (Tables 3 & 4): Calcul Québec, CEA Fat,
+  CEA Thin, LRZ, Titan, TU Dresden.  Each is a :class:`SystemModel`
+  whose fleet mean per-node power μ̂ and coefficient of variation σ̂/μ̂
+  are pinned to Table 4 by a two-knob fixed-point calibration
+  (global ``power_scale`` for μ̂, process-variation ``sigma`` for σ̂/μ̂).
+
+* **Trace systems** (Table 2 & Figure 1): Colosse, Sequoia(-25),
+  Piz Daint, L-CSC.  Each is a (system, HPL workload) pair whose
+  core-phase power *shape* — the first-20% and last-20% segment averages
+  relative to the core average — is fit with two one-dimensional root
+  solves (``rho`` for the tail-off, ``warmup_boost`` for the start-of-run
+  transient), then scaled to the published absolute core power.
+
+All calibrations are deterministic (fixed per-system seeds) and cached,
+so every experiment and benchmark sees identical fleets.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, replace
+
+import numpy as np
+from scipy.optimize import brentq
+
+from repro.cluster.components import (
+    CpuModel,
+    DramModel,
+    FanModel,
+    GpuModel,
+    NicModel,
+)
+from repro.cluster.node import NodeConfig
+from repro.cluster.system import SystemModel
+from repro.cluster.thermal import FanController, ThermalEnvironment
+from repro.cluster.variability import ManufacturingVariation, VidBinning
+from repro.units import hours_to_seconds
+from repro.workloads.hpl import HplWorkload
+
+__all__ = [
+    "Table2Row",
+    "Table3Row",
+    "Table4Row",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_SYSTEMS",
+    "NODE_VARIABILITY_SYSTEMS",
+    "TRACE_SYSTEMS",
+    "get_system",
+    "get_trace_setup",
+    "list_systems",
+]
+
+
+# ----------------------------------------------------------------------
+# Published constants
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of the paper's Table 2 (all power in kW)."""
+
+    runtime_s: float
+    core_kw: float
+    first20_kw: float
+    last20_kw: float
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One row of the paper's Table 3 (system inventory)."""
+
+    cpus_per_node: str
+    ram_per_node: str
+    components_measured: str
+    workload: str
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """One row of the paper's Table 4 (per-node power statistics)."""
+
+    n_nodes: int
+    mean_w: float
+    std_w: float
+
+    @property
+    def cv(self) -> float:
+        """σ̂/μ̂ as published."""
+        return self.std_w / self.mean_w
+
+
+PAPER_TABLE2: dict[str, Table2Row] = {
+    "colosse": Table2Row(hours_to_seconds(7.0), 398.7, 398.1, 398.2),
+    "sequoia": Table2Row(hours_to_seconds(28.0), 11503.3, 11628.7, 11244.2),
+    "piz-daint": Table2Row(hours_to_seconds(1.5), 833.4, 873.8, 698.4),
+    "l-csc": Table2Row(hours_to_seconds(1.5), 59.1, 63.9, 46.8),
+}
+
+PAPER_TABLE3: dict[str, Table3Row] = {
+    "calcul-quebec": Table3Row("2x Intel X5560", "24 GiB", "480x2 nodes", "HPL"),
+    "cea-fat": Table3Row("4x Intel X7560", "16x4 GiB", "316 nodes", "HPL"),
+    "cea-thin": Table3Row("2x Intel E5-2680", "16x4 GiB", "640 nodes", "HPL"),
+    "lrz": Table3Row("2x Intel E5-2680", "32 GiB", "512 nodes", "MPrime"),
+    "titan": Table3Row("1x AMD 6274", "32 GiB", "GPUs in 1000 nodes", "Rodinia CFD"),
+    "tu-dresden": Table3Row("2x Intel E5-2690", "8x4 GiB", "210 nodes", "FIRESTARTER"),
+}
+
+PAPER_TABLE4: dict[str, Table4Row] = {
+    "calcul-quebec": Table4Row(480, 581.93, 11.66),
+    "cea-fat": Table4Row(360, 971.74, 19.81),
+    "cea-thin": Table4Row(5040, 366.84, 10.41),
+    "lrz": Table4Row(9216, 209.88, 5.31),
+    "titan": Table4Row(18688, 90.74, 1.81),
+    "tu-dresden": Table4Row(210, 386.86, 5.85),
+}
+
+#: Mean core-phase utilisation assumed for each node-variability dataset
+#: (FIRESTARTER pushes near peak; MPrime slightly lower; HPL and the CFD
+#: solver average lower still).
+_WORKLOAD_UTILISATION: dict[str, float] = {
+    "calcul-quebec": 0.92,
+    "cea-fat": 0.92,
+    "cea-thin": 0.92,
+    "lrz": 0.96,
+    "titan": 0.90,
+    "tu-dresden": 0.99,
+}
+
+NODE_VARIABILITY_SYSTEMS: tuple[str, ...] = tuple(PAPER_TABLE4)
+TRACE_SYSTEMS: tuple[str, ...] = tuple(PAPER_TABLE2)
+PAPER_SYSTEMS: tuple[str, ...] = NODE_VARIABILITY_SYSTEMS + TRACE_SYSTEMS
+
+#: Per-system seeds: stable, arbitrary, distinct.
+_SEEDS: dict[str, int] = {name: 1000 + i for i, name in enumerate(PAPER_SYSTEMS)}
+
+
+# ----------------------------------------------------------------------
+# Node designs
+# ----------------------------------------------------------------------
+def _cpu(idle: float, peak: float, mhz: float) -> CpuModel:
+    return CpuModel(idle_watts=idle, peak_watts=peak, nominal_mhz=mhz)
+
+
+def _small_fan(max_watts: float, reference_watts: float) -> FanController:
+    return FanController(
+        fan_model=FanModel(max_watts=max_watts, min_speed=0.3),
+        reference_watts=reference_watts,
+    )
+
+
+def _base_configs() -> dict[str, tuple[NodeConfig, FanController]]:
+    """Uncalibrated node designs for the node-variability systems.
+
+    Component wattages are nominal-datasheet-flavoured; the calibration
+    step pins the fleet mean to Table 4, so only *ratios* (idle share,
+    fan share) matter here.
+    """
+    return {
+        # A Calcul Québec "blade" holds two 2-socket X5560 nodes; the
+        # paper measures blades, so the unit here is a 4-socket blade.
+        "calcul-quebec": (
+            NodeConfig(
+                cpu=_cpu(18.0, 95.0, 2800.0),
+                n_cpus=4,
+                dram=DramModel.for_capacity(48.0),
+                nic=NicModel(),
+                fan=FanModel(max_watts=60.0),
+                other_watts=40.0,
+            ),
+            _small_fan(60.0, 600.0),
+        ),
+        "cea-fat": (
+            NodeConfig(
+                cpu=_cpu(25.0, 130.0, 2260.0),
+                n_cpus=4,
+                dram=DramModel.for_capacity(64.0),
+                nic=NicModel(),
+                fan=FanModel(max_watts=90.0),
+                other_watts=60.0,
+            ),
+            _small_fan(90.0, 1000.0),
+        ),
+        "cea-thin": (
+            NodeConfig(
+                cpu=_cpu(20.0, 130.0, 2700.0),
+                n_cpus=2,
+                dram=DramModel.for_capacity(64.0),
+                nic=NicModel(),
+                fan=FanModel(max_watts=45.0),
+                other_watts=25.0,
+            ),
+            _small_fan(45.0, 380.0),
+        ),
+        # SuperMUC thin nodes are direct-warm-water cooled: tiny fans.
+        "lrz": (
+            NodeConfig(
+                cpu=_cpu(20.0, 130.0, 2700.0),
+                n_cpus=2,
+                dram=DramModel.for_capacity(32.0),
+                nic=NicModel(),
+                fan=FanModel(max_watts=8.0),
+                other_watts=18.0,
+            ),
+            _small_fan(8.0, 220.0),
+        ),
+        # Titan's dataset is *GPU-only* power for K20x cards; the unit is
+        # a GPU, with no node-level DRAM/NIC/fan in the measurement.
+        "titan": (
+            NodeConfig(
+                cpu=_cpu(1.0, 1.0, 2200.0),  # placeholder, zero-count below
+                n_cpus=0,
+                gpu=GpuModel(idle_watts=18.0, peak_watts=120.0,
+                             nominal_mhz=732.0),
+                n_gpus=1,
+                dram=DramModel(idle_watts=0.0, peak_watts=0.0, gib=32.0),
+                nic=NicModel(idle_watts=0.0, peak_watts=0.0),
+                fan=FanModel(max_watts=0.0),
+                other_watts=0.0,
+            ),
+            _small_fan(0.0, 100.0),
+        ),
+        "tu-dresden": (
+            NodeConfig(
+                cpu=_cpu(22.0, 135.0, 2900.0),
+                n_cpus=2,
+                dram=DramModel.for_capacity(32.0),
+                nic=NicModel(),
+                fan=FanModel(max_watts=40.0),
+                other_watts=22.0,
+            ),
+            _small_fan(40.0, 400.0),
+        ),
+    }
+
+
+#: Outlier contamination used for all node-variability fleets: a handful
+#: of nodes per thousand sit visibly right of the bulk (Figure 2).
+_OUTLIERS = dict(outlier_rate=0.004, outlier_sigma=0.08)
+
+#: Titan's K20x boards run a fixed core rail; most of the published
+#: spread is silicon, so its VID grid is made power-neutral-ish.
+_TITAN_VIDS = VidBinning(volts_per_step=0.002)
+
+
+# ----------------------------------------------------------------------
+# Node-variability calibration
+# ----------------------------------------------------------------------
+def _calibrate_fleet(
+    system: SystemModel, target_mu: float, target_cv: float, utilisation: float
+) -> SystemModel:
+    """Fixed-point calibration of (power_scale, variation.sigma).
+
+    ``power_scale`` scales all powers uniformly, so one step pins the
+    mean exactly.  σ̂/μ̂ is driven by the variation sigma but also picks
+    up fan/VID/outlier variance, so sigma is iterated multiplicatively;
+    four rounds land well inside 1% of the target for every paper
+    system.
+    """
+    for _ in range(4):
+        sample = system.node_sample(utilisation)
+        mu = sample.mean()
+        cv = sample.coefficient_of_variation()
+        new_scale = system.power_scale * (target_mu / mu)
+        ratio = np.clip(target_cv / max(cv, 1e-9), 0.25, 4.0)
+        new_sigma = float(np.clip(system.variation.sigma * ratio, 1e-5, 0.5))
+        system = system.with_power_scale(new_scale).with_variation(
+            replace(system.variation, sigma=new_sigma)
+        )
+    return system
+
+
+@functools.lru_cache(maxsize=None)
+def get_system(name: str) -> SystemModel:
+    """Return the calibrated :class:`SystemModel` for a paper system.
+
+    Valid names are the keys of :data:`PAPER_TABLE4` (node-variability
+    systems).  For the Table 2 / Figure 1 systems use
+    :func:`get_trace_setup`, which also returns the fitted workload.
+    """
+    if name not in PAPER_TABLE4:
+        raise KeyError(
+            f"unknown node-variability system {name!r}; "
+            f"choose from {sorted(PAPER_TABLE4)}"
+        )
+    config, fan_ctrl = _base_configs()[name]
+    row = PAPER_TABLE4[name]
+    system = SystemModel(
+        name,
+        row.n_nodes,
+        config,
+        variation=ManufacturingVariation(sigma=0.75 * row.cv, **_OUTLIERS),
+        environment=ThermalEnvironment(),
+        fan_controller=fan_ctrl,
+        vid_binning=_TITAN_VIDS if name == "titan" else VidBinning(),
+        seed=_SEEDS[name],
+    )
+    return _calibrate_fleet(system, row.mean_w, row.cv, _WORKLOAD_UTILISATION[name])
+
+
+def workload_utilisation(name: str) -> float:
+    """Mean core-phase utilisation assumed for a Table 3/4 dataset."""
+    return _WORKLOAD_UTILISATION[name]
+
+
+def list_systems() -> list[str]:
+    """All registered paper systems (both families)."""
+    return list(PAPER_SYSTEMS)
+
+
+# ----------------------------------------------------------------------
+# Trace systems (Table 2 / Figure 1)
+# ----------------------------------------------------------------------
+def _trace_base(name: str) -> SystemModel:
+    """Uncalibrated fleets for the four HPL trace systems."""
+    if name == "colosse":
+        config = NodeConfig(
+            cpu=_cpu(18.0, 95.0, 2800.0), n_cpus=2,
+            dram=DramModel.for_capacity(24.0),
+            fan=FanModel(max_watts=40.0), other_watts=25.0,
+        )
+        n_nodes, fan_ref = 960, 300.0
+    elif name == "sequoia":
+        # Sequoia-25 = Sequoia + Vulcan BlueGene/Q racks; water-cooled,
+        # one low-power SoC per node, enormous node count.
+        config = NodeConfig(
+            cpu=_cpu(14.0, 55.0, 1600.0), n_cpus=1,
+            dram=DramModel.for_capacity(16.0),
+            nic=NicModel(idle_watts=4.0, peak_watts=5.0),
+            fan=FanModel(max_watts=0.0), other_watts=10.0,
+        )
+        n_nodes, fan_ref = 122880, 100.0
+    elif name == "piz-daint":
+        config = NodeConfig(
+            cpu=_cpu(18.0, 115.0, 2600.0), n_cpus=1,
+            gpu=GpuModel(idle_watts=20.0, peak_watts=180.0, nominal_mhz=732.0),
+            n_gpus=1,
+            dram=DramModel.for_capacity(32.0),
+            fan=FanModel(max_watts=0.0),  # chassis blowers not in model
+            other_watts=20.0,
+        )
+        n_nodes, fan_ref = 5272, 250.0
+    elif name == "l-csc":
+        config = NodeConfig(
+            cpu=_cpu(20.0, 120.0, 2300.0), n_cpus=2,
+            gpu=GpuModel(idle_watts=18.0, peak_watts=200.0, nominal_mhz=900.0),
+            n_gpus=4,
+            dram=DramModel.for_capacity(256.0),
+            fan=FanModel(max_watts=120.0), other_watts=40.0,
+        )
+        n_nodes, fan_ref = 56, 1100.0
+    else:
+        raise KeyError(
+            f"unknown trace system {name!r}; choose from {sorted(PAPER_TABLE2)}"
+        )
+    return SystemModel(
+        name,
+        n_nodes,
+        config,
+        variation=ManufacturingVariation(sigma=0.02, **_OUTLIERS),
+        fan_controller=_small_fan(config.fan.max_watts, fan_ref),
+        seed=_SEEDS[name],
+    )
+
+
+def _fleet_power_curve(system: SystemModel) -> tuple[np.ndarray, np.ndarray]:
+    """Tabulate total fleet power vs. utilisation (129-point grid).
+
+    Computing this once per fit — instead of once per objective
+    evaluation — is what keeps the Sequoia-scale calibration fast.
+    """
+    u_curve = np.linspace(0.0, 1.0, 129)
+    p_curve = np.array(
+        [system.node_total_powers(float(ui)).sum() for ui in u_curve]
+    )
+    return u_curve, p_curve
+
+
+def _segment_power_ratios(
+    curve: tuple[np.ndarray, np.ndarray], workload: HplWorkload,
+    n_grid: int = 4001,
+) -> tuple[float, float, float]:
+    """(core, first20/core, last20/core) of the noise-free power profile."""
+    x = np.linspace(0.0, 1.0, n_grid)
+    u = np.asarray(workload.utilisation(x))
+    u_curve, p_curve = curve
+    p = np.interp(u, u_curve, p_curve)
+    core = float(np.trapezoid(p, x))
+    first = float(np.trapezoid(p[x <= 0.2], x[x <= 0.2]) / 0.2)
+    last = float(np.trapezoid(p[x >= 0.8], x[x >= 0.8]) / 0.2)
+    return core, first / core, last / core
+
+
+def _fit_trace_shape(
+    system: SystemModel, name: str, row: Table2Row, cpu_class: bool
+) -> HplWorkload:
+    """Fit (rho, warmup_boost) to Table 2's segment ratios.
+
+    ``rho`` controls the tail (last-20% ratio) and ``warmup_boost`` the
+    start-of-run transient (first-20% ratio); the mild coupling between
+    them is handled by two alternation rounds of scalar root finding.
+    """
+    target_first = row.first20_kw / row.core_kw
+    target_last = row.last20_kw / row.core_kw
+    warmup_fraction = 0.25
+    rho_lo, rho_hi = (1e-5, 0.05) if cpu_class else (0.01, 3.0)
+    boost = 0.0
+    rho = np.sqrt(rho_lo * rho_hi)
+    curve = _fleet_power_curve(system)
+
+    def make(rho_: float, boost_: float) -> HplWorkload:
+        return HplWorkload(
+            row.runtime_s,
+            rho=rho_,
+            u_max=0.95,
+            u_min=0.02,
+            warmup_fraction=warmup_fraction,
+            warmup_boost=boost_,
+            setup_s=0.02 * row.runtime_s,
+            teardown_s=0.01 * row.runtime_s,
+            name=f"HPL@{name}",
+        )
+
+    for _ in range(2):
+        def last_err(log_rho: float) -> float:
+            _, _, last = _segment_power_ratios(curve, make(np.exp(log_rho), boost))
+            return last - target_last
+
+        lo, hi = np.log(rho_lo), np.log(rho_hi)
+        if last_err(lo) * last_err(hi) < 0:
+            rho = float(np.exp(brentq(last_err, lo, hi, xtol=1e-4)))
+        else:
+            # Target flatter than the flattest attainable curve: pin at
+            # the flat end (Colosse's 0.12% dip is below model floor).
+            rho = rho_lo if abs(last_err(lo)) < abs(last_err(hi)) else rho_hi
+
+        def first_err(boost_: float) -> float:
+            _, first, _ = _segment_power_ratios(curve, make(rho, boost_))
+            return first - target_first
+
+        b_lo, b_hi = -0.5, 0.8
+        if first_err(b_lo) * first_err(b_hi) < 0:
+            boost = float(brentq(first_err, b_lo, b_hi, xtol=1e-5))
+        else:
+            boost = b_lo if abs(first_err(b_lo)) < abs(first_err(b_hi)) else b_hi
+    return make(rho, boost)
+
+
+@functools.lru_cache(maxsize=None)
+def get_trace_setup(name: str) -> tuple[SystemModel, HplWorkload]:
+    """Calibrated (system, HPL workload) pair for a Table 2 system.
+
+    The returned pair reproduces the paper's runtime, core-phase average
+    power and first/last-20% segment averages (Table 2) when run through
+    :func:`repro.traces.synth.simulate_run`.
+    """
+    if name not in PAPER_TABLE2:
+        raise KeyError(
+            f"unknown trace system {name!r}; choose from {sorted(PAPER_TABLE2)}"
+        )
+    row = PAPER_TABLE2[name]
+    system = _trace_base(name)
+    cpu_class = name in ("colosse", "sequoia")
+    target_w = row.core_kw * 1e3
+    workload = _fit_trace_shape(system, name, row, cpu_class)
+    # Fan power responds non-linearly to the global scale (cube-law in a
+    # clipped affine speed), so pinning the absolute level is a short
+    # fixed-point loop, with one shape refit at the final scale.
+    for round_ in range(2):
+        for _ in range(3):
+            core_w, _, _ = _segment_power_ratios(
+                _fleet_power_curve(system), workload
+            )
+            system = system.with_power_scale(
+                system.power_scale * target_w / core_w
+            )
+        if round_ == 0:
+            workload = _fit_trace_shape(system, name, row, cpu_class)
+    return system, workload

@@ -1,0 +1,86 @@
+"""Shared (non-compute-node) subsystems: interconnect and infrastructure.
+
+Table 1's aspect 3 is about these: Level 1 measures "compute nodes
+only", Level 2 requires "all participating subsystems, either measured
+or estimated", Level 3 requires them *measured*.  The switches,
+directors and infrastructure nodes draw real power that the machine
+cannot run without — so a compute-only Level 1 number systematically
+understates power and overstates FLOPS/W, which is exactly what
+Scogland et al. [19] observed across levels and the paper cites in
+Section 2.2 ("the Level 1 and Level 2 methodologies can significantly
+overstate a system's energy efficiency").
+
+The model is deliberately simple: interconnect power is almost
+load-invariant (switch ASICs burn near-constant power; SerDes idle at
+full rate), infrastructure nodes are constant, and a Level 2 site's
+*estimate* of the total carries a systematic error (it reads datasheets
+or samples one switch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SharedInfrastructure"]
+
+
+@dataclass(frozen=True)
+class SharedInfrastructure:
+    """Non-compute subsystems participating in a run.
+
+    Attributes
+    ----------
+    interconnect_watts:
+        Switch/director power at idle traffic.
+    interconnect_load_watts:
+        Additional interconnect power at full traffic (small: links
+        burn most of their power just being up).
+    infrastructure_watts:
+        Head/management/storage-router nodes that cannot be switched
+        off for the run.
+    estimation_error:
+        Signed relative error of a Level 2 site's *estimate* of the
+        shared total (datasheet-based; negative = underestimate).
+    """
+
+    interconnect_watts: float = 0.0
+    interconnect_load_watts: float = 0.0
+    infrastructure_watts: float = 0.0
+    estimation_error: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interconnect_watts < 0 or self.infrastructure_watts < 0:
+            raise ValueError("shared powers must be non-negative")
+        if self.interconnect_load_watts < 0:
+            raise ValueError("interconnect_load_watts must be >= 0")
+        if self.estimation_error <= -1.0:
+            raise ValueError("estimation_error must exceed -1")
+
+    def power(self, utilisation=1.0):
+        """True shared power at the given compute utilisation."""
+        u = np.asarray(utilisation, dtype=float)
+        if np.any(u < 0) or np.any(u > 1):
+            raise ValueError("utilisation must be in [0, 1]")
+        p = (
+            self.interconnect_watts
+            + self.interconnect_load_watts * u
+            + self.infrastructure_watts
+        )
+        return float(p) if np.ndim(utilisation) == 0 else p
+
+    def estimate(self, utilisation=1.0) -> float:
+        """What a Level 2 site reports for the shared subsystems."""
+        return float(
+            np.asarray(self.power(utilisation)) * (1.0 + self.estimation_error)
+        )
+
+    @property
+    def is_zero(self) -> bool:
+        """Whether there is any shared power at all."""
+        return (
+            self.interconnect_watts == 0
+            and self.interconnect_load_watts == 0
+            and self.infrastructure_watts == 0
+        )

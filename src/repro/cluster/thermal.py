@@ -1,0 +1,170 @@
+"""Thermal environment and fan control.
+
+The paper's L-CSC case study found that *automatic fan regulation*
+causes larger node-to-node power variance than the processors
+themselves (>100 W per node), and recommends pinning all fans to the
+same speed for measurements.  This module provides both policies:
+
+* :class:`FanPolicy.AUTO` — fan speed tracks node thermal load (a
+  first-order model of inlet temperature + dissipated heat), so two
+  nodes with identical silicon but different rack positions draw
+  measurably different fan power.
+* :class:`FanPolicy.PINNED` — all fans at a fixed speed, the paper's
+  mitigation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.components import FanModel
+
+__all__ = ["FanPolicy", "ThermalEnvironment", "FanController"]
+
+
+class FanPolicy(enum.Enum):
+    """How node fans are regulated during a run."""
+
+    AUTO = "auto"
+    PINNED = "pinned"
+
+
+@dataclass(frozen=True)
+class ThermalEnvironment:
+    """Per-node ambient conditions inside the machine room.
+
+    Inlet temperature varies at two scales: **across racks** (ends of
+    cold aisles, hot spots under failing CRAC units — all nodes in a
+    rack share this) and **within a rack** (height above the floor).
+    The decomposition matters for subset selection: a contiguous
+    (single-rack) measurement subset shares one rack draw, so its fan
+    power does not average out the way a random subset's does.
+
+    Attributes
+    ----------
+    nominal_inlet_c:
+        Machine-room design inlet temperature.
+    inlet_spread_c:
+        Total standard deviation of per-node inlet temperature.
+    rack_share:
+        Fraction of the inlet *variance* carried by the shared rack
+        effect (0 = iid nodes, 1 = perfectly rack-correlated).
+    rack_size:
+        Nodes per rack (consecutive node IDs share a rack).
+    max_inlet_c:
+        Thermal alarm threshold used by the auto fan law.
+    """
+
+    nominal_inlet_c: float = 22.0
+    inlet_spread_c: float = 1.5
+    rack_share: float = 0.5
+    rack_size: int = 32
+    max_inlet_c: float = 35.0
+
+    def __post_init__(self) -> None:
+        if self.inlet_spread_c < 0:
+            raise ValueError("inlet_spread_c must be >= 0")
+        if not (0.0 <= self.rack_share <= 1.0):
+            raise ValueError("rack_share must be in [0, 1]")
+        if self.rack_size < 1:
+            raise ValueError("rack_size must be >= 1")
+        if self.max_inlet_c <= self.nominal_inlet_c:
+            raise ValueError("max_inlet_c must exceed nominal_inlet_c")
+
+    def sample_inlet_temperatures(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw per-node inlet temperatures in °C.
+
+        Consecutive node IDs share racks of :attr:`rack_size`; each
+        node's temperature is ``nominal + rack effect + node effect``,
+        with the variance split per :attr:`rack_share` and the total
+        draw truncated to ±3 total spreads.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        n_racks = (n + self.rack_size - 1) // self.rack_size
+        rack_sd = self.inlet_spread_c * np.sqrt(self.rack_share)
+        node_sd = self.inlet_spread_c * np.sqrt(1.0 - self.rack_share)
+        rack_z = rng.standard_normal(n_racks)
+        node_z = rng.standard_normal(n)
+        rack_of = np.arange(n) // self.rack_size
+        z = rack_sd * rack_z[rack_of] + node_sd * node_z
+        z = np.clip(z, -3.0 * self.inlet_spread_c, 3.0 * self.inlet_spread_c) \
+            if self.inlet_spread_c > 0 else z
+        return self.nominal_inlet_c + z
+
+
+@dataclass(frozen=True)
+class FanController:
+    """Maps thermal state to fan speed under a policy.
+
+    Under :class:`FanPolicy.AUTO`, the controller targets a die
+    temperature by raising fan speed with both the node's dissipated
+    power and its inlet temperature::
+
+        speed = clip(min_speed
+                     + k_power · (P_it / P_ref)
+                     + k_inlet · (T_inlet − T_nominal) / (T_max − T_nominal),
+                     min_speed, 1)
+
+    Under :class:`FanPolicy.PINNED`, it returns ``pinned_speed``
+    everywhere — the paper's recommended "lowest speed that maintains
+    the thermal limits".
+    """
+
+    fan_model: FanModel
+    policy: FanPolicy = FanPolicy.AUTO
+    pinned_speed: float = 0.45
+    k_power: float = 0.55
+    k_inlet: float = 0.35
+    reference_watts: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if not (self.fan_model.min_speed <= self.pinned_speed <= 1.0):
+            raise ValueError(
+                f"pinned_speed {self.pinned_speed} outside "
+                f"[{self.fan_model.min_speed}, 1]"
+            )
+        if self.k_power < 0 or self.k_inlet < 0:
+            raise ValueError("gains must be non-negative")
+        if self.reference_watts <= 0:
+            raise ValueError("reference_watts must be positive")
+
+    def speed(self, it_watts, inlet_c, env: ThermalEnvironment):
+        """Fan speed for the given IT power draw and inlet temperature.
+
+        Vectorised over both arguments (broadcast together).
+        """
+        if self.policy is FanPolicy.PINNED:
+            shape = np.broadcast(np.asarray(it_watts), np.asarray(inlet_c)).shape
+            out = np.full(shape, self.pinned_speed)
+            return float(out) if out.shape == () else out
+        p = np.asarray(it_watts, dtype=float)
+        t = np.asarray(inlet_c, dtype=float)
+        if np.any(p < 0):
+            raise ValueError("IT power must be non-negative")
+        headroom = env.max_inlet_c - env.nominal_inlet_c
+        s = (
+            self.fan_model.min_speed
+            + self.k_power * (p / self.reference_watts)
+            + self.k_inlet * (t - env.nominal_inlet_c) / headroom
+        )
+        s = np.clip(s, self.fan_model.min_speed, 1.0)
+        return float(s) if np.ndim(it_watts) == 0 and np.ndim(inlet_c) == 0 else s
+
+    def power(self, it_watts, inlet_c, env: ThermalEnvironment):
+        """Fan power (W) for the given thermal state."""
+        return self.fan_model.power(self.speed(it_watts, inlet_c, env))
+
+    def pinned(self, speed: float | None = None) -> "FanController":
+        """Return a pinned copy of this controller (paper's mitigation)."""
+        return FanController(
+            fan_model=self.fan_model,
+            policy=FanPolicy.PINNED,
+            pinned_speed=self.pinned_speed if speed is None else speed,
+            k_power=self.k_power,
+            k_inlet=self.k_inlet,
+            reference_watts=self.reference_watts,
+        )

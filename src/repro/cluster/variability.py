@@ -1,0 +1,158 @@
+"""Manufacturing variability and voltage-ID (VID) binning.
+
+Two mechanisms from the paper's Sections 1 and 5:
+
+* **Process variation** — imperfections in the substrate and circuit
+  paths give each die a different leakage level and therefore a
+  different power draw at identical settings.  We model each unit's
+  power as the nominal model scaled by a multiplicative factor drawn
+  from a lognormal distribution (leakage spread is right-skewed), with
+  an optional heavy-tail contamination component producing the outlier
+  nodes visible in the paper's Figure 2 histograms.
+
+* **VID binning** — vendors program a per-ASIC Voltage ID: the minimum
+  voltage guaranteeing stable operation at the rated frequency.  Worse
+  silicon needs a higher voltage, and power grows with ``V²``, so VID is
+  both a quality label and a power predictor at default settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ManufacturingVariation", "VidBinning", "assign_vids"]
+
+
+@dataclass(frozen=True)
+class ManufacturingVariation:
+    """Distribution of per-unit power multipliers.
+
+    Attributes
+    ----------
+    sigma:
+        Standard deviation of the log-multiplier for the bulk of units.
+        ``sigma=0.02`` yields roughly the 1.5–3% node-level σ/μ the paper
+        measures (node-level spread is diluted by load-invariant
+        components, then re-amplified by fans).
+    outlier_rate:
+        Probability that a unit is an outlier (bad thermal paste, a
+        degraded VRM, a mis-binned die...).
+    outlier_sigma:
+        Log-std-dev of the outlier population.
+    """
+
+    sigma: float = 0.02
+    outlier_rate: float = 0.0
+    outlier_sigma: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0 or self.outlier_sigma < 0:
+            raise ValueError("sigmas must be non-negative")
+        if not (0.0 <= self.outlier_rate < 1.0):
+            raise ValueError("outlier_rate must be in [0, 1)")
+
+    def sample_multipliers(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` power multipliers, mean-centred at 1.
+
+        The lognormal is parameterised so that the *median* multiplier
+        is 1; the slight positive mean shift (``exp(sigma²/2)``) is the
+        physically expected right skew of leakage.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        mult = rng.lognormal(mean=0.0, sigma=self.sigma, size=n)
+        if self.outlier_rate > 0:
+            is_outlier = rng.random(n) < self.outlier_rate
+            n_out = int(is_outlier.sum())
+            if n_out:
+                # Outliers skew high: |N(0, σ_out)| added in log space.
+                bump = np.abs(rng.normal(0.0, self.outlier_sigma, size=n_out))
+                mult[is_outlier] *= np.exp(bump)
+        return mult
+
+    def expected_cv(self) -> float:
+        """Approximate coefficient of variation of the bulk population.
+
+        For small sigma, a lognormal's CV ≈ sigma.  Outliers add a
+        contribution this deliberately ignores (the paper, likewise,
+        treats outliers as a *violation* of the normal model to be
+        stress-tested by bootstrap, not as part of σ/μ planning).
+        """
+        return float(np.sqrt(np.expm1(self.sigma**2)))
+
+
+@dataclass(frozen=True)
+class VidBinning:
+    """Discrete VID grid and the silicon-quality → VID mapping.
+
+    Attributes
+    ----------
+    vid_values:
+        The discrete VIDs the vendor programs, in increasing order.  The
+        L-CSC case study plots efficiency against integer VID codes; we
+        default to a similar small integer grid.
+    base_volts:
+        Voltage corresponding to the lowest VID at the rated frequency.
+    volts_per_step:
+        Voltage increment per VID step.
+    """
+
+    vid_values: tuple = (40, 41, 42, 43, 44, 45, 46, 47, 48)
+    base_volts: float = 1.100
+    volts_per_step: float = 0.00625
+
+    def __post_init__(self) -> None:
+        if len(self.vid_values) < 2:
+            raise ValueError("need at least two VID bins")
+        if list(self.vid_values) != sorted(set(self.vid_values)):
+            raise ValueError("vid_values must be strictly increasing")
+        if self.base_volts <= 0 or self.volts_per_step <= 0:
+            raise ValueError("voltages must be positive")
+
+    def voltage_for_vid(self, vid) -> np.ndarray | float:
+        """Default (vendor-programmed) voltage for a VID code."""
+        v = np.asarray(vid, dtype=float)
+        lo, hi = self.vid_values[0], self.vid_values[-1]
+        if np.any(v < lo) or np.any(v > hi):
+            raise ValueError(f"vid outside grid [{lo}, {hi}]")
+        volts = self.base_volts + (v - lo) * self.volts_per_step
+        return float(volts) if np.ndim(vid) == 0 else volts
+
+    def quality_to_vid(self, quality: np.ndarray) -> np.ndarray:
+        """Map silicon quality quantiles in ``[0, 1]`` to VID codes.
+
+        Quality 0 is the best die (lowest required voltage).  The grid is
+        filled by quantile so the resulting VID histogram is roughly the
+        bell shape vendors actually ship (most parts mid-grid).
+        """
+        q = np.asarray(quality, dtype=float)
+        if np.any(q < 0) or np.any(q > 1):
+            raise ValueError("quality must be in [0, 1]")
+        edges = np.linspace(0.0, 1.0, len(self.vid_values) + 1)[1:-1]
+        idx = np.searchsorted(edges, q, side="right")
+        return np.asarray(self.vid_values, dtype=np.int64)[idx]
+
+
+def assign_vids(
+    n: int,
+    rng: np.random.Generator,
+    binning: VidBinning | None = None,
+    *,
+    concentration: float = 2.0,
+) -> np.ndarray:
+    """Assign VIDs to ``n`` ASICs.
+
+    Silicon quality is drawn from a symmetric Beta(``concentration``,
+    ``concentration``) so that mid-grid VIDs dominate, matching the
+    population the L-CSC study sampled.  Returns an int array of VID
+    codes.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if concentration <= 0:
+        raise ValueError("concentration must be positive")
+    binning = binning or VidBinning()
+    quality = rng.beta(concentration, concentration, size=n)
+    return binning.quality_to_vid(quality)

@@ -1,0 +1,129 @@
+"""The paper's core contribution: statistically grounded power
+measurement requirements for supercomputers.
+
+* :mod:`~repro.core.confidence` — t/z confidence-interval machinery
+  with finite-population correction (Eqs. 1–2).
+* :mod:`~repro.core.sampling` — the sample-size rule (Eqs. 3–5) and the
+  Table 5 grid.
+* :mod:`~repro.core.estimators` — subset → full-system extrapolation.
+* :mod:`~repro.core.methodology` — the EE HPC WG Level 1/2/3
+  requirements (Table 1) as executable checks.
+* :mod:`~repro.core.windows` — measurement-window rules (Section 3).
+* :mod:`~repro.core.coverage` — the bootstrap calibration study
+  (Figure 3).
+* :mod:`~repro.core.accuracy` — measurement accuracy assessment.
+* :mod:`~repro.core.recommendations` — the paper's new submission
+  rules (Section 6), as adopted by the Green500/Top500.
+"""
+
+from repro.core.confidence import (
+    ConfidenceInterval,
+    mean_confidence_interval,
+    t_quantile,
+    z_quantile,
+)
+from repro.core.sampling import (
+    SampleSizeResult,
+    achieved_accuracy,
+    chernoff_hoeffding_sample_size,
+    recommend_sample_size,
+    required_sample_size_infinite,
+    sample_size_table,
+    two_step_pilot_plan,
+)
+from repro.core.estimators import (
+    FullSystemEstimate,
+    extrapolate_full_system,
+    extrapolation_error,
+)
+from repro.core.methodology import (
+    Aspect,
+    Level,
+    LevelSpec,
+    LEVEL_SPECS,
+    machine_fraction_nodes,
+    check_submission,
+)
+from repro.core.windows import (
+    MeasurementWindow,
+    full_core_window,
+    is_legal_level1_window,
+    legal_level1_windows,
+    level2_window_starts,
+)
+from repro.core.coverage import CoverageResult, coverage_study
+from repro.core.accuracy import AccuracyAssessment, assess_accuracy
+from repro.core.planning import (
+    ErrorBudget,
+    InstrumentationConstraints,
+    MeasurementPlan,
+    plan_measurement,
+)
+from repro.core.stratified import (
+    StratifiedEstimate,
+    allocate_stratified,
+    quantile_strata,
+    stratified_estimate,
+    stratified_sample,
+)
+from repro.core.capping import (
+    CapAssessment,
+    assess_cap,
+    exceedance_probability,
+    required_cap,
+)
+from repro.core.recommendations import (
+    NEW_RULES,
+    recommended_measurement_nodes,
+    meets_new_node_rule,
+    meets_new_window_rule,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "mean_confidence_interval",
+    "t_quantile",
+    "z_quantile",
+    "SampleSizeResult",
+    "achieved_accuracy",
+    "chernoff_hoeffding_sample_size",
+    "recommend_sample_size",
+    "required_sample_size_infinite",
+    "sample_size_table",
+    "two_step_pilot_plan",
+    "FullSystemEstimate",
+    "extrapolate_full_system",
+    "extrapolation_error",
+    "Aspect",
+    "Level",
+    "LevelSpec",
+    "LEVEL_SPECS",
+    "machine_fraction_nodes",
+    "check_submission",
+    "MeasurementWindow",
+    "full_core_window",
+    "is_legal_level1_window",
+    "legal_level1_windows",
+    "level2_window_starts",
+    "CoverageResult",
+    "coverage_study",
+    "AccuracyAssessment",
+    "assess_accuracy",
+    "ErrorBudget",
+    "InstrumentationConstraints",
+    "MeasurementPlan",
+    "plan_measurement",
+    "StratifiedEstimate",
+    "allocate_stratified",
+    "quantile_strata",
+    "stratified_estimate",
+    "stratified_sample",
+    "CapAssessment",
+    "assess_cap",
+    "exceedance_probability",
+    "required_cap",
+    "NEW_RULES",
+    "recommended_measurement_nodes",
+    "meets_new_node_rule",
+    "meets_new_window_rule",
+]

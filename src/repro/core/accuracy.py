@@ -1,0 +1,108 @@
+"""Measurement accuracy assessment.
+
+The paper's final recommendation list includes: *"We also recommend
+that all submissions include an assessment of their measurement
+accuracy."*  :func:`assess_accuracy` produces that assessment for a
+node-subset measurement: the achieved relative accuracy (λ), the
+confidence interval for the full-system power, and whether a stated
+accuracy target is met.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.confidence import ConfidenceInterval
+from repro.core.estimators import FullSystemEstimate, extrapolate_full_system
+
+__all__ = ["AccuracyAssessment", "assess_accuracy"]
+
+
+@dataclass(frozen=True)
+class AccuracyAssessment:
+    """The accuracy statement attached to a measurement.
+
+    Attributes
+    ----------
+    estimate:
+        The full-system extrapolation the assessment describes.
+    achieved_lambda:
+        Relative half-width of the estimate (the achieved λ).
+    target_lambda:
+        The accuracy the submitter aimed for (``None`` if unstated).
+    cv:
+        Observed σ̂/μ̂ of the subset.
+    """
+
+    estimate: FullSystemEstimate
+    achieved_lambda: float
+    target_lambda: float | None
+    cv: float
+
+    @property
+    def meets_target(self) -> bool | None:
+        """Whether the achieved accuracy meets the target (None if no
+        target was stated)."""
+        if self.target_lambda is None:
+            return None
+        return self.achieved_lambda <= self.target_lambda + 1e-12
+
+    @property
+    def interval(self) -> ConfidenceInterval:
+        """Full-system power interval."""
+        return self.estimate.interval
+
+    def summary(self) -> str:
+        """One-line statement suitable for a submission form."""
+        base = (
+            f"{self.estimate.total_watts / 1e3:.1f} kW "
+            f"±{self.achieved_lambda:.2%} at "
+            f"{self.estimate.per_node.confidence:.0%} confidence "
+            f"({self.estimate.n_measured}/{self.estimate.n_nodes} nodes, "
+            f"σ/μ={self.cv:.2%})"
+        )
+        if self.target_lambda is not None:
+            verdict = "meets" if self.meets_target else "MISSES"
+            base += f"; {verdict} ±{self.target_lambda:.2%} target"
+        return base
+
+
+def assess_accuracy(
+    subset_watts,
+    n_nodes: int,
+    *,
+    confidence: float = 0.95,
+    target_lambda: float | None = None,
+    method: str = "t",
+) -> AccuracyAssessment:
+    """Assess the accuracy of a node-subset power measurement.
+
+    Parameters
+    ----------
+    subset_watts:
+        Time-averaged per-node powers of the measured subset.
+    n_nodes:
+        Fleet size ``N``.
+    confidence:
+        CI level for the statement (default 95%).
+    target_lambda:
+        Optional accuracy target to verify against (e.g. 0.01).
+    method:
+        ``"t"`` (recommended) or ``"z"``.
+    """
+    x = np.asarray(subset_watts, dtype=float).ravel()
+    est = extrapolate_full_system(
+        x, n_nodes, confidence=confidence, method=method
+    )
+    mu = float(x.mean())
+    if mu <= 0:
+        raise ValueError("subset mean power must be positive")
+    cv = float(x.std(ddof=1)) / mu
+    return AccuracyAssessment(
+        estimate=est,
+        achieved_lambda=est.relative_half_width,
+        target_lambda=target_lambda,
+        cv=cv,
+    )

@@ -1,0 +1,124 @@
+"""Power-capping support — a Section 1 use case of the characterisation.
+
+"Other use cases of system-level power characterizations include ...
+operational improvements and power capping."  A facility that knows its
+per-node power distribution can answer two operational questions:
+
+* given an electrical limit (breaker, contract, cooling), what is the
+  probability an aggregate of ``n`` nodes exceeds it? —
+  :func:`exceedance_probability`;
+* to keep that probability below a target, where must the cap be set
+  (or equivalently, how much headroom must be procured)? —
+  :func:`required_cap`.
+
+Aggregate power over ``n`` independent nodes is treated by the CLT with
+the sample's mean/σ (the paper's near-normality finding makes this
+accurate for balanced fleets at rack scale and above), with an optional
+empirical-quantile path for small groups or non-normal fleets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["exceedance_probability", "required_cap", "CapAssessment",
+           "assess_cap"]
+
+
+def _check_sample(watts) -> np.ndarray:
+    x = np.asarray(watts, dtype=float).ravel()
+    if x.size < 2:
+        raise ValueError("need at least two node measurements")
+    if not np.all(np.isfinite(x)) or np.any(x < 0):
+        raise ValueError("node powers must be finite and non-negative")
+    return x
+
+
+def exceedance_probability(
+    node_watts, cap_watts: float, n_nodes: int, *, method: str = "normal",
+    rng: np.random.Generator | None = None, n_boot: int = 20_000,
+) -> float:
+    """Probability that ``n_nodes`` nodes together exceed ``cap_watts``.
+
+    ``method="normal"`` uses the CLT with the sample's moments;
+    ``method="bootstrap"`` resamples node groups from the empirical
+    distribution (for small groups or flagged-non-normal fleets).
+    """
+    x = _check_sample(node_watts)
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    if cap_watts <= 0:
+        raise ValueError("cap_watts must be positive")
+    mu, sd = x.mean(), x.std(ddof=1)
+    if method == "normal":
+        agg_mu = n_nodes * mu
+        agg_sd = math.sqrt(n_nodes) * sd
+        if agg_sd == 0:
+            return float(agg_mu > cap_watts)
+        return float(stats.norm.sf(cap_watts, loc=agg_mu, scale=agg_sd))
+    if method == "bootstrap":
+        rng = rng or np.random.default_rng(0)
+        idx = rng.integers(0, x.size, size=(n_boot, n_nodes))
+        totals = x[idx].sum(axis=1)
+        return float(np.mean(totals > cap_watts))
+    raise ValueError(f"method must be 'normal' or 'bootstrap', got {method!r}")
+
+
+def required_cap(
+    node_watts, n_nodes: int, *, exceedance_target: float = 0.01,
+    method: str = "normal", rng: np.random.Generator | None = None,
+    n_boot: int = 20_000,
+) -> float:
+    """Smallest cap keeping exceedance at or below the target."""
+    x = _check_sample(node_watts)
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    if not (0.0 < exceedance_target < 1.0):
+        raise ValueError("exceedance_target must be in (0, 1)")
+    if method == "normal":
+        mu, sd = x.mean(), x.std(ddof=1)
+        z = stats.norm.isf(exceedance_target)
+        return float(n_nodes * mu + z * math.sqrt(n_nodes) * sd)
+    if method == "bootstrap":
+        rng = rng or np.random.default_rng(0)
+        idx = rng.integers(0, x.size, size=(n_boot, n_nodes))
+        totals = x[idx].sum(axis=1)
+        return float(np.quantile(totals, 1.0 - exceedance_target))
+    raise ValueError(f"method must be 'normal' or 'bootstrap', got {method!r}")
+
+
+@dataclass(frozen=True)
+class CapAssessment:
+    """A cap's operational assessment for one node group size."""
+
+    cap_watts: float
+    n_nodes: int
+    exceedance: float
+    headroom_fraction: float  # (cap − expected)/expected
+
+    def summary(self) -> str:
+        """One-line operational statement."""
+        return (
+            f"cap {self.cap_watts / 1e3:.1f} kW over {self.n_nodes} nodes: "
+            f"exceedance {self.exceedance:.2%}, headroom "
+            f"{self.headroom_fraction:+.1%} over the expected draw"
+        )
+
+
+def assess_cap(
+    node_watts, cap_watts: float, n_nodes: int, **kwargs
+) -> CapAssessment:
+    """Bundle exceedance and headroom for a proposed cap."""
+    x = _check_sample(node_watts)
+    p = exceedance_probability(x, cap_watts, n_nodes, **kwargs)
+    expected = float(x.mean()) * n_nodes
+    return CapAssessment(
+        cap_watts=float(cap_watts),
+        n_nodes=int(n_nodes),
+        exceedance=p,
+        headroom_fraction=(cap_watts - expected) / expected,
+    )

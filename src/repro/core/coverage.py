@@ -1,0 +1,194 @@
+"""The bootstrap calibration study (paper Section 4.2, Figure 3).
+
+Procedure, repeated ``n_sims`` times for each candidate sample size
+``n`` (quoting the paper):
+
+1. Simulate a complete supercomputer of ``N`` nodes by resampling with
+   replacement from the collection of nodes observed in the real data.
+2. Generate a sample of ``n`` nodes by sampling without replacement
+   from the full simulated supercomputer.
+3. Using Equation 1, obtain a mean estimate along with 80%, 95% and
+   99% confidence intervals from the sample.
+4. Check whether the intervals contain the true mean power usage of the
+   full ``N`` nodes.
+
+Vectorisation note: the naive implementation materialises an
+``n_sims × N`` population per replicate (10⁹ draws for LRZ); instead we
+use the exchangeability of the resampled population — the ``n`` nodes
+sampled *without* replacement from an iid-resampled population are
+themselves iid draws from the pilot's empirical distribution, and the
+remaining ``N − n`` nodes' total is a multinomial functional of the
+pilot values.  Each replicate is then exact without ever building the
+population, and all replicates for one ``n`` evaluate as one
+``(n_sims, n)`` array operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.confidence import t_quantile, z_quantile
+
+__all__ = ["CoverageResult", "coverage_study"]
+
+_CHUNK = 20_000  # replicates per multinomial chunk (memory control)
+_EXACT_REST_MAX = 2_000  # largest remainder drawn by exact multinomial
+
+
+@dataclass(frozen=True)
+class CoverageResult:
+    """Coverage of nominal CIs across sample sizes (one Figure 3 panel).
+
+    Attributes
+    ----------
+    sample_sizes:
+        The ``n`` values simulated.
+    confidences:
+        Nominal levels, e.g. ``(0.80, 0.95, 0.99)``.
+    coverage:
+        Array of shape ``(len(confidences), len(sample_sizes))`` —
+        fraction of replicates whose interval contained the simulated
+        population mean.
+    n_sims / population:
+        Replicates per point and simulated fleet size ``N``.
+    method:
+        ``"t"`` (Eq. 1) or ``"z"`` (Eq. 2).
+    system:
+        Label of the pilot dataset.
+    """
+
+    sample_sizes: tuple
+    confidences: tuple
+    coverage: np.ndarray
+    n_sims: int
+    population: int
+    method: str
+    system: str = ""
+    standard_error: np.ndarray = field(default=None, repr=False)
+
+    def coverage_for(self, confidence: float) -> np.ndarray:
+        """Coverage curve for one nominal level."""
+        for i, c in enumerate(self.confidences):
+            if abs(c - confidence) < 1e-12:
+                return self.coverage[i]
+        raise KeyError(f"confidence {confidence} not simulated")
+
+    def max_miscalibration(self) -> float:
+        """Largest |empirical − nominal| across all points."""
+        nominal = np.asarray(self.confidences)[:, None]
+        return float(np.abs(self.coverage - nominal).max())
+
+    def is_calibrated(self, tolerance: float = 0.01) -> bool:
+        """Whether all points sit within ``tolerance`` of nominal."""
+        return self.max_miscalibration() <= tolerance
+
+
+def coverage_study(
+    pilot_watts,
+    *,
+    population: int,
+    sample_sizes: Sequence[int] = (3, 5, 10, 15, 20, 30),
+    confidences: Sequence[float] = (0.80, 0.95, 0.99),
+    n_sims: int = 100_000,
+    method: str = "t",
+    rng: np.random.Generator | None = None,
+    system: str = "",
+) -> CoverageResult:
+    """Run the Figure 3 calibration simulation.
+
+    Parameters
+    ----------
+    pilot_watts:
+        The observed per-node powers (the paper's "pilot sample", e.g.
+        516 LRZ nodes).
+    population:
+        Size ``N`` of the simulated complete supercomputer.
+    sample_sizes:
+        Candidate subset sizes ``n`` (each must satisfy
+        ``2 <= n <= population``).
+    confidences:
+        Nominal CI levels to check.
+    n_sims:
+        Replicates per (n, level) point; the paper uses 100 000.
+    method:
+        ``"t"`` for Equation 1 (the paper's procedure) or ``"z"`` for
+        the Equation 2 approximation — comparing the two reproduces the
+        Section 4.2 under-coverage discussion.
+    """
+    values = np.asarray(pilot_watts, dtype=float).ravel()
+    if values.size < 2:
+        raise ValueError("pilot needs at least two nodes")
+    if not np.all(np.isfinite(values)):
+        raise ValueError("pilot contains non-finite values")
+    if population < max(sample_sizes):
+        raise ValueError("population smaller than the largest sample size")
+    if any(n < 2 for n in sample_sizes):
+        raise ValueError("every sample size must be >= 2")
+    if n_sims < 1:
+        raise ValueError("n_sims must be >= 1")
+    if method not in ("t", "z"):
+        raise ValueError(f"method must be 't' or 'z', got {method!r}")
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    k = values.size
+    conf = tuple(float(c) for c in confidences)
+    sizes = tuple(int(n) for n in sample_sizes)
+    cov = np.empty((len(conf), len(sizes)))
+    se = np.empty_like(cov)
+
+    for j, n in enumerate(sizes):
+        # Step 2 (via exchangeability): the sample is n iid draws from
+        # the pilot's empirical distribution.
+        idx = rng.integers(0, k, size=(n_sims, n))
+        x = values[idx]
+        mean_hat = x.mean(axis=1)
+        sd_hat = x.std(axis=1, ddof=1)
+        sem = sd_hat / np.sqrt(n)
+
+        # Step 1's remaining N − n nodes: their sum is a multinomial
+        # functional of the pilot values.  For small remainders it is
+        # drawn exactly; for large ones (the usual case — thousands of
+        # unmeasured nodes) its CLT limit with the empirical
+        # distribution's exact first two moments is indistinguishable
+        # (relative skew error O(m^{-1/2}) ≲ 1e-2 at m = 2000) and two
+        # orders of magnitude faster than ``Generator.multinomial``.
+        m = population - n
+        rest_sum = np.empty(n_sims)
+        if m == 0:
+            rest_sum[:] = 0.0
+        elif m <= _EXACT_REST_MAX:
+            p = np.full(k, 1.0 / k)
+            for lo in range(0, n_sims, _CHUNK):
+                hi = min(lo + _CHUNK, n_sims)
+                counts = rng.multinomial(m, p, size=hi - lo)
+                rest_sum[lo:hi] = counts @ values
+        else:
+            mu_pop = values.mean()
+            sd_pop = values.std(ddof=0)
+            rest_sum = m * mu_pop + np.sqrt(m) * sd_pop * rng.standard_normal(
+                n_sims
+            )
+        true_mean = (x.sum(axis=1) + rest_sum) / population
+
+        err = np.abs(mean_hat - true_mean)
+        for i, c in enumerate(conf):
+            q = t_quantile(c, n - 1) if method == "t" else z_quantile(c)
+            hits = err <= q * sem
+            phat = float(hits.mean())
+            cov[i, j] = phat
+            se[i, j] = float(np.sqrt(max(phat * (1 - phat), 1e-12) / n_sims))
+
+    return CoverageResult(
+        sample_sizes=sizes,
+        confidences=conf,
+        coverage=cov,
+        n_sims=int(n_sims),
+        population=int(population),
+        method=method,
+        system=system,
+        standard_error=se,
+    )

@@ -1,0 +1,103 @@
+"""Subset → full-system power extrapolation.
+
+The methodology's estimator is deliberately simple: measure a subset,
+take the per-node mean, multiply by the node count (linear scaling —
+Table 1, aspect 2).  This module wraps that estimator together with its
+uncertainty, and provides the error metric the experiments report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.confidence import ConfidenceInterval, mean_confidence_interval
+
+__all__ = ["FullSystemEstimate", "extrapolate_full_system", "extrapolation_error"]
+
+
+@dataclass(frozen=True)
+class FullSystemEstimate:
+    """A full-system power estimate extrapolated from a node subset.
+
+    Attributes
+    ----------
+    total_watts:
+        Estimated full-system compute power, ``N · μ̂``.
+    per_node:
+        The per-node mean interval the estimate scales up.
+    n_measured / n_nodes:
+        Subset and fleet sizes.
+    """
+
+    total_watts: float
+    per_node: ConfidenceInterval
+    n_measured: int
+    n_nodes: int
+
+    @property
+    def interval(self) -> ConfidenceInterval:
+        """Confidence interval for the full-system total."""
+        return self.per_node.scaled(self.n_nodes)
+
+    @property
+    def relative_half_width(self) -> float:
+        """Relative accuracy of the estimate (λ achieved)."""
+        return self.per_node.relative_half_width
+
+    def __str__(self) -> str:
+        return (
+            f"{self.total_watts / 1e3:.1f} kW from {self.n_measured}/"
+            f"{self.n_nodes} nodes (±{self.relative_half_width:.2%} at "
+            f"{self.per_node.confidence:.0%})"
+        )
+
+
+def extrapolate_full_system(
+    subset_watts,
+    n_nodes: int,
+    *,
+    confidence: float = 0.95,
+    method: str = "t",
+    apply_fpc: bool = True,
+) -> FullSystemEstimate:
+    """Extrapolate full-system power from per-node subset measurements.
+
+    Parameters
+    ----------
+    subset_watts:
+        Time-averaged power of each measured node (length >= 2).
+    n_nodes:
+        Fleet size ``N``.
+    confidence / method:
+        CI parameters (see
+        :func:`repro.core.confidence.mean_confidence_interval`).
+    apply_fpc:
+        Apply the finite-population correction; disable to reproduce
+        the uncorrected Eq. 1/2 behaviour.
+    """
+    x = np.asarray(subset_watts, dtype=float).ravel()
+    if n_nodes < x.size:
+        raise ValueError(
+            f"fleet size {n_nodes} smaller than subset size {x.size}"
+        )
+    ci = mean_confidence_interval(
+        x,
+        confidence=confidence,
+        method=method,
+        population=n_nodes if apply_fpc else None,
+    )
+    return FullSystemEstimate(
+        total_watts=ci.mean * n_nodes,
+        per_node=ci,
+        n_measured=int(x.size),
+        n_nodes=int(n_nodes),
+    )
+
+
+def extrapolation_error(estimate_watts: float, true_watts: float) -> float:
+    """Signed relative error of an extrapolated total vs. ground truth."""
+    if true_watts <= 0:
+        raise ValueError("true power must be positive")
+    return (estimate_watts - true_watts) / true_watts

@@ -1,0 +1,343 @@
+"""The EE HPC WG measurement methodology (paper Table 1) as an
+executable specification.
+
+Each quality level constrains four aspects of a measurement:
+
+1. duration and granularity,
+2. how much of the machine is measured,
+3. which subsystems must be included,
+4. where in the power hierarchy the meters sit.
+
+:func:`check_submission` validates a described measurement against a
+level and returns the list of violated rules — the machinery a list
+operator (or :mod:`repro.lists.validation`) runs over incoming
+submissions.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Level",
+    "Aspect",
+    "Subsystem",
+    "MeasurementPoint",
+    "LevelSpec",
+    "LEVEL_SPECS",
+    "machine_fraction_nodes",
+    "MeasurementDescription",
+    "Violation",
+    "check_submission",
+]
+
+
+class Level(enum.IntEnum):
+    """EE HPC WG measurement quality level."""
+
+    L1 = 1
+    L2 = 2
+    L3 = 3
+
+
+class Aspect(enum.Enum):
+    """The four regulated aspects of a measurement (Table 1 rows)."""
+
+    GRANULARITY = "1a: granularity"
+    TIMING = "1b: timing"
+    MACHINE_FRACTION = "2: machine fraction"
+    SUBSYSTEMS = "3: subsystems"
+    MEASUREMENT_POINT = "4: point of measurement"
+
+
+class Subsystem(enum.Enum):
+    """Machine subsystems a measurement may cover."""
+
+    COMPUTE_NODES = "compute nodes"
+    INTERCONNECT = "interconnect"
+    STORAGE = "storage"
+    INFRASTRUCTURE_NODES = "infrastructure nodes"
+
+
+class MeasurementPoint(enum.Enum):
+    """Where in the power-delivery hierarchy the meter sits."""
+
+    UPSTREAM_OF_CONVERSION = "upstream of power conversion"
+    DOWNSTREAM_MODELED_MANUFACTURER = "downstream, conversion modeled (manufacturer data)"
+    DOWNSTREAM_MODELED_OFFLINE = "downstream, conversion modeled (off-line measurement)"
+    DOWNSTREAM_MEASURED_SIMULTANEOUS = "downstream, conversion loss measured simultaneously"
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """The requirements one level imposes (Table 1 column).
+
+    Attributes
+    ----------
+    max_sample_interval_s:
+        Coarsest legal meter sampling; ``None`` means continuously
+        integrated energy is required (Level 3).
+    min_window_core_fraction:
+        Minimum measured fraction of the core phase.
+    min_window_seconds:
+        Absolute floor on the measurement window (Level 1's "longer of
+        one minute or ...").
+    window_within_middle80:
+        Whether the window must avoid the first and last 10% of the
+        core phase.
+    machine_fraction / min_measured_watts:
+        Node-subset rule: at least ``machine_fraction`` of the compute
+        nodes *and* at least ``min_measured_watts`` of measured power.
+    required_subsystems / allow_estimated_subsystems:
+        Subsystem coverage rule.
+    allowed_points:
+        Acceptable metering points.
+    """
+
+    level: Level
+    max_sample_interval_s: float | None
+    min_window_core_fraction: float
+    min_window_seconds: float
+    window_within_middle80: bool
+    machine_fraction: float
+    min_measured_watts: float
+    required_subsystems: frozenset = frozenset({Subsystem.COMPUTE_NODES})
+    allow_estimated_subsystems: bool = False
+    allowed_points: frozenset = field(
+        default_factory=lambda: frozenset(MeasurementPoint)
+    )
+
+
+_ALL_SUBSYSTEMS = frozenset(Subsystem)
+
+LEVEL_SPECS: dict[Level, LevelSpec] = {
+    Level.L1: LevelSpec(
+        level=Level.L1,
+        max_sample_interval_s=1.0,
+        # "The longer of one minute or 20% of the middle 80% of the
+        # core phase" — 20% of 80% = 16% of the core phase.
+        min_window_core_fraction=0.16,
+        min_window_seconds=60.0,
+        window_within_middle80=True,
+        machine_fraction=1.0 / 64.0,
+        min_measured_watts=2_000.0,
+        required_subsystems=frozenset({Subsystem.COMPUTE_NODES}),
+        allow_estimated_subsystems=False,
+        allowed_points=frozenset(
+            {
+                MeasurementPoint.UPSTREAM_OF_CONVERSION,
+                MeasurementPoint.DOWNSTREAM_MODELED_MANUFACTURER,
+            }
+        ),
+    ),
+    Level.L2: LevelSpec(
+        level=Level.L2,
+        max_sample_interval_s=1.0,
+        min_window_core_fraction=1.0,  # ten averages *spanning the full run*
+        min_window_seconds=0.0,
+        window_within_middle80=False,
+        machine_fraction=1.0 / 8.0,
+        min_measured_watts=10_000.0,
+        required_subsystems=_ALL_SUBSYSTEMS,
+        allow_estimated_subsystems=True,
+        allowed_points=frozenset(
+            {
+                MeasurementPoint.UPSTREAM_OF_CONVERSION,
+                MeasurementPoint.DOWNSTREAM_MODELED_OFFLINE,
+            }
+        ),
+    ),
+    Level.L3: LevelSpec(
+        level=Level.L3,
+        max_sample_interval_s=None,  # continuously integrated energy
+        min_window_core_fraction=1.0,
+        min_window_seconds=0.0,
+        window_within_middle80=False,
+        machine_fraction=1.0,
+        min_measured_watts=0.0,
+        required_subsystems=_ALL_SUBSYSTEMS,
+        allow_estimated_subsystems=False,
+        allowed_points=frozenset(
+            {
+                MeasurementPoint.UPSTREAM_OF_CONVERSION,
+                MeasurementPoint.DOWNSTREAM_MEASURED_SIMULTANEOUS,
+            }
+        ),
+    ),
+}
+
+
+def machine_fraction_nodes(
+    level: Level, n_nodes: int, node_power_watts: float
+) -> int:
+    """Minimum node count the level's machine-fraction rule requires.
+
+    The greater of the fractional rule and the minimum-power rule
+    (e.g. Level 1: the greater of N/64 or 2 kW worth of nodes), capped
+    at the fleet size.
+    """
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    if node_power_watts <= 0:
+        raise ValueError("node_power_watts must be positive")
+    spec = LEVEL_SPECS[Level(level)]
+    by_fraction = math.ceil(spec.machine_fraction * n_nodes - 1e-9)
+    by_power = math.ceil(spec.min_measured_watts / node_power_watts - 1e-9)
+    return min(max(by_fraction, by_power, 1), n_nodes)
+
+
+@dataclass(frozen=True)
+class MeasurementDescription:
+    """A submission's description of how its power was measured."""
+
+    level: Level
+    n_nodes_total: int
+    n_nodes_measured: int
+    avg_node_power_watts: float
+    window_start_fraction: float  # of the core phase
+    window_end_fraction: float
+    core_phase_seconds: float
+    sample_interval_s: float | None  # None = continuously integrated
+    subsystems_measured: frozenset = frozenset({Subsystem.COMPUTE_NODES})
+    subsystems_estimated: frozenset = frozenset()
+    measurement_point: MeasurementPoint = MeasurementPoint.UPSTREAM_OF_CONVERSION
+
+    def __post_init__(self) -> None:
+        if not (0 < self.n_nodes_measured <= self.n_nodes_total):
+            raise ValueError("need 0 < measured <= total nodes")
+        if not (0.0 <= self.window_start_fraction < self.window_end_fraction <= 1.0):
+            raise ValueError("invalid window fractions")
+        if self.core_phase_seconds <= 0:
+            raise ValueError("core phase must be positive")
+        if self.avg_node_power_watts <= 0:
+            raise ValueError("node power must be positive")
+        if self.sample_interval_s is not None and self.sample_interval_s <= 0:
+            raise ValueError("sample interval must be positive")
+
+    @property
+    def window_fraction(self) -> float:
+        """Measured fraction of the core phase."""
+        return self.window_end_fraction - self.window_start_fraction
+
+    @property
+    def window_seconds(self) -> float:
+        """Measured window length in seconds."""
+        return self.window_fraction * self.core_phase_seconds
+
+    @property
+    def measured_watts(self) -> float:
+        """Total power captured by the measured subset."""
+        return self.n_nodes_measured * self.avg_node_power_watts
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule the measurement fails."""
+
+    aspect: Aspect
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.aspect.value}] {self.message}"
+
+
+def check_submission(desc: MeasurementDescription) -> list[Violation]:
+    """Validate a measurement description against its claimed level.
+
+    Returns the (possibly empty) list of violations; an empty list means
+    the measurement complies with Table 1 for that level.
+    """
+    spec = LEVEL_SPECS[Level(desc.level)]
+    violations: list[Violation] = []
+
+    # 1a: granularity
+    if spec.max_sample_interval_s is None:
+        if desc.sample_interval_s is not None:
+            violations.append(
+                Violation(
+                    Aspect.GRANULARITY,
+                    "Level 3 requires continuously integrated energy, "
+                    f"got discrete sampling at {desc.sample_interval_s:g} s",
+                )
+            )
+    elif desc.sample_interval_s is not None and (
+        desc.sample_interval_s > spec.max_sample_interval_s + 1e-9
+    ):
+        violations.append(
+            Violation(
+                Aspect.GRANULARITY,
+                f"sample interval {desc.sample_interval_s:g} s coarser than "
+                f"required {spec.max_sample_interval_s:g} s",
+            )
+        )
+
+    # 1b: timing
+    min_fraction = spec.min_window_core_fraction
+    min_seconds = max(
+        spec.min_window_seconds, min_fraction * desc.core_phase_seconds
+    )
+    if desc.window_seconds + 1e-9 < min_seconds:
+        violations.append(
+            Violation(
+                Aspect.TIMING,
+                f"window of {desc.window_seconds:.0f} s shorter than the "
+                f"required {min_seconds:.0f} s",
+            )
+        )
+    if spec.window_within_middle80 and (
+        desc.window_start_fraction < 0.1 - 1e-9
+        or desc.window_end_fraction > 0.9 + 1e-9
+    ):
+        violations.append(
+            Violation(
+                Aspect.TIMING,
+                "window must lie within the middle 80% of the core phase",
+            )
+        )
+
+    # 2: machine fraction
+    required_nodes = machine_fraction_nodes(
+        desc.level, desc.n_nodes_total, desc.avg_node_power_watts
+    )
+    if desc.n_nodes_measured < required_nodes:
+        violations.append(
+            Violation(
+                Aspect.MACHINE_FRACTION,
+                f"measured {desc.n_nodes_measured} nodes, rule requires "
+                f"{required_nodes} (greater of {spec.machine_fraction:.4g} of "
+                f"{desc.n_nodes_total} nodes or "
+                f"{spec.min_measured_watts / 1e3:g} kW)",
+            )
+        )
+
+    # 3: subsystems
+    covered = desc.subsystems_measured | (
+        desc.subsystems_estimated if spec.allow_estimated_subsystems else frozenset()
+    )
+    missing = spec.required_subsystems - covered
+    if missing:
+        names = ", ".join(sorted(s.value for s in missing))
+        violations.append(
+            Violation(Aspect.SUBSYSTEMS, f"subsystems not covered: {names}")
+        )
+    if not spec.allow_estimated_subsystems and desc.subsystems_estimated:
+        names = ", ".join(sorted(s.value for s in desc.subsystems_estimated))
+        violations.append(
+            Violation(
+                Aspect.SUBSYSTEMS,
+                f"estimation not allowed at this level for: {names}",
+            )
+        )
+
+    # 4: point of measurement
+    if desc.measurement_point not in spec.allowed_points:
+        violations.append(
+            Violation(
+                Aspect.MEASUREMENT_POINT,
+                f"{desc.measurement_point.value!r} not acceptable at "
+                f"Level {int(desc.level)}",
+            )
+        )
+    return violations

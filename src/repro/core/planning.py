@@ -1,0 +1,234 @@
+"""Measurement planning under instrumentation constraints.
+
+The paper's use cases (Section 1) are planning problems: "sites can
+determine how many components or nodes must be measured in order to
+characterize system-level power with reasonable accuracy" — but a real
+site also has a fixed meter pool, meters with finite channel counts and
+calibration grades, and a choice of measurement window.  This module
+composes the library's error models into a single **error budget** and
+a feasibility verdict:
+
+* sampling error — Eq. 5 machinery (:mod:`repro.core.sampling`);
+* instrument error — per-meter calibration spread, averaged over the
+  bank (``g/√k``, see :mod:`repro.metering.aggregate`);
+* window bias — zero under the post-2015 full-core rule, a
+  machine-class-dependent bound under the old partial-window rule;
+* conversion-modeling error — datasheet vs measured chain efficiency
+  (Table 1 aspect 4).
+
+The total is reported both as a root-sum-of-squares (independent error
+sources) and a worst-case sum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.sampling import achieved_accuracy, recommend_sample_size
+from repro.metering.meter import MeterSpec
+
+__all__ = [
+    "InstrumentationConstraints",
+    "ErrorBudget",
+    "MeasurementPlan",
+    "plan_measurement",
+    "WINDOW_BIAS_BOUNDS",
+]
+
+#: Worst-case relative window bias by machine class under the pre-2015
+#: partial-window rule (the Section 3 findings); the full-core window
+#: has none.
+WINDOW_BIAS_BOUNDS: dict[str, float] = {
+    "cpu": 0.02,   # Colosse/Sequoia-class flatness
+    "gpu": 0.12,   # in-core GPU runs (one-sided best-window bias)
+}
+
+
+@dataclass(frozen=True)
+class InstrumentationConstraints:
+    """What the site actually has.
+
+    Attributes
+    ----------
+    n_meters:
+        Instruments available for the subset measurement.
+    channels_per_meter:
+        Nodes one instrument can meter (PDU outlets / CT clamps).
+    meter_spec:
+        Instrument class (calibration spread, sampling, integration).
+    full_core_window:
+        Whether the site will measure the whole core phase (the
+        post-2015 rule) or a partial window.
+    machine_class:
+        ``"cpu"`` or ``"gpu"`` — sets the partial-window bias bound.
+    conversion_modeling_error:
+        Relative uncertainty of the delivery-chain reconstruction
+        (0 when metering upstream of conversion).
+    """
+
+    n_meters: int = 2
+    channels_per_meter: int = 24
+    meter_spec: MeterSpec = field(default_factory=MeterSpec)
+    full_core_window: bool = True
+    machine_class: str = "cpu"
+    conversion_modeling_error: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_meters < 1:
+            raise ValueError("n_meters must be >= 1")
+        if self.channels_per_meter < 1:
+            raise ValueError("channels_per_meter must be >= 1")
+        if self.machine_class not in WINDOW_BIAS_BOUNDS:
+            raise ValueError(
+                f"machine_class must be one of {sorted(WINDOW_BIAS_BOUNDS)}"
+            )
+        if self.conversion_modeling_error < 0:
+            raise ValueError("conversion_modeling_error must be >= 0")
+
+    @property
+    def max_nodes(self) -> int:
+        """Most nodes the meter pool can cover."""
+        return self.n_meters * self.channels_per_meter
+
+
+@dataclass(frozen=True)
+class ErrorBudget:
+    """Relative error contributions of one measurement plan."""
+
+    sampling: float
+    instrument: float
+    window_bias: float
+    conversion: float
+
+    @property
+    def rss(self) -> float:
+        """Root-sum-of-squares total (independent sources)."""
+        return math.sqrt(
+            self.sampling**2
+            + self.instrument**2
+            + self.window_bias**2
+            + self.conversion**2
+        )
+
+    @property
+    def worst_case(self) -> float:
+        """Straight sum (fully correlated worst case)."""
+        return self.sampling + self.instrument + self.window_bias + self.conversion
+
+    def dominant_term(self) -> str:
+        """Name of the largest contribution."""
+        terms = {
+            "sampling": self.sampling,
+            "instrument": self.instrument,
+            "window_bias": self.window_bias,
+            "conversion": self.conversion,
+        }
+        return max(terms, key=terms.get)
+
+    def lines(self) -> list[str]:
+        """Budget table rows for reports."""
+        return [
+            f"  sampling (Eq. 5):        ±{self.sampling:.2%}",
+            f"  instrument calibration:  ±{self.instrument:.2%}",
+            f"  window bias bound:       ±{self.window_bias:.2%}",
+            f"  conversion modeling:     ±{self.conversion:.2%}",
+            f"  total (RSS):             ±{self.rss:.2%}",
+            f"  total (worst case):      ±{self.worst_case:.2%}",
+        ]
+
+
+@dataclass(frozen=True)
+class MeasurementPlan:
+    """A concrete plan: how many nodes, on which instruments, with what
+    expected accuracy."""
+
+    n_nodes_to_measure: int
+    n_meters_used: int
+    budget: ErrorBudget
+    target_lambda: float
+    population: int
+    cv_assumed: float
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the RSS budget meets the target."""
+        return self.budget.rss <= self.target_lambda + 1e-12
+
+    def summary(self) -> str:
+        """Multi-line human-readable plan."""
+        lines = [
+            f"measure {self.n_nodes_to_measure} of {self.population} nodes "
+            f"across {self.n_meters_used} instrument(s)",
+            f"assumed sigma/mu {self.cv_assumed:.2%}, target "
+            f"±{self.target_lambda:.2%} at 95% confidence",
+            "error budget:",
+            *self.budget.lines(),
+            f"verdict: {'FEASIBLE' if self.feasible else 'NOT FEASIBLE'} "
+            f"(dominant term: {self.budget.dominant_term()})",
+        ]
+        return "\n".join(lines)
+
+
+def plan_measurement(
+    n_nodes: int,
+    cv: float,
+    target_lambda: float,
+    constraints: InstrumentationConstraints | None = None,
+    *,
+    confidence: float = 0.95,
+) -> MeasurementPlan:
+    """Produce a measurement plan and its error budget.
+
+    The node count starts from Eq. 5 at the target accuracy, is raised
+    to the post-2015 floor if below it, capped by the meter pool, and
+    the final budget is evaluated at the capped count — so an
+    infeasible pool is reported as such rather than silently planned
+    around.
+    """
+    if target_lambda <= 0:
+        raise ValueError("target_lambda must be positive")
+    constraints = constraints or InstrumentationConstraints()
+
+    wanted = recommend_sample_size(n_nodes, cv, target_lambda, confidence).n
+    from repro.core.recommendations import recommended_measurement_nodes
+
+    floor = recommended_measurement_nodes(n_nodes)
+    n_measure = min(max(wanted, min(floor, n_nodes)), constraints.max_nodes,
+                    n_nodes)
+
+    sampling = achieved_accuracy(
+        max(n_measure, 2), n_nodes, cv, confidence, method="z"
+    )
+    n_meters_used = min(
+        constraints.n_meters,
+        max(1, math.ceil(n_measure / constraints.channels_per_meter)),
+    )
+    from repro.core.confidence import z_quantile
+
+    instrument = (
+        z_quantile(confidence)
+        * constraints.meter_spec.gain_error_cv
+        / np.sqrt(n_meters_used)
+    )
+    window_bias = (
+        0.0
+        if constraints.full_core_window
+        else WINDOW_BIAS_BOUNDS[constraints.machine_class]
+    )
+    budget = ErrorBudget(
+        sampling=float(sampling),
+        instrument=float(instrument),
+        window_bias=float(window_bias),
+        conversion=float(constraints.conversion_modeling_error),
+    )
+    return MeasurementPlan(
+        n_nodes_to_measure=int(n_measure),
+        n_meters_used=int(n_meters_used),
+        budget=budget,
+        target_lambda=float(target_lambda),
+        population=int(n_nodes),
+        cv_assumed=float(cv),
+    )

@@ -1,0 +1,144 @@
+"""Measurement-window rules (paper Section 3).
+
+A :class:`MeasurementWindow` is a fractional slice of the core phase.
+The pre-2015 Level 1 rule allowed any window of at least 20% of the
+middle 80%; this module enumerates those legal placements (the search
+space the gaming analysis sweeps) and provides the paper's replacement
+— the full-core window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "MeasurementWindow",
+    "full_core_window",
+    "is_legal_level1_window",
+    "legal_level1_windows",
+    "level2_window_starts",
+]
+
+#: The middle-80% placement bounds for pre-2015 Level 1.
+MIDDLE_80 = (0.1, 0.9)
+
+#: Minimum window as a fraction of the core phase ("20% of the middle 80%").
+LEVEL1_MIN_FRACTION = 0.16
+
+#: Absolute Level 1 floor, in seconds ("the longer of one minute or ...").
+LEVEL1_MIN_SECONDS = 60.0
+
+
+@dataclass(frozen=True)
+class MeasurementWindow:
+    """A window expressed in fractions of the core phase."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.start < self.end <= 1.0):
+            raise ValueError(
+                f"need 0 <= start < end <= 1, got [{self.start}, {self.end}]"
+            )
+
+    @property
+    def length(self) -> float:
+        """Window length as a fraction of the core phase."""
+        return self.end - self.start
+
+    def seconds(self, core_runtime_s: float) -> float:
+        """Window length in seconds for a given core-phase runtime."""
+        if core_runtime_s <= 0:
+            raise ValueError("core runtime must be positive")
+        return self.length * core_runtime_s
+
+    def to_absolute(self, core_start_s: float, core_runtime_s: float) -> tuple[float, float]:
+        """Map to absolute wall-clock bounds given the core phase."""
+        if core_runtime_s <= 0:
+            raise ValueError("core runtime must be positive")
+        return (
+            core_start_s + self.start * core_runtime_s,
+            core_start_s + self.end * core_runtime_s,
+        )
+
+    def __str__(self) -> str:
+        return f"[{self.start:.3f}, {self.end:.3f}] of core phase"
+
+
+def full_core_window() -> MeasurementWindow:
+    """The paper's recommended window: the entire core phase."""
+    return MeasurementWindow(0.0, 1.0)
+
+
+def is_legal_level1_window(
+    window: MeasurementWindow, core_runtime_s: float
+) -> bool:
+    """Whether a window satisfies the pre-2015 Level 1 timing rule.
+
+    Requirements: the window lies within the middle 80% of the core
+    phase, and lasts at least the longer of one minute or 20% of the
+    middle 80% (16% of the core phase).
+    """
+    if core_runtime_s <= 0:
+        raise ValueError("core runtime must be positive")
+    lo, hi = MIDDLE_80
+    if window.start < lo - 1e-12 or window.end > hi + 1e-12:
+        return False
+    min_len = max(LEVEL1_MIN_FRACTION, LEVEL1_MIN_SECONDS / core_runtime_s)
+    return window.length >= min_len - 1e-12
+
+
+def legal_level1_windows(
+    core_runtime_s: float,
+    *,
+    length: float | None = None,
+    n_placements: int = 201,
+) -> list[MeasurementWindow]:
+    """Enumerate legal Level 1 windows of a fixed length.
+
+    Parameters
+    ----------
+    core_runtime_s:
+        Core-phase runtime in seconds (sets the one-minute floor).
+    length:
+        Window length as a core-phase fraction; defaults to the legal
+        minimum.
+    n_placements:
+        Number of equally spaced start positions across the legal range.
+
+    This is the search space an adversarial submitter can choose from —
+    and hence the domain of the gaming analysis in
+    :mod:`repro.analysis.gaming`.
+    """
+    if core_runtime_s <= 0:
+        raise ValueError("core runtime must be positive")
+    if n_placements < 1:
+        raise ValueError("n_placements must be >= 1")
+    lo, hi = MIDDLE_80
+    min_len = max(LEVEL1_MIN_FRACTION, LEVEL1_MIN_SECONDS / core_runtime_s)
+    if length is None:
+        length = min_len
+    if length < min_len - 1e-12:
+        raise ValueError(
+            f"length {length} below the legal minimum {min_len:.4f}"
+        )
+    if length > hi - lo + 1e-12:
+        raise ValueError(f"length {length} does not fit in the middle 80%")
+    length = min(length, hi - lo)
+    starts = np.linspace(lo, hi - length, n_placements)
+    return [MeasurementWindow(float(s), float(s + length)) for s in starts]
+
+
+def level2_window_starts(n_windows: int = 10) -> np.ndarray:
+    """Start fractions of Level 2's equally spaced averaged measurements
+    spanning the full run.
+
+    Returns the ``n_windows`` window start fractions; each window has
+    length ``1/n_windows`` so together they tile the core phase.
+    """
+    if n_windows < 1:
+        raise ValueError("n_windows must be >= 1")
+    return np.arange(n_windows) / n_windows

@@ -1,0 +1,18 @@
+"""Experiment modules — one per paper table/figure plus the narrative
+claims (see DESIGN.md §4 for the index).
+
+Each module exposes a ``run(...)`` function returning a result object
+with:
+
+* the regenerated artefact (rows / series / grids),
+* ``comparisons()`` — paper-value vs measured-value records with
+  tolerances,
+* ``report()`` — the plain-text rendering the benches print.
+
+:mod:`~repro.experiments.runner` executes everything and assembles the
+EXPERIMENTS.md paper-vs-measured record.
+"""
+
+from repro.experiments.base import Comparison, ExperimentResult
+
+__all__ = ["Comparison", "ExperimentResult"]

@@ -1,0 +1,97 @@
+"""Shared experiment machinery: paper-vs-measured comparisons."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+__all__ = ["Comparison", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-value vs measured-value record.
+
+    Attributes
+    ----------
+    label:
+        What is being compared (e.g. ``"sequoia core power (kW)"``).
+    paper:
+        The value the paper publishes.
+    measured:
+        What this reproduction produces.
+    rel_tol / abs_tol:
+        Acceptance tolerances.  A comparison passes if the absolute
+        difference is within ``abs_tol`` *or* the relative difference is
+        within ``rel_tol``.
+    """
+
+    label: str
+    paper: float
+    measured: float
+    rel_tol: float = 0.05
+    abs_tol: float = 0.0
+    #: ``"match"`` — measured must be close to paper within tolerance;
+    #: ``"at_least"`` / ``"at_most"`` — one-sided claims ("the drop
+    #: exceeds 15%"), where ``paper`` is the bound.
+    mode: str = "match"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("match", "at_least", "at_most"):
+            raise ValueError(f"unknown comparison mode {self.mode!r}")
+
+    @property
+    def abs_diff(self) -> float:
+        """|measured − paper|."""
+        return abs(self.measured - self.paper)
+
+    @property
+    def rel_diff(self) -> float:
+        """Relative difference vs the paper value (inf for paper = 0)."""
+        if self.paper == 0:
+            return float("inf") if self.measured != 0 else 0.0
+        return self.abs_diff / abs(self.paper)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the reproduction satisfies the claim."""
+        if self.mode == "at_least":
+            return self.measured >= self.paper - self.abs_tol
+        if self.mode == "at_most":
+            return self.measured <= self.paper + self.abs_tol
+        return self.abs_diff <= self.abs_tol or self.rel_diff <= self.rel_tol
+
+    def line(self) -> str:
+        """Formatted comparison line for reports."""
+        status = "ok " if self.ok else "FAIL"
+        rel = "" if self.mode != "match" else f" (Δ={self.rel_diff:+.2%})"
+        op = {"match": "=", "at_least": ">=", "at_most": "<="}[self.mode]
+        return (
+            f"[{status}] {self.label}: paper {op} {self.paper:g}, "
+            f"measured={self.measured:g}{rel}"
+        )
+
+
+class ExperimentResult(abc.ABC):
+    """Base class for experiment outputs."""
+
+    #: Experiment identifier matching DESIGN.md (e.g. ``"T2"``).
+    experiment_id: str = ""
+    #: The paper artefact reproduced (e.g. ``"Table 2"``).
+    artifact: str = ""
+
+    @abc.abstractmethod
+    def comparisons(self) -> list[Comparison]:
+        """Paper-vs-measured records for this experiment."""
+
+    @abc.abstractmethod
+    def report(self) -> str:
+        """Plain-text rendering (printed by the bench harness)."""
+
+    def all_ok(self) -> bool:
+        """Whether every comparison is within tolerance."""
+        return all(c.ok for c in self.comparisons())
+
+    def summary_lines(self) -> list[str]:
+        """Comparison lines for EXPERIMENTS.md."""
+        return [c.line() for c in self.comparisons()]

@@ -1,0 +1,168 @@
+"""Extension X5 — derived power numbers vs ground truth.
+
+Half the Green500's power results "are actually based on vendor
+specifications and extrapolation rather than physical measurements"
+(Section 2.1, citing Scogland et al. [19]); 233 of 267 Nov 2014
+submissions were derived.  With the simulator we can do what the list
+operators cannot: compare the derivation recipes against the machine's
+true time-averaged power, across the calibrated Table 4 fleets.
+
+What this demonstrates (and asserts):
+
+1. **Recipe incomparability** — the three common recipes (TDP sum,
+   vendor-derated "typical", PSU nameplate) span roughly a 2x range on
+   the *same* machine, and submissions do not say which was used.
+2. **Workload blindness** — a derived number is one constant, but the
+   machine's true average power moves by >10% across realistic
+   utilisation levels; the derived/true ratio therefore depends on
+   what was actually run, so two derived submissions are not
+   comparable even when they use the same recipe.
+3. **Bracketing, not estimating** — across every fleet, the derated
+   recipe under-states the loaded draw while nameplate over-states it;
+   no fixed recipe tracks the truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.cluster.registry import (
+    NODE_VARIABILITY_SYSTEMS,
+    get_system,
+    workload_utilisation,
+)
+from repro.experiments.base import Comparison, ExperimentResult
+from repro.lists.derived import derive_node_power
+
+__all__ = ["DerivedResult", "DerivedRow", "run"]
+
+#: Utilisation range spanned by realistic submissions (a lightly loaded
+#: acceptance run vs a tuned HPL vs a stress test).
+UTIL_RANGE = (0.70, 0.99)
+
+
+@dataclass(frozen=True)
+class DerivedRow:
+    """Derived-vs-true per-node power for one system."""
+
+    system: str
+    true_watts: float       # at the system's Table 3 workload
+    true_low_watts: float   # at UTIL_RANGE[0]
+    true_high_watts: float  # at UTIL_RANGE[1]
+    tdp_watts: float
+    derated_watts: float
+    nameplate_watts: float
+
+    @property
+    def workload_swing(self) -> float:
+        """Relative swing of the truth across the utilisation range —
+        the variation a constant derived number cannot follow."""
+        return (self.true_high_watts - self.true_low_watts) / self.true_watts
+
+    @property
+    def recipe_spread(self) -> float:
+        """Nameplate over derated: the recipe-choice ambiguity."""
+        return self.nameplate_watts / self.derated_watts
+
+
+@dataclass
+class DerivedResult(ExperimentResult):
+    """The derivation-recipe comparison."""
+
+    rows: list
+
+    experiment_id = "X5"
+    artifact = "Section 2.1 derived-numbers discussion (extension)"
+
+    def comparisons(self) -> list[Comparison]:
+        return [
+            Comparison(
+                label="recipe choice spans >= 1.6x on the same machine",
+                paper=1.6,
+                measured=float(min(r.recipe_spread for r in self.rows)),
+                mode="at_least",
+            ),
+            Comparison(
+                label="true power moves >10% across workloads "
+                      "(derived is constant)",
+                paper=0.10,
+                measured=float(min(r.workload_swing for r in self.rows)),
+                mode="at_least",
+            ),
+            Comparison(
+                label="derated recipe understates the loaded draw everywhere",
+                paper=1.0,
+                measured=float(
+                    max(r.derated_watts / r.true_high_watts for r in self.rows)
+                ),
+                mode="at_most",
+            ),
+            Comparison(
+                label="nameplate overstates the loaded draw everywhere",
+                paper=1.0,
+                measured=float(
+                    min(
+                        r.nameplate_watts / r.true_high_watts
+                        for r in self.rows
+                    )
+                ),
+                mode="at_least",
+            ),
+        ]
+
+    def report(self) -> str:
+        table = Table(
+            ["system", "true W (u=0.70)", "true W (workload)",
+             "true W (u=0.99)", "TDP", "derated", "nameplate"],
+            title="X5 — derived power vs simulated truth (per node, "
+                  "Table 4 fleets)",
+        )
+        for r in self.rows:
+            table.add_row(
+                [r.system, r.true_low_watts, r.true_watts,
+                 r.true_high_watts, r.tdp_watts, r.derated_watts,
+                 r.nameplate_watts]
+            )
+        lines = [table.render(), ""]
+        lines.append(
+            "a derived submission is one constant from an unspecified "
+            "recipe against a workload-dependent truth — 'not "
+            "verifiable' (repro.lists.validation) and not comparable."
+        )
+        lines.append("")
+        lines += self.summary_lines()
+        return "\n".join(lines)
+
+
+def run() -> DerivedResult:
+    """Compare derivation recipes with the calibrated fleets' truth."""
+    u_lo, u_hi = UTIL_RANGE
+    rows = []
+    for name in NODE_VARIABILITY_SYSTEMS:
+        system = get_system(name)
+        true = system.node_sample(workload_utilisation(name)).mean()
+        true_lo = system.node_sample(u_lo).mean()
+        true_hi = system.node_sample(u_hi).mean()
+        # The derivation uses the *calibrated* spec sheet: the node
+        # config scaled by the same power_scale calibration, i.e. the
+        # datasheet of the machine as simulated.
+        scale = system.power_scale
+        rows.append(
+            DerivedRow(
+                system=name,
+                true_watts=true,
+                true_low_watts=true_lo,
+                true_high_watts=true_hi,
+                tdp_watts=derive_node_power(system.config, "tdp") * scale,
+                derated_watts=derive_node_power(
+                    system.config, "tdp-derated"
+                ) * scale,
+                nameplate_watts=derive_node_power(
+                    system.config, "nameplate"
+                ) * scale,
+            )
+        )
+    return DerivedResult(rows=rows)

@@ -1,0 +1,153 @@
+"""Extension X1 — where the paper's machinery breaks: imbalanced
+workloads.
+
+Section 2.1 and 4.1 bound the method's domain: Davis et al. found that
+data-intensive (imbalanced) workloads need far more conservative
+sampling, and the paper warns its normality-based procedure "will not
+be appropriate in scenarios where the distribution of per-node power
+consumption contains many outliers or is heavily skewed."
+
+This experiment makes the boundary quantitative: the same fleet is
+sampled under a balanced schedule, a mildly uneven schedule and a
+straggler-heavy schedule, and for each we measure (a) the normality
+diagnostics, (b) actual 95% CI coverage at the paper-recommended
+subset sizes, and (c) whether the diagnostics *predict* the failure —
+i.e. that a site running :func:`repro.analysis.normality
+.normality_report` on its pilot would have been warned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.normality import NormalityReport, normality_report
+from repro.analysis.report import Table
+from repro.cluster.registry import get_system, workload_utilisation
+from repro.core.coverage import coverage_study
+from repro.experiments.base import Comparison, ExperimentResult
+from repro.rng import stream
+from repro.workloads.schedule import LoadSchedule, balanced, imbalanced
+
+__all__ = ["ImbalanceResult", "ImbalanceRegime", "run"]
+
+
+@dataclass(frozen=True)
+class ImbalanceRegime:
+    """One workload-balance regime's outcome."""
+
+    label: str
+    skewness: float
+    outlier_fraction: float
+    passes_normality_check: bool
+    coverage_at_16: float
+    coverage_at_5: float
+
+
+@dataclass
+class ImbalanceResult(ExperimentResult):
+    """The balanced-vs-imbalanced comparison."""
+
+    regimes: list
+
+    experiment_id = "X1"
+    artifact = "Section 2.1/4.1 balance caveat (extension)"
+
+    def _by_label(self, label: str) -> ImbalanceRegime:
+        return next(r for r in self.regimes if r.label == label)
+
+    def comparisons(self) -> list[Comparison]:
+        bal = self._by_label("balanced")
+        heavy = self._by_label("straggler-heavy")
+        return [
+            Comparison(
+                label="balanced: 95% coverage at n=16",
+                paper=0.95, measured=bal.coverage_at_16,
+                abs_tol=0.012, rel_tol=0.0,
+            ),
+            Comparison(
+                label="balanced passes the normality screen",
+                paper=1.0, measured=float(bal.passes_normality_check),
+                rel_tol=0.0,
+            ),
+            Comparison(
+                label="straggler-heavy: 95% coverage collapses",
+                paper=0.90, measured=heavy.coverage_at_16, mode="at_most",
+            ),
+            Comparison(
+                label="straggler-heavy flagged by the normality screen",
+                paper=0.0, measured=float(heavy.passes_normality_check),
+                rel_tol=0.0,
+            ),
+            Comparison(
+                label="straggler-heavy |skewness| ('heavily skewed')",
+                paper=1.0, measured=abs(heavy.skewness), mode="at_least",
+            ),
+        ]
+
+    def report(self) -> str:
+        table = Table(
+            ["regime", "skew", "outlier frac", "normality screen",
+             "95% cov @ n=5", "95% cov @ n=16"],
+            title="X1 — workload balance vs the sampling methodology "
+                  "(TU Dresden fleet)",
+        )
+        for r in self.regimes:
+            table.add_row(
+                [
+                    r.label,
+                    r.skewness,
+                    f"{r.outlier_fraction:.2%}",
+                    "pass" if r.passes_normality_check else "FLAGGED",
+                    f"{r.coverage_at_5:.3f}",
+                    f"{r.coverage_at_16:.3f}",
+                ]
+            )
+        lines = [table.render(), ""]
+        lines += self.summary_lines()
+        return "\n".join(lines)
+
+
+def _schedules(n_nodes: int, seed: int) -> dict[str, LoadSchedule]:
+    rng = stream(seed, "imbalance-schedules")
+    return {
+        "balanced": balanced(n_nodes),
+        "mildly-uneven": imbalanced(n_nodes, rng, spread=0.08),
+        "straggler-heavy": imbalanced(
+            n_nodes, rng, spread=0.10, straggler_rate=0.08,
+            straggler_level=0.4,
+        ),
+    }
+
+
+def run(
+    *, system: str = "tu-dresden", n_sims: int = 50_000, seed: int = 0
+) -> ImbalanceResult:
+    """Run the balance study on one of the paper's fleets."""
+    model = get_system(system)
+    util = workload_utilisation(system)
+    regimes = []
+    for label, schedule in _schedules(model.n_nodes, seed).items():
+        sample = model.node_sample(util, schedule=schedule)
+        diag: NormalityReport = normality_report(sample.watts)
+        cov = coverage_study(
+            sample.watts,
+            population=10_000,
+            sample_sizes=(5, 16),
+            confidences=(0.95,),
+            n_sims=n_sims,
+            rng=stream(seed, f"imbalance-coverage-{label}"),
+            system=f"{system}/{label}",
+        )
+        regimes.append(
+            ImbalanceRegime(
+                label=label,
+                skewness=diag.skewness,
+                outlier_fraction=diag.outlier_fraction,
+                passes_normality_check=diag.is_approximately_normal(),
+                coverage_at_5=float(cov.coverage[0, 0]),
+                coverage_at_16=float(cov.coverage[0, 1]),
+            )
+        )
+    return ImbalanceResult(regimes=regimes)

@@ -1,0 +1,162 @@
+"""Experiment F1 — paper Figure 1: system power over time for Linpack.
+
+Regenerates the four power-vs-time series (Colosse, Sequoia, Piz Daint,
+L-CSC).  The figure's qualitative content — which the reproduction
+checks quantitatively — is:
+
+* CPU out-of-core runs (Colosse, Sequoia) are *flat*: the power curve's
+  coefficient of variation over the core phase is well under 2%, and
+  any visible tail-off occupies a negligible fraction of the run.
+* GPU in-core runs (Piz Daint, L-CSC) are *sloped and jagged*: power
+  declines by >15% from its plateau and the decline spans a large
+  fraction of the (much shorter) run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.cluster.registry import TRACE_SYSTEMS, get_trace_setup
+from repro.experiments.base import Comparison, ExperimentResult
+from repro.traces.ops import resample
+from repro.traces.synth import simulate_run
+
+__all__ = ["Figure1Result", "Figure1Series", "run"]
+
+
+@dataclass(frozen=True)
+class Figure1Series:
+    """One curve of Figure 1, downsampled for plotting/inspection.
+
+    ``times`` are normalised to core-phase run fraction; ``kilowatts``
+    is the full-system power.
+    """
+
+    system: str
+    times: np.ndarray
+    kilowatts: np.ndarray
+    core_cv: float  # relative std of power across the core phase
+    plateau_to_end_drop: float  # (plateau − final 5% avg) / plateau
+
+    @property
+    def is_flat(self) -> bool:
+        """The 'traditional CPU system' shape."""
+        return self.core_cv < 0.02 and self.plateau_to_end_drop < 0.10
+
+
+@dataclass
+class Figure1Result(ExperimentResult):
+    """Regenerated Figure 1 series with shape assertions."""
+
+    series: list
+
+    experiment_id = "F1"
+    artifact = "Figure 1"
+
+    #: Paper-derived shape expectations: (is CPU-class flat, minimum
+    #: plateau→end drop for the GPU systems).
+    _FLAT = {"colosse": True, "sequoia": True, "piz-daint": False, "l-csc": False}
+
+    def comparisons(self) -> list[Comparison]:
+        out = []
+        for s in self.series:
+            if self._FLAT[s.system]:
+                # Flat: core CV below 2% (Colosse ~0.1%, Sequoia ~1.5%).
+                out.append(
+                    Comparison(
+                        label=f"{s.system} core-phase power CV (flat CPU run)",
+                        paper=0.02,
+                        measured=s.core_cv,
+                        mode="at_most",
+                    )
+                )
+            else:
+                # Sloped: power drops >= 15% from plateau into the tail.
+                out.append(
+                    Comparison(
+                        label=f"{s.system} plateau-to-end power drop (GPU run)",
+                        paper=0.15,
+                        measured=s.plateau_to_end_drop,
+                        mode="at_least",
+                    )
+                )
+        return out
+
+    def report(self) -> str:
+        table = Table(
+            ["system", "points", "mean (kW)", "core CV", "plateau→end drop",
+             "shape"],
+            title="Figure 1 — system power over time for Linpack "
+                  "(series statistics)",
+        )
+        for s in self.series:
+            table.add_row(
+                [
+                    s.system,
+                    len(s.times),
+                    float(s.kilowatts.mean()),
+                    f"{s.core_cv:.2%}",
+                    f"{s.plateau_to_end_drop:.1%}",
+                    "flat (CPU)" if s.is_flat else "sloped (GPU)",
+                ]
+            )
+        lines = [table.render(), ""]
+        # The figure itself: power relative to each run's core average,
+        # so the four machines share one axis despite a 200x kW range.
+        from repro.analysis.ascii_plot import multi_line_plot
+
+        grid = np.linspace(0.0, 1.0, 160)
+        curves = {
+            s.system: np.interp(
+                grid, s.times, s.kilowatts / s.kilowatts.mean()
+            )
+            for s in self.series
+        }
+        lines.append(
+            multi_line_plot(
+                grid, curves,
+                title="relative power vs core-phase run fraction",
+            )
+        )
+        lines.append("")
+        lines += self.summary_lines()
+        return "\n".join(lines)
+
+
+def run(*, n_points: int = 400, seed: int | None = None) -> Figure1Result:
+    """Regenerate the Figure 1 series.
+
+    ``n_points`` controls the downsampled series resolution returned for
+    plotting; statistics are computed on the full-resolution trace.
+    """
+    if n_points < 10:
+        raise ValueError("n_points must be >= 10")
+    series = []
+    for name in TRACE_SYSTEMS:
+        system, workload = get_trace_setup(name)
+        dt = max(1.0, workload.phases.total_s / 7200)
+        sim = simulate_run(system, workload, dt=dt, seed=seed)
+        core = sim.core_trace()
+
+        watts = core.watts
+        cv = float(watts.std() / watts.mean())
+        # Plateau level: average of the first 30% (past any warm-up dip).
+        plateau = core.fraction_window(0.05, 0.30).mean_power()
+        final = core.fraction_window(0.95, 1.0).mean_power()
+        drop = (plateau - final) / plateau
+
+        plot = resample(core, core.duration / (n_points - 1))
+        frac = (plot.times - core.start) / core.duration
+        series.append(
+            Figure1Series(
+                system=name,
+                times=frac,
+                kilowatts=plot.watts / 1e3,
+                core_cv=cv,
+                plateau_to_end_drop=float(drop),
+            )
+        )
+    return Figure1Result(series=series)

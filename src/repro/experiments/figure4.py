@@ -1,0 +1,259 @@
+"""Experiment F4 — paper Figure 4: L-CSC efficiency vs. GPU VID.
+
+Single-node Linpack power efficiency on an L-CSC-style node (4× AMD
+FirePro-class GPUs), for a population of nodes whose four GPUs share a
+VID, under three configurations:
+
+* **fixed** — 774 MHz at a fixed 1.018 V for every ASIC (the tuned
+  Green500 operating point), fans pinned low;
+* **default** — 900 MHz with each ASIC at its VID-programmed voltage,
+  fans pinned faster (required thermally at the higher power);
+* **default, fan-corrected** — the default dataset minus the measured
+  fan-power difference (the paper's third curve).
+
+Asserted findings (paper's bullet list):
+
+1. the fixed configuration's efficiency spread is ~1.2% — smaller than
+   every Table 4 system;
+2. at fixed voltage, efficiency is *unrelated* to VID;
+3. at default settings, higher-VID nodes are measurably less efficient
+   (clear negative trend);
+4. the fan-speed power difference (>100 W) dwarfs the GPU-to-GPU
+   variability;
+5. the corrected curve has the same slope as the uncorrected one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.cluster.components import CpuModel, DramModel, FanModel, GpuModel
+from repro.cluster.dvfs import OperatingPoint
+from repro.cluster.node import NodeConfig
+from repro.cluster.variability import ManufacturingVariation, VidBinning
+from repro.experiments.base import Comparison, ExperimentResult
+from repro.rng import stream
+
+__all__ = ["Figure4Result", "Figure4NodeRow", "run"]
+
+#: The tuned operating point the L-CSC team found by exhaustive search.
+FIXED_POINT = OperatingPoint(freq_mhz=774.0, volts=1.018)
+DEFAULT_MHZ = 900.0
+
+#: Normalised fan speeds: the lowest thermally adequate speed for the
+#: tuned point, and the faster setting the 900 MHz runs required.
+FAN_SPEED_FIXED = 0.45
+FAN_SPEED_DEFAULT = 0.85
+
+
+def _lcsc_config() -> NodeConfig:
+    """An L-CSC node: 2 CPUs + 4 FirePro-class GPUs + big fans."""
+    return NodeConfig(
+        cpu=CpuModel(idle_watts=20.0, peak_watts=120.0, nominal_mhz=2300.0),
+        n_cpus=2,
+        gpu=GpuModel(
+            idle_watts=18.0, peak_watts=230.0, nominal_mhz=DEFAULT_MHZ,
+            nominal_volts=1.1425,  # mid-grid VID voltage
+            static_fraction=0.25,
+        ),
+        n_gpus=4,
+        dram=DramModel.for_capacity(256.0),
+        fan=FanModel(max_watts=250.0, min_speed=0.3),
+        other_watts=40.0,
+    )
+
+
+@dataclass(frozen=True)
+class Figure4NodeRow:
+    """One node's three efficiency measurements (GFLOPS/W)."""
+
+    node_id: int
+    vid: int
+    eff_fixed: float
+    eff_default: float
+    eff_default_fan_corrected: float
+
+
+@dataclass
+class Figure4Result(ExperimentResult):
+    """The regenerated Figure 4 dataset with the paper's conclusions."""
+
+    rows: list
+    fan_power_delta_w: float
+    gpu_power_spread_w: float
+
+    experiment_id = "F4"
+    artifact = "Figure 4"
+
+    # ------------------------------------------------------------------
+    def _arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        vids = np.array([r.vid for r in self.rows], dtype=float)
+        fixed = np.array([r.eff_fixed for r in self.rows])
+        default = np.array([r.eff_default for r in self.rows])
+        corrected = np.array([r.eff_default_fan_corrected for r in self.rows])
+        return vids, fixed, default, corrected
+
+    @staticmethod
+    def _slope(x: np.ndarray, y: np.ndarray) -> float:
+        return float(np.polyfit(x, y, 1)[0])
+
+    def comparisons(self) -> list[Comparison]:
+        vids, fixed, default, corrected = self._arrays()
+        out = [
+            Comparison(
+                label="fixed-config efficiency CV (paper: 1.2%)",
+                paper=0.012,
+                measured=float(fixed.std(ddof=1) / fixed.mean()),
+                rel_tol=0.5,
+            ),
+            Comparison(
+                label="|corr(eff_fixed, VID)| (paper: unrelated)",
+                paper=0.3,
+                measured=abs(float(np.corrcoef(fixed, vids)[0, 1])),
+                mode="at_most",
+            ),
+            Comparison(
+                label="corr(eff_default, VID) (paper: clear negative trend)",
+                paper=-0.5,
+                measured=float(np.corrcoef(default, vids)[0, 1]),
+                mode="at_most",
+            ),
+            Comparison(
+                label="fan power delta (W) (paper: >100 W)",
+                paper=100.0,
+                measured=self.fan_power_delta_w,
+                mode="at_least",
+            ),
+            Comparison(
+                label="fan delta / GPU-variability sigma (paper: 'many times')",
+                paper=3.0,
+                measured=self.fan_power_delta_w / self.gpu_power_spread_w,
+                mode="at_least",
+            ),
+            # "Since the offset due to fan speed is constant, both
+            # curves have the same slope" — the offset is constant in
+            # *power*, so the efficiency-space slopes agree to first
+            # order; both must be negative and of comparable magnitude.
+            Comparison(
+                label="slope(fan-corrected) matches slope(default)",
+                paper=self._slope(vids, default),
+                measured=self._slope(vids, corrected),
+                rel_tol=0.6,
+            ),
+        ]
+        return out
+
+    def report(self) -> str:
+        vids, fixed, default, corrected = self._arrays()
+        table = Table(
+            ["VID", "nodes", "eff fixed (GF/W)", "eff default (GF/W)",
+             "eff default, fan-corrected (GF/W)"],
+            title="Figure 4 — single-node Linpack power efficiency vs VID "
+                  "(L-CSC model)",
+        )
+        for vid in sorted(set(int(v) for v in vids)):
+            mask = vids == vid
+            table.add_row(
+                [
+                    vid,
+                    int(mask.sum()),
+                    float(fixed[mask].mean()),
+                    float(default[mask].mean()),
+                    float(corrected[mask].mean()),
+                ]
+            )
+        lines = [table.render(), ""]
+        lines.append(
+            f"fan power delta between settings: {self.fan_power_delta_w:.0f} W; "
+            f"GPU-variability power spread: {self.gpu_power_spread_w:.0f} W"
+        )
+        lines.append("")
+        lines += self.summary_lines()
+        return "\n".join(lines)
+
+
+def run(
+    *,
+    n_nodes: int = 32,
+    seed: int = 0,
+    gpu_sigma: float = 0.037,
+    measurement_noise_cv: float = 0.004,
+    target_fixed_efficiency: float = 5.4,
+) -> Figure4Result:
+    """Regenerate the Figure 4 dataset.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes measured ("a necessarily small sample size").
+    gpu_sigma:
+        Leakage spread of the GPU population (tuned so the fixed
+        configuration's efficiency CV lands near the paper's 1.2%).
+    measurement_noise_cv:
+        Per-measurement noise of the single-node Linpack runs.
+    target_fixed_efficiency:
+        GFLOPS/W scale anchor for the fixed configuration's mean (the
+        absolute scale is calibration; every conclusion is relative).
+    """
+    if n_nodes < 4:
+        raise ValueError("need at least four nodes")
+    config = _lcsc_config()
+    binning = VidBinning()
+    variation = ManufacturingVariation(sigma=gpu_sigma)
+    rng = stream(seed, "figure4")
+
+    # Node-level VIDs ("we ensure that all four GPUs in a node have the
+    # same VID"), bell-shaped across the grid, independent of leakage.
+    vids = binning.quality_to_vid(rng.beta(2.0, 2.0, size=n_nodes))
+    # Per-node aggregate GPU multiplier (mean over 4 GPUs).
+    gpu_mult = variation.sample_multipliers(n_nodes * config.n_gpus, rng)
+    gpu_mult = gpu_mult.reshape(n_nodes, config.n_gpus).mean(axis=1)
+
+    util = 0.95
+    gpu = config.gpu
+    base_watts = (
+        config.n_cpus * config.cpu.power(util)
+        + config.dram.power(util)
+        + config.nic.power(util)
+        + config.other_watts
+    )
+    fan_fixed = config.fan.power(FAN_SPEED_FIXED)
+    fan_default = config.fan.power(FAN_SPEED_DEFAULT)
+    fan_delta = fan_default - fan_fixed
+
+    def node_power(volts: np.ndarray | float, freq: float, fan_w: float) -> np.ndarray:
+        per_gpu = gpu.power_at(util, freq, volts)
+        return base_watts + config.n_gpus * per_gpu * gpu_mult + fan_w
+
+    volts_default = np.asarray(binning.voltage_for_vid(vids), dtype=float)
+    p_fixed = node_power(FIXED_POINT.volts, FIXED_POINT.freq_mhz, fan_fixed)
+    p_default = node_power(volts_default, DEFAULT_MHZ, fan_default)
+
+    # Single-node Linpack GFLOPS scales with GPU clock.
+    noise = lambda: 1.0 + measurement_noise_cv * rng.standard_normal(n_nodes)
+    perf_fixed = FIXED_POINT.freq_mhz
+    perf_default = DEFAULT_MHZ
+    eff_fixed_raw = perf_fixed / (p_fixed * noise())
+    eff_default_raw = perf_default / (p_default * noise())
+    eff_corrected_raw = perf_default / (p_default - fan_delta)
+
+    scale = target_fixed_efficiency / eff_fixed_raw.mean()
+    rows = [
+        Figure4NodeRow(
+            node_id=i,
+            vid=int(vids[i]),
+            eff_fixed=float(eff_fixed_raw[i] * scale),
+            eff_default=float(eff_default_raw[i] * scale),
+            eff_default_fan_corrected=float(eff_corrected_raw[i] * scale),
+        )
+        for i in range(n_nodes)
+    ]
+    gpu_spread = float(p_fixed.std(ddof=1))
+    return Figure4Result(
+        rows=rows,
+        fan_power_delta_w=float(fan_delta),
+        gpu_power_spread_w=gpu_spread,
+    )

@@ -1,0 +1,174 @@
+"""Experiment G1 — Section 3's window-gaming case studies.
+
+Two published incidents of (legal) measurement-window selection under
+the pre-2015 Level 1 timing rule:
+
+* **TSUBAME-KFC** reduced its reported power by **10.9%** for the
+  Nov 2013 Green500 "by selecting an 'optimal' time interval";
+* **L-CSC** could have submitted a **23.9%** better power efficiency in
+  Nov 2014 "by tweaking the time interval".
+
+The L-CSC number is checked against the Table 2-calibrated L-CSC trace
+with *no further tuning* — it is a genuine out-of-sample prediction of
+the trace model.  TSUBAME-KFC's trace is not otherwise constrained by
+the paper, so its tail parameter is fitted to the published 10.9%
+(recorded as a substitution in DESIGN.md); the experiment then verifies
+the full gaming pipeline recovers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy.optimize import brentq
+
+from repro.analysis.gaming import WindowGamingResult, optimal_window_gain
+from repro.analysis.report import Table
+from repro.cluster.components import CpuModel, DramModel, FanModel, GpuModel
+from repro.cluster.node import NodeConfig
+from repro.cluster.system import SystemModel
+from repro.cluster.registry import get_trace_setup
+from repro.experiments.base import Comparison, ExperimentResult
+from repro.traces.synth import simulate_run
+from repro.workloads.hpl import HplWorkload
+
+__all__ = ["GamingResult", "GamingCase", "run"]
+
+#: Published numbers: reported-power reduction for TSUBAME-KFC and
+#: efficiency improvement for L-CSC.
+TSUBAME_POWER_REDUCTION = 0.109
+LCSC_EFFICIENCY_GAIN = 0.239
+
+
+@dataclass(frozen=True)
+class GamingCase:
+    """One case study's gaming outcome."""
+
+    system: str
+    result: WindowGamingResult
+    paper_value: float
+    metric: str  # "power_reduction" or "efficiency_gain"
+
+    @property
+    def measured_value(self) -> float:
+        """The measured analogue of the paper's number."""
+        if self.metric == "power_reduction":
+            return -self.result.gaming_gain
+        return self.result.efficiency_inflation
+
+
+@dataclass
+class GamingResult(ExperimentResult):
+    """Both case studies plus the overall timing-spread claim."""
+
+    cases: list
+
+    experiment_id = "G1"
+    artifact = "Section 3 gaming numbers"
+
+    def comparisons(self) -> list[Comparison]:
+        out = []
+        for case in self.cases:
+            # The TSUBAME trace was fitted to its target (tight check);
+            # L-CSC is out-of-sample (looser).
+            tol = 0.05 if case.system == "tsubame-kfc" else 0.15
+            out.append(
+                Comparison(
+                    label=f"{case.system} {case.metric.replace('_', ' ')}",
+                    paper=case.paper_value,
+                    measured=case.measured_value,
+                    rel_tol=tol,
+                )
+            )
+        return out
+
+    def report(self) -> str:
+        table = Table(
+            ["system", "metric", "paper", "measured", "best window",
+             "window spread"],
+            title="Section 3 — optimal-interval gaming under the pre-2015 "
+                  "Level 1 timing rule",
+        )
+        for case in self.cases:
+            table.add_row(
+                [
+                    case.system,
+                    case.metric.replace("_", " "),
+                    f"{case.paper_value:.1%}",
+                    f"{case.measured_value:.1%}",
+                    str(case.result.best_window),
+                    f"{case.result.spread:.1%}",
+                ]
+            )
+        lines = [table.render(), ""]
+        lines += self.summary_lines()
+        return "\n".join(lines)
+
+
+def _tsubame_system() -> SystemModel:
+    """A TSUBAME-KFC-flavoured system: 40 nodes, 4 K20x per node,
+    oil-immersion cooled (no fans in the IT power)."""
+    config = NodeConfig(
+        cpu=CpuModel(idle_watts=15.0, peak_watts=95.0, nominal_mhz=2100.0),
+        n_cpus=2,
+        gpu=GpuModel(idle_watts=16.0, peak_watts=170.0, nominal_mhz=732.0),
+        n_gpus=4,
+        dram=DramModel.for_capacity(64.0),
+        fan=FanModel(max_watts=0.0),
+        other_watts=25.0,
+    )
+    return SystemModel("tsubame-kfc", 40, config, seed=2013)
+
+
+def _fit_tsubame_rho(target_reduction: float, core_s: float) -> float:
+    """Fit the HPL tail parameter to the published 10.9% reduction."""
+
+    def err(rho: float) -> float:
+        wl = HplWorkload(core_s, rho=rho, u_min=0.05, name="HPL@tsubame")
+        sim = simulate_run(_tsubame_system(), wl, dt=1.0, noise_cv=0.0)
+        res = optimal_window_gain(sim.core_trace())
+        return (-res.gaming_gain) - target_reduction
+
+    return float(brentq(err, 0.02, 2.0, xtol=1e-4))
+
+
+def run(*, core_s_tsubame: float = 3000.0) -> GamingResult:
+    """Run both gaming case studies.
+
+    ``core_s_tsubame``: TSUBAME-KFC's HPL core-phase length (its runs
+    were short; the paper notes "some runs have been as short as five
+    minutes").
+    """
+    cases = []
+
+    rho = _fit_tsubame_rho(TSUBAME_POWER_REDUCTION, core_s_tsubame)
+    wl = HplWorkload(core_s_tsubame, rho=rho, u_min=0.05, name="HPL@tsubame")
+    sim = simulate_run(_tsubame_system(), wl, dt=1.0, noise_cv=0.0)
+    cases.append(
+        GamingCase(
+            system="tsubame-kfc",
+            result=optimal_window_gain(sim.core_trace()),
+            paper_value=TSUBAME_POWER_REDUCTION,
+            metric="power_reduction",
+        )
+    )
+
+    lcsc_system, lcsc_wl = get_trace_setup("l-csc")
+    lcsc_sim = simulate_run(lcsc_system, lcsc_wl, dt=1.0)
+    # The published 23.9% exploited a 20%-of-core window placed in the
+    # run's deep tail — the "20% of the core phase" reading of the rule
+    # without the middle-80% guard (which the pre-2015 rules did not
+    # enforce in practice; both case-study systems placed end windows).
+    cases.append(
+        GamingCase(
+            system="l-csc",
+            result=optimal_window_gain(
+                lcsc_sim.core_trace(),
+                window_fraction=0.20,
+                within=(0.0, 1.0),
+            ),
+            paper_value=LCSC_EFFICIENCY_GAIN,
+            metric="efficiency_gain",
+        )
+    )
+    return GamingResult(cases=cases)

@@ -1,0 +1,118 @@
+"""Experiment R1 — Section 1's ranking ramifications.
+
+"This variability has significant ramifications for Green500 rankings.
+For instance, the advantage of the current 1st ranked system over the
+current 3rd ranked system is less than 20%."  And on the list's
+provenance mix: "Of the 267 submitted measurements on the November 2014
+Green500 list, 233 submissions used power estimates based on derived
+numbers rather than measurement, 28 used Level 1, and only 6 used a
+higher measurement level."
+
+We rebuild a Nov-2014-flavoured list, verify the mix and the top-3 gap,
+then perturb measured powers within Level 1's legal variation and count
+rank churn — including the what-if where the podium itself is measured
+at (old) Level 1 quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.ranking_impact import RankImpactResult, rank_impact_study
+from repro.analysis.report import Table
+from repro.core.methodology import Level
+from repro.experiments.base import Comparison, ExperimentResult
+from repro.lists.green500 import Green500List, synthetic_green500
+from repro.rng import stream
+
+__all__ = ["RankingResult", "run"]
+
+
+@dataclass
+class RankingResult(ExperimentResult):
+    """List structure plus rank-churn statistics."""
+
+    ranked_list: Green500List
+    impact_default: RankImpactResult
+    impact_all_l1: RankImpactResult
+
+    experiment_id = "R1"
+    artifact = "Section 1 ranking discussion"
+
+    def comparisons(self) -> list[Comparison]:
+        mix = self.ranked_list.level_mix()
+        gap = self.ranked_list.efficiency_gap(1, 3)
+        return [
+            Comparison(
+                label="derived submissions", paper=233,
+                measured=mix["derived"], rel_tol=0.0,
+            ),
+            Comparison(
+                label="Level 1 submissions", paper=28,
+                measured=mix["L1"], rel_tol=0.0,
+            ),
+            Comparison(
+                label="Level 2+ submissions", paper=6,
+                measured=mix["L2"] + mix["L3"], rel_tol=0.0,
+            ),
+            Comparison(
+                label="#1 vs #3 efficiency gap (< 20%)",
+                paper=0.20, measured=gap, mode="at_most",
+            ),
+            Comparison(
+                label="top-3 churn under old-L1 error (all measured at L1)",
+                paper=0.20,
+                measured=self.impact_all_l1.top3_set_change_probability,
+                mode="at_least",
+            ),
+            Comparison(
+                label="#1 at risk under old-L1 error (all measured at L1)",
+                paper=0.05,
+                measured=self.impact_all_l1.top1_change_probability,
+                mode="at_least",
+            ),
+        ]
+
+    def report(self) -> str:
+        mix = self.ranked_list.level_mix()
+        table = Table(
+            ["quantity", "value"],
+            title="Synthetic Nov-2014 Green500 and measurement-error "
+                  "rank churn",
+        )
+        table.add_row(["list size", len(self.ranked_list)])
+        table.add_row(["derived / L1 / L2+", f"{mix['derived']} / {mix['L1']} / "
+                                             f"{mix['L2'] + mix['L3']}"])
+        table.add_row(
+            ["#1 vs #3 gap", f"{self.ranked_list.efficiency_gap(1, 3):.1%}"]
+        )
+        table.add_row(
+            ["churn (published mix)", self.impact_default.summary()]
+        )
+        table.add_row(
+            ["churn (podium at old L1)", self.impact_all_l1.summary()]
+        )
+        lines = [table.render(), ""]
+        lines += self.summary_lines()
+        return "\n".join(lines)
+
+
+def run(*, n_trials: int = 500, seed: int = 0) -> RankingResult:
+    """Build the list and run both churn studies."""
+    ranked = synthetic_green500(stream(seed, "green500"))
+    impact_default = rank_impact_study(
+        ranked, stream(seed, "rank-impact-default"), n_trials=n_trials
+    )
+    # What-if: every measured system (including the podium's L2 entries)
+    # only has old-Level-1 measurement quality.
+    impact_all_l1 = rank_impact_study(
+        ranked,
+        stream(seed, "rank-impact-l1"),
+        n_trials=n_trials,
+        level_spread={Level.L2: 0.10, Level.L3: 0.10},
+    )
+    return RankingResult(
+        ranked_list=ranked,
+        impact_default=impact_default,
+        impact_all_l1=impact_all_l1,
+    )

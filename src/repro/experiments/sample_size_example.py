@@ -1,0 +1,133 @@
+"""Experiment S1 — Section 4's worked example of the 1/64 rule's
+scale-dependent accuracy.
+
+"For a hypothetical supercomputer with 210 nodes and a true value of
+σ/μ = 2%, the Green500 methodology would require at least 4 nodes to be
+measured.  Based on 4 nodes, we would be able to say with 95% certainty
+that our estimate of the total power usage is within 3.2% of the true
+total.  In contrast, for a supercomputer with 18,688 nodes ... at least
+292 nodes ... within 0.2% of the true total."
+
+Both the required node counts (from the 1/64 rule) and the achieved
+accuracies (t-interval with finite-population correction) are checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import Table
+from repro.core.methodology import Level, machine_fraction_nodes
+from repro.core.sampling import achieved_accuracy
+from repro.experiments.base import Comparison, ExperimentResult
+
+__all__ = ["SampleSizeExampleResult", "ExampleCase", "run"]
+
+#: The example's assumed coefficient of variation.
+CV = 0.02
+
+
+@dataclass(frozen=True)
+class ExampleCase:
+    """One of the two hypothetical systems."""
+
+    n_nodes: int
+    node_power_watts: float  # only used for the 2 kW floor
+    paper_required_nodes: int
+    paper_accuracy: float
+    required_nodes: int = 0
+    accuracy: float = 0.0
+
+
+@dataclass
+class SampleSizeExampleResult(ExperimentResult):
+    """The regenerated worked example."""
+
+    cases: list
+
+    experiment_id = "S1"
+    artifact = "Section 4 worked example"
+
+    def comparisons(self) -> list[Comparison]:
+        out = []
+        for case in self.cases:
+            out.append(
+                Comparison(
+                    label=f"{case.n_nodes}-node system: required nodes (1/64)",
+                    paper=case.paper_required_nodes,
+                    measured=case.required_nodes,
+                    rel_tol=0.0,
+                )
+            )
+            out.append(
+                Comparison(
+                    label=f"{case.n_nodes}-node system: 95% accuracy",
+                    paper=case.paper_accuracy,
+                    measured=case.accuracy,
+                    rel_tol=0.15,  # paper rounds to one decimal (3.2%, 0.2%)
+                )
+            )
+        # The paper's point: same rule, order-of-magnitude accuracy gap.
+        small, large = self.cases
+        out.append(
+            Comparison(
+                label="accuracy ratio small/large system",
+                paper=10.0,
+                measured=small.accuracy / large.accuracy,
+                mode="at_least",
+            )
+        )
+        return out
+
+    def report(self) -> str:
+        table = Table(
+            ["N", "required nodes", "paper", "95% accuracy", "paper acc."],
+            title="Section 4 — the 1/64 rule's accuracy depends on system "
+                  f"scale (sigma/mu = {CV:.0%})",
+        )
+        for case in self.cases:
+            table.add_row(
+                [
+                    case.n_nodes,
+                    case.required_nodes,
+                    case.paper_required_nodes,
+                    f"±{case.accuracy:.2%}",
+                    f"±{case.paper_accuracy:.1%}",
+                ]
+            )
+        lines = [table.render(), ""]
+        lines += self.summary_lines()
+        return "\n".join(lines)
+
+
+def run() -> SampleSizeExampleResult:
+    """Regenerate the worked example."""
+    specs = [
+        ExampleCase(
+            n_nodes=210, node_power_watts=500.0,
+            paper_required_nodes=4, paper_accuracy=0.032,
+        ),
+        ExampleCase(
+            n_nodes=18_688, node_power_watts=500.0,
+            paper_required_nodes=292, paper_accuracy=0.002,
+        ),
+    ]
+    cases = []
+    for spec in specs:
+        # Per the example, the count comes from the fractional arm of
+        # the rule (the paper quotes ceil(N/64) for both systems).
+        n = machine_fraction_nodes(
+            Level.L1, spec.n_nodes, spec.node_power_watts
+        )
+        acc = achieved_accuracy(n, spec.n_nodes, CV, confidence=0.95)
+        cases.append(
+            ExampleCase(
+                n_nodes=spec.n_nodes,
+                node_power_watts=spec.node_power_watts,
+                paper_required_nodes=spec.paper_required_nodes,
+                paper_accuracy=spec.paper_accuracy,
+                required_nodes=n,
+                accuracy=acc,
+            )
+        )
+    return SampleSizeExampleResult(cases=cases)

@@ -1,0 +1,82 @@
+"""Experiment T5 — paper Table 5: recommended sample sizes.
+
+Pure statistics (Eq. 5), so the reproduction is exact: for
+N = 10 000, α = 0.05, the (λ × σ/μ) grid must match the published
+integers cell for cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.core.sampling import sample_size_table
+from repro.experiments.base import Comparison, ExperimentResult
+
+__all__ = ["Table5Result", "run", "PAPER_TABLE5", "ACCURACIES", "CVS"]
+
+ACCURACIES = (0.005, 0.01, 0.015, 0.02)
+CVS = (0.02, 0.03, 0.05)
+
+#: Table 5 as published (rows: λ; columns: σ/μ).
+PAPER_TABLE5 = np.array(
+    [
+        [62, 137, 370],
+        [16, 35, 96],
+        [7, 16, 43],
+        [4, 9, 24],
+    ],
+    dtype=np.int64,
+)
+
+
+@dataclass
+class Table5Result(ExperimentResult):
+    """Regenerated Table 5."""
+
+    grid: np.ndarray
+    n_nodes: int
+    confidence: float
+
+    experiment_id = "T5"
+    artifact = "Table 5"
+
+    def comparisons(self) -> list[Comparison]:
+        out = []
+        for i, lam in enumerate(ACCURACIES):
+            for j, cv in enumerate(CVS):
+                out.append(
+                    Comparison(
+                        label=f"n(lambda={lam:g}, cv={cv:g})",
+                        paper=float(PAPER_TABLE5[i, j]),
+                        measured=float(self.grid[i, j]),
+                        rel_tol=0.0,
+                        abs_tol=0.0,
+                    )
+                )
+        return out
+
+    def report(self) -> str:
+        table = Table(
+            ["lambda \\ sigma/mu", *[f"{cv:g}" for cv in CVS]],
+            title=(
+                f"Table 5 — recommended sample sizes "
+                f"(N={self.n_nodes}, {self.confidence:.0%} confidence)"
+            ),
+        )
+        for i, lam in enumerate(ACCURACIES):
+            table.add_row([f"{lam:.1%}", *self.grid[i].tolist()])
+        lines = [table.render(), ""]
+        exact = bool(np.array_equal(self.grid, PAPER_TABLE5))
+        lines.append(f"exact match with paper: {exact}")
+        return "\n".join(lines)
+
+
+def run(*, n_nodes: int = 10_000, confidence: float = 0.95) -> Table5Result:
+    """Regenerate Table 5 via Eq. 5."""
+    grid = sample_size_table(
+        ACCURACIES, CVS, n_nodes=n_nodes, confidence=confidence
+    )
+    return Table5Result(grid=grid, n_nodes=n_nodes, confidence=confidence)

@@ -1,0 +1,34 @@
+"""A Green500/Top500-style list substrate.
+
+Holds submissions (performance + power + measurement metadata), checks
+them against the EE HPC WG methodology, and ranks them by energy
+efficiency — the machinery the paper's Section 1 ranking argument and
+the level-mix statistics ("of the 267 submitted measurements ... 233
+used derived numbers, 28 Level 1, 6 higher") live in.
+"""
+
+from repro.lists.submission import PowerSource, Submission
+from repro.lists.validation import ValidationReport, validate_submission
+from repro.lists.derived import (
+    DERIVATION_METHODS,
+    derive_node_power,
+    derive_system_power,
+)
+from repro.lists.green500 import (
+    Green500List,
+    RankedEntry,
+    synthetic_green500,
+)
+
+__all__ = [
+    "PowerSource",
+    "Submission",
+    "ValidationReport",
+    "validate_submission",
+    "DERIVATION_METHODS",
+    "derive_node_power",
+    "derive_system_power",
+    "Green500List",
+    "RankedEntry",
+    "synthetic_green500",
+]

@@ -1,0 +1,81 @@
+"""Derived (unmeasured) power numbers.
+
+"Of the 267 submitted measurements on the November 2014 Green500 list,
+233 submissions used power estimates based on derived numbers rather
+than measurement" — vendor spec sheets summed over the parts list, the
+path sites take when they cannot (or will not) measure.  This module
+implements the standard derivation recipes so the reproduction can
+quantify how derived numbers relate to the truth the simulator knows.
+
+Three recipes, from most to least common:
+
+* ``"tdp"`` — sum of component TDPs (peak powers) per node, times the
+  node count.  Systematically *overstates* HPL power (parts rarely sit
+  at TDP simultaneously) — which, on the Green500's FLOPS/W metric,
+  *understates* efficiency: derived numbers are usually conservative.
+* ``"tdp-derated"`` — the same with a flat vendor derating factor
+  (marketing's "typical" number).
+* ``"nameplate"`` — the PSU nameplate (node peak including fans, plus
+  PSU headroom), the worst overstatement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.node import NodeConfig
+
+__all__ = ["derive_node_power", "derive_system_power", "DERIVATION_METHODS"]
+
+DERIVATION_METHODS = ("tdp", "tdp-derated", "nameplate")
+
+#: Flat factor vendors apply to the TDP sum for "typical" numbers.
+_DERATING = 0.75
+
+#: PSU sizing headroom above worst-case draw.
+_NAMEPLATE_HEADROOM = 1.25
+
+
+def derive_node_power(config: NodeConfig, method: str = "tdp") -> float:
+    """Per-node power from the spec sheet, in watts."""
+    tdp_sum = (
+        config.n_cpus * config.cpu.peak_watts
+        + config.n_gpus * (config.gpu.peak_watts if config.gpu else 0.0)
+        + config.dram.peak_watts
+        + config.nic.peak_watts
+        + config.other_watts
+    )
+    if method == "tdp":
+        return float(tdp_sum)
+    if method == "tdp-derated":
+        return float(_DERATING * tdp_sum)
+    if method == "nameplate":
+        return float(
+            _NAMEPLATE_HEADROOM * (tdp_sum + config.fan.power(1.0))
+        )
+    raise ValueError(
+        f"unknown derivation method {method!r}; "
+        f"choose from {DERIVATION_METHODS}"
+    )
+
+
+def derive_system_power(
+    config: NodeConfig,
+    n_nodes: int,
+    method: str = "tdp",
+    *,
+    interconnect_fraction: float = 0.0,
+) -> float:
+    """Full-system derived power, in watts.
+
+    ``interconnect_fraction`` adds a flat share for switches and
+    directors when the deriving site includes them (Level 1 does not
+    require it, and derived submissions are inconsistent about it —
+    one more reason they are not comparable).
+    """
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    if not (0.0 <= interconnect_fraction < 1.0):
+        raise ValueError("interconnect_fraction must be in [0, 1)")
+    node = derive_node_power(config, method)
+    return float(n_nodes * node * (1.0 + interconnect_fraction))

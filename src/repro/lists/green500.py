@@ -1,0 +1,197 @@
+"""The Green500 list: ranking by energy efficiency.
+
+Provides a ranked list structure over :class:`~repro.lists.submission.
+Submission` records, and a synthetic Nov-2014-style list whose
+efficiency spectrum and measurement-level mix match the paper's
+description: 267 submissions — 233 derived, 28 Level 1, 6 at Level 2+
+— with the top ranks separated by less than the 20% measurement
+variation Level 1 admits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.methodology import Level
+from repro.lists.submission import PowerSource, Submission
+
+__all__ = ["RankedEntry", "Green500List", "synthetic_green500"]
+
+
+@dataclass(frozen=True)
+class RankedEntry:
+    """One row of a ranked list."""
+
+    rank: int
+    submission: Submission
+
+    @property
+    def efficiency(self) -> float:
+        """GFLOPS/W."""
+        return self.submission.efficiency_gflops_per_watt
+
+
+class Green500List:
+    """An efficiency-ranked list of submissions."""
+
+    def __init__(self, submissions: list[Submission]) -> None:
+        if not submissions:
+            raise ValueError("a list needs at least one submission")
+        names = [s.system_name for s in submissions]
+        if len(set(names)) != len(names):
+            raise ValueError("system names must be unique within a list")
+        self._entries = self._rank(submissions)
+
+    @staticmethod
+    def _rank(submissions: list[Submission]) -> list[RankedEntry]:
+        ordered = sorted(
+            submissions,
+            key=lambda s: (-s.efficiency_gflops_per_watt, s.system_name),
+        )
+        return [RankedEntry(i + 1, s) for i, s in enumerate(ordered)]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __getitem__(self, rank: int) -> RankedEntry:
+        """Entry at 1-based rank."""
+        if not (1 <= rank <= len(self._entries)):
+            raise IndexError(f"rank must be in [1, {len(self._entries)}]")
+        return self._entries[rank - 1]
+
+    def rank_of(self, system_name: str) -> int:
+        """1-based rank of a system."""
+        for e in self._entries:
+            if e.submission.system_name == system_name:
+                return e.rank
+        raise KeyError(f"system {system_name!r} not on the list")
+
+    def top(self, k: int = 10) -> list[RankedEntry]:
+        """The first ``k`` entries."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return self._entries[:k]
+
+    # ------------------------------------------------------------------
+    def level_mix(self) -> dict[str, int]:
+        """Counts by power provenance: derived / L1 / L2 / L3."""
+        mix = {"derived": 0, "L1": 0, "L2": 0, "L3": 0}
+        for e in self._entries:
+            s = e.submission
+            if s.source is PowerSource.DERIVED:
+                mix["derived"] += 1
+            else:
+                mix[f"L{int(s.level)}"] += 1
+        return mix
+
+    def efficiency_gap(self, rank_a: int, rank_b: int) -> float:
+        """Relative efficiency advantage of rank ``a`` over rank ``b``.
+
+        The paper's Section 1 point: "the advantage of the current 1st
+        ranked system over the current 3rd ranked system is less than
+        20%" — i.e. within Level 1's measurement variation.
+        """
+        ea = self[rank_a].efficiency
+        eb = self[rank_b].efficiency
+        return ea / eb - 1.0
+
+    def reranked_with_powers(self, powers: dict[str, float]) -> "Green500List":
+        """A new list with some submissions' powers replaced.
+
+        Used by the rank-impact study: replace reported powers with
+        alternative measurement outcomes and observe rank movement.
+        """
+        subs = []
+        for e in self._entries:
+            s = e.submission
+            if s.system_name in powers:
+                new_power = powers[s.system_name]
+                if new_power <= 0:
+                    raise ValueError("replacement power must be positive")
+                s = Submission(
+                    system_name=s.system_name,
+                    rmax_gflops=s.rmax_gflops,
+                    power_watts=new_power,
+                    source=s.source,
+                    level=s.level,
+                    description=s.description,
+                    true_power_watts=s.true_power_watts,
+                )
+            subs.append(s)
+        return Green500List(subs)
+
+
+def synthetic_green500(
+    rng: np.random.Generator,
+    *,
+    n_systems: int = 267,
+    n_derived: int = 233,
+    n_level1: int = 28,
+    top_efficiency: float = 5.27,  # L-CSC's Nov-2014 GFLOPS/W
+    top3_gap: float = 0.135,  # paper: #1 leads #3 by < 20%
+) -> Green500List:
+    """Generate a Nov-2014-flavoured synthetic Green500.
+
+    The top of the list is shaped so rank 1 leads rank 3 by
+    ``top3_gap`` (< 20%); the body follows a smooth efficiency decay
+    with log-normal size spread.  Levels are assigned so the mix matches
+    the paper's counts, with higher-quality levels more common near the
+    top (the machines that care most measure best).
+    """
+    if n_systems < 3:
+        raise ValueError("need at least three systems")
+    if n_derived + n_level1 > n_systems:
+        raise ValueError("level mix exceeds list size")
+    if not (0.0 < top3_gap < 1.0):
+        raise ValueError("top3_gap must be in (0, 1)")
+
+    # Efficiency spectrum: the top three pinned so that #1 leads #3 by
+    # exactly ``top3_gap``, then a noisy geometric decay strictly below
+    # #3 for the rest of the list.
+    eff = np.empty(n_systems)
+    eff[0] = top_efficiency
+    eff[2] = top_efficiency / (1.0 + top3_gap)
+    eff[1] = float(np.sqrt(eff[0] * eff[2]))
+    ranks = np.arange(3, n_systems)
+    decay = np.exp(-2.2 * (ranks - 2) / n_systems)
+    tail = eff[2] * 0.98 * decay * (
+        1.0 + 0.02 * rng.standard_normal(n_systems - 3)
+    )
+    eff[3:] = np.minimum(np.sort(tail)[::-1], eff[2] * 0.995)
+
+    # System scale: Rmax from ~30 TFLOPS to ~30 PFLOPS, log-uniform.
+    rmax = 10.0 ** rng.uniform(4.5, 7.5, size=n_systems) * 3.0  # GFLOPS
+    powers = rmax / eff  # watts
+
+    # Provenance mix: higher levels preferentially near the top.
+    n_measured = n_systems - n_derived
+    order_for_levels = np.argsort(-eff)
+    measured_slots = set(order_for_levels[:n_measured].tolist())
+    n_high = n_measured - n_level1  # Level 2+ entries
+    high_slots = set(order_for_levels[:n_high].tolist())
+
+    subs = []
+    for i in range(n_systems):
+        if i in measured_slots:
+            level = Level.L2 if i in high_slots else Level.L1
+            source = PowerSource.MEASURED
+        else:
+            level = None
+            source = PowerSource.DERIVED
+        subs.append(
+            Submission(
+                system_name=f"system-{i:03d}",
+                rmax_gflops=float(rmax[i]),
+                power_watts=float(powers[i]),
+                source=source,
+                level=level,
+                true_power_watts=float(powers[i]),
+            )
+        )
+    return Green500List(subs)

@@ -1,0 +1,124 @@
+"""Submission (de)serialisation.
+
+The interchange format a list operator would actually accept: one JSON
+document per submission carrying the performance number, the power
+number, its provenance, and — for measured submissions — the full
+measurement description needed to check the Table 1 rules.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.methodology import (
+    Level,
+    MeasurementDescription,
+    MeasurementPoint,
+    Subsystem,
+)
+from repro.lists.submission import PowerSource, Submission
+
+__all__ = ["submission_to_json", "submission_from_json"]
+
+_FORMAT = "repro.submission/1"
+
+_SUBSYSTEM_BY_VALUE = {s.value: s for s in Subsystem}
+_POINT_BY_NAME = {p.name.lower(): p for p in MeasurementPoint}
+
+
+def _description_to_dict(desc: MeasurementDescription) -> dict:
+    return {
+        "level": int(desc.level),
+        "n_nodes_total": desc.n_nodes_total,
+        "n_nodes_measured": desc.n_nodes_measured,
+        "avg_node_power_watts": desc.avg_node_power_watts,
+        "window_start_fraction": desc.window_start_fraction,
+        "window_end_fraction": desc.window_end_fraction,
+        "core_phase_seconds": desc.core_phase_seconds,
+        "sample_interval_s": desc.sample_interval_s,
+        "subsystems_measured": sorted(
+            s.value for s in desc.subsystems_measured
+        ),
+        "subsystems_estimated": sorted(
+            s.value for s in desc.subsystems_estimated
+        ),
+        "measurement_point": desc.measurement_point.name.lower(),
+    }
+
+
+def _description_from_dict(doc: dict) -> MeasurementDescription:
+    try:
+        point = _POINT_BY_NAME[doc["measurement_point"]]
+    except KeyError:
+        raise ValueError(
+            f"unknown measurement_point {doc.get('measurement_point')!r}"
+        ) from None
+    try:
+        measured = frozenset(
+            _SUBSYSTEM_BY_VALUE[v] for v in doc["subsystems_measured"]
+        )
+        estimated = frozenset(
+            _SUBSYSTEM_BY_VALUE[v] for v in doc["subsystems_estimated"]
+        )
+    except KeyError as exc:
+        raise ValueError(f"unknown subsystem {exc}") from None
+    return MeasurementDescription(
+        level=Level(doc["level"]),
+        n_nodes_total=int(doc["n_nodes_total"]),
+        n_nodes_measured=int(doc["n_nodes_measured"]),
+        avg_node_power_watts=float(doc["avg_node_power_watts"]),
+        window_start_fraction=float(doc["window_start_fraction"]),
+        window_end_fraction=float(doc["window_end_fraction"]),
+        core_phase_seconds=float(doc["core_phase_seconds"]),
+        sample_interval_s=(
+            None if doc["sample_interval_s"] is None
+            else float(doc["sample_interval_s"])
+        ),
+        subsystems_measured=measured,
+        subsystems_estimated=estimated,
+        measurement_point=point,
+    )
+
+
+def submission_to_json(submission: Submission) -> str:
+    """Serialise a submission to the interchange JSON."""
+    doc = {
+        "format": _FORMAT,
+        "system_name": submission.system_name,
+        "rmax_gflops": submission.rmax_gflops,
+        "power_watts": submission.power_watts,
+        "source": submission.source.value,
+        "level": None if submission.level is None else int(submission.level),
+        "description": (
+            None
+            if submission.description is None
+            else _description_to_dict(submission.description)
+        ),
+    }
+    return json.dumps(doc, indent=2)
+
+
+def submission_from_json(text: str) -> Submission:
+    """Parse the interchange JSON back into a :class:`Submission`.
+
+    Simulation-only fields (``true_power_watts``) are deliberately not
+    part of the format: real submissions do not know the truth.
+    """
+    doc = json.loads(text)
+    if doc.get("format") != _FORMAT:
+        raise ValueError(f"unrecognised format {doc.get('format')!r}")
+    source = PowerSource(doc["source"])
+    level = None if doc.get("level") is None else Level(doc["level"])
+    desc = (
+        None
+        if doc.get("description") is None
+        else _description_from_dict(doc["description"])
+    )
+    return Submission(
+        system_name=doc["system_name"],
+        rmax_gflops=float(doc["rmax_gflops"]),
+        power_watts=float(doc["power_watts"]),
+        source=source,
+        level=level,
+        description=desc,
+    )

@@ -1,0 +1,87 @@
+"""List submissions: performance + power + measurement provenance."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.methodology import Level, MeasurementDescription
+from repro.units import gflops_per_watt
+
+__all__ = ["PowerSource", "Submission"]
+
+
+class PowerSource(enum.Enum):
+    """Where a submission's power number came from.
+
+    The Nov 2014 Green500 mix the paper reports: 233 derived, 28
+    Level 1, 6 at Level 2 or above, of 267 total.
+    """
+
+    DERIVED = "derived"  # vendor spec sheets / extrapolation, no measurement
+    MEASURED = "measured"  # an EE HPC WG level measurement
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One list entry.
+
+    Attributes
+    ----------
+    system_name:
+        The machine's name.
+    rmax_gflops:
+        Sustained HPL performance in GFLOP/s (fixed by the full-system
+        performance run regardless of how power was measured).
+    power_watts:
+        Submitted average power in watts.
+    source:
+        Measured or derived.
+    level:
+        The claimed methodology level (``None`` for derived numbers).
+    description:
+        Full measurement description for rule checking (optional; a
+        submission without one cannot be validated beyond basics).
+    true_power_watts:
+        Simulation-only ground truth, when known (drives the
+        rank-impact experiments); ``None`` for real-world-style records.
+    """
+
+    system_name: str
+    rmax_gflops: float
+    power_watts: float
+    source: PowerSource = PowerSource.MEASURED
+    level: Level | None = Level.L1
+    description: MeasurementDescription | None = None
+    true_power_watts: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rmax_gflops <= 0:
+            raise ValueError("rmax must be positive")
+        if self.power_watts <= 0:
+            raise ValueError("power must be positive")
+        if self.source is PowerSource.DERIVED and self.level is not None:
+            raise ValueError("derived submissions have no measurement level")
+        if self.source is PowerSource.MEASURED and self.level is None:
+            raise ValueError("measured submissions must state a level")
+        if self.true_power_watts is not None and self.true_power_watts <= 0:
+            raise ValueError("true power must be positive when given")
+
+    @property
+    def efficiency_gflops_per_watt(self) -> float:
+        """The Green500 ranking metric."""
+        return gflops_per_watt(self.rmax_gflops, self.power_watts)
+
+    @property
+    def true_efficiency_gflops_per_watt(self) -> float | None:
+        """Ground-truth efficiency, when the simulation knows it."""
+        if self.true_power_watts is None:
+            return None
+        return gflops_per_watt(self.rmax_gflops, self.true_power_watts)
+
+    @property
+    def power_error(self) -> float | None:
+        """Signed relative power error vs. ground truth (if known)."""
+        if self.true_power_watts is None:
+            return None
+        return (self.power_watts - self.true_power_watts) / self.true_power_watts

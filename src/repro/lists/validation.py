@@ -1,0 +1,118 @@
+"""Submission validation against the methodology.
+
+A list operator runs each incoming submission through
+:func:`validate_submission`: derived numbers are flagged as unverifiable,
+measured ones are checked against their claimed level's Table 1 rules
+and, optionally, against the paper's *new* requirements (full core
+phase, 16 nodes or 10%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.methodology import Aspect, Violation, check_submission
+from repro.core.recommendations import (
+    NEW_RULES,
+    NewRules,
+    recommended_measurement_nodes,
+)
+from repro.core.windows import MeasurementWindow
+from repro.lists.submission import PowerSource, Submission
+
+__all__ = ["ValidationReport", "validate_submission"]
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of validating one submission."""
+
+    submission: Submission
+    violations: tuple = ()
+    new_rule_failures: tuple = ()
+    notes: tuple = ()
+
+    @property
+    def complies_with_level(self) -> bool:
+        """Passes the claimed level's Table 1 rules."""
+        return not self.violations
+
+    @property
+    def complies_with_new_rules(self) -> bool:
+        """Passes the paper's recommended (post-2015) requirements."""
+        return not self.new_rule_failures
+
+    def summary(self) -> str:
+        """One-line verdict for list tooling."""
+        s = self.submission
+        if s.source is PowerSource.DERIVED:
+            return f"{s.system_name}: derived power — not verifiable"
+        level = f"L{int(s.level)}"
+        verdict = "OK" if self.complies_with_level else (
+            f"{len(self.violations)} violation(s)"
+        )
+        new = "OK" if self.complies_with_new_rules else (
+            f"{len(self.new_rule_failures)} failure(s)"
+        )
+        return f"{s.system_name}: {level} {verdict}; new rules {new}"
+
+
+def validate_submission(
+    submission: Submission, *, new_rules: NewRules | None = NEW_RULES
+) -> ValidationReport:
+    """Validate a submission.
+
+    Parameters
+    ----------
+    new_rules:
+        The post-2015 requirements to additionally check measured
+        submissions against; pass ``None`` to check only the claimed
+        level's original rules.
+    """
+    notes: list[str] = []
+    if submission.source is PowerSource.DERIVED:
+        notes.append(
+            "power is derived from vendor data, not measured; "
+            "accuracy cannot be assessed"
+        )
+        return ValidationReport(submission, notes=tuple(notes))
+
+    desc = submission.description
+    if desc is None:
+        return ValidationReport(
+            submission,
+            violations=(
+                Violation(
+                    aspect=Aspect.MACHINE_FRACTION,
+                    message="measured submission lacks a measurement description",
+                ),
+            ),
+        )
+
+    violations: list[Violation] = list(check_submission(desc))
+
+    new_failures: list[str] = []
+    if new_rules is not None:
+        window = MeasurementWindow(
+            desc.window_start_fraction, desc.window_end_fraction
+        )
+        if new_rules.full_core_phase and not (
+            window.start <= 1e-9 and window.end >= 1.0 - 1e-9
+        ):
+            new_failures.append(
+                "window does not cover the entire core phase "
+                f"(covers {window.length:.0%})"
+            )
+        required = recommended_measurement_nodes(desc.n_nodes_total, new_rules)
+        if desc.n_nodes_measured < required:
+            new_failures.append(
+                f"measured {desc.n_nodes_measured} nodes; new rule requires "
+                f"{required} (max of {new_rules.min_nodes} or "
+                f"{new_rules.node_fraction:.0%} of {desc.n_nodes_total})"
+            )
+    return ValidationReport(
+        submission,
+        violations=tuple(violations),
+        new_rule_failures=tuple(new_failures),
+        notes=tuple(notes),
+    )

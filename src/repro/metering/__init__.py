@@ -1,0 +1,45 @@
+"""Power metering substrate.
+
+Models the measurement apparatus between the machine and the submitted
+number: meters with finite sampling rate and calibration error
+(:mod:`~repro.metering.meter`), the power-delivery hierarchy with
+conversion losses (:mod:`~repro.metering.hierarchy`), node-subset
+selection strategies including the adversarial ones the paper warns
+about (:mod:`~repro.metering.subset`), and executable EE HPC WG
+Level 1/2/3 measurement campaigns over simulated runs
+(:mod:`~repro.metering.campaign`).
+"""
+
+from repro.metering.meter import MeterReading, MeterSpec, PowerMeter
+from repro.metering.hierarchy import (
+    ConversionStage,
+    PowerDeliveryPath,
+    TYPICAL_DELIVERY,
+)
+from repro.metering.subset import (
+    SubsetStrategy,
+    contiguous_subset,
+    power_screened_subset,
+    random_subset,
+    vid_screened_subset,
+)
+from repro.metering.aggregate import MeterBank, allocate_nodes_to_meters
+from repro.metering.campaign import CampaignResult, MeasurementCampaign
+
+__all__ = [
+    "MeterBank",
+    "allocate_nodes_to_meters",
+    "MeterReading",
+    "MeterSpec",
+    "PowerMeter",
+    "ConversionStage",
+    "PowerDeliveryPath",
+    "TYPICAL_DELIVERY",
+    "SubsetStrategy",
+    "random_subset",
+    "contiguous_subset",
+    "power_screened_subset",
+    "vid_screened_subset",
+    "CampaignResult",
+    "MeasurementCampaign",
+]

@@ -1,0 +1,138 @@
+"""The power-delivery hierarchy and conversion losses.
+
+Table 1's aspect 4 regulates *where* a measurement may be taken:
+upstream of power conversion (so losses are included), or downstream
+with the conversion loss modeled (L1: manufacturer data; L2: off-line
+measurement) or measured simultaneously (L3).
+
+We model the delivery path as a chain of conversion stages, each with
+an efficiency; a meter at depth ``d`` sees the power after the first
+``d`` stages.  Reconstructing the upstream value from a downstream
+reading divides by the *assumed* efficiencies — and the gap between
+assumed and actual efficiency is exactly the error the higher levels'
+stricter rules bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ConversionStage", "PowerDeliveryPath", "TYPICAL_DELIVERY"]
+
+
+@dataclass(frozen=True)
+class ConversionStage:
+    """One conversion step in the delivery path.
+
+    Attributes
+    ----------
+    name:
+        Stage label (``"PSU"``, ``"rack PDU"``, ``"busbar"``).
+    efficiency:
+        True fraction of input power delivered downstream, in (0, 1].
+    datasheet_efficiency:
+        What the manufacturer claims; used by modeled reconstruction at
+        Level 1.  Defaults to the true value (an honest datasheet).
+    """
+
+    name: str
+    efficiency: float
+    datasheet_efficiency: float | None = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.efficiency <= 1.0):
+            raise ValueError(f"{self.name}: efficiency must be in (0, 1]")
+        ds = self.datasheet_efficiency
+        if ds is not None and not (0.0 < ds <= 1.0):
+            raise ValueError(f"{self.name}: datasheet efficiency out of range")
+
+    @property
+    def claimed(self) -> float:
+        """Efficiency used for modeled reconstruction."""
+        return (
+            self.efficiency
+            if self.datasheet_efficiency is None
+            else self.datasheet_efficiency
+        )
+
+
+@dataclass(frozen=True)
+class PowerDeliveryPath:
+    """An ordered chain of conversion stages, upstream → downstream.
+
+    ``stages[0]`` is the furthest upstream (e.g. the building
+    transformer side); the IT load hangs below ``stages[-1]``.
+    """
+
+    stages: tuple
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("path needs at least one stage")
+        if not all(isinstance(s, ConversionStage) for s in self.stages):
+            raise TypeError("stages must be ConversionStage instances")
+
+    # ------------------------------------------------------------------
+    def efficiency_through(self, depth: int | None = None, *, claimed: bool = False) -> float:
+        """Product of stage efficiencies through ``depth`` stages
+        (default: the whole path)."""
+        stages = self.stages if depth is None else self.stages[:depth]
+        if depth is not None and not (0 <= depth <= len(self.stages)):
+            raise ValueError(f"depth must be in [0, {len(self.stages)}]")
+        effs = [s.claimed if claimed else s.efficiency for s in stages]
+        return float(np.prod(effs)) if effs else 1.0
+
+    def upstream_power(self, it_watts):
+        """True power drawn upstream for a given IT load."""
+        w = np.asarray(it_watts, dtype=float)
+        if np.any(w < 0):
+            raise ValueError("IT power must be non-negative")
+        out = w / self.efficiency_through()
+        return float(out) if np.ndim(it_watts) == 0 else out
+
+    def power_at_depth(self, it_watts, depth: int):
+        """True power flowing at measurement depth ``depth``.
+
+        Depth 0 is fully upstream; depth ``len(stages)`` is at the IT
+        load itself.
+        """
+        if not (0 <= depth <= len(self.stages)):
+            raise ValueError(f"depth must be in [0, {len(self.stages)}]")
+        w = np.asarray(it_watts, dtype=float)
+        if np.any(w < 0):
+            raise ValueError("IT power must be non-negative")
+        # Power at depth d = upstream power × efficiency of first d stages.
+        out = w / self.efficiency_through() * self.efficiency_through(depth)
+        return float(out) if np.ndim(it_watts) == 0 else out
+
+    def reconstruct_upstream(self, measured_watts, depth: int,
+                             *, use_datasheet: bool = True):
+        """Model a downstream reading back up to the upstream value.
+
+        ``use_datasheet=True`` divides by the *claimed* stage
+        efficiencies — what a Level 1 site with only manufacturer data
+        can do; the gap to truth is the aspect-4 modeling error.
+        ``use_datasheet=False`` uses the true efficiencies, modeling a
+        Level 2 site that has measured its conversion chain off-line.
+        """
+        if not (0 <= depth <= len(self.stages)):
+            raise ValueError(f"depth must be in [0, {len(self.stages)}]")
+        w = np.asarray(measured_watts, dtype=float)
+        if np.any(w < 0):
+            raise ValueError("measured power must be non-negative")
+        out = w / self.efficiency_through(depth, claimed=use_datasheet)
+        return float(out) if np.ndim(measured_watts) == 0 else out
+
+
+#: A typical data-centre delivery chain: transformer/UPS → rack PDU →
+#: node PSU, with slightly optimistic PSU datasheets (the usual case —
+#: 80 PLUS numbers are measured at favourable load points).
+TYPICAL_DELIVERY = PowerDeliveryPath(
+    stages=(
+        ConversionStage("ups", efficiency=0.965),
+        ConversionStage("rack-pdu", efficiency=0.985),
+        ConversionStage("node-psu", efficiency=0.91, datasheet_efficiency=0.94),
+    )
+)

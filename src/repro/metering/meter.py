@@ -1,0 +1,158 @@
+"""Power meter models.
+
+A meter turns the (conceptually continuous) power signal into the
+numbers a site can actually submit.  Three imperfections matter for the
+methodology:
+
+* **Sampling granularity** — Level 1/2 require at least one sample per
+  second; a coarser meter aliases the signal.
+* **Calibration (gain) error** — a per-instrument multiplicative offset,
+  fixed for the life of the measurement; the paper cites "the standard
+  variance of power measurement equipment of 1–1.5%".
+* **Per-sample noise** — white reading noise, mostly averaged away over
+  long windows.
+
+An *integrating* meter (Level 3's "continuously integrated energy")
+accumulates true energy rather than sampling instantaneous power, so it
+has no granularity error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.ops import resample
+from repro.traces.powertrace import PowerTrace
+
+__all__ = ["MeterSpec", "MeterReading", "PowerMeter"]
+
+
+@dataclass(frozen=True)
+class MeterSpec:
+    """Instrument characteristics.
+
+    Attributes
+    ----------
+    sample_interval_s:
+        Spacing of instantaneous samples; ignored by integrating meters.
+    gain_error_cv:
+        Standard deviation of the instrument's multiplicative
+        calibration error (drawn once per meter).
+    sample_noise_cv:
+        Per-sample multiplicative white-noise level.
+    integrating:
+        ``True`` for an energy-integrating (Level 3 class) instrument.
+    """
+
+    sample_interval_s: float = 1.0
+    gain_error_cv: float = 0.01
+    sample_noise_cv: float = 0.002
+    integrating: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sample_interval_s <= 0:
+            raise ValueError("sample_interval_s must be positive")
+        if self.gain_error_cv < 0 or self.sample_noise_cv < 0:
+            raise ValueError("noise levels must be non-negative")
+
+    @staticmethod
+    def ideal() -> "MeterSpec":
+        """A perfect meter — isolates methodology error from instrument
+        error in experiments."""
+        return MeterSpec(
+            sample_interval_s=1.0,
+            gain_error_cv=0.0,
+            sample_noise_cv=0.0,
+            integrating=True,
+        )
+
+    @staticmethod
+    def level3_grade() -> "MeterSpec":
+        """A vetted, SPEC-class integrating meter."""
+        return MeterSpec(
+            sample_interval_s=1.0,
+            gain_error_cv=0.002,
+            sample_noise_cv=0.0005,
+            integrating=True,
+        )
+
+
+@dataclass(frozen=True)
+class MeterReading:
+    """What a meter reports for one measurement window."""
+
+    average_watts: float
+    energy_joules: float
+    window_s: float
+    n_samples: int
+
+    def __post_init__(self) -> None:
+        if self.average_watts < 0 or self.energy_joules < 0:
+            raise ValueError("readings must be non-negative")
+        if self.window_s <= 0:
+            raise ValueError("window must be positive")
+
+
+class PowerMeter:
+    """One physical instrument with a fixed calibration draw.
+
+    Parameters
+    ----------
+    spec:
+        Instrument characteristics.
+    rng:
+        Source for the calibration draw and per-sample noise.  The gain
+        error is drawn once at construction — re-measuring with the same
+        meter repeats the same bias, as in reality.
+    """
+
+    def __init__(self, spec: MeterSpec, rng: np.random.Generator) -> None:
+        self.spec = spec
+        self._rng = rng
+        self.gain = float(1.0 + spec.gain_error_cv * rng.standard_normal())
+        if self.gain <= 0:
+            # A >100σ draw would be needed; guard anyway.
+            self.gain = 1e-3
+
+    def __repr__(self) -> str:
+        return (
+            f"PowerMeter(interval={self.spec.sample_interval_s:g} s, "
+            f"gain={self.gain:.4f}, integrating={self.spec.integrating})"
+        )
+
+    def measure(self, trace: PowerTrace, t0: float, t1: float) -> MeterReading:
+        """Measure the signal over ``[t0, t1]``.
+
+        An integrating meter reports the exact window energy (times its
+        gain); a sampling meter averages instantaneous readings on its
+        own grid, with per-sample noise.
+        """
+        if not (t0 < t1):
+            raise ValueError(f"need t0 < t1, got [{t0}, {t1}]")
+        window = trace.window(t0, t1)
+        span = t1 - t0
+        if self.spec.integrating:
+            energy = window.energy() * self.gain
+            return MeterReading(
+                average_watts=energy / span,
+                energy_joules=energy,
+                window_s=span,
+                n_samples=len(window),
+            )
+        sampled = resample(window, self.spec.sample_interval_s)
+        readings = sampled.watts * self.gain
+        if self.spec.sample_noise_cv > 0:
+            readings = readings * (
+                1.0 + self.spec.sample_noise_cv
+                * self._rng.standard_normal(readings.size)
+            )
+        readings = np.maximum(readings, 0.0)
+        avg = float(readings.mean())
+        return MeterReading(
+            average_watts=avg,
+            energy_joules=avg * span,
+            window_s=span,
+            n_samples=int(readings.size),
+        )

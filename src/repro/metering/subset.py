@@ -1,0 +1,113 @@
+"""Node-subset selection strategies.
+
+The methodology assumes the measured subset is *representative*; the
+paper shows two ways that assumption fails in practice and one way it
+can be defeated deliberately:
+
+* contiguous (rack-based) selection correlates with the thermal
+  environment — racks share inlet temperature, so a cold aisle's rack
+  under-represents fan power;
+* screening nodes by power (or by GPU VID, Section 5: "by measuring
+  only nodes with low VID, it is possible to obtain a favorably biased
+  efficiency result") biases the extrapolation low.
+
+All strategies return positional node indices into a
+:class:`~repro.cluster.system.SystemModel` fleet.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.cluster.system import SystemModel
+
+__all__ = [
+    "SubsetStrategy",
+    "random_subset",
+    "contiguous_subset",
+    "power_screened_subset",
+    "vid_screened_subset",
+]
+
+
+class SubsetStrategy(enum.Enum):
+    """Named selection strategies for experiments."""
+
+    RANDOM = "random"
+    CONTIGUOUS = "contiguous"
+    POWER_SCREENED = "power-screened"
+    VID_SCREENED = "vid-screened"
+
+
+def _check_n(n: int, n_nodes: int) -> None:
+    if not (1 <= n <= n_nodes):
+        raise ValueError(f"need 1 <= n <= {n_nodes}, got {n}")
+
+
+def random_subset(
+    n_nodes: int, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform sampling without replacement — the methodology's intent."""
+    _check_n(n, n_nodes)
+    return np.sort(rng.choice(n_nodes, size=n, replace=False))
+
+
+def contiguous_subset(
+    n_nodes: int, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """A contiguous block of node IDs (one PDU / one rack) — what a site
+    with a single instrumented rack actually measures."""
+    _check_n(n, n_nodes)
+    start = int(rng.integers(0, n_nodes - n + 1))
+    return np.arange(start, start + n, dtype=np.int64)
+
+
+def power_screened_subset(
+    system: SystemModel, n: int, *, utilisation: float = 0.95,
+    prefer: str = "low",
+) -> np.ndarray:
+    """Cherry-pick the ``n`` lowest- (or highest-) power nodes.
+
+    The adversarial strategy: screening requires measuring (or
+    profiling) candidates first, then reporting only the favourable
+    ones.
+    """
+    _check_n(n, system.n_nodes)
+    if prefer not in ("low", "high"):
+        raise ValueError(f"prefer must be 'low' or 'high', got {prefer!r}")
+    watts = system.node_total_powers(utilisation)
+    order = np.argsort(watts, kind="stable")
+    picked = order[:n] if prefer == "low" else order[-n:]
+    return np.sort(picked)
+
+
+def vid_screened_subset(
+    system: SystemModel, n: int, *, prefer: str = "low",
+) -> np.ndarray:
+    """Screen GPU nodes by VID — the paper's Section 5 observation that
+    VIDs are software-readable, so "if the voltage is not fixed, by
+    measuring only nodes with low VID, it is possible to obtain a
+    favorably biased efficiency result".
+
+    Nodes are ranked by their mean GPU VID; ties broken by node id.
+    ``prefer='mid'`` implements the paper's *mitigation* suggestion of
+    measuring middle-VID nodes.
+    """
+    _check_n(n, system.n_nodes)
+    if system.config.n_gpus == 0:
+        raise ValueError(f"system {system.name!r} has no GPUs to screen")
+    if prefer not in ("low", "high", "mid"):
+        raise ValueError(f"prefer must be 'low', 'high' or 'mid', got {prefer!r}")
+    fleet_vids = system._fleet().gpu_vids.mean(axis=1)
+    order = np.argsort(fleet_vids, kind="stable")
+    if prefer == "low":
+        picked = order[:n]
+    elif prefer == "high":
+        picked = order[-n:]
+    else:
+        mid = system.n_nodes // 2
+        lo = max(0, mid - n // 2)
+        picked = order[lo : lo + n]
+    return np.sort(picked)

@@ -1,0 +1,49 @@
+"""Power time-series data structures and operations.
+
+The :class:`~repro.traces.powertrace.PowerTrace` is the common currency
+between the cluster simulator, the metering layer and the statistical
+core: a sampled power signal with explicit timestamps, supporting the
+segment arithmetic (first/last 20%, middle 80%, sliding windows) that
+the EE HPC WG methodology and the paper's Section 3 analysis are built
+on.
+"""
+
+from repro.traces.powertrace import PowerTrace
+from repro.traces.nodeset import NodePowerSample, NodeSample
+from repro.traces.ops import (
+    align,
+    integrate_energy,
+    resample,
+    segment_average,
+    sliding_window_averages,
+    split_fractions,
+)
+from repro.traces.io import (
+    read_node_sample_csv,
+    read_trace_csv,
+    trace_from_json,
+    trace_to_json,
+    write_node_sample_csv,
+    write_trace_csv,
+)
+from repro.traces.synth import SimulatedRun, simulate_run
+
+__all__ = [
+    "PowerTrace",
+    "NodePowerSample",
+    "NodeSample",
+    "align",
+    "integrate_energy",
+    "resample",
+    "segment_average",
+    "sliding_window_averages",
+    "split_fractions",
+    "read_node_sample_csv",
+    "read_trace_csv",
+    "trace_from_json",
+    "trace_to_json",
+    "write_node_sample_csv",
+    "write_trace_csv",
+    "SimulatedRun",
+    "simulate_run",
+]

@@ -1,0 +1,141 @@
+"""Trace and node-sample (de)serialisation.
+
+Real measurement campaigns exchange meter logs as flat files; this
+module reads and writes the two interchange formats the library's data
+structures map onto:
+
+* **trace CSV** — ``time_s,watts`` rows (header required), one file per
+  meter, the format rack PDUs and SPEC-class analysers export;
+* **node-sample CSV** — ``node_id,watts`` rows of per-node time-averaged
+  power, the Section 4 data shape.
+
+JSON round-trips carry full metadata for archival.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.nodeset import NodeSample
+from repro.traces.powertrace import PowerTrace
+
+__all__ = [
+    "write_trace_csv",
+    "read_trace_csv",
+    "write_node_sample_csv",
+    "read_node_sample_csv",
+    "trace_to_json",
+    "trace_from_json",
+]
+
+
+def write_trace_csv(trace: PowerTrace, path) -> None:
+    """Write a trace as ``time_s,watts`` CSV."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time_s", "watts"])
+        for t, w in zip(trace.times, trace.watts):
+            writer.writerow([f"{t:.6f}", f"{w:.6f}"])
+
+
+def read_trace_csv(path) -> PowerTrace:
+    """Read a ``time_s,watts`` CSV into a trace.
+
+    Rows must be time-ordered; a malformed file raises ``ValueError``
+    with the offending line number.
+    """
+    path = Path(path)
+    times: list[float] = []
+    watts: list[float] = []
+    with path.open("r", newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is None or [h.strip().lower() for h in header[:2]] != [
+            "time_s", "watts",
+        ]:
+            raise ValueError(
+                f"{path}: expected header 'time_s,watts', got {header!r}"
+            )
+        for lineno, row in enumerate(reader, start=2):
+            if not row or (len(row) == 1 and not row[0].strip()):
+                continue
+            if len(row) < 2:
+                raise ValueError(f"{path}:{lineno}: expected two columns")
+            try:
+                times.append(float(row[0]))
+                watts.append(float(row[1]))
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+    if not times:
+        raise ValueError(f"{path}: no samples")
+    return PowerTrace(times, watts)
+
+
+def write_node_sample_csv(sample: NodeSample, path) -> None:
+    """Write per-node averages as ``node_id,watts`` CSV."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["node_id", "watts"])
+        for node_id, w in zip(sample.node_ids, sample.watts):
+            writer.writerow([int(node_id), f"{w:.6f}"])
+
+
+def read_node_sample_csv(path, *, system: str = "") -> NodeSample:
+    """Read a ``node_id,watts`` CSV into a :class:`NodeSample`."""
+    path = Path(path)
+    ids: list[int] = []
+    watts: list[float] = []
+    with path.open("r", newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header is None or [h.strip().lower() for h in header[:2]] != [
+            "node_id", "watts",
+        ]:
+            raise ValueError(
+                f"{path}: expected header 'node_id,watts', got {header!r}"
+            )
+        for lineno, row in enumerate(reader, start=2):
+            if not row or (len(row) == 1 and not row[0].strip()):
+                continue
+            if len(row) < 2:
+                raise ValueError(f"{path}:{lineno}: expected two columns")
+            try:
+                ids.append(int(row[0]))
+                watts.append(float(row[1]))
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+    if not watts:
+        raise ValueError(f"{path}: no nodes")
+    return NodeSample(watts, system=system, node_ids=ids)
+
+
+def trace_to_json(trace: PowerTrace, *, metadata: dict | None = None) -> str:
+    """Serialise a trace (plus free-form metadata) to a JSON string."""
+    doc = {
+        "format": "repro.powertrace/1",
+        "metadata": metadata or {},
+        "times": trace.times.tolist(),
+        "watts": trace.watts.tolist(),
+    }
+    return json.dumps(doc)
+
+
+def trace_from_json(text: str) -> tuple[PowerTrace, dict]:
+    """Deserialise :func:`trace_to_json` output.
+
+    Returns the trace and its metadata dict.
+    """
+    doc = json.loads(text)
+    if doc.get("format") != "repro.powertrace/1":
+        raise ValueError(f"unrecognised format {doc.get('format')!r}")
+    trace = PowerTrace(
+        np.asarray(doc["times"], dtype=float),
+        np.asarray(doc["watts"], dtype=float),
+    )
+    return trace, dict(doc.get("metadata", {}))

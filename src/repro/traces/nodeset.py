@@ -1,0 +1,173 @@
+"""Per-node power sample collections.
+
+Section 4 of the paper works with one time-averaged power number per
+node (measured over a balanced, floating-point-heavy workload).  The
+:class:`NodeSample` container holds such a collection together with the
+identity of the system it came from, and provides the descriptive
+statistics the paper reports (Table 4) plus subset extraction for the
+sampling experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["NodePowerSample", "NodeSample"]
+
+
+@dataclass(frozen=True)
+class NodePowerSample:
+    """A single node's time-averaged power measurement.
+
+    Attributes
+    ----------
+    node_id:
+        Index of the node within its system.
+    watts:
+        Time-averaged power over the workload, in watts.
+    metadata:
+        Optional free-form attributes (e.g. ``{"vid": 43}`` for the
+        L-CSC VID case study, or a rack/chassis location).
+    """
+
+    node_id: int
+    watts: float
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.watts < 0:
+            raise ValueError(f"node power must be non-negative, got {self.watts}")
+
+
+class NodeSample:
+    """A collection of per-node time-averaged power measurements.
+
+    Parameters
+    ----------
+    watts:
+        One time-averaged power value per node, in watts.
+    system:
+        Optional human-readable system name (e.g. ``"LRZ"``).
+    node_ids:
+        Optional explicit node identifiers; default ``0..n-1``.
+    """
+
+    __slots__ = ("_watts", "_node_ids", "system")
+
+    def __init__(
+        self,
+        watts: Iterable[float],
+        *,
+        system: str = "",
+        node_ids: Sequence[int] | None = None,
+    ) -> None:
+        arr = np.asarray(list(watts) if not isinstance(watts, np.ndarray) else watts,
+                         dtype=float).ravel()
+        if arr.size == 0:
+            raise ValueError("a NodeSample needs at least one node")
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("node powers contain non-finite values")
+        if np.any(arr < 0):
+            raise ValueError("node powers must be non-negative")
+        arr = arr.copy()
+        arr.flags.writeable = False
+        self._watts = arr
+        if node_ids is None:
+            ids = np.arange(arr.size, dtype=np.int64)
+        else:
+            ids = np.asarray(node_ids, dtype=np.int64).ravel()
+            if ids.size != arr.size:
+                raise ValueError(
+                    f"node_ids length {ids.size} != watts length {arr.size}"
+                )
+            if np.unique(ids).size != ids.size:
+                raise ValueError("node_ids must be unique")
+            ids = ids.copy()
+        ids.flags.writeable = False
+        self._node_ids = ids
+        self.system = system
+
+    # ------------------------------------------------------------------
+    @property
+    def watts(self) -> np.ndarray:
+        """Per-node time-averaged powers (read-only)."""
+        return self._watts
+
+    @property
+    def node_ids(self) -> np.ndarray:
+        """Node identifiers (read-only)."""
+        return self._node_ids
+
+    def __len__(self) -> int:
+        return int(self._watts.size)
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeSample(system={self.system!r}, n={len(self)}, "
+            f"mean={self.mean():.2f} W, cv={self.coefficient_of_variation():.4f})"
+        )
+
+    # ------------------------------------------------------------------
+    # Table 4 statistics
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        """Sample mean per-node power, the paper's μ̂."""
+        return float(self._watts.mean())
+
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1), the paper's σ̂."""
+        if len(self) < 2:
+            return 0.0
+        return float(self._watts.std(ddof=1))
+
+    def coefficient_of_variation(self) -> float:
+        """σ̂/μ̂ — the relative variability the sample-size rule keys on."""
+        mu = self.mean()
+        if mu == 0:
+            raise ValueError("coefficient of variation undefined for zero mean")
+        return self.std() / mu
+
+    def total(self) -> float:
+        """Sum of per-node powers: the true full-system compute power."""
+        return float(self._watts.sum())
+
+    # ------------------------------------------------------------------
+    # subsetting
+    # ------------------------------------------------------------------
+    def take(self, indices: Sequence[int] | np.ndarray) -> "NodeSample":
+        """Return the sub-sample at the given positional indices."""
+        idx = np.asarray(indices, dtype=np.int64).ravel()
+        if idx.size == 0:
+            raise ValueError("subset must be non-empty")
+        if np.any(idx < 0) or np.any(idx >= len(self)):
+            raise ValueError("subset index out of range")
+        return NodeSample(
+            self._watts[idx], system=self.system, node_ids=self._node_ids[idx]
+        )
+
+    def random_subset(self, n: int, rng: np.random.Generator) -> "NodeSample":
+        """Sample ``n`` nodes uniformly without replacement."""
+        if not (1 <= n <= len(self)):
+            raise ValueError(f"need 1 <= n <= {len(self)}, got {n}")
+        idx = rng.choice(len(self), size=n, replace=False)
+        return self.take(idx)
+
+    def resample_population(self, population_size: int,
+                            rng: np.random.Generator) -> "NodeSample":
+        """Bootstrap a synthetic full system of ``population_size`` nodes
+        by resampling this collection *with* replacement.
+
+        Step 1 of the paper's Figure 3 calibration procedure.
+        """
+        if population_size < 1:
+            raise ValueError("population_size must be >= 1")
+        idx = rng.integers(0, len(self), size=population_size)
+        return NodeSample(self._watts[idx], system=self.system)
+
+    def sorted_by_power(self) -> "NodeSample":
+        """Nodes ordered by increasing power (for screening analyses)."""
+        order = np.argsort(self._watts, kind="stable")
+        return self.take(order)

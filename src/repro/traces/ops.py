@@ -1,0 +1,181 @@
+"""Operations on :class:`~repro.traces.powertrace.PowerTrace` objects.
+
+These implement the segment arithmetic that Section 3 of the paper and
+the EE HPC WG methodology rules are expressed in: fractional segments of
+the core phase ("first 20%", "middle 80%"), sliding measurement windows,
+resampling to a meter's granularity, and energy integration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.powertrace import PowerTrace
+
+__all__ = [
+    "segment_average",
+    "split_fractions",
+    "sliding_window_averages",
+    "resample",
+    "align",
+    "integrate_energy",
+    "mean_over_fraction",
+]
+
+
+def segment_average(trace: PowerTrace, f0: float, f1: float) -> float:
+    """Time-weighted average power over the fractional segment ``[f0, f1]``.
+
+    ``segment_average(tr, 0.0, 0.2)`` is the paper's "first 20%" number;
+    ``segment_average(tr, 0.8, 1.0)`` the "last 20%".
+    """
+    return trace.fraction_window(f0, f1).mean_power()
+
+
+def mean_over_fraction(trace: PowerTrace, start_fraction: float,
+                       length_fraction: float) -> float:
+    """Average power of a window of ``length_fraction`` of the run
+    beginning at ``start_fraction``.
+
+    Convenience wrapper used by the window-placement search in
+    :mod:`repro.analysis.gaming`.
+    """
+    return segment_average(trace, start_fraction, start_fraction + length_fraction)
+
+
+def split_fractions(trace: PowerTrace, edges: list[float]) -> list[PowerTrace]:
+    """Split a trace at the given fractional edges.
+
+    ``split_fractions(tr, [0.1, 0.9])`` returns the first 10%, the middle
+    80% and the last 10% as three traces.
+    """
+    if not edges:
+        return [trace]
+    if any(not (0.0 < e < 1.0) for e in edges):
+        raise ValueError(f"edges must lie strictly in (0, 1), got {edges}")
+    if sorted(edges) != list(edges) or len(set(edges)) != len(edges):
+        raise ValueError(f"edges must be strictly increasing, got {edges}")
+    bounds = [0.0, *edges, 1.0]
+    return [trace.fraction_window(a, b) for a, b in zip(bounds, bounds[1:])]
+
+
+def sliding_window_averages(
+    trace: PowerTrace,
+    window_fraction: float,
+    *,
+    within: tuple[float, float] = (0.0, 1.0),
+    step_fraction: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Average power of a sliding window across the run.
+
+    Returns ``(start_fractions, averages)`` where ``averages[i]`` is the
+    mean power of the window ``[start_fractions[i],
+    start_fractions[i] + window_fraction]``.  ``within`` restricts the
+    placement, e.g. ``(0.1, 0.9)`` confines the window to the middle 80%
+    as Level 1 requires.
+
+    This is the primitive behind both the gaming analysis (find the
+    window minimising reported power) and the timing-variability numbers
+    in the abstract (spread of window averages).
+    """
+    lo, hi = within
+    if not (0.0 <= lo < hi <= 1.0):
+        raise ValueError(f"invalid placement range {within}")
+    if not (0.0 < window_fraction <= hi - lo):
+        raise ValueError(
+            f"window_fraction {window_fraction} does not fit in {within}"
+        )
+    if step_fraction is None:
+        # Default to roughly one step per sample, capped for cheapness.
+        n_samples = max(len(trace) - 1, 1)
+        step_fraction = max((hi - lo - window_fraction) / max(n_samples, 1), 1e-4)
+    if step_fraction <= 0:
+        raise ValueError(f"step_fraction must be positive, got {step_fraction}")
+
+    n_steps = int(np.floor((hi - lo - window_fraction) / step_fraction + 1e-12)) + 1
+    starts = lo + step_fraction * np.arange(n_steps)
+    # Guard against float drift pushing the last window past `hi`.
+    starts = starts[starts + window_fraction <= hi + 1e-12]
+    if starts.size == 0:
+        starts = np.array([lo])
+
+    # Vectorised windowed means via the cumulative energy integral:
+    # E(t) = ∫ P dt, window mean = (E(t0+w) - E(t0)) / w.
+    t, p = trace.times, trace.watts
+    if len(trace) == 1:
+        return starts, np.full(starts.size, float(p[0]))
+    cum = np.concatenate(([0.0], np.cumsum(np.diff(t) * (p[:-1] + p[1:]) / 2.0)))
+
+    span = trace.duration
+    t0 = trace.start + starts * span
+    t1 = t0 + window_fraction * span
+    e0 = _interp_cumulative(t0, t, p, cum)
+    e1 = _interp_cumulative(t1, t, p, cum)
+    averages = (e1 - e0) / (window_fraction * span)
+    return starts, averages
+
+
+def _interp_cumulative(tq: np.ndarray, t: np.ndarray, p: np.ndarray,
+                       cum: np.ndarray) -> np.ndarray:
+    """Evaluate the exact trapezoidal cumulative integral at query times.
+
+    Within a sample interval the power is linear, so the cumulative
+    energy is quadratic; plain ``np.interp`` on ``cum`` would be only
+    first-order accurate.  We add the quadratic correction explicitly.
+    """
+    idx = np.clip(np.searchsorted(t, tq, side="right") - 1, 0, t.size - 2)
+    tl, tr = t[idx], t[idx + 1]
+    pl, pr = p[idx], p[idx + 1]
+    dt = np.clip(tq - tl, 0.0, tr - tl)
+    slope = (pr - pl) / (tr - tl)
+    return cum[idx] + pl * dt + 0.5 * slope * dt * dt
+
+
+def resample(trace: PowerTrace, interval: float) -> PowerTrace:
+    """Resample a trace to uniform spacing by linear interpolation.
+
+    Used to model a meter reading the underlying (continuous) power
+    signal at its own granularity — e.g. one sample per second for a
+    Level 1 meter reading a sub-second simulated signal.
+    """
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    if trace.duration <= 0:
+        raise ValueError("cannot resample a zero-duration trace")
+    n = int(np.floor(trace.duration / interval)) + 1
+    t = trace.start + interval * np.arange(n, dtype=float)
+    if t[-1] < trace.end - 1e-9:
+        t = np.append(t, trace.end)
+    p = np.interp(t, trace.times, trace.watts)
+    return PowerTrace(t, p)
+
+
+def align(traces: list[PowerTrace], interval: float | None = None) -> list[PowerTrace]:
+    """Resample traces onto a common uniform grid over their overlap.
+
+    Raises if the traces share no overlapping time span.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    start = max(tr.start for tr in traces)
+    end = min(tr.end for tr in traces)
+    if end <= start:
+        raise ValueError("traces have no overlapping time span")
+    if interval is None:
+        interval = min(tr.sample_interval() for tr in traces if len(tr) >= 2)
+    n = max(2, int(np.floor((end - start) / interval)) + 1)
+    grid = np.linspace(start, end, n)
+    out = []
+    for tr in traces:
+        out.append(PowerTrace(grid, np.interp(grid, tr.times, tr.watts)))
+    return out
+
+
+def integrate_energy(trace: PowerTrace, t0: float | None = None,
+                     t1: float | None = None) -> float:
+    """Energy in joules over ``[t0, t1]`` (defaults to the full trace)."""
+    if t0 is None and t1 is None:
+        return trace.energy()
+    t0 = trace.start if t0 is None else t0
+    t1 = trace.end if t1 is None else t1
+    return trace.window(t0, t1).energy()

@@ -1,0 +1,256 @@
+"""The :class:`PowerTrace` time series.
+
+A trace is a pair of equal-length 1-D arrays ``(times, watts)`` with
+strictly increasing times.  Samples are treated as *instantaneous
+readings*; averages over an interval use trapezoidal integration so
+that irregularly sampled traces (e.g. an energy-integrating Level 3
+meter downsampled for display) average correctly.
+
+Design notes
+------------
+* Immutable by convention: operations return new traces; the underlying
+  arrays are stored with ``writeable=False`` to catch accidental
+  mutation (a correctness bug class the paper's own data pipeline hit).
+* All per-sample math is vectorised NumPy; nothing here loops over
+  samples in Python.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["PowerTrace"]
+
+
+def _as_locked_array(values: Iterable[float], name: str) -> np.ndarray:
+    arr = np.array(values, dtype=float, copy=True).ravel()
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    arr.flags.writeable = False
+    return arr
+
+
+class PowerTrace:
+    """A sampled power signal.
+
+    Parameters
+    ----------
+    times:
+        Sample timestamps in seconds, strictly increasing.
+    watts:
+        Instantaneous power readings in watts, same length as ``times``.
+        Power must be non-negative (a reading of 0 W is legal: a node
+        that is powered off, or a meter dropout marked as zero).
+    """
+
+    __slots__ = ("_times", "_watts")
+
+    def __init__(self, times: Iterable[float], watts: Iterable[float]) -> None:
+        t = _as_locked_array(times, "times")
+        p = _as_locked_array(watts, "watts")
+        if t.shape != p.shape:
+            raise ValueError(
+                f"times and watts must have the same length, got {t.size} and {p.size}"
+            )
+        if t.size >= 2 and not np.all(np.diff(t) > 0):
+            raise ValueError("times must be strictly increasing")
+        if np.any(p < 0):
+            raise ValueError("power readings must be non-negative")
+        self._times = t
+        self._watts = p
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def times(self) -> np.ndarray:
+        """Timestamps in seconds (read-only view)."""
+        return self._times
+
+    @property
+    def watts(self) -> np.ndarray:
+        """Power readings in watts (read-only view)."""
+        return self._watts
+
+    @property
+    def start(self) -> float:
+        """Timestamp of the first sample."""
+        return float(self._times[0])
+
+    @property
+    def end(self) -> float:
+        """Timestamp of the last sample."""
+        return float(self._times[-1])
+
+    @property
+    def duration(self) -> float:
+        """``end - start`` in seconds (zero for a single-sample trace)."""
+        return self.end - self.start
+
+    def __len__(self) -> int:
+        return int(self._times.size)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PowerTrace):
+            return NotImplemented
+        return (
+            self._times.shape == other._times.shape
+            and bool(np.array_equal(self._times, other._times))
+            and bool(np.array_equal(self._watts, other._watts))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._times.tobytes(), self._watts.tobytes()))
+
+    def __repr__(self) -> str:
+        return (
+            f"PowerTrace(n={len(self)}, span=[{self.start:.1f}, {self.end:.1f}] s, "
+            f"mean={self.mean_power():.1f} W)"
+        )
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def mean_power(self) -> float:
+        """Time-weighted average power over the trace, in watts.
+
+        For a single sample, the instantaneous reading is returned.
+        Otherwise this is the trapezoidal integral of power divided by
+        the duration, which is exact for piecewise-linear power and
+        agrees with the arithmetic mean for uniformly sampled traces up
+        to endpoint weighting.
+        """
+        if len(self) == 1:
+            return float(self._watts[0])
+        return self.energy() / self.duration
+
+    def energy(self) -> float:
+        """Total energy over the trace in joules (trapezoidal rule)."""
+        if len(self) == 1:
+            return 0.0
+        return float(np.trapezoid(self._watts, self._times))
+
+    def max_power(self) -> float:
+        """Maximum instantaneous reading in watts."""
+        return float(self._watts.max())
+
+    def min_power(self) -> float:
+        """Minimum instantaneous reading in watts."""
+        return float(self._watts.min())
+
+    def sample_interval(self) -> float:
+        """Median spacing between samples, in seconds."""
+        if len(self) < 2:
+            raise ValueError("sample_interval undefined for single-sample trace")
+        return float(np.median(np.diff(self._times)))
+
+    # ------------------------------------------------------------------
+    # slicing
+    # ------------------------------------------------------------------
+    def window(self, t0: float, t1: float) -> "PowerTrace":
+        """Return the sub-trace covering ``[t0, t1]``.
+
+        Samples strictly inside the window are kept; the boundary values
+        at exactly ``t0`` and ``t1`` are *interpolated* and included, so
+        that ``window(...).mean_power()`` equals the trapezoidal average
+        of the parent signal over the window.  This matters when window
+        edges fall between samples, which is the common case for the
+        "20% of the middle 80%" Level 1 rule.
+        """
+        if not (t0 < t1):
+            raise ValueError(f"need t0 < t1, got [{t0}, {t1}]")
+        if t0 < self.start - 1e-9 or t1 > self.end + 1e-9:
+            raise ValueError(
+                f"window [{t0}, {t1}] outside trace span [{self.start}, {self.end}]"
+            )
+        t0 = max(t0, self.start)
+        t1 = min(t1, self.end)
+        inner = (self._times > t0) & (self._times < t1)
+        times = np.concatenate(([t0], self._times[inner], [t1]))
+        p0 = float(np.interp(t0, self._times, self._watts))
+        p1 = float(np.interp(t1, self._times, self._watts))
+        watts = np.concatenate(([p0], self._watts[inner], [p1]))
+        # De-duplicate if t0/t1 landed exactly on existing samples.
+        keep = np.concatenate(([True], np.diff(times) > 0))
+        return PowerTrace(times[keep], watts[keep])
+
+    def fraction_window(self, f0: float, f1: float) -> "PowerTrace":
+        """Window by run fraction: ``f0=0.1, f1=0.9`` → the middle 80%."""
+        if not (0.0 <= f0 < f1 <= 1.0):
+            raise ValueError(f"need 0 <= f0 < f1 <= 1, got ({f0}, {f1})")
+        span = self.duration
+        if span == 0:
+            raise ValueError("fraction_window undefined for zero-duration trace")
+        return self.window(self.start + f0 * span, self.start + f1 * span)
+
+    def shift(self, dt: float) -> "PowerTrace":
+        """Return a copy with all timestamps shifted by ``dt`` seconds."""
+        return PowerTrace(self._times + dt, self._watts)
+
+    def scale(self, factor: float) -> "PowerTrace":
+        """Return a copy with power multiplied by ``factor`` (>= 0).
+
+        This is the linear extrapolation step of the EE HPC WG
+        methodology: a subset measurement scaled by ``N / n``.
+        """
+        if factor < 0:
+            raise ValueError(f"scale factor must be non-negative, got {factor}")
+        return PowerTrace(self._times, self._watts * factor)
+
+    def __add__(self, other: "PowerTrace") -> "PowerTrace":
+        """Pointwise sum of two traces sharing identical timestamps."""
+        if not isinstance(other, PowerTrace):
+            return NotImplemented
+        if not np.array_equal(self._times, other._times):
+            raise ValueError(
+                "traces must share timestamps; resample or align them first"
+            )
+        return PowerTrace(self._times, self._watts + other._watts)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_uniform(
+        watts: Iterable[float], interval: float = 1.0, start: float = 0.0
+    ) -> "PowerTrace":
+        """Build a trace from uniformly spaced readings.
+
+        ``interval`` defaults to one second — the Level 1/2 sampling
+        granularity mandated by the methodology (Table 1, aspect 1a).
+        """
+        p = np.asarray(list(watts) if not isinstance(watts, np.ndarray) else watts,
+                       dtype=float)
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        t = start + interval * np.arange(p.size, dtype=float)
+        return PowerTrace(t, p)
+
+    @staticmethod
+    def constant(watts: float, duration: float, interval: float = 1.0,
+                 start: float = 0.0) -> "PowerTrace":
+        """A flat trace at ``watts`` for ``duration`` seconds."""
+        n = max(2, int(round(duration / interval)) + 1)
+        t = np.linspace(start, start + duration, n)
+        return PowerTrace(t, np.full(n, float(watts)))
+
+    @staticmethod
+    def sum_traces(traces: list["PowerTrace"]) -> "PowerTrace":
+        """Sum many aligned traces (e.g. per-node → full system).
+
+        All traces must share identical timestamps; use
+        :func:`repro.traces.ops.align` first if they do not.
+        """
+        if not traces:
+            raise ValueError("need at least one trace")
+        base = traces[0]
+        stack = np.empty((len(traces), len(base)), dtype=float)
+        for i, tr in enumerate(traces):
+            if not np.array_equal(tr.times, base.times):
+                raise ValueError(f"trace {i} timestamps differ from trace 0")
+            stack[i] = tr.watts
+        return PowerTrace(base.times, stack.sum(axis=0))

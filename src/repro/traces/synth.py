@@ -1,0 +1,277 @@
+"""Trace synthesis: system × workload → power time series.
+
+:func:`simulate_run` produces a :class:`SimulatedRun`: the full-system
+power trace for a complete benchmark run (setup + core + teardown), the
+core-phase window bounds, and on-demand per-subset traces for the
+metering layer.
+
+Performance note (the fleets are large): node power under a balanced
+workload depends on time only through the scalar utilisation ``u(t)``,
+so instead of an ``(n_nodes × n_times)`` evaluation we tabulate the
+fleet's (or subset's) total power on a small utilisation grid once and
+interpolate — O(n_nodes·G + n_times) instead of O(n_nodes·n_times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.rng import SeededStreams
+from repro.traces.powertrace import PowerTrace
+from repro.workloads.base import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.system import SystemModel
+
+__all__ = ["SimulatedRun", "simulate_run"]
+
+_U_GRID = 129  # utilisation-grid resolution for the power interpolant
+
+
+def _power_curve(
+    system: SystemModel,
+    indices: np.ndarray | None,
+    *,
+    freq_multiplier: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Tabulate total power of a node subset vs. utilisation."""
+    u = np.linspace(0.0, 1.0, _U_GRID)
+    totals = np.empty(_U_GRID)
+    for i, ui in enumerate(u):
+        totals[i] = system.node_total_powers(
+            float(ui), indices=indices, freq_multiplier=freq_multiplier
+        ).sum()
+    return u, totals
+
+
+def _powers_with_governor(
+    system: SystemModel,
+    indices: np.ndarray | None,
+    util: np.ndarray,
+    freq_mult: np.ndarray,
+) -> np.ndarray:
+    """Evaluate total power over time under a time-varying frequency
+    multiplier, via one utilisation→power curve per distinct multiplier.
+
+    Stepped governors have a handful of distinct values; a continuous
+    profile would defeat the tabulation, so it is rejected.
+    """
+    levels = np.unique(freq_mult)
+    if levels.size > 32:
+        raise ValueError(
+            "governor produces too many distinct frequency levels for "
+            "tabulated evaluation; use a stepped governor"
+        )
+    watts = np.empty(util.size)
+    for m in levels:
+        u_grid, p_grid = _power_curve(
+            system, indices, freq_multiplier=float(m)
+        )
+        mask = freq_mult == m
+        watts[mask] = np.interp(util[mask], u_grid, p_grid)
+    return watts
+
+
+@dataclass
+class SimulatedRun:
+    """A complete simulated benchmark run on one system.
+
+    Attributes
+    ----------
+    system / workload:
+        What produced this run.
+    trace:
+        Full-run full-system power trace (setup + core + teardown).
+    dt:
+        Sample spacing in seconds.
+    seed:
+        Root seed for the run's stochastic components.
+    noise_cv:
+        Coefficient of variation of the common-mode power noise.
+    """
+
+    system: SystemModel
+    workload: Workload
+    trace: PowerTrace
+    dt: float
+    seed: int
+    noise_cv: float
+    _noise: np.ndarray = field(repr=False, default=None)
+    _times: np.ndarray = field(repr=False, default=None)
+    _util: np.ndarray = field(repr=False, default=None)
+    _freq_mult: np.ndarray = field(repr=False, default=None)
+
+    # ------------------------------------------------------------------
+    @property
+    def core_window(self) -> tuple[float, float]:
+        """Wall-clock bounds of the core phase within :attr:`trace`."""
+        return self.workload.phases.core_window()
+
+    def core_trace(self) -> PowerTrace:
+        """The core-phase slice of the full-system trace."""
+        t0, t1 = self.core_window
+        return self.trace.window(t0, t1)
+
+    def true_core_average(self) -> float:
+        """Time-averaged full-system power over the whole core phase.
+
+        This is the quantity a perfect Level 3 measurement reports, and
+        the ground truth all methodology experiments compare against.
+        """
+        return self.core_trace().mean_power()
+
+    def subset_trace(self, node_indices: np.ndarray) -> PowerTrace:
+        """Power trace of the summed subset of nodes.
+
+        The subset sees the same utilisation profile and the same
+        common-mode noise as the full system (load fluctuations are
+        machine-wide under a balanced workload); only its silicon draws
+        differ.  Meter-level noise belongs to the metering layer, not
+        here.
+        """
+        idx = np.asarray(node_indices, dtype=np.int64).ravel()
+        if idx.size == 0:
+            raise ValueError("subset must be non-empty")
+        if np.any(idx < 0) or np.any(idx >= self.system.n_nodes):
+            raise ValueError("node index out of range")
+        if np.unique(idx).size != idx.size:
+            raise ValueError("node indices must be unique")
+        if self._freq_mult is None:
+            u_grid, p_grid = _power_curve(self.system, idx)
+            watts = np.interp(self._util, u_grid, p_grid)
+        else:
+            watts = _powers_with_governor(
+                self.system, idx, self._util, self._freq_mult
+            )
+        return PowerTrace(self._times, watts * self._noise)
+
+    def node_average_powers(self) -> np.ndarray:
+        """True per-node time-averaged power over the core phase.
+
+        Computed from the utilisation profile's core-phase average; used
+        as ground truth by sampling experiments.
+        """
+        t0, t1 = self.core_window
+        in_core = (self._times >= t0) & (self._times <= t1)
+        u_core = self._util[in_core]
+        noise_core = self._noise[in_core]
+        # Per-node power is affine-ish in u; average over the core grid.
+        u_grid = np.linspace(0.0, 1.0, _U_GRID)
+        per_node = np.empty((_U_GRID, self.system.n_nodes))
+        for i, ui in enumerate(u_grid):
+            per_node[i] = self.system.node_total_powers(float(ui))
+        # Interpolate each node's power at the core utilisation samples.
+        idx = np.clip(np.searchsorted(u_grid, u_core) - 1, 0, _U_GRID - 2)
+        w = (u_core - u_grid[idx]) / (u_grid[idx + 1] - u_grid[idx])
+        powers = per_node[idx] * (1 - w)[:, None] + per_node[idx + 1] * w[:, None]
+        return (powers * noise_core[:, None]).mean(axis=0)
+
+
+def simulate_run(
+    system: SystemModel,
+    workload: Workload,
+    *,
+    dt: float = 1.0,
+    noise_cv: float = 0.004,
+    noise_correlation_s: float = 30.0,
+    governor=None,
+    seed: int | None = None,
+) -> SimulatedRun:
+    """Simulate a full benchmark run and return its power trace.
+
+    Parameters
+    ----------
+    dt:
+        Sample spacing in seconds.  1 s is the methodology's Level 1/2
+        granularity; long CPU runs may use coarser spacing for speed.
+    noise_cv:
+        Coefficient of variation of the multiplicative common-mode noise
+        (load imbalance transients, OS jitter, PSU regulation).
+    noise_correlation_s:
+        Autocorrelation time of the noise (AR(1) in discrete steps); the
+        paper's Sequoia curve is "jagged" at the minutes scale.
+    governor:
+        Optional :class:`~repro.cluster.dvfs.DvfsGovernor` applying a
+        time-varying machine-wide frequency multiplier across the core
+        phase (the methodology explicitly allows DVFS; Section 3 shows
+        how it interacts with partial measurement windows).  Must be
+        stepped (finitely many levels).  Setup/teardown run at nominal
+        frequency.
+    seed:
+        Run-level seed; defaults to the system's seed.
+    """
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    if noise_cv < 0:
+        raise ValueError("noise_cv must be >= 0")
+    if noise_correlation_s <= 0:
+        raise ValueError("noise_correlation_s must be positive")
+
+    phases = workload.phases
+    n = int(np.floor(phases.total_s / dt)) + 1
+    times = dt * np.arange(n, dtype=float)
+
+    # Utilisation profile over the full run.
+    util = np.empty(n)
+    in_setup = times < phases.core_start_s
+    in_core = (times >= phases.core_start_s) & (times <= phases.core_end_s)
+    in_teardown = times > phases.core_end_s
+    util[in_setup] = workload.setup_utilisation()
+    frac = (times[in_core] - phases.core_start_s) / phases.core_s
+    util[in_core] = workload.utilisation(np.clip(frac, 0.0, 1.0))
+    util[in_teardown] = workload.teardown_utilisation()
+
+    # Common-mode AR(1) multiplicative noise.
+    run_seed = system.seed if seed is None else int(seed)
+    rng = SeededStreams(run_seed)["run-noise"]
+    if noise_cv > 0:
+        phi = float(np.exp(-dt / noise_correlation_s))
+        innov_sd = noise_cv * np.sqrt(1.0 - phi**2)
+        eps = rng.standard_normal(n) * innov_sd
+        ar = np.empty(n)
+        ar[0] = rng.standard_normal() * noise_cv
+        # AR(1) recursion via lfilter-style vectorisation would need
+        # scipy.signal; the paper-scale n (~1e5) makes a tight loop in
+        # NumPy acceptable, but scipy is a dependency — use it.
+        from scipy.signal import lfilter
+
+        ar = lfilter([1.0], [1.0, -phi], eps)
+        ar[0] = 0.0
+        noise = np.clip(1.0 + ar, 0.5, 1.5)
+    else:
+        noise = np.ones(n)
+
+    if governor is None:
+        freq_mult = None
+        u_grid, p_grid = _power_curve(system, None)
+        watts = np.interp(util, u_grid, p_grid) * noise
+    else:
+        freq_mult = np.ones(n)
+        freq_mult[in_core] = governor.frequency_multiplier(
+            np.clip(frac, 0.0, 1.0)
+        )
+        watts = _powers_with_governor(system, None, util, freq_mult) * noise
+
+    # Shared subsystems (interconnect, infrastructure) draw power for
+    # the whole run; the full-system trace — what a whole-machine meter
+    # upstream of everything sees — includes them.  Per-node subset
+    # traces do not (node meters cannot see the switches).
+    if system.shared is not None and not system.shared.is_zero:
+        watts = watts + np.asarray(system.shared.power(util), dtype=float)
+
+    trace = PowerTrace(times, watts)
+    return SimulatedRun(
+        system=system,
+        workload=workload,
+        trace=trace,
+        dt=dt,
+        seed=run_seed,
+        noise_cv=noise_cv,
+        _noise=noise,
+        _times=times,
+        _util=util,
+        _freq_mult=freq_mult,
+    )

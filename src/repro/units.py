@@ -1,0 +1,109 @@
+"""Unit conversion helpers used throughout :mod:`repro`.
+
+All internal computation is carried out in SI base-ish units:
+
+* power in **watts** (``float``),
+* energy in **joules**,
+* time in **seconds**.
+
+Paper tables report kilowatts and hours; these helpers keep the
+conversions explicit at API boundaries so that no module ever guesses a
+unit.  The functions are trivially vectorised: each accepts either a
+scalar or a :class:`numpy.ndarray` and returns the same shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "watts_to_kilowatts",
+    "kilowatts_to_watts",
+    "watts_to_megawatts",
+    "megawatts_to_watts",
+    "joules_to_kilowatt_hours",
+    "kilowatt_hours_to_joules",
+    "seconds_to_hours",
+    "hours_to_seconds",
+    "seconds_to_minutes",
+    "minutes_to_seconds",
+    "flops_per_watt",
+    "gflops_per_watt",
+    "SECONDS_PER_MINUTE",
+    "SECONDS_PER_HOUR",
+    "JOULES_PER_KWH",
+]
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+JOULES_PER_KWH = 3.6e6
+
+
+def watts_to_kilowatts(watts):
+    """Convert watts to kilowatts."""
+    return np.asarray(watts, dtype=float) / 1e3 if np.ndim(watts) else float(watts) / 1e3
+
+
+def kilowatts_to_watts(kilowatts):
+    """Convert kilowatts to watts."""
+    return np.asarray(kilowatts, dtype=float) * 1e3 if np.ndim(kilowatts) else float(kilowatts) * 1e3
+
+
+def watts_to_megawatts(watts):
+    """Convert watts to megawatts."""
+    return np.asarray(watts, dtype=float) / 1e6 if np.ndim(watts) else float(watts) / 1e6
+
+
+def megawatts_to_watts(megawatts):
+    """Convert megawatts to watts."""
+    return np.asarray(megawatts, dtype=float) * 1e6 if np.ndim(megawatts) else float(megawatts) * 1e6
+
+
+def joules_to_kilowatt_hours(joules):
+    """Convert joules to kilowatt-hours."""
+    return np.asarray(joules, dtype=float) / JOULES_PER_KWH if np.ndim(joules) else float(joules) / JOULES_PER_KWH
+
+
+def kilowatt_hours_to_joules(kwh):
+    """Convert kilowatt-hours to joules."""
+    return np.asarray(kwh, dtype=float) * JOULES_PER_KWH if np.ndim(kwh) else float(kwh) * JOULES_PER_KWH
+
+
+def seconds_to_hours(seconds):
+    """Convert seconds to hours."""
+    return np.asarray(seconds, dtype=float) / SECONDS_PER_HOUR if np.ndim(seconds) else float(seconds) / SECONDS_PER_HOUR
+
+
+def hours_to_seconds(hours):
+    """Convert hours to seconds."""
+    return np.asarray(hours, dtype=float) * SECONDS_PER_HOUR if np.ndim(hours) else float(hours) * SECONDS_PER_HOUR
+
+
+def seconds_to_minutes(seconds):
+    """Convert seconds to minutes."""
+    return np.asarray(seconds, dtype=float) / SECONDS_PER_MINUTE if np.ndim(seconds) else float(seconds) / SECONDS_PER_MINUTE
+
+
+def minutes_to_seconds(minutes):
+    """Convert minutes to seconds."""
+    return np.asarray(minutes, dtype=float) * SECONDS_PER_MINUTE if np.ndim(minutes) else float(minutes) * SECONDS_PER_MINUTE
+
+
+def flops_per_watt(flops: float, watts: float) -> float:
+    """Energy efficiency in FLOPS/W — the Green500's ranking metric.
+
+    Parameters
+    ----------
+    flops:
+        Sustained floating-point rate (FLOP/s), e.g. the HPL Rmax.
+    watts:
+        Average power over the measured interval, in watts.
+    """
+    if watts <= 0.0:
+        raise ValueError(f"power must be positive, got {watts!r} W")
+    return float(flops) / float(watts)
+
+
+def gflops_per_watt(gflops: float, watts: float) -> float:
+    """Energy efficiency in GFLOPS/W, the unit the Green500 list prints."""
+    return flops_per_watt(gflops * 1e9, watts) / 1e9

@@ -1,0 +1,29 @@
+"""Workload models.
+
+A workload maps *core-phase run fraction* to machine utilisation, plus
+setup/teardown phases around the core.  The shapes here drive the
+paper's Section 3 findings: out-of-core CPU HPL is flat; in-core GPU
+HPL tails off hard as the trailing matrix shrinks; stress tests
+(FIRESTARTER, MPrime) are constant by design.
+"""
+
+from repro.workloads.base import PhaseTimings, Workload, ConstantWorkload
+from repro.workloads.hpl import HplWorkload
+from repro.workloads.stress import FirestarterWorkload, MPrimeWorkload
+from repro.workloads.rodinia import RodiniaCfdWorkload
+from repro.workloads.graph500 import Graph500Workload
+from repro.workloads.schedule import LoadSchedule, balanced, imbalanced
+
+__all__ = [
+    "PhaseTimings",
+    "Workload",
+    "ConstantWorkload",
+    "HplWorkload",
+    "FirestarterWorkload",
+    "MPrimeWorkload",
+    "RodiniaCfdWorkload",
+    "Graph500Workload",
+    "LoadSchedule",
+    "balanced",
+    "imbalanced",
+]

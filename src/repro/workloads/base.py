@@ -1,0 +1,130 @@
+"""Workload protocol and phase timings.
+
+The EE HPC WG methodology is phrased entirely in terms of the **core
+phase** — "the time period in which the actual computation of the
+benchmark happens", excluding setup and tear-down.  Every workload here
+therefore exposes:
+
+* :attr:`~Workload.core_runtime_s` — wall-clock length of the core phase,
+* :meth:`~Workload.utilisation` — machine utilisation as a function of
+  core-phase run fraction ``x ∈ [0, 1]`` (vectorised),
+* :attr:`~Workload.phases` — setup/core/teardown durations, so the trace
+  synthesiser can embed the core phase in a full-run trace and the
+  metering layer can locate it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PhaseTimings", "Workload", "ConstantWorkload"]
+
+
+@dataclass(frozen=True)
+class PhaseTimings:
+    """Wall-clock structure of a benchmark run, in seconds."""
+
+    setup_s: float
+    core_s: float
+    teardown_s: float
+
+    def __post_init__(self) -> None:
+        if self.core_s <= 0:
+            raise ValueError("core phase must have positive duration")
+        if self.setup_s < 0 or self.teardown_s < 0:
+            raise ValueError("setup/teardown must be non-negative")
+
+    @property
+    def total_s(self) -> float:
+        """Full run length including setup and teardown."""
+        return self.setup_s + self.core_s + self.teardown_s
+
+    @property
+    def core_start_s(self) -> float:
+        """Wall-clock offset where the core phase begins."""
+        return self.setup_s
+
+    @property
+    def core_end_s(self) -> float:
+        """Wall-clock offset where the core phase ends."""
+        return self.setup_s + self.core_s
+
+    def core_window(self) -> tuple[float, float]:
+        """The ``(start, end)`` wall-clock bounds of the core phase."""
+        return (self.core_start_s, self.core_end_s)
+
+
+class Workload(abc.ABC):
+    """Abstract workload: utilisation vs. core-phase run fraction."""
+
+    #: Human-readable name used in reports.
+    name: str = "workload"
+
+    @property
+    @abc.abstractmethod
+    def phases(self) -> PhaseTimings:
+        """Setup/core/teardown wall-clock structure."""
+
+    @property
+    def core_runtime_s(self) -> float:
+        """Length of the core phase in seconds."""
+        return self.phases.core_s
+
+    @abc.abstractmethod
+    def utilisation(self, run_fraction) -> np.ndarray | float:
+        """Machine utilisation in ``[0, 1]`` at core-phase fraction(s).
+
+        Must accept scalars and arrays; values outside ``[0, 1]`` are a
+        caller error.
+        """
+
+    def setup_utilisation(self) -> float:
+        """Utilisation during setup (matrix generation, data staging)."""
+        return 0.25
+
+    def teardown_utilisation(self) -> float:
+        """Utilisation during teardown (residual checks, output)."""
+        return 0.20
+
+    def mean_utilisation(self, n_grid: int = 4001) -> float:
+        """Core-phase average utilisation by trapezoidal quadrature."""
+        x = np.linspace(0.0, 1.0, n_grid)
+        return float(np.trapezoid(self.utilisation(x), x))
+
+    def _check_fraction(self, run_fraction) -> np.ndarray:
+        x = np.asarray(run_fraction, dtype=float)
+        if np.any(x < -1e-12) or np.any(x > 1.0 + 1e-12):
+            raise ValueError("run_fraction must be in [0, 1]")
+        return np.clip(x, 0.0, 1.0)
+
+
+class ConstantWorkload(Workload):
+    """A perfectly flat workload — the idealisation the original Level 1
+    rules implicitly assumed.
+
+    Useful as a control in ablations: with a constant workload, window
+    placement cannot change the measured average, so all remaining
+    Level 1 error is sampling error.
+    """
+
+    def __init__(self, utilisation: float = 0.95, core_s: float = 3600.0,
+                 setup_s: float = 120.0, teardown_s: float = 60.0,
+                 name: str = "constant") -> None:
+        if not (0.0 <= utilisation <= 1.0):
+            raise ValueError("utilisation must be in [0, 1]")
+        self._util = float(utilisation)
+        self._phases = PhaseTimings(setup_s, core_s, teardown_s)
+        self.name = name
+
+    @property
+    def phases(self) -> PhaseTimings:
+        """Setup/core/teardown wall-clock structure."""
+        return self._phases
+
+    def utilisation(self, run_fraction) -> np.ndarray | float:
+        x = self._check_fraction(run_fraction)
+        out = np.full_like(x, self._util)
+        return float(out) if np.ndim(run_fraction) == 0 else out

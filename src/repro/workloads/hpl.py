@@ -1,0 +1,170 @@
+"""High-Performance Linpack utilisation model.
+
+HPL factorises an ``n × n`` matrix by right-looking blocked LU.  At
+elimination step ``k`` the trailing matrix has dimension ``s = n − k``
+and the step costs ``Θ(s²)`` flops (times the panel width).  The
+machine's sustained flop rate at that step depends on how much trailing
+matrix there is to keep the processors busy: DGEMM efficiency rises
+with matrix size toward an asymptote.  We model per-step efficiency as
+
+    eff(s) = (s/n) / (s/n + ρ)  ·  (1 + ρ)
+
+normalised to 1 at the start of the run, where the single shape
+parameter ``ρ = n_half / n`` is the ratio of the machine's
+half-efficiency matrix size to the problem size:
+
+* **Out-of-core CPU runs** fill main memory, so ``n`` is enormous and
+  ``ρ`` is tiny — the power curve is flat until the last instants
+  (Colosse, Sequoia in the paper's Figure 1).
+* **In-core GPU runs** must fit in GPU memory, so ``n`` is small,
+  ``ρ`` is large, and the tail-off is visible across a large fraction of
+  the (much shorter) run (Piz Daint, L-CSC) — the >20% first-vs-last-20%
+  gaps of Table 2.
+
+Integrating ``dt ∝ s² / eff(s)`` over steps gives wall-clock time as a
+function of progress; inverting that map yields utilisation as a
+function of *run fraction*, which is what the trace synthesiser needs.
+The inversion is precomputed once on a fine grid at construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import PhaseTimings, Workload
+
+__all__ = ["HplWorkload"]
+
+
+class HplWorkload(Workload):
+    """HPL with a mechanistically derived utilisation profile.
+
+    Parameters
+    ----------
+    core_s:
+        Core-phase wall-clock length in seconds.
+    rho:
+        Shape parameter ``n_half / n``; small → flat (CPU out-of-core),
+        large → pronounced tail-off (GPU in-core).  Must be positive.
+    u_max:
+        Utilisation at the start of the run (full trailing matrix).
+    u_min:
+        Utilisation floor: panel factorisation, pivoting and broadcast
+        never let utilisation reach zero even on a tiny trailing matrix.
+    warmup_fraction / warmup_boost:
+        Optional start-of-run transient (the paper notes "some
+        variations at the very beginning ... because of warming up of
+        hardware components").  The boost decays linearly to zero
+        across ``warmup_fraction`` of the run.  It may be *negative*:
+        cold silicon leaks less, so power can start slightly low and
+        rise as the machine heats (the Colosse profile); or positive
+        for machines whose fans lag the load step.
+    setup_s / teardown_s:
+        Non-core phases (matrix generation / residual check).
+    """
+
+    _GRID = 4096  # resolution of the progress → time inversion table
+
+    def __init__(
+        self,
+        core_s: float,
+        *,
+        rho: float = 0.01,
+        u_max: float = 0.95,
+        u_min: float = 0.08,
+        warmup_fraction: float = 0.0,
+        warmup_boost: float = 0.0,
+        setup_s: float = 0.0,
+        teardown_s: float = 0.0,
+        name: str = "HPL",
+    ) -> None:
+        if rho <= 0:
+            raise ValueError("rho must be positive")
+        if not (0.0 < u_max <= 1.0):
+            raise ValueError("u_max must be in (0, 1]")
+        if not (0.0 <= u_min < u_max):
+            raise ValueError("need 0 <= u_min < u_max")
+        if not (0.0 <= warmup_fraction < 1.0):
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        if warmup_boost <= -1.0:
+            raise ValueError("warmup_boost must exceed -1")
+        if warmup_boost != 0 and warmup_fraction == 0:
+            raise ValueError("warmup_boost needs a positive warmup_fraction")
+        self._phases = PhaseTimings(setup_s, core_s, teardown_s)
+        self.rho = float(rho)
+        self.u_max = float(u_max)
+        self.u_min = float(u_min)
+        self.warmup_fraction = float(warmup_fraction)
+        self.warmup_boost = float(warmup_boost)
+        self.name = name
+        self._time_grid, self._util_grid = self._build_profile()
+
+    # ------------------------------------------------------------------
+    def _efficiency(self, s_rel: np.ndarray) -> np.ndarray:
+        """Relative DGEMM efficiency at trailing-matrix fraction ``s_rel``."""
+        raw = (s_rel / (s_rel + self.rho)) * (1.0 + self.rho)
+        return np.clip(raw, self.u_min / self.u_max, 1.0)
+
+    def _build_profile(self) -> tuple[np.ndarray, np.ndarray]:
+        """Tabulate utilisation vs. normalised wall-clock time.
+
+        Progress variable ``k ∈ [0, 1]`` is the eliminated fraction;
+        trailing fraction ``s = 1 − k``; step work ``∝ s²``; step time
+        ``∝ s² / eff(s)``.  Cumulative time, normalised to 1, gives the
+        time grid; utilisation at each grid point is ``u_max · eff(s)``.
+        """
+        k = np.linspace(0.0, 1.0, self._GRID)
+        s = 1.0 - k
+        eff = self._efficiency(s)
+        # Midpoint rule over progress steps: dt_i = s_i² / eff_i.
+        s_mid = 0.5 * (s[:-1] + s[1:])
+        eff_mid = self._efficiency(s_mid)
+        dt = s_mid**2 / eff_mid
+        t = np.concatenate(([0.0], np.cumsum(dt)))
+        t /= t[-1]
+        util = self.u_max * eff
+        return t, util
+
+    # ------------------------------------------------------------------
+    @property
+    def phases(self) -> PhaseTimings:
+        """Setup/core/teardown wall-clock structure."""
+        return self._phases
+
+    def utilisation(self, run_fraction) -> np.ndarray | float:
+        x = self._check_fraction(run_fraction)
+        u = np.interp(x, self._time_grid, self._util_grid)
+        if self.warmup_boost != 0:
+            ramp = np.clip(1.0 - x / self.warmup_fraction, 0.0, 1.0)
+            u = np.clip(u * (1.0 + self.warmup_boost * ramp), 0.0, 1.0)
+        return float(u) if np.ndim(run_fraction) == 0 else u
+
+    def trailing_fraction_at(self, run_fraction) -> np.ndarray | float:
+        """Remaining-matrix fraction ``s/n`` at the given run fraction.
+
+        Exposed for diagnostics and tests (e.g. verifying that a CPU-run
+        tail where ``s/n < 0.1`` occupies well under 1% of wall-clock).
+        """
+        x = self._check_fraction(run_fraction)
+        k = np.linspace(0.0, 1.0, self._GRID)
+        prog = np.interp(x, self._time_grid, k)
+        s = 1.0 - prog
+        return float(s) if np.ndim(run_fraction) == 0 else s
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def cpu_out_of_core(core_s: float, *, rho: float = 0.002,
+                        **kwargs) -> "HplWorkload":
+        """Preset for memory-filling CPU runs (Colosse/Sequoia class)."""
+        kwargs.setdefault("name", "HPL-CPU")
+        return HplWorkload(core_s, rho=rho, **kwargs)
+
+    @staticmethod
+    def gpu_in_core(core_s: float, *, rho: float = 0.25,
+                    **kwargs) -> "HplWorkload":
+        """Preset for in-core GPU runs (Piz Daint/L-CSC class): the
+        matrix lives in GPU memory, so the run is short and the tail-off
+        covers much of it."""
+        kwargs.setdefault("name", "HPL-GPU")
+        kwargs.setdefault("u_min", 0.05)
+        return HplWorkload(core_s, rho=rho, **kwargs)

@@ -1,0 +1,76 @@
+"""Rodinia CFD workload model.
+
+The ORNL/Titan per-GPU dataset (Table 3) was collected under the Rodinia
+CFD solver [2] — an unstructured-grid Euler solver that iterates a
+fixed time-stepping loop.  Its utilisation profile is a plateau with
+per-iteration sawtooth structure (compute kernel then halo exchange),
+after a short ramp while the grid uploads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import PhaseTimings, Workload
+
+__all__ = ["RodiniaCfdWorkload"]
+
+
+class RodiniaCfdWorkload(Workload):
+    """Iterative CFD solver: ramp-up, then a sawtooth plateau.
+
+    Parameters
+    ----------
+    core_s:
+        Core-phase length in seconds.
+    utilisation:
+        Mean plateau utilisation (GPU busy fraction).
+    ramp_fraction:
+        Fraction of the run spent ramping from ``ramp_start`` to the
+        plateau while the mesh and state upload.
+    sawtooth:
+        Half-amplitude of the per-iteration compute/communicate swing,
+        as a fraction of ``utilisation``.
+    iterations:
+        Number of solver iterations across the core phase (sets the
+        sawtooth frequency).
+    """
+
+    def __init__(self, core_s: float = 1200.0, *, utilisation: float = 0.90,
+                 ramp_fraction: float = 0.03, ramp_start: float = 0.3,
+                 sawtooth: float = 0.04, iterations: int = 2000,
+                 setup_s: float = 30.0, teardown_s: float = 10.0) -> None:
+        if not (0.0 < utilisation <= 1.0):
+            raise ValueError("utilisation must be in (0, 1]")
+        if not (0.0 <= ramp_fraction < 1.0):
+            raise ValueError("ramp_fraction must be in [0, 1)")
+        if not (0.0 <= ramp_start <= 1.0):
+            raise ValueError("ramp_start must be in [0, 1]")
+        if not (0.0 <= sawtooth < 1.0):
+            raise ValueError("sawtooth must be in [0, 1)")
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self._phases = PhaseTimings(setup_s, core_s, teardown_s)
+        self._util = float(utilisation)
+        self._ramp_fraction = float(ramp_fraction)
+        self._ramp_start = float(ramp_start)
+        self._sawtooth = float(sawtooth)
+        self._iterations = int(iterations)
+        self.name = "Rodinia-CFD"
+
+    @property
+    def phases(self) -> PhaseTimings:
+        """Setup/core/teardown wall-clock structure."""
+        return self._phases
+
+    def utilisation(self, run_fraction) -> np.ndarray | float:
+        x = self._check_fraction(run_fraction)
+        if self._ramp_fraction > 0:
+            ramp = np.clip(x / self._ramp_fraction, 0.0, 1.0)
+        else:
+            ramp = np.ones_like(x)
+        base = self._util * (self._ramp_start + (1.0 - self._ramp_start) * ramp)
+        # Sawtooth: fractional part of iteration index, centred at 0.
+        phase = np.mod(x * self._iterations, 1.0) - 0.5
+        out = np.clip(base * (1.0 + 2.0 * self._sawtooth * phase), 0.0, 1.0)
+        return float(out) if np.ndim(run_fraction) == 0 else out

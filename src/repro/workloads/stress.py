@@ -1,0 +1,93 @@
+"""Stress-test workloads: FIRESTARTER and MPrime.
+
+Two of the paper's node-variability datasets (TU Dresden and LRZ,
+Table 3) were collected under processor stress tests rather than HPL.
+Both tools aim for a *constant, maximal* power draw, which is exactly
+what makes them good variability probes: any node-to-node spread is
+silicon and environment, not load imbalance.
+
+FIRESTARTER (Hackenberg et al. [10]) is engineered for near-peak,
+near-constant draw; MPrime (Prime95 torture test) cycles through FFT
+sizes, producing a small periodic ripple on top of a high plateau.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import PhaseTimings, Workload
+
+__all__ = ["FirestarterWorkload", "MPrimeWorkload"]
+
+
+class FirestarterWorkload(Workload):
+    """FIRESTARTER: flat, near-peak utilisation for the whole run."""
+
+    def __init__(self, core_s: float = 1800.0, *, utilisation: float = 0.99,
+                 setup_s: float = 5.0, teardown_s: float = 2.0) -> None:
+        if not (0.0 < utilisation <= 1.0):
+            raise ValueError("utilisation must be in (0, 1]")
+        self._phases = PhaseTimings(setup_s, core_s, teardown_s)
+        self._util = float(utilisation)
+        self.name = "FIRESTARTER"
+
+    @property
+    def phases(self) -> PhaseTimings:
+        """Setup/core/teardown wall-clock structure."""
+        return self._phases
+
+    def utilisation(self, run_fraction) -> np.ndarray | float:
+        x = self._check_fraction(run_fraction)
+        out = np.full_like(x, self._util)
+        return float(out) if np.ndim(run_fraction) == 0 else out
+
+    def setup_utilisation(self) -> float:
+        return 0.1
+
+
+class MPrimeWorkload(Workload):
+    """MPrime torture test: high plateau with a small FFT-size ripple.
+
+    Parameters
+    ----------
+    core_s:
+        Core-phase length in seconds.
+    utilisation:
+        Mean utilisation of the plateau.
+    ripple:
+        Peak-to-trough half-amplitude of the FFT-size cycle, as a
+        fraction of ``utilisation`` (a few percent on real hardware).
+    cycle_s:
+        Wall-clock period of one FFT-size sweep.
+    """
+
+    def __init__(self, core_s: float = 3600.0, *, utilisation: float = 0.96,
+                 ripple: float = 0.02, cycle_s: float = 600.0,
+                 setup_s: float = 10.0, teardown_s: float = 5.0) -> None:
+        if not (0.0 < utilisation <= 1.0):
+            raise ValueError("utilisation must be in (0, 1]")
+        if not (0.0 <= ripple < 1.0):
+            raise ValueError("ripple must be in [0, 1)")
+        if utilisation * (1 + ripple) > 1.0:
+            raise ValueError("utilisation + ripple exceeds 1")
+        if cycle_s <= 0:
+            raise ValueError("cycle_s must be positive")
+        self._phases = PhaseTimings(setup_s, core_s, teardown_s)
+        self._util = float(utilisation)
+        self._ripple = float(ripple)
+        self._cycle_s = float(cycle_s)
+        self.name = "MPrime"
+
+    @property
+    def phases(self) -> PhaseTimings:
+        """Setup/core/teardown wall-clock structure."""
+        return self._phases
+
+    def utilisation(self, run_fraction) -> np.ndarray | float:
+        x = self._check_fraction(run_fraction)
+        t = x * self.core_runtime_s
+        out = self._util * (
+            1.0 + self._ripple * np.sin(2.0 * np.pi * t / self._cycle_s)
+        )
+        out = np.clip(out, 0.0, 1.0)
+        return float(out) if np.ndim(run_fraction) == 0 else out

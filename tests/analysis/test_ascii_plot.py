@@ -1,0 +1,92 @@
+"""Tests for repro.analysis.ascii_plot."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_plot import (
+    histogram_sparkline,
+    line_plot,
+    multi_line_plot,
+)
+
+
+class TestHistogramSparkline:
+    def test_peak_gets_full_block(self):
+        out = histogram_sparkline([1, 5, 2])
+        assert out[1] == "█"
+        assert len(out) == 3
+
+    def test_zero_counts_blank(self):
+        out = histogram_sparkline([0, 0, 0])
+        assert out == "   "
+
+    def test_rebinning(self):
+        out = histogram_sparkline(np.ones(100), width=10)
+        assert len(out) == 10
+
+    def test_monotone_levels(self):
+        out = histogram_sparkline([1, 2, 4, 8])
+        blocks = " ▁▂▃▄▅▆▇█"
+        levels = [blocks.index(ch) for ch in out]
+        assert levels == sorted(levels)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            histogram_sparkline([])
+        with pytest.raises(ValueError, match="non-negative"):
+            histogram_sparkline([-1.0])
+        with pytest.raises(ValueError, match="width"):
+            histogram_sparkline([1.0], width=0)
+
+
+class TestLinePlot:
+    def test_contains_marks_and_axis(self):
+        x = np.linspace(0, 1, 50)
+        out = line_plot(x, np.sin(x * 6), title="demo")
+        assert "demo" in out
+        assert "a" in out
+        assert "+" in out and "-" in out
+
+    def test_y_labels_are_extremes(self):
+        x = np.linspace(0, 1, 50)
+        y = np.linspace(5.0, 10.0, 50)
+        out = line_plot(x, y)
+        assert "10" in out and "5" in out
+
+    def test_flat_series_handled(self):
+        x = np.linspace(0, 1, 10)
+        out = line_plot(x, np.full(10, 3.0))
+        assert "a" in out  # no div-by-zero
+
+
+class TestMultiLinePlot:
+    def test_legend_lists_all_series(self):
+        x = np.linspace(0, 1, 30)
+        out = multi_line_plot(
+            x, {"first": x, "second": 1 - x, "third": x * 0 + 0.5}
+        )
+        assert "a=first" in out and "b=second" in out and "c=third" in out
+
+    def test_overlap_marker(self):
+        x = np.linspace(0, 1, 30)
+        out = multi_line_plot(x, {"up": x, "same": x.copy()})
+        assert "*" in out
+
+    def test_geometry(self):
+        x = np.linspace(0, 1, 30)
+        out = multi_line_plot(x, {"y": x}, width=40, height=8)
+        plot_rows = [l for l in out.splitlines() if "|" in l]
+        assert len(plot_rows) == 8
+
+    def test_validation(self):
+        x = np.linspace(0, 1, 10)
+        with pytest.raises(ValueError, match="two x values"):
+            multi_line_plot([0.0], {"y": [1.0]})
+        with pytest.raises(ValueError, match="at least one series"):
+            multi_line_plot(x, {})
+        with pytest.raises(ValueError, match="length"):
+            multi_line_plot(x, {"y": np.zeros(5)})
+        with pytest.raises(ValueError, match="canvas"):
+            multi_line_plot(x, {"y": x}, width=4)
+        with pytest.raises(ValueError, match="series supported"):
+            multi_line_plot(x, {f"s{i}": x for i in range(11)})

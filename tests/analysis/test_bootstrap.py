@@ -1,0 +1,79 @@
+"""Tests for repro.analysis.bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bootstrap import bootstrap_ci, bootstrap_statistic
+
+
+class TestBootstrapStatistic:
+    def test_mean_distribution(self, rng):
+        x = rng.normal(100.0, 10.0, 400)
+        dist = bootstrap_statistic(
+            x, lambda b: b.mean(axis=1), n_boot=4000, rng=rng
+        )
+        assert dist.shape == (4000,)
+        assert dist.mean() == pytest.approx(x.mean(), abs=0.2)
+        # Bootstrap SD of the mean ≈ σ/√n.
+        assert dist.std() == pytest.approx(10.0 / np.sqrt(400), rel=0.15)
+
+    def test_batching_consistent(self, rng):
+        x = rng.normal(size=100)
+        a = bootstrap_statistic(
+            x, lambda b: b.mean(axis=1), n_boot=1000,
+            rng=np.random.default_rng(1), batch=100,
+        )
+        b = bootstrap_statistic(
+            x, lambda b: b.mean(axis=1), n_boot=1000,
+            rng=np.random.default_rng(1), batch=1000,
+        )
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_statistic_shape(self, rng):
+        x = rng.normal(size=50)
+        with pytest.raises(ValueError, match="length-b"):
+            bootstrap_statistic(x, lambda b: b.mean(), n_boot=10, rng=rng)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="two observations"):
+            bootstrap_statistic([1.0], lambda b: b.mean(axis=1))
+        with pytest.raises(ValueError, match="n_boot"):
+            bootstrap_statistic([1.0, 2.0], lambda b: b.mean(axis=1),
+                                n_boot=0)
+        with pytest.raises(ValueError, match="batch"):
+            bootstrap_statistic([1.0, 2.0], lambda b: b.mean(axis=1),
+                                batch=0)
+
+
+class TestBootstrapCi:
+    def test_covers_true_mean(self, rng):
+        hits = 0
+        for _ in range(60):
+            x = rng.normal(50.0, 5.0, 60)
+            lo, hi = bootstrap_ci(
+                x, lambda b: b.mean(axis=1), n_boot=1500, rng=rng
+            )
+            hits += lo <= 50.0 <= hi
+        assert hits >= 50  # ~95% nominal, wide margin
+
+    def test_interval_ordering(self, rng):
+        x = rng.normal(size=100)
+        lo, hi = bootstrap_ci(x, lambda b: b.mean(axis=1), rng=rng,
+                              n_boot=500)
+        assert lo < hi
+
+    def test_works_for_cv_statistic(self, rng):
+        # The σ/μ quantity the paper plans with.
+        x = rng.normal(200.0, 4.0, 500)
+        lo, hi = bootstrap_ci(
+            x,
+            lambda b: b.std(axis=1, ddof=1) / b.mean(axis=1),
+            n_boot=2000,
+            rng=rng,
+        )
+        assert lo < 0.02 < hi
+
+    def test_bad_confidence(self, rng):
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_ci([1.0, 2.0], lambda b: b.mean(axis=1),
+                         confidence=1.0)

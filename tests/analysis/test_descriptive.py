@@ -1,0 +1,68 @@
+"""Tests for repro.analysis.descriptive."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.descriptive import describe, histogram
+
+
+class TestDescribe:
+    def test_basic(self, rng):
+        x = rng.normal(200.0, 5.0, 5000)
+        d = describe(x)
+        assert d.n == 5000
+        assert d.mean == pytest.approx(200.0, rel=0.01)
+        assert d.std == pytest.approx(5.0, rel=0.05)
+        assert d.cv == pytest.approx(0.025, rel=0.06)
+        assert abs(d.skewness) < 0.15
+        assert abs(d.excess_kurtosis) < 0.3
+
+    def test_median(self):
+        d = describe([1.0, 2.0, 100.0])
+        assert d.median == 2.0
+
+    def test_min_max_range(self):
+        d = describe([10.0, 20.0, 30.0])
+        assert d.minimum == 10.0 and d.maximum == 30.0
+        assert d.range_fraction == pytest.approx(1.0)
+
+    def test_single_value(self):
+        d = describe([5.0])
+        assert d.std == 0.0 and d.skewness == 0.0
+
+    def test_skewed_data(self, rng):
+        x = rng.lognormal(0.0, 0.8, 20_000)
+        assert describe(x).skewness > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            describe([])
+        with pytest.raises(ValueError, match="non-finite"):
+            describe([1.0, float("inf")])
+
+    def test_cv_zero_mean(self):
+        with pytest.raises(ValueError, match="undefined"):
+            _ = describe([0.0, 0.0]).cv
+
+
+class TestHistogram:
+    def test_counts_sum_to_n(self, rng):
+        x = rng.normal(100.0, 5.0, 1000)
+        counts, edges = histogram(x, bins=20)
+        assert counts.sum() == 1000
+        assert edges.shape == (21,)
+
+    def test_range_sigmas_clips_outliers(self, rng):
+        x = np.concatenate([rng.normal(100.0, 5.0, 1000), [1e6]])
+        counts, edges = histogram(x, bins=20, range_sigmas=4.0)
+        # The far outlier is clipped into the last bin rather than
+        # stretching the axis by four orders of magnitude.
+        assert edges[-1] < 1e5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            histogram([])
+        with pytest.raises(ValueError, match="bins"):
+            histogram([1.0], bins=0)
+        with pytest.raises(ValueError, match="range_sigmas"):
+            histogram([1.0, 2.0], range_sigmas=0.0)

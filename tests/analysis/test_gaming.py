@@ -1,0 +1,87 @@
+"""Tests for repro.analysis.gaming."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.gaming import optimal_window_gain
+from repro.core.windows import is_legal_level1_window
+from repro.traces.powertrace import PowerTrace
+
+
+@pytest.fixture()
+def tailing_trace():
+    """A GPU-HPL-like trace: plateau then decline to ~60%."""
+    t = np.linspace(0.0, 5400.0, 5401)
+    x = t / 5400.0
+    watts = 1000.0 * (1.0 - 0.4 * np.clip((x - 0.5) / 0.5, 0.0, 1.0))
+    return PowerTrace(t, watts)
+
+
+class TestOptimalWindowGain:
+    def test_flat_trace_no_gain(self, flat_trace):
+        res = optimal_window_gain(flat_trace)
+        assert res.gaming_gain == pytest.approx(0.0, abs=1e-9)
+        assert res.spread == pytest.approx(0.0, abs=1e-9)
+
+    def test_tailing_trace_games_low(self, tailing_trace):
+        res = optimal_window_gain(tailing_trace)
+        assert res.gaming_gain < -0.05
+        assert res.best_window.start > 0.5  # placed in the tail
+
+    def test_worst_window_overstates(self, tailing_trace):
+        res = optimal_window_gain(tailing_trace)
+        assert res.worst_case_overstatement > 0.0
+        assert res.worst_window.start < 0.3
+
+    def test_best_window_is_legal(self, tailing_trace):
+        res = optimal_window_gain(tailing_trace)
+        assert is_legal_level1_window(
+            res.best_window, tailing_trace.duration
+        )
+
+    def test_spread_is_worst_minus_best(self, tailing_trace):
+        res = optimal_window_gain(tailing_trace)
+        assert res.spread == pytest.approx(
+            res.worst_case_overstatement - res.gaming_gain
+        )
+
+    def test_efficiency_inflation_positive_on_tail(self, tailing_trace):
+        res = optimal_window_gain(tailing_trace)
+        assert res.efficiency_inflation > 0.05
+        # Consistency: inflation = truth/best − 1.
+        assert res.efficiency_inflation == pytest.approx(
+            res.true_average / res.best_average - 1.0
+        )
+
+    def test_longer_window_less_gameable(self, tailing_trace):
+        short = optimal_window_gain(tailing_trace, window_fraction=0.16)
+        long = optimal_window_gain(tailing_trace, window_fraction=0.6)
+        assert abs(long.gaming_gain) < abs(short.gaming_gain)
+
+    def test_full_core_window_ungameable(self, tailing_trace):
+        res = optimal_window_gain(
+            tailing_trace, window_fraction=0.8, within=(0.1, 0.9)
+        )
+        # Only one placement exists → zero spread.
+        assert res.spread == pytest.approx(0.0, abs=1e-6)
+
+    def test_unconstrained_beats_middle80(self, tailing_trace):
+        guarded = optimal_window_gain(tailing_trace, within=(0.1, 0.9))
+        free = optimal_window_gain(
+            tailing_trace, window_fraction=0.16, within=(0.0, 1.0)
+        )
+        assert free.gaming_gain < guarded.gaming_gain
+
+    def test_validation(self, tailing_trace):
+        with pytest.raises(ValueError, match="does not fit"):
+            optimal_window_gain(tailing_trace, window_fraction=0.9,
+                                within=(0.1, 0.9))
+        with pytest.raises(ValueError, match="positive duration"):
+            optimal_window_gain(PowerTrace([0.0], [1.0]))
+
+    def test_one_minute_floor_on_short_runs(self):
+        # A 5-minute run: the minimum legal window is 60 s = 20%.
+        t = np.linspace(0.0, 300.0, 301)
+        tr = PowerTrace(t, 100.0 + t / 10.0)
+        res = optimal_window_gain(tr)
+        assert res.window_fraction == pytest.approx(0.2)

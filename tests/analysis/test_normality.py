@@ -1,0 +1,82 @@
+"""Tests for repro.analysis.normality."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.normality import (
+    count_outliers,
+    normality_report,
+    qq_correlation,
+)
+
+
+class TestQqCorrelation:
+    def test_normal_data_near_one(self, rng):
+        x = rng.normal(0.0, 1.0, 2000)
+        assert qq_correlation(x) > 0.995
+
+    def test_heavy_tails_lower(self, rng):
+        x = rng.standard_t(1.5, 2000)
+        assert qq_correlation(x) < qq_correlation(rng.normal(size=2000))
+
+    def test_degenerate(self):
+        assert qq_correlation([5.0, 5.0, 5.0]) == 1.0
+
+    def test_too_few(self):
+        with pytest.raises(ValueError, match="three"):
+            qq_correlation([1.0, 2.0])
+
+
+class TestCountOutliers:
+    def test_clean_normal(self, rng):
+        x = rng.normal(100.0, 5.0, 1000)
+        assert count_outliers(x) < 10
+
+    def test_planted_outliers_found(self, rng):
+        x = rng.normal(100.0, 5.0, 1000)
+        x[:5] = 200.0
+        assert count_outliers(x) >= 5
+
+    def test_masking_resisted(self, rng):
+        # A cluster of outliers inflates the classical σ; the MAD-based
+        # score still flags them.
+        x = rng.normal(100.0, 2.0, 500)
+        x[:50] = 160.0
+        assert count_outliers(x) >= 50
+
+    def test_tiny_sample(self):
+        assert count_outliers([1.0, 2.0]) == 0
+
+    def test_zero_mad(self):
+        x = np.array([5.0] * 99 + [6.0])
+        assert count_outliers(x) == 1
+
+
+class TestNormalityReport:
+    def test_normal_sample_passes(self, rng):
+        x = rng.normal(210.0, 5.0, 2000)
+        r = normality_report(x)
+        assert r.is_approximately_normal()
+        assert r.dagostino_p is not None
+
+    def test_heavily_skewed_fails(self, rng):
+        x = rng.lognormal(0.0, 1.2, 2000)
+        assert not normality_report(x).is_approximately_normal()
+
+    def test_many_outliers_fail(self, rng):
+        x = rng.normal(100.0, 2.0, 1000)
+        x[:100] = 150.0
+        r = normality_report(x)
+        assert r.outlier_fraction > 0.02
+        assert not r.is_approximately_normal()
+
+    def test_report_fields(self, rng):
+        r = normality_report(rng.normal(size=100))
+        assert r.n == 100
+        assert 0 <= r.outlier_fraction <= 1
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="eight"):
+            normality_report([1.0] * 5)
+        with pytest.raises(ValueError, match="non-finite"):
+            normality_report([1.0] * 8 + [float("nan")])

@@ -1,0 +1,98 @@
+"""Tests for repro.analysis.phases — core-phase detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.phases import detect_core_phase
+from repro.traces.powertrace import PowerTrace
+from repro.traces.synth import simulate_run
+from repro.workloads.base import ConstantWorkload
+from repro.workloads.hpl import HplWorkload
+
+
+def step_trace(idle=100.0, plateau=1000.0, setup=60, core=600, teardown=30):
+    watts = np.concatenate([
+        np.full(setup, idle),
+        np.full(core, plateau),
+        np.full(teardown, idle),
+    ])
+    return PowerTrace.from_uniform(watts)
+
+
+class TestDetectCorePhase:
+    def test_clean_step(self):
+        tr = step_trace()
+        phase = detect_core_phase(tr)
+        assert phase.start_s == pytest.approx(60.0, abs=2.0)
+        assert phase.end_s == pytest.approx(659.0, abs=2.0)
+
+    def test_against_synthesiser_ground_truth(self, small_system, cpu_hpl):
+        run = simulate_run(small_system, cpu_hpl, dt=2.0)
+        phase = detect_core_phase(run.trace)
+        t0, t1 = run.core_window
+        assert phase.overlap_fraction(t0, t1) > 0.95
+
+    def test_gpu_run_with_tail(self, gpu_system, gpu_hpl):
+        # The tail drops power substantially; the detector must not cut
+        # the core phase short by more than a modest margin.
+        run = simulate_run(gpu_system, gpu_hpl, dt=2.0)
+        phase = detect_core_phase(run.trace, threshold_fraction=0.35)
+        t0, t1 = run.core_window
+        assert phase.overlap_fraction(t0, t1) > 0.80
+
+    def test_flat_trace_rejected(self, flat_trace):
+        with pytest.raises(ValueError, match="plateau"):
+            detect_core_phase(flat_trace)
+
+    def test_spike_not_mistaken_for_core(self):
+        watts = np.full(1000, 100.0)
+        watts[500:504] = 1000.0  # 4-second spike
+        tr = PowerTrace.from_uniform(watts)
+        with pytest.raises(ValueError, match="long enough"):
+            detect_core_phase(tr, min_duration_fraction=0.05)
+
+    def test_longest_region_wins(self):
+        watts = np.concatenate([
+            np.full(50, 100.0),
+            np.full(100, 1000.0),   # short burst
+            np.full(50, 100.0),
+            np.full(500, 1000.0),   # the actual run
+            np.full(50, 100.0),
+        ])
+        tr = PowerTrace.from_uniform(watts)
+        phase = detect_core_phase(tr)
+        assert phase.start_s == pytest.approx(200.0, abs=2.0)
+
+    def test_validation(self):
+        tr = step_trace()
+        with pytest.raises(ValueError, match="threshold_fraction"):
+            detect_core_phase(tr, threshold_fraction=1.0)
+        with pytest.raises(ValueError, match="min_duration_fraction"):
+            detect_core_phase(tr, min_duration_fraction=0.0)
+        with pytest.raises(ValueError, match="too short"):
+            detect_core_phase(PowerTrace([0.0, 1.0], [1.0, 2.0]))
+
+    def test_overlap_fraction_validation(self):
+        phase = detect_core_phase(step_trace())
+        with pytest.raises(ValueError, match="true_start"):
+            phase.overlap_fraction(10.0, 10.0)
+
+    def test_duration_property(self):
+        phase = detect_core_phase(step_trace())
+        assert phase.duration_s == pytest.approx(
+            phase.end_s - phase.start_s
+        )
+
+
+class TestEndToEndAudit:
+    def test_detect_then_apply_window_rule(self, gpu_system):
+        """A list auditor's pipeline: detect the core phase in a raw
+        trace, then evaluate segment averages relative to it."""
+        wl = HplWorkload.gpu_in_core(1800.0, setup_s=120.0, teardown_s=60.0)
+        run = simulate_run(gpu_system, wl, dt=2.0)
+        phase = detect_core_phase(run.trace, threshold_fraction=0.35)
+        core = run.trace.window(phase.start_s, phase.end_s)
+        first = core.fraction_window(0.0, 0.2).mean_power()
+        last = core.fraction_window(0.8, 1.0).mean_power()
+        # The tail-off is visible through the detected window too.
+        assert first > last * 1.03

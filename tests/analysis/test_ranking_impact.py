@@ -1,0 +1,57 @@
+"""Tests for repro.analysis.ranking_impact."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ranking_impact import rank_impact_study
+from repro.core.methodology import Level
+from repro.lists.green500 import synthetic_green500
+
+
+@pytest.fixture()
+def base_list(rng):
+    return synthetic_green500(rng, n_systems=60, n_derived=40, n_level1=16)
+
+
+class TestRankImpact:
+    def test_zero_error_zero_churn(self, base_list, rng):
+        res = rank_impact_study(
+            base_list, rng, n_trials=50,
+            level_spread={Level.L1: 0.0, Level.L2: 0.0, Level.L3: 0.0},
+        )
+        assert res.top1_change_probability == 0.0
+        assert res.top3_set_change_probability == 0.0
+        assert res.mean_abs_rank_shift_top10 == 0.0
+
+    def test_l1_error_churns_ranks(self, base_list, rng):
+        res = rank_impact_study(base_list, rng, n_trials=200)
+        assert res.top3_set_change_probability >= 0.05
+        assert res.max_rank_shift_observed >= 1
+
+    def test_bigger_error_more_churn(self, base_list):
+        mild = rank_impact_study(
+            base_list, np.random.default_rng(0), n_trials=150,
+            level_spread={Level.L1: 0.02},
+        )
+        wild = rank_impact_study(
+            base_list, np.random.default_rng(0), n_trials=150,
+            level_spread={Level.L1: 0.20, Level.L2: 0.20},
+        )
+        assert (
+            wild.mean_abs_rank_shift_top10
+            >= mild.mean_abs_rank_shift_top10
+        )
+
+    def test_baseline_gap_reported(self, base_list, rng):
+        res = rank_impact_study(base_list, rng, n_trials=10)
+        assert res.baseline_top3_gap == pytest.approx(
+            base_list.efficiency_gap(1, 3)
+        )
+
+    def test_summary(self, base_list, rng):
+        s = rank_impact_study(base_list, rng, n_trials=10).summary()
+        assert "#1 changes" in s
+
+    def test_validation(self, base_list, rng):
+        with pytest.raises(ValueError, match="n_trials"):
+            rank_impact_study(base_list, rng, n_trials=0)

@@ -1,0 +1,54 @@
+"""Tests for repro.analysis.report."""
+
+import pytest
+
+from repro.analysis.report import Table, format_paper_vs_measured
+
+
+class TestTable:
+    def test_render_contains_cells(self):
+        t = Table(["system", "power"], title="demo")
+        t.add_row(["lrz", 209.88])
+        out = t.render()
+        assert "demo" in out
+        assert "lrz" in out and "209.88" in out
+
+    def test_alignment_consistent(self):
+        t = Table(["a", "b"])
+        t.add_row(["x", 1.0])
+        t.add_row(["longer-name", 2.0])
+        lines = t.render().splitlines()
+        assert len({len(line) for line in lines[-2:]}) == 1
+
+    def test_row_width_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            t.add_row([1])
+
+    def test_number_formats(self):
+        assert Table._fmt(0.123456) == "0.1235"
+        assert Table._fmt(12.3456) == "12.35"
+        assert Table._fmt(123456.7) == "123,456.7"
+        assert Table._fmt(0) == "0"
+        assert Table._fmt(True) == "yes"
+        assert Table._fmt("text") == "text"
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError, match="column"):
+            Table([])
+
+    def test_str_is_render(self):
+        t = Table(["x"])
+        t.add_row([1])
+        assert str(t) == t.render()
+
+
+class TestPaperVsMeasured:
+    def test_format(self):
+        line = format_paper_vs_measured("core power", 398.7, 398.6, "kW")
+        assert "398.7 kW" in line
+        assert "-0.03%" in line
+
+    def test_zero_paper_value(self):
+        line = format_paper_vs_measured("x", 0.0, 1.0)
+        assert "nan" in line

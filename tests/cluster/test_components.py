@@ -1,0 +1,179 @@
+"""Tests for repro.cluster.components."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.components import (
+    ComponentPowerModel,
+    CpuModel,
+    DramModel,
+    FanModel,
+    GpuModel,
+    NicModel,
+)
+
+
+class TestComponentPowerModel:
+    def test_idle_and_peak(self):
+        m = ComponentPowerModel("x", idle_watts=10.0, peak_watts=100.0)
+        assert m.power(0.0) == 10.0
+        assert m.power(1.0) == 100.0
+
+    def test_linear_midpoint(self):
+        m = ComponentPowerModel("x", 10.0, 110.0, gamma=1.0)
+        assert m.power(0.5) == pytest.approx(60.0)
+
+    def test_gamma_bends_curve(self):
+        lin = ComponentPowerModel("x", 0.0, 100.0, gamma=1.0)
+        sup = ComponentPowerModel("x", 0.0, 100.0, gamma=1.5)
+        assert sup.power(0.5) < lin.power(0.5)
+        assert sup.power(1.0) == lin.power(1.0)
+
+    def test_vectorised(self):
+        m = ComponentPowerModel("x", 10.0, 100.0)
+        u = np.array([0.0, 0.5, 1.0])
+        p = m.power(u)
+        assert p.shape == (3,)
+        assert p[0] == 10.0 and p[2] == 100.0
+
+    def test_out_of_range_rejected(self):
+        m = ComponentPowerModel("x", 10.0, 100.0)
+        with pytest.raises(ValueError, match="utilisation"):
+            m.power(1.5)
+        with pytest.raises(ValueError, match="utilisation"):
+            m.power(-0.2)
+
+    def test_peak_below_idle_rejected(self):
+        with pytest.raises(ValueError, match="below idle"):
+            ComponentPowerModel("x", 100.0, 50.0)
+
+    def test_negative_idle_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            ComponentPowerModel("x", -1.0, 50.0)
+
+    def test_bad_gamma_rejected(self):
+        with pytest.raises(ValueError, match="gamma"):
+            ComponentPowerModel("x", 1.0, 5.0, gamma=0.0)
+
+    def test_with_multiplier(self):
+        m = ComponentPowerModel("x", 10.0, 100.0)
+        m2 = m.with_multiplier(1.1)
+        assert m2.idle_watts == pytest.approx(11.0)
+        assert m2.peak_watts == pytest.approx(110.0)
+
+    def test_with_multiplier_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ComponentPowerModel("x", 1.0, 2.0).with_multiplier(0.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_monotone_in_utilisation(self, u):
+        m = ComponentPowerModel("x", 20.0, 200.0, gamma=1.2)
+        assert m.power(u) <= m.power(min(u + 0.05, 1.0)) + 1e-9
+
+
+class TestProcessorOperatingPoints:
+    def test_nominal_point_matches_base_model(self):
+        cpu = CpuModel()
+        for u in (0.0, 0.4, 1.0):
+            assert cpu.power_at(
+                u, cpu.nominal_mhz, cpu.nominal_volts
+            ) == pytest.approx(cpu.power(u))
+
+    def test_lower_voltage_lower_power(self):
+        gpu = GpuModel()
+        p_hi = gpu.power_at(0.9, gpu.nominal_mhz, 1.05)
+        p_lo = gpu.power_at(0.9, gpu.nominal_mhz, 0.95)
+        assert p_lo < p_hi
+
+    def test_lower_frequency_lower_power(self):
+        gpu = GpuModel()
+        p_hi = gpu.power_at(0.9, 900.0, 1.0)
+        p_lo = gpu.power_at(0.9, 700.0, 1.0)
+        assert p_lo < p_hi
+
+    def test_dynamic_scales_with_f_v_squared(self):
+        # With zero static fraction and idle below static floor, power
+        # ratio at full load is exactly (f/f0)(V/V0)^2.
+        gpu = GpuModel(idle_watts=0.0, peak_watts=200.0, static_fraction=0.0)
+        base = gpu.power_at(1.0, gpu.nominal_mhz, gpu.nominal_volts)
+        scaled = gpu.power_at(1.0, gpu.nominal_mhz * 0.8, gpu.nominal_volts * 0.9)
+        assert scaled / base == pytest.approx(0.8 * 0.9**2)
+
+    def test_leakage_scales_with_voltage(self):
+        cpu = CpuModel(static_fraction=0.5, leakage_exponent=2.0)
+        p0 = cpu.power_at(0.0, cpu.nominal_mhz, cpu.nominal_volts)
+        p1 = cpu.power_at(0.0, cpu.nominal_mhz, cpu.nominal_volts * 1.1)
+        assert p1 > p0
+
+    def test_array_voltages_broadcast(self):
+        gpu = GpuModel()
+        volts = np.array([0.95, 1.0, 1.05])
+        p = gpu.power_at(0.9, gpu.nominal_mhz, volts)
+        assert p.shape == (3,)
+        assert np.all(np.diff(p) > 0)  # increasing with voltage
+
+    def test_bad_operating_point(self):
+        with pytest.raises(ValueError, match="positive"):
+            CpuModel().power_at(0.5, -100.0, 1.0)
+        with pytest.raises(ValueError, match="positive"):
+            CpuModel().power_at(0.5, 100.0, 0.0)
+
+    def test_bad_static_fraction(self):
+        with pytest.raises(ValueError, match="static_fraction"):
+            CpuModel(static_fraction=1.5)
+
+
+class TestDramModel:
+    def test_for_capacity_scales(self):
+        small = DramModel.for_capacity(16.0)
+        big = DramModel.for_capacity(64.0)
+        assert big.peak_watts == pytest.approx(4 * small.peak_watts)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            DramModel(idle_watts=1.0, peak_watts=2.0, gib=0.0)
+
+
+class TestNicModel:
+    def test_nearly_flat(self):
+        nic = NicModel()
+        swing = nic.power(1.0) - nic.power(0.0)
+        assert swing < 0.5 * nic.power(0.0)
+
+
+class TestFanModel:
+    def test_cube_law(self):
+        fan = FanModel(max_watts=100.0, min_speed=0.2)
+        assert fan.power(1.0) == pytest.approx(100.0)
+        assert fan.power(0.5) == pytest.approx(12.5)
+
+    def test_min_speed_enforced(self):
+        fan = FanModel(max_watts=100.0, min_speed=0.3)
+        with pytest.raises(ValueError, match="speed"):
+            fan.power(0.1)
+
+    def test_over_speed_rejected(self):
+        with pytest.raises(ValueError, match="speed"):
+            FanModel().power(1.2)
+
+    def test_zero_max_watts_allowed(self):
+        # Water-cooled designs: no fan power at any speed.
+        fan = FanModel(max_watts=0.0)
+        assert fan.power(0.5) == 0.0
+
+    def test_vectorised(self):
+        fan = FanModel(max_watts=80.0)
+        p = fan.power(np.array([0.4, 0.8]))
+        assert p.shape == (2,)
+        assert p[1] > p[0]
+
+    def test_bad_min_speed(self):
+        with pytest.raises(ValueError, match="min_speed"):
+            FanModel(min_speed=0.0)
+
+    @given(st.floats(min_value=0.3, max_value=0.95))
+    def test_monotone_in_speed(self, s):
+        fan = FanModel(max_watts=120.0)
+        assert fan.power(s) < fan.power(min(s + 0.05, 1.0))

@@ -1,0 +1,142 @@
+"""Tests for repro.cluster.dvfs."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.components import GpuModel
+from repro.cluster.dvfs import (
+    DvfsGovernor,
+    OperatingPoint,
+    VoltageFrequencyCurve,
+    efficiency_search,
+)
+
+
+class TestOperatingPoint:
+    def test_valid(self):
+        p = OperatingPoint(774.0, 1.018)
+        assert p.freq_mhz == 774.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(0.0, 1.0)
+        with pytest.raises(ValueError):
+            OperatingPoint(700.0, -0.1)
+
+
+class TestVoltageFrequencyCurve:
+    def test_min_voltage_rises_with_frequency(self):
+        c = VoltageFrequencyCurve()
+        assert c.min_stable_volts(900.0) > c.min_stable_volts(700.0)
+
+    def test_quality_offset_shifts_curve(self):
+        good = VoltageFrequencyCurve(quality_offset=0.0)
+        bad = VoltageFrequencyCurve(quality_offset=0.05)
+        assert bad.min_stable_volts(774.0) == pytest.approx(
+            good.min_stable_volts(774.0) + 0.05
+        )
+
+    def test_is_stable(self):
+        c = VoltageFrequencyCurve(f0_mhz=774.0, v0=1.0)
+        assert c.is_stable(OperatingPoint(774.0, 1.0))
+        assert c.is_stable(OperatingPoint(774.0, 1.1))
+        assert not c.is_stable(OperatingPoint(774.0, 0.9))
+
+    def test_vectorised(self):
+        c = VoltageFrequencyCurve()
+        v = c.min_stable_volts(np.array([700.0, 800.0, 900.0]))
+        assert v.shape == (3,)
+        assert np.all(np.diff(v) > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            VoltageFrequencyCurve(f0_mhz=-1.0)
+        with pytest.raises(ValueError, match="slope"):
+            VoltageFrequencyCurve(slope_v_per_mhz=-0.001)
+        with pytest.raises(ValueError, match="frequency"):
+            VoltageFrequencyCurve().min_stable_volts(0.0)
+
+
+class TestDvfsGovernor:
+    def test_performance_constant(self):
+        g = DvfsGovernor.performance()
+        x = np.linspace(0, 1, 11)
+        np.testing.assert_allclose(g.frequency_multiplier(x), 1.0)
+
+    def test_stepped(self):
+        g = DvfsGovernor.stepped([0.5], [1.0, 0.8])
+        assert g.frequency_multiplier(0.25) == 1.0
+        assert g.frequency_multiplier(0.75) == 0.8
+
+    def test_stepped_boundaries(self):
+        g = DvfsGovernor.stepped([0.3, 0.6], [1.0, 0.9, 0.8])
+        assert g.frequency_multiplier(0.3) == 1.0  # right-open intervals
+        assert g.frequency_multiplier(0.31) == 0.9
+
+    def test_stepped_validation(self):
+        with pytest.raises(ValueError, match="len"):
+            DvfsGovernor.stepped([0.5], [1.0])
+        with pytest.raises(ValueError, match="increasing"):
+            DvfsGovernor.stepped([0.6, 0.4], [1.0, 0.9, 0.8])
+        with pytest.raises(ValueError, match="positive"):
+            DvfsGovernor.stepped([0.5], [1.0, 0.0])
+
+    def test_fraction_out_of_range(self):
+        with pytest.raises(ValueError, match="run_fraction"):
+            DvfsGovernor.performance().frequency_multiplier(1.5)
+
+    def test_scalar_return(self):
+        assert isinstance(
+            DvfsGovernor.performance().frequency_multiplier(0.5), float
+        )
+
+    def test_custom_profile_validated(self):
+        g = DvfsGovernor(name="bad", profile=lambda x: x * 0.0)
+        with pytest.raises(ValueError, match="non-positive"):
+            g.frequency_multiplier(np.array([0.5]))
+
+
+class TestEfficiencySearch:
+    @pytest.fixture()
+    def gpu(self):
+        return GpuModel(idle_watts=18.0, peak_watts=230.0,
+                        nominal_mhz=900.0, nominal_volts=1.1425)
+
+    def test_finds_interior_optimum(self, gpu):
+        # With voltage tracking the stability frontier, efficiency
+        # peaks below the maximum frequency (the L-CSC 774 MHz story).
+        curve = VoltageFrequencyCurve(
+            f0_mhz=774.0, v0=1.018, slope_v_per_mhz=0.0006
+        )
+        grid = np.arange(500.0, 1001.0, 2.0)
+        best, eff = efficiency_search(gpu, curve, grid)
+        assert grid[0] < best.freq_mhz < grid[-1]
+        assert eff.shape == grid.shape
+
+    def test_best_point_is_argmax(self, gpu):
+        curve = VoltageFrequencyCurve()
+        grid = np.linspace(600.0, 950.0, 36)
+        best, eff = efficiency_search(gpu, curve, grid)
+        assert best.freq_mhz == grid[np.argmax(eff)]
+
+    def test_voltage_margin_lowers_efficiency(self, gpu):
+        curve = VoltageFrequencyCurve()
+        grid = np.linspace(600.0, 950.0, 36)
+        _, eff0 = efficiency_search(gpu, curve, grid)
+        _, eff1 = efficiency_search(gpu, curve, grid, voltage_margin=0.05)
+        assert np.all(eff1 < eff0)
+
+    def test_best_point_stable(self, gpu):
+        curve = VoltageFrequencyCurve()
+        grid = np.linspace(600.0, 950.0, 36)
+        best, _ = efficiency_search(gpu, curve, grid)
+        assert curve.is_stable(best)
+
+    def test_validation(self, gpu):
+        curve = VoltageFrequencyCurve()
+        with pytest.raises(ValueError, match="empty"):
+            efficiency_search(gpu, curve, [])
+        with pytest.raises(ValueError, match="positive"):
+            efficiency_search(gpu, curve, [-100.0])
+        with pytest.raises(ValueError, match="utilisation"):
+            efficiency_search(gpu, curve, [700.0], utilisation=0.0)

@@ -1,0 +1,178 @@
+"""Tests for repro.cluster.node."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.components import CpuModel, DramModel, FanModel, GpuModel
+from repro.cluster.dvfs import OperatingPoint
+from repro.cluster.node import Node, NodeConfig
+from repro.cluster.thermal import FanPolicy
+from repro.cluster.variability import ManufacturingVariation
+
+
+class TestNodeConfig:
+    def test_nominal_it_power_sums_components(self, cpu_config):
+        p = cpu_config.nominal_it_power(1.0)
+        expected = (
+            2 * cpu_config.cpu.power(1.0)
+            + cpu_config.dram.power(1.0)
+            + cpu_config.nic.power(1.0)
+            + cpu_config.other_watts
+        )
+        assert p == pytest.approx(expected)
+
+    def test_gpu_counted(self, gpu_config):
+        p_gpu = gpu_config.nominal_it_power(1.0)
+        no_gpu = NodeConfig(
+            cpu=gpu_config.cpu, n_cpus=2, dram=gpu_config.dram,
+            nic=gpu_config.nic, fan=gpu_config.fan,
+            other_watts=gpu_config.other_watts,
+        )
+        assert p_gpu > no_gpu.nominal_it_power(1.0)
+
+    def test_peak_includes_fans(self, cpu_config):
+        assert cpu_config.nominal_peak_power() == pytest.approx(
+            cpu_config.nominal_it_power(1.0) + cpu_config.fan.power(1.0)
+        )
+
+    def test_needs_processor(self):
+        with pytest.raises(ValueError, match="at least one processor"):
+            NodeConfig(n_cpus=0, n_gpus=0)
+
+    def test_gpu_count_without_model(self):
+        with pytest.raises(ValueError, match="requires a gpu model"):
+            NodeConfig(n_cpus=1, n_gpus=2, gpu=None)
+
+    def test_negative_counts(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            NodeConfig(n_cpus=-1)
+
+    def test_gpu_only_node_allowed(self):
+        cfg = NodeConfig(n_cpus=0, gpu=GpuModel(), n_gpus=1)
+        assert cfg.nominal_it_power(1.0) > 0
+
+
+class TestManufacture:
+    def test_basic(self, cpu_config, rng):
+        node = Node.manufacture(0, cpu_config, rng)
+        assert node.node_id == 0
+        assert len(node.cpu_multipliers) == cpu_config.n_cpus
+        assert len(node.gpu_multipliers) == 0
+
+    def test_gpu_node(self, gpu_config, rng):
+        node = Node.manufacture(1, gpu_config, rng)
+        assert len(node.gpu_multipliers) == 4
+        assert len(node.gpu_vids) == 4
+
+    def test_deterministic(self, gpu_config):
+        a = Node.manufacture(0, gpu_config, np.random.default_rng(5))
+        b = Node.manufacture(0, gpu_config, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.gpu_multipliers, b.gpu_multipliers)
+        np.testing.assert_array_equal(a.gpu_vids, b.gpu_vids)
+        assert a.inlet_c == b.inlet_c
+
+    def test_vids_independent_of_multipliers(self, gpu_config):
+        # Paper Section 5: efficiency at fixed voltage is unrelated to
+        # VID, so the leakage draw must not order the VIDs.
+        rng = np.random.default_rng(0)
+        mults, vids = [], []
+        for i in range(400):
+            n = Node.manufacture(i, gpu_config, rng)
+            mults.extend(n.gpu_multipliers.tolist())
+            vids.extend(n.gpu_vids.tolist())
+        r = np.corrcoef(mults, vids)[0, 1]
+        assert abs(r) < 0.1
+
+    def test_mismatched_arrays_rejected(self, cpu_config, rng):
+        good = Node.manufacture(0, cpu_config, rng)
+        with pytest.raises(ValueError, match="cpu_multipliers"):
+            Node(
+                node_id=0, config=cpu_config,
+                cpu_multipliers=np.ones(5),
+                gpu_multipliers=good.gpu_multipliers,
+                gpu_vids=good.gpu_vids,
+                inlet_c=22.0,
+                fan_controller=good.fan_controller,
+            )
+
+
+class TestNodePower:
+    def test_it_power_positive(self, cpu_config, rng):
+        node = Node.manufacture(0, cpu_config, rng)
+        assert node.it_power(0.0) > 0
+        assert node.it_power(1.0) > node.it_power(0.0)
+
+    def test_total_includes_fans(self, cpu_config, rng):
+        node = Node.manufacture(0, cpu_config, rng)
+        assert node.total_power(0.9) > node.it_power(0.9)
+
+    def test_vectorised_utilisation(self, cpu_config, rng):
+        node = Node.manufacture(0, cpu_config, rng)
+        u = np.linspace(0, 1, 11)
+        p = node.it_power(u)
+        assert p.shape == (11,)
+        assert np.all(np.diff(p) > 0)
+
+    def test_multiplier_scales_power(self, cpu_config, rng):
+        node = Node.manufacture(0, cpu_config, rng)
+        hot = Node(
+            node_id=1, config=cpu_config,
+            cpu_multipliers=node.cpu_multipliers * 1.1,
+            gpu_multipliers=node.gpu_multipliers,
+            gpu_vids=node.gpu_vids,
+            inlet_c=node.inlet_c,
+            fan_controller=node.fan_controller,
+            environment=node.environment,
+        )
+        assert hot.it_power(0.9) > node.it_power(0.9)
+
+    def test_gpu_point_override_lowers_power(self, gpu_config, rng):
+        node = Node.manufacture(0, gpu_config, rng)
+        default = node.it_power(0.95)
+        tuned = node.it_power(
+            0.95, gpu_point=OperatingPoint(774.0, 1.018)
+        )
+        assert tuned < default
+
+    def test_cpu_dvfs_lowers_power(self, cpu_config, rng):
+        node = Node.manufacture(0, cpu_config, rng)
+        assert node.it_power(0.9, cpu_freq_multiplier=0.8) < node.it_power(0.9)
+
+    def test_high_vid_node_draws_more_at_default(self, gpu_config):
+        # Build two otherwise-identical nodes differing only in VID.
+        rng = np.random.default_rng(1)
+        base = Node.manufacture(0, gpu_config, rng)
+        lo = Node(
+            node_id=0, config=gpu_config,
+            cpu_multipliers=base.cpu_multipliers,
+            gpu_multipliers=np.ones(4),
+            gpu_vids=np.full(4, 40),
+            inlet_c=base.inlet_c, fan_controller=base.fan_controller,
+            environment=base.environment,
+        )
+        hi = Node(
+            node_id=1, config=gpu_config,
+            cpu_multipliers=base.cpu_multipliers,
+            gpu_multipliers=np.ones(4),
+            gpu_vids=np.full(4, 48),
+            inlet_c=base.inlet_c, fan_controller=base.fan_controller,
+            environment=base.environment,
+        )
+        assert hi.it_power(0.95) > lo.it_power(0.95)
+
+
+class TestFanPolicySwitch:
+    def test_pinned_node(self, cpu_config, rng):
+        node = Node.manufacture(0, cpu_config, rng)
+        pinned = node.with_fan_policy(FanPolicy.PINNED, pinned_speed=0.5)
+        it = pinned.it_power(0.9)
+        assert pinned.fan_power(it) == pytest.approx(
+            cpu_config.fan.power(0.5)
+        )
+
+    def test_auto_restored(self, cpu_config, rng):
+        node = Node.manufacture(0, cpu_config, rng)
+        back = node.with_fan_policy(FanPolicy.PINNED).with_fan_policy(
+            FanPolicy.AUTO
+        )
+        assert back.fan_controller.policy is FanPolicy.AUTO

@@ -1,0 +1,92 @@
+"""Tests for the rack-correlated thermal structure and its consequence
+for subset selection (the reason the methodology wants *random*
+subsets)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.components import CpuModel, DramModel, FanModel
+from repro.cluster.node import NodeConfig
+from repro.cluster.system import SystemModel
+from repro.cluster.thermal import FanController, ThermalEnvironment
+from repro.cluster.variability import ManufacturingVariation
+from repro.metering.subset import contiguous_subset, random_subset
+
+
+class TestRackStructure:
+    def test_total_spread_preserved(self, rng):
+        env = ThermalEnvironment(inlet_spread_c=1.5, rack_share=0.5)
+        t = env.sample_inlet_temperatures(50_000, rng)
+        assert t.std() == pytest.approx(1.5, rel=0.05)
+
+    def test_rack_members_correlated(self, rng):
+        env = ThermalEnvironment(
+            inlet_spread_c=2.0, rack_share=0.8, rack_size=16
+        )
+        t = env.sample_inlet_temperatures(16 * 500, rng)
+        racks = t.reshape(500, 16)
+        # Between-rack variance dominates when rack_share is high.
+        between = racks.mean(axis=1).var()
+        within = racks.var(axis=1).mean()
+        assert between > within
+
+    def test_zero_share_iid(self, rng):
+        env = ThermalEnvironment(inlet_spread_c=2.0, rack_share=0.0,
+                                 rack_size=16)
+        t = env.sample_inlet_temperatures(16 * 500, rng)
+        racks = t.reshape(500, 16)
+        between = racks.mean(axis=1).var()
+        # Between-rack variance of iid data ≈ total/16.
+        assert between == pytest.approx(t.var() / 16, rel=0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rack_share"):
+            ThermalEnvironment(rack_share=1.5)
+        with pytest.raises(ValueError, match="rack_size"):
+            ThermalEnvironment(rack_size=0)
+
+
+class TestSubsetConsequence:
+    @pytest.fixture()
+    def racky_system(self):
+        config = NodeConfig(
+            cpu=CpuModel(idle_watts=20.0, peak_watts=120.0),
+            n_cpus=2,
+            dram=DramModel.for_capacity(32.0),
+            fan=FanModel(max_watts=120.0, min_speed=0.3),
+            other_watts=20.0,
+        )
+        return SystemModel(
+            "racky", 512, config,
+            variation=ManufacturingVariation(sigma=0.004),
+            environment=ThermalEnvironment(
+                inlet_spread_c=2.5, rack_share=0.85, rack_size=16
+            ),
+            fan_controller=FanController(
+                fan_model=config.fan, reference_watts=300.0, k_inlet=0.6
+            ),
+            seed=41,
+        )
+
+    def test_contiguous_subsets_noisier_than_random(self, racky_system):
+        """One-rack subsets inherit their rack's thermal luck; random
+        subsets average over racks.  The extrapolation-error spread
+        must reflect that."""
+        watts = racky_system.node_total_powers(0.95)
+        truth = watts.mean()
+        rng = np.random.default_rng(7)
+        n = 16
+
+        def spread(chooser) -> float:
+            errs = [
+                watts[chooser()].mean() / truth - 1.0 for _ in range(300)
+            ]
+            return float(np.std(errs))
+
+        random_spread = spread(
+            lambda: random_subset(racky_system.n_nodes, n, rng)
+        )
+        contiguous_spread = spread(
+            lambda: contiguous_subset(racky_system.n_nodes, n, rng)
+        )
+        assert contiguous_spread > 1.5 * random_spread

@@ -1,0 +1,111 @@
+"""Tests for repro.cluster.registry — paper-system calibration.
+
+These are the reproduction's anchor tests: the registry's fleets must
+regenerate Tables 2 and 4 within tight tolerances, deterministically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.registry import (
+    NODE_VARIABILITY_SYSTEMS,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    TRACE_SYSTEMS,
+    get_system,
+    get_trace_setup,
+    list_systems,
+    workload_utilisation,
+)
+from repro.traces.ops import segment_average
+from repro.traces.synth import simulate_run
+
+
+class TestCatalog:
+    def test_list_systems(self):
+        names = list_systems()
+        assert "lrz" in names and "l-csc" in names
+        assert len(names) == len(set(names)) == 10
+
+    def test_tables_consistent(self):
+        assert set(PAPER_TABLE3) == set(PAPER_TABLE4)
+        assert set(PAPER_TABLE2) == set(TRACE_SYSTEMS)
+
+    def test_table4_published_cvs_in_band(self):
+        # Sanity of the transcribed constants themselves.
+        for row in PAPER_TABLE4.values():
+            assert 0.014 < row.cv < 0.03
+
+    def test_unknown_system(self):
+        with pytest.raises(KeyError, match="unknown"):
+            get_system("nonexistent")
+        with pytest.raises(KeyError, match="unknown"):
+            get_trace_setup("lrz")  # node-variability name, not a trace
+
+
+@pytest.mark.parametrize("name", NODE_VARIABILITY_SYSTEMS)
+class TestTable4Calibration:
+    def test_fleet_size(self, name):
+        assert get_system(name).n_nodes == PAPER_TABLE4[name].n_nodes
+
+    def test_mean_matches(self, name):
+        sample = get_system(name).node_sample(workload_utilisation(name))
+        assert sample.mean() == pytest.approx(
+            PAPER_TABLE4[name].mean_w, rel=0.005
+        )
+
+    def test_cv_matches(self, name):
+        sample = get_system(name).node_sample(workload_utilisation(name))
+        assert sample.coefficient_of_variation() == pytest.approx(
+            PAPER_TABLE4[name].cv, rel=0.03
+        )
+
+    def test_deterministic(self, name):
+        a = get_system(name).node_sample(workload_utilisation(name))
+        b = get_system(name).node_sample(workload_utilisation(name))
+        np.testing.assert_array_equal(a.watts, b.watts)
+
+
+@pytest.mark.parametrize("name", TRACE_SYSTEMS)
+class TestTable2Calibration:
+    def test_segments_match_paper(self, name):
+        system, workload = get_trace_setup(name)
+        row = PAPER_TABLE2[name]
+        dt = max(1.0, workload.phases.total_s / 6000)
+        sim = simulate_run(system, workload, dt=dt)
+        core = sim.core_trace()
+        assert core.mean_power() / 1e3 == pytest.approx(row.core_kw, rel=0.005)
+        assert segment_average(core, 0.0, 0.2) / 1e3 == pytest.approx(
+            row.first20_kw, rel=0.01
+        )
+        assert segment_average(core, 0.8, 1.0) / 1e3 == pytest.approx(
+            row.last20_kw, rel=0.01
+        )
+
+    def test_runtime_matches(self, name):
+        _, workload = get_trace_setup(name)
+        assert workload.core_runtime_s == pytest.approx(
+            PAPER_TABLE2[name].runtime_s
+        )
+
+
+class TestSystemCharacter:
+    def test_titan_is_gpu_only(self):
+        titan = get_system("titan")
+        assert titan.config.n_cpus == 0
+        assert titan.config.n_gpus == 1
+
+    def test_lcsc_has_four_gpus(self):
+        system, _ = get_trace_setup("l-csc")
+        assert system.config.n_gpus == 4
+
+    def test_sequoia_scale(self):
+        system, _ = get_trace_setup("sequoia")
+        assert system.n_nodes > 50_000  # ~2 million cores
+
+    def test_cpu_runs_flat_gpu_runs_tail(self):
+        _, cpu_wl = get_trace_setup("colosse")
+        _, gpu_wl = get_trace_setup("l-csc")
+        # The fitted tail parameter separates the two machine classes.
+        assert cpu_wl.rho < 0.05 < gpu_wl.rho

@@ -1,0 +1,118 @@
+"""Tests for repro.cluster.shared and its per-level consequences."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.shared import SharedInfrastructure
+from repro.cluster.system import SystemModel
+from repro.core.windows import full_core_window
+from repro.experiments import ext_subsystems
+from repro.metering.campaign import MeasurementCampaign
+from repro.metering.meter import MeterSpec
+from repro.traces.synth import simulate_run
+from repro.workloads.base import ConstantWorkload
+
+
+class TestSharedInfrastructure:
+    def test_power_composition(self):
+        s = SharedInfrastructure(
+            interconnect_watts=100.0,
+            interconnect_load_watts=20.0,
+            infrastructure_watts=50.0,
+        )
+        assert s.power(0.0) == pytest.approx(150.0)
+        assert s.power(1.0) == pytest.approx(170.0)
+
+    def test_estimate_applies_error(self):
+        s = SharedInfrastructure(
+            interconnect_watts=100.0, estimation_error=-0.2
+        )
+        assert s.estimate(1.0) == pytest.approx(80.0)
+
+    def test_is_zero(self):
+        assert SharedInfrastructure().is_zero
+        assert not SharedInfrastructure(interconnect_watts=1.0).is_zero
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            SharedInfrastructure(interconnect_watts=-1.0)
+        with pytest.raises(ValueError, match="exceed -1"):
+            SharedInfrastructure(estimation_error=-1.0)
+        with pytest.raises(ValueError, match="utilisation"):
+            SharedInfrastructure().power(1.5)
+
+    def test_vectorised_power(self):
+        s = SharedInfrastructure(interconnect_watts=10.0,
+                                 interconnect_load_watts=5.0)
+        p = s.power(np.array([0.0, 1.0]))
+        np.testing.assert_allclose(p, [10.0, 15.0])
+
+
+class TestSystemIntegration:
+    @pytest.fixture()
+    def shared_system(self, cpu_config):
+        shared = SharedInfrastructure(
+            interconnect_watts=800.0,
+            infrastructure_watts=200.0,
+            estimation_error=-0.3,
+        )
+        return SystemModel("shared-sys", 32, cpu_config, shared=shared,
+                           seed=9)
+
+    def test_total_exceeds_compute(self, shared_system):
+        compute = shared_system.system_power(0.9)
+        total = shared_system.total_system_power(0.9)
+        assert total == pytest.approx(compute + 1000.0)
+
+    def test_trace_includes_shared(self, shared_system, cpu_config):
+        wl = ConstantWorkload(utilisation=0.9, core_s=300.0)
+        with_shared = simulate_run(shared_system, wl, dt=1.0, noise_cv=0.0)
+        bare = SystemModel("bare", 32, cpu_config, seed=9)
+        without = simulate_run(bare, wl, dt=1.0, noise_cv=0.0)
+        delta = (
+            with_shared.true_core_average() - without.true_core_average()
+        )
+        assert delta == pytest.approx(1000.0, rel=0.01)
+
+    def test_subset_traces_exclude_shared(self, shared_system, cpu_config):
+        wl = ConstantWorkload(utilisation=0.9, core_s=300.0)
+        run = simulate_run(shared_system, wl, dt=1.0, noise_cv=0.0)
+        full_nodes = run.subset_trace(np.arange(32))
+        # Node meters see only compute power.
+        assert run.trace.mean_power() - full_nodes.mean_power() == (
+            pytest.approx(1000.0, rel=0.01)
+        )
+
+    def test_level_bias_ordering(self, shared_system):
+        wl = ConstantWorkload(utilisation=0.9, core_s=300.0)
+        run = simulate_run(shared_system, wl, dt=1.0, noise_cv=0.0)
+        campaign = MeasurementCampaign(run, meter_spec=MeterSpec.ideal())
+        idx = np.arange(32)
+        l1 = campaign.level1(window=full_core_window(), node_indices=idx)
+        l2 = campaign.level2(node_indices=idx)
+        l3 = campaign.level3()
+        # L1 misses all shared power; L2 misses the estimation error's
+        # worth; L3 is exact.
+        assert l1.reported_watts < l2.reported_watts < l3.reported_watts
+        assert l3.relative_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_variants_preserve_shared(self, shared_system):
+        scaled = shared_system.with_power_scale(2.0)
+        assert scaled.shared is shared_system.shared
+
+
+class TestX6Experiment:
+    def test_all_ok(self):
+        res = ext_subsystems.run()
+        assert res.all_ok(), "\n".join(
+            c.line() for c in res.comparisons() if not c.ok
+        )
+
+    def test_larger_share_larger_bias(self):
+        small = ext_subsystems.run(shared_fraction=0.05)
+        large = ext_subsystems.run(shared_fraction=0.20)
+        assert large.overstatement["L1"] > small.overstatement["L1"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shared_fraction"):
+            ext_subsystems.run(shared_fraction=0.6)

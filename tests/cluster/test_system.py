@@ -1,0 +1,159 @@
+"""Tests for repro.cluster.system."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.dvfs import OperatingPoint
+from repro.cluster.system import SystemModel
+from repro.cluster.thermal import FanPolicy
+from repro.cluster.variability import ManufacturingVariation
+
+
+class TestConstruction:
+    def test_repr(self, small_system):
+        assert "test-cpu" in repr(small_system)
+        assert "CPU" in repr(small_system)
+
+    def test_gpu_repr(self, gpu_system):
+        assert "GPU" in repr(gpu_system)
+
+    def test_bad_n_nodes(self, cpu_config):
+        with pytest.raises(ValueError, match="n_nodes"):
+            SystemModel("x", 0, cpu_config)
+
+    def test_bad_power_scale(self, cpu_config):
+        with pytest.raises(ValueError, match="power_scale"):
+            SystemModel("x", 4, cpu_config, power_scale=0.0)
+
+
+class TestFleetEvaluation:
+    def test_shapes(self, small_system):
+        p = small_system.node_total_powers(0.9)
+        assert p.shape == (small_system.n_nodes,)
+        assert np.all(p > 0)
+
+    def test_deterministic(self, cpu_config):
+        a = SystemModel("a", 32, cpu_config, seed=5).node_total_powers(0.9)
+        b = SystemModel("b", 32, cpu_config, seed=5).node_total_powers(0.9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_fleet(self, cpu_config):
+        a = SystemModel("a", 32, cpu_config, seed=5).node_total_powers(0.9)
+        b = SystemModel("b", 32, cpu_config, seed=6).node_total_powers(0.9)
+        assert not np.array_equal(a, b)
+
+    def test_monotone_in_utilisation(self, small_system):
+        p_lo = small_system.node_total_powers(0.3)
+        p_hi = small_system.node_total_powers(0.9)
+        assert np.all(p_hi > p_lo)
+
+    def test_utilisation_range(self, small_system):
+        with pytest.raises(ValueError, match="utilisation"):
+            small_system.node_total_powers(1.2)
+
+    def test_indices_subset_matches_full(self, small_system):
+        full = small_system.node_total_powers(0.8)
+        idx = np.array([3, 7, 11])
+        sub = small_system.node_total_powers(0.8, indices=idx)
+        np.testing.assert_allclose(sub, full[idx])
+
+    def test_gpu_point_override(self, gpu_system):
+        default = gpu_system.node_total_powers(0.95)
+        tuned = gpu_system.node_total_powers(
+            0.95, gpu_point=OperatingPoint(700.0, 1.0)
+        )
+        assert tuned.mean() < default.mean()
+
+    def test_system_power_is_fleet_sum(self, small_system):
+        assert small_system.system_power(0.9) == pytest.approx(
+            small_system.node_total_powers(0.9).sum()
+        )
+
+    def test_power_scale_linear_on_it(self, cpu_config):
+        # With fans pinned, scaling is exactly linear.
+        base = SystemModel("x", 16, cpu_config, seed=1).with_fan_policy(
+            FanPolicy.PINNED
+        )
+        doubled = base.with_power_scale(2.0)
+        it_base = base.node_it_powers(0.9)
+        it_doubled = doubled.node_it_powers(0.9)
+        np.testing.assert_allclose(it_doubled, 2.0 * it_base, rtol=1e-12)
+
+
+class TestNodeSample:
+    def test_sample_statistics(self, small_system):
+        ns = small_system.node_sample(0.9)
+        assert len(ns) == small_system.n_nodes
+        assert 0.001 < ns.coefficient_of_variation() < 0.1
+
+    def test_measurement_noise_widens_spread(self, small_system):
+        clean = small_system.node_sample(0.9)
+        noisy = small_system.node_sample(
+            0.9, measurement_noise_cv=0.05,
+            rng=np.random.default_rng(0),
+        )
+        assert (
+            noisy.coefficient_of_variation()
+            > clean.coefficient_of_variation()
+        )
+
+    def test_negative_noise_rejected(self, small_system):
+        with pytest.raises(ValueError, match="measurement_noise_cv"):
+            small_system.node_sample(0.9, measurement_noise_cv=-0.1)
+
+    def test_system_label(self, small_system):
+        assert small_system.node_sample(0.9).system == "test-cpu"
+
+
+class TestManufactureNode:
+    def test_agrees_with_fleet(self, gpu_system):
+        idx = 5
+        node = gpu_system.manufacture_node(idx)
+        fleet_power = gpu_system.node_total_powers(0.9)[idx]
+        # power_scale applies at fleet level, node object is unscaled.
+        node_power = node.total_power(0.9) * gpu_system.power_scale
+        assert node_power == pytest.approx(fleet_power, rel=0.02)
+
+    def test_out_of_range(self, small_system):
+        with pytest.raises(ValueError, match="out of range"):
+            small_system.manufacture_node(small_system.n_nodes)
+
+
+class TestVariants:
+    def test_pinned_fans_reduce_spread(self, cpu_config):
+        auto = SystemModel(
+            "x", 256, cpu_config,
+            variation=ManufacturingVariation(sigma=0.005),
+            seed=3,
+        )
+        pinned = auto.with_fan_policy(FanPolicy.PINNED, pinned_speed=0.5)
+        cv_auto = auto.node_sample(0.9).coefficient_of_variation()
+        cv_pinned = pinned.node_sample(0.9).coefficient_of_variation()
+        assert cv_pinned < cv_auto
+
+    def test_variants_preserve_fleet_draws(self, small_system):
+        scaled = small_system.with_power_scale(1.5)
+        # Same silicon: scaled powers are exactly 1.5x on IT side.
+        np.testing.assert_allclose(
+            scaled.node_it_powers(0.9),
+            1.5 * small_system.node_it_powers(0.9),
+            rtol=1e-12,
+        )
+
+    def test_with_variation_reroll(self, small_system):
+        wider = small_system.with_variation(
+            ManufacturingVariation(sigma=0.08)
+        )
+        cv0 = small_system.node_sample(0.9).coefficient_of_variation()
+        cv1 = wider.node_sample(0.9).coefficient_of_variation()
+        assert cv1 > cv0
+
+    def test_variation_same_seed_same_z_scores(self, small_system):
+        # Same seed → same underlying draws, so doubling sigma roughly
+        # doubles the log-multipliers.
+        wider = small_system.with_variation(
+            ManufacturingVariation(sigma=0.04)
+        )
+        a = np.log(small_system._fleet().proc_mean_mult)
+        b = np.log(wider._fleet().proc_mean_mult)
+        assert np.corrcoef(a, b)[0, 1] > 0.999

@@ -1,0 +1,108 @@
+"""Tests for repro.cluster.thermal."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.components import FanModel
+from repro.cluster.thermal import FanController, FanPolicy, ThermalEnvironment
+
+
+@pytest.fixture()
+def env():
+    return ThermalEnvironment()
+
+
+@pytest.fixture()
+def controller():
+    return FanController(
+        fan_model=FanModel(max_watts=120.0, min_speed=0.3),
+        reference_watts=1000.0,
+    )
+
+
+class TestThermalEnvironment:
+    def test_inlet_temperatures_near_nominal(self, env, rng):
+        t = env.sample_inlet_temperatures(10_000, rng)
+        assert t.mean() == pytest.approx(env.nominal_inlet_c, abs=0.1)
+        assert t.std() == pytest.approx(env.inlet_spread_c, rel=0.1)
+
+    def test_truncation(self, env, rng):
+        t = env.sample_inlet_temperatures(100_000, rng)
+        assert t.max() <= env.nominal_inlet_c + 3 * env.inlet_spread_c + 1e-9
+        assert t.min() >= env.nominal_inlet_c - 3 * env.inlet_spread_c - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="inlet_spread"):
+            ThermalEnvironment(inlet_spread_c=-1.0)
+        with pytest.raises(ValueError, match="max_inlet"):
+            ThermalEnvironment(nominal_inlet_c=30.0, max_inlet_c=25.0)
+        with pytest.raises(ValueError, match="n must be"):
+            ThermalEnvironment().sample_inlet_temperatures(0, np.random.default_rng())
+
+
+class TestAutoPolicy:
+    def test_speed_rises_with_power(self, controller, env):
+        s_lo = controller.speed(200.0, env.nominal_inlet_c, env)
+        s_hi = controller.speed(1500.0, env.nominal_inlet_c, env)
+        assert s_hi > s_lo
+
+    def test_speed_rises_with_inlet(self, controller, env):
+        s_cool = controller.speed(800.0, 20.0, env)
+        s_warm = controller.speed(800.0, 30.0, env)
+        assert s_warm > s_cool
+
+    def test_speed_clipped_to_one(self, controller, env):
+        assert controller.speed(1e6, env.max_inlet_c, env) == 1.0
+
+    def test_speed_floor(self, controller, env):
+        s = controller.speed(0.0, env.nominal_inlet_c - 10.0, env)
+        assert s >= controller.fan_model.min_speed
+
+    def test_power_vectorised(self, controller, env, rng):
+        watts = rng.uniform(300.0, 900.0, 50)
+        inlets = env.sample_inlet_temperatures(50, rng)
+        p = controller.power(watts, inlets, env)
+        assert p.shape == (50,)
+        assert np.all(p >= 0)
+
+    def test_negative_power_rejected(self, controller, env):
+        with pytest.raises(ValueError, match="non-negative"):
+            controller.speed(-5.0, 22.0, env)
+
+    def test_fan_variance_from_inlet_spread(self, controller, env, rng):
+        # Identical IT power, varying rack position → fan power spread
+        # (the node-variability source the paper's Section 5 flags).
+        inlets = env.sample_inlet_temperatures(5000, rng)
+        p = controller.power(800.0, inlets, env)
+        assert p.std() > 0.5  # watts of spread with no silicon variation
+
+
+class TestPinnedPolicy:
+    def test_pinned_ignores_state(self, controller, env):
+        pinned = controller.pinned()
+        s1 = pinned.speed(100.0, 18.0, env)
+        s2 = pinned.speed(2000.0, 34.0, env)
+        assert s1 == s2 == pinned.pinned_speed
+
+    def test_pinned_speed_override(self, controller, env):
+        pinned = controller.pinned(0.6)
+        assert pinned.speed(500.0, 25.0, env) == 0.6
+
+    def test_pinned_kills_variance(self, controller, env, rng):
+        inlets = env.sample_inlet_temperatures(1000, rng)
+        p = controller.pinned().power(800.0, inlets, env)
+        assert np.ptp(np.asarray(p)) == 0.0
+
+    def test_pinned_vector_shape(self, controller, env, rng):
+        inlets = env.sample_inlet_temperatures(7, rng)
+        p = controller.pinned().power(np.full(7, 500.0), inlets, env)
+        assert np.asarray(p).shape == (7,)
+
+    def test_validation(self):
+        fan = FanModel(max_watts=100.0, min_speed=0.3)
+        with pytest.raises(ValueError, match="pinned_speed"):
+            FanController(fan_model=fan, pinned_speed=0.1)
+        with pytest.raises(ValueError, match="gains"):
+            FanController(fan_model=fan, k_power=-1.0)
+        with pytest.raises(ValueError, match="reference"):
+            FanController(fan_model=fan, reference_watts=0.0)

@@ -1,0 +1,153 @@
+"""Tests for repro.cluster.variability."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.variability import (
+    ManufacturingVariation,
+    VidBinning,
+    assign_vids,
+)
+
+
+class TestManufacturingVariation:
+    def test_multipliers_positive(self, rng):
+        v = ManufacturingVariation(sigma=0.05)
+        m = v.sample_multipliers(1000, rng)
+        assert np.all(m > 0)
+
+    def test_median_near_one(self, rng):
+        v = ManufacturingVariation(sigma=0.03)
+        m = v.sample_multipliers(50_000, rng)
+        assert np.median(m) == pytest.approx(1.0, abs=0.01)
+
+    def test_spread_matches_sigma(self, rng):
+        v = ManufacturingVariation(sigma=0.02)
+        m = v.sample_multipliers(100_000, rng)
+        assert np.std(np.log(m)) == pytest.approx(0.02, rel=0.05)
+
+    def test_zero_sigma_degenerate(self, rng):
+        v = ManufacturingVariation(sigma=0.0)
+        m = v.sample_multipliers(10, rng)
+        np.testing.assert_allclose(m, 1.0)
+
+    def test_outliers_skew_high(self, rng):
+        v = ManufacturingVariation(sigma=0.01, outlier_rate=0.2,
+                                   outlier_sigma=0.3)
+        m = v.sample_multipliers(20_000, rng)
+        # Outlier bump is one-sided (adds |N| in log space).
+        c = np.log(m) - np.log(m).mean()
+        skew = (c**3).mean() / (c**2).mean() ** 1.5
+        assert skew > 0.5
+
+    def test_outlier_rate_respected(self, rng):
+        v = ManufacturingVariation(sigma=1e-6, outlier_rate=0.1,
+                                   outlier_sigma=0.5)
+        m = v.sample_multipliers(50_000, rng)
+        frac_big = np.mean(m > 1.01)
+        assert frac_big == pytest.approx(0.1, abs=0.01)
+
+    def test_expected_cv_small_sigma(self):
+        assert ManufacturingVariation(sigma=0.02).expected_cv() == pytest.approx(
+            0.02, rel=0.01
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ManufacturingVariation(sigma=-0.1)
+        with pytest.raises(ValueError, match="outlier_rate"):
+            ManufacturingVariation(outlier_rate=1.0)
+        with pytest.raises(ValueError, match="n must be"):
+            ManufacturingVariation().sample_multipliers(0, np.random.default_rng())
+
+    def test_deterministic_given_rng(self):
+        v = ManufacturingVariation(sigma=0.02, outlier_rate=0.05)
+        a = v.sample_multipliers(100, np.random.default_rng(3))
+        b = v.sample_multipliers(100, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestVidBinning:
+    def test_voltage_monotone_in_vid(self):
+        b = VidBinning()
+        volts = [b.voltage_for_vid(v) for v in b.vid_values]
+        assert all(v2 > v1 for v1, v2 in zip(volts, volts[1:]))
+
+    def test_voltage_for_lowest_vid(self):
+        b = VidBinning()
+        assert b.voltage_for_vid(b.vid_values[0]) == pytest.approx(b.base_volts)
+
+    def test_voltage_step(self):
+        b = VidBinning()
+        v0 = b.voltage_for_vid(b.vid_values[0])
+        v1 = b.voltage_for_vid(b.vid_values[1])
+        assert v1 - v0 == pytest.approx(b.volts_per_step)
+
+    def test_vectorised_voltage(self):
+        b = VidBinning()
+        vids = np.array(b.vid_values[:3])
+        volts = b.voltage_for_vid(vids)
+        assert volts.shape == (3,)
+
+    def test_out_of_grid_rejected(self):
+        b = VidBinning()
+        with pytest.raises(ValueError, match="grid"):
+            b.voltage_for_vid(b.vid_values[-1] + 1)
+
+    def test_quality_to_vid_extremes(self):
+        b = VidBinning()
+        vids = b.quality_to_vid(np.array([0.0, 1.0]))
+        assert vids[0] == b.vid_values[0]
+        assert vids[-1] == b.vid_values[-1]
+
+    def test_quality_to_vid_monotone(self, rng):
+        b = VidBinning()
+        q = np.sort(rng.random(100))
+        vids = b.quality_to_vid(q)
+        assert np.all(np.diff(vids) >= 0)
+
+    def test_quality_out_of_range(self):
+        with pytest.raises(ValueError, match="quality"):
+            VidBinning().quality_to_vid(np.array([1.5]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="two VID"):
+            VidBinning(vid_values=(40,))
+        with pytest.raises(ValueError, match="increasing"):
+            VidBinning(vid_values=(42, 41))
+        with pytest.raises(ValueError, match="positive"):
+            VidBinning(volts_per_step=0.0)
+
+
+class TestAssignVids:
+    def test_all_in_grid(self, rng):
+        b = VidBinning()
+        vids = assign_vids(500, rng, b)
+        assert set(vids.tolist()) <= set(b.vid_values)
+
+    def test_mid_grid_dominates(self, rng):
+        b = VidBinning()
+        vids = assign_vids(20_000, rng, b, concentration=2.0)
+        counts = {v: int((vids == v).sum()) for v in b.vid_values}
+        mid = b.vid_values[len(b.vid_values) // 2]
+        assert counts[mid] > counts[b.vid_values[0]]
+        assert counts[mid] > counts[b.vid_values[-1]]
+
+    def test_deterministic(self):
+        a = assign_vids(50, np.random.default_rng(4))
+        b = assign_vids(50, np.random.default_rng(4))
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_args(self, rng):
+        with pytest.raises(ValueError):
+            assign_vids(0, rng)
+        with pytest.raises(ValueError):
+            assign_vids(5, rng, concentration=0.0)
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=1, max_value=200))
+    def test_length(self, n):
+        vids = assign_vids(n, np.random.default_rng(0))
+        assert vids.shape == (n,)

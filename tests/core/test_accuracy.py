@@ -1,0 +1,46 @@
+"""Tests for repro.core.accuracy."""
+
+import pytest
+
+from repro.core.accuracy import assess_accuracy
+
+
+class TestAssessAccuracy:
+    def test_basic(self, rng):
+        x = rng.normal(400.0, 8.0, 32)
+        a = assess_accuracy(x, 2048)
+        assert a.achieved_lambda > 0
+        assert a.cv == pytest.approx(8.0 / 400.0, rel=0.4)
+        assert a.meets_target is None
+
+    def test_target_met(self, rng):
+        x = rng.normal(400.0, 8.0, 370)
+        a = assess_accuracy(x, 10_000, target_lambda=0.01)
+        assert a.meets_target is True
+
+    def test_target_missed(self, rng):
+        x = rng.normal(400.0, 20.0, 4)
+        a = assess_accuracy(x, 10_000, target_lambda=0.001)
+        assert a.meets_target is False
+
+    def test_summary_contains_verdict(self, rng):
+        x = rng.normal(400.0, 8.0, 16)
+        good = assess_accuracy(x, 1000, target_lambda=0.5)
+        bad = assess_accuracy(x, 1000, target_lambda=1e-6)
+        assert "meets" in good.summary()
+        assert "MISSES" in bad.summary()
+
+    def test_interval_property(self, rng):
+        x = rng.normal(400.0, 8.0, 16)
+        a = assess_accuracy(x, 1000)
+        assert a.interval.mean == pytest.approx(x.mean() * 1000)
+
+    def test_more_nodes_tighter(self, rng):
+        fleet = rng.normal(400.0, 8.0, 2000)
+        small = assess_accuracy(fleet[:8], 2000)
+        large = assess_accuracy(fleet[:256], 2000)
+        assert large.achieved_lambda < small.achieved_lambda
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            assess_accuracy([0.0, 0.0, 0.0], 100)

@@ -1,0 +1,106 @@
+"""Tests for repro.core.capping."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.registry import get_system, workload_utilisation
+from repro.core.capping import (
+    assess_cap,
+    exceedance_probability,
+    required_cap,
+)
+
+
+@pytest.fixture()
+def fleet_watts():
+    return get_system("lrz").node_sample(workload_utilisation("lrz")).watts
+
+
+class TestExceedanceProbability:
+    def test_cap_at_mean_is_half(self, fleet_watts):
+        n = 64
+        cap = fleet_watts.mean() * n
+        p = exceedance_probability(fleet_watts, cap, n)
+        assert p == pytest.approx(0.5, abs=0.02)
+
+    def test_generous_cap_never_exceeded(self, fleet_watts):
+        n = 64
+        cap = fleet_watts.mean() * n * 1.2
+        assert exceedance_probability(fleet_watts, cap, n) < 1e-6
+
+    def test_tight_cap_always_exceeded(self, fleet_watts):
+        n = 64
+        cap = fleet_watts.mean() * n * 0.8
+        assert exceedance_probability(fleet_watts, cap, n) > 1 - 1e-6
+
+    def test_normal_matches_bootstrap(self, fleet_watts):
+        n = 32
+        cap = fleet_watts.mean() * n * 1.005
+        p_n = exceedance_probability(fleet_watts, cap, n)
+        p_b = exceedance_probability(
+            fleet_watts, cap, n, method="bootstrap",
+            rng=np.random.default_rng(0),
+        )
+        assert p_n == pytest.approx(p_b, abs=0.03)
+
+    def test_aggregation_narrows_relative_spread(self, fleet_watts):
+        # The same relative headroom is exceeded less often by a larger
+        # group: σ of the aggregate grows like √n while the mean grows
+        # like n.
+        cap_factor = 1.01
+        p_small = exceedance_probability(
+            fleet_watts, fleet_watts.mean() * 8 * cap_factor, 8
+        )
+        p_large = exceedance_probability(
+            fleet_watts, fleet_watts.mean() * 512 * cap_factor, 512
+        )
+        assert p_large < p_small
+
+    def test_validation(self, fleet_watts):
+        with pytest.raises(ValueError, match="method"):
+            exceedance_probability(fleet_watts, 1e5, 8, method="psychic")
+        with pytest.raises(ValueError, match="cap_watts"):
+            exceedance_probability(fleet_watts, 0.0, 8)
+        with pytest.raises(ValueError, match="at least two"):
+            exceedance_probability([100.0], 1e3, 8)
+
+
+class TestRequiredCap:
+    def test_roundtrip(self, fleet_watts):
+        n = 128
+        cap = required_cap(fleet_watts, n, exceedance_target=0.01)
+        p = exceedance_probability(fleet_watts, cap, n)
+        assert p == pytest.approx(0.01, abs=0.003)
+
+    def test_stricter_target_higher_cap(self, fleet_watts):
+        loose = required_cap(fleet_watts, 64, exceedance_target=0.10)
+        strict = required_cap(fleet_watts, 64, exceedance_target=0.001)
+        assert strict > loose
+
+    def test_bootstrap_close_to_normal(self, fleet_watts):
+        c_n = required_cap(fleet_watts, 64, exceedance_target=0.05)
+        c_b = required_cap(
+            fleet_watts, 64, exceedance_target=0.05, method="bootstrap",
+            rng=np.random.default_rng(1),
+        )
+        assert c_b == pytest.approx(c_n, rel=0.005)
+
+    def test_headroom_shrinks_with_scale(self, fleet_watts):
+        # The paper's variability numbers translate directly into
+        # procurement headroom — and aggregation makes large caps tight.
+        mu = fleet_watts.mean()
+        h_small = required_cap(fleet_watts, 16) / (16 * mu) - 1
+        h_large = required_cap(fleet_watts, 4096) / (4096 * mu) - 1
+        assert h_large < h_small / 4
+
+    def test_validation(self, fleet_watts):
+        with pytest.raises(ValueError, match="exceedance_target"):
+            required_cap(fleet_watts, 8, exceedance_target=1.0)
+
+
+class TestAssessCap:
+    def test_summary(self, fleet_watts):
+        cap = fleet_watts.mean() * 64 * 1.02
+        a = assess_cap(fleet_watts, cap, 64)
+        assert a.headroom_fraction == pytest.approx(0.02, abs=1e-9)
+        assert "kW" in a.summary()

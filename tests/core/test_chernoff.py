@@ -1,0 +1,52 @@
+"""Tests for the Chernoff-Hoeffding baseline rule (repro.core.sampling)."""
+
+import math
+
+import pytest
+
+from repro.core.sampling import (
+    chernoff_hoeffding_sample_size,
+    recommend_sample_size,
+)
+
+
+class TestChernoffHoeffding:
+    def test_closed_form(self):
+        # n = (b-a)^2 ln(2/alpha) / (2 (λ μ)^2)
+        n = chernoff_hoeffding_sample_size((300.0, 500.0), 400.0, 0.01)
+        expected = (200.0**2) * math.log(2 / 0.05) / (2 * (0.01 * 400.0) ** 2)
+        assert n == math.ceil(expected)
+
+    def test_much_more_conservative_than_eq5(self):
+        # The paper's Section 2.1 point, quantitatively.
+        eq5 = recommend_sample_size(10_000, 0.025, 0.01).n
+        ch = chernoff_hoeffding_sample_size((300.0, 550.0), 400.0, 0.01)
+        assert ch > 50 * eq5
+
+    def test_tighter_range_fewer_nodes(self):
+        wide = chernoff_hoeffding_sample_size((200.0, 600.0), 400.0, 0.01)
+        tight = chernoff_hoeffding_sample_size((380.0, 420.0), 400.0, 0.01)
+        assert tight < wide
+
+    def test_quadratic_in_accuracy(self):
+        a = chernoff_hoeffding_sample_size((300.0, 500.0), 400.0, 0.01)
+        b = chernoff_hoeffding_sample_size((300.0, 500.0), 400.0, 0.02)
+        assert a / b == pytest.approx(4.0, rel=0.01)
+
+    def test_higher_confidence_more_nodes(self):
+        lo = chernoff_hoeffding_sample_size((300.0, 500.0), 400.0, 0.01,
+                                            confidence=0.90)
+        hi = chernoff_hoeffding_sample_size((300.0, 500.0), 400.0, 0.01,
+                                            confidence=0.99)
+        assert hi > lo
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="a < b"):
+            chernoff_hoeffding_sample_size((500.0, 300.0), 400.0)
+        with pytest.raises(ValueError, match="inside the power range"):
+            chernoff_hoeffding_sample_size((300.0, 500.0), 600.0)
+        with pytest.raises(ValueError, match="accuracy"):
+            chernoff_hoeffding_sample_size((300.0, 500.0), 400.0, 0.0)
+        with pytest.raises(ValueError, match="confidence"):
+            chernoff_hoeffding_sample_size((300.0, 500.0), 400.0, 0.01,
+                                           confidence=1.0)

@@ -1,0 +1,88 @@
+"""Tests for repro.core.estimators."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import (
+    extrapolate_full_system,
+    extrapolation_error,
+)
+
+
+class TestExtrapolate:
+    def test_scaling(self, rng):
+        x = rng.normal(500.0, 10.0, 16)
+        est = extrapolate_full_system(x, 1024)
+        assert est.total_watts == pytest.approx(x.mean() * 1024)
+        assert est.n_measured == 16
+        assert est.n_nodes == 1024
+
+    def test_interval_scales(self, rng):
+        x = rng.normal(500.0, 10.0, 16)
+        est = extrapolate_full_system(x, 1024)
+        assert est.interval.mean == pytest.approx(est.total_watts)
+        assert est.interval.half_width == pytest.approx(
+            est.per_node.half_width * 1024
+        )
+
+    def test_relative_half_width_invariant_to_scale(self, rng):
+        # Without the finite-population correction, the relative
+        # accuracy depends only on the subset, not the fleet size.
+        x = rng.normal(500.0, 10.0, 16)
+        a = extrapolate_full_system(x, 100, apply_fpc=False)
+        b = extrapolate_full_system(x, 10_000, apply_fpc=False)
+        assert a.relative_half_width == pytest.approx(
+            b.relative_half_width, rel=1e-9
+        )
+
+    def test_fpc_helps_small_fleets_more(self, rng):
+        x = rng.normal(500.0, 10.0, 16)
+        small = extrapolate_full_system(x, 100)
+        large = extrapolate_full_system(x, 10_000)
+        assert small.relative_half_width < large.relative_half_width
+
+    def test_fpc_optional(self, rng):
+        x = rng.normal(500.0, 10.0, 50)
+        with_fpc = extrapolate_full_system(x, 100, apply_fpc=True)
+        without = extrapolate_full_system(x, 100, apply_fpc=False)
+        assert with_fpc.per_node.half_width < without.per_node.half_width
+
+    def test_subset_larger_than_fleet_rejected(self, rng):
+        with pytest.raises(ValueError, match="smaller than"):
+            extrapolate_full_system(rng.normal(size=20), 10)
+
+    def test_estimator_unbiased(self, rng):
+        # Mean extrapolation error over many random subsets ≈ 0.
+        fleet = rng.normal(300.0, 9.0, 2000)
+        truth = fleet.sum()
+        errors = []
+        for _ in range(400):
+            idx = rng.choice(2000, size=31, replace=False)
+            est = extrapolate_full_system(fleet[idx], 2000)
+            errors.append(extrapolation_error(est.total_watts, truth))
+        assert abs(np.mean(errors)) < 0.003
+
+    def test_interval_covers_truth(self, rng):
+        fleet = rng.normal(300.0, 9.0, 2000)
+        truth = fleet.sum()
+        hits = 0
+        trials = 600
+        for _ in range(trials):
+            idx = rng.choice(2000, size=25, replace=False)
+            est = extrapolate_full_system(fleet[idx], 2000)
+            hits += est.interval.contains(truth)
+        assert hits / trials == pytest.approx(0.95, abs=0.03)
+
+    def test_str(self, rng):
+        s = str(extrapolate_full_system(rng.normal(500.0, 10.0, 8), 64))
+        assert "kW" in s and "8/64" in s
+
+
+class TestExtrapolationError:
+    def test_signed(self):
+        assert extrapolation_error(110.0, 100.0) == pytest.approx(0.10)
+        assert extrapolation_error(90.0, 100.0) == pytest.approx(-0.10)
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            extrapolation_error(1.0, 0.0)

@@ -1,0 +1,231 @@
+"""Tests for repro.core.methodology — the Table 1 rules."""
+
+import pytest
+
+from repro.core.methodology import (
+    Aspect,
+    LEVEL_SPECS,
+    Level,
+    MeasurementDescription,
+    MeasurementPoint,
+    Subsystem,
+    check_submission,
+    machine_fraction_nodes,
+)
+
+
+def make_description(**overrides):
+    """A Level 1-compliant baseline description."""
+    kwargs = dict(
+        level=Level.L1,
+        n_nodes_total=1024,
+        n_nodes_measured=16,
+        avg_node_power_watts=400.0,
+        window_start_fraction=0.4,
+        window_end_fraction=0.6,
+        core_phase_seconds=5400.0,
+        sample_interval_s=1.0,
+    )
+    kwargs.update(overrides)
+    return MeasurementDescription(**kwargs)
+
+
+class TestMachineFraction:
+    def test_l1_fraction_arm(self):
+        # 1024/64 = 16 nodes; 2 kW at 400 W = 5 nodes → fraction wins.
+        assert machine_fraction_nodes(Level.L1, 1024, 400.0) == 16
+
+    def test_l1_power_arm(self):
+        # 128/64 = 2 nodes; 2 kW at 400 W = 5 nodes → power wins.
+        assert machine_fraction_nodes(Level.L1, 128, 400.0) == 5
+
+    def test_l2_eighth(self):
+        assert machine_fraction_nodes(Level.L2, 1024, 400.0) == 128
+
+    def test_l2_power_floor(self):
+        # 10 kW at 400 W = 25 nodes beats 64/8 = 8.
+        assert machine_fraction_nodes(Level.L2, 64, 400.0) == 25
+
+    def test_l3_everything(self):
+        assert machine_fraction_nodes(Level.L3, 777, 400.0) == 777
+
+    def test_capped_at_fleet(self):
+        # 2 kW at 10 W = 200 nodes, but the fleet only has 50.
+        assert machine_fraction_nodes(Level.L1, 50, 10.0) == 50
+
+    def test_at_least_one(self):
+        assert machine_fraction_nodes(Level.L1, 4, 100_000.0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_nodes"):
+            machine_fraction_nodes(Level.L1, 0, 100.0)
+        with pytest.raises(ValueError, match="node_power"):
+            machine_fraction_nodes(Level.L1, 10, 0.0)
+
+
+class TestLevelSpecs:
+    def test_levels_increasingly_strict_fraction(self):
+        assert (
+            LEVEL_SPECS[Level.L1].machine_fraction
+            < LEVEL_SPECS[Level.L2].machine_fraction
+            < LEVEL_SPECS[Level.L3].machine_fraction
+        )
+
+    def test_l3_requires_integration(self):
+        assert LEVEL_SPECS[Level.L3].max_sample_interval_s is None
+
+    def test_l1_middle_80(self):
+        assert LEVEL_SPECS[Level.L1].window_within_middle80
+        assert not LEVEL_SPECS[Level.L2].window_within_middle80
+
+    def test_l2_allows_estimation_l3_does_not(self):
+        assert LEVEL_SPECS[Level.L2].allow_estimated_subsystems
+        assert not LEVEL_SPECS[Level.L3].allow_estimated_subsystems
+
+
+class TestCheckSubmissionL1:
+    def test_compliant(self):
+        assert check_submission(make_description()) == []
+
+    def test_short_window(self):
+        desc = make_description(
+            window_start_fraction=0.4, window_end_fraction=0.45
+        )
+        violations = check_submission(desc)
+        assert any(v.aspect is Aspect.TIMING for v in violations)
+
+    def test_window_outside_middle_80(self):
+        desc = make_description(
+            window_start_fraction=0.0, window_end_fraction=0.2
+        )
+        violations = check_submission(desc)
+        assert any("middle 80%" in v.message for v in violations)
+
+    def test_one_minute_floor(self):
+        # A 5-minute core phase: 16% is 48 s < 60 s floor.
+        desc = make_description(
+            core_phase_seconds=300.0,
+            window_start_fraction=0.4,
+            window_end_fraction=0.56,
+        )
+        violations = check_submission(desc)
+        assert any(v.aspect is Aspect.TIMING for v in violations)
+
+    def test_too_few_nodes(self):
+        desc = make_description(n_nodes_measured=10)
+        violations = check_submission(desc)
+        assert any(v.aspect is Aspect.MACHINE_FRACTION for v in violations)
+
+    def test_coarse_sampling(self):
+        desc = make_description(sample_interval_s=5.0)
+        violations = check_submission(desc)
+        assert any(v.aspect is Aspect.GRANULARITY for v in violations)
+
+    def test_integrating_meter_fine_at_l1(self):
+        desc = make_description(sample_interval_s=None)
+        assert check_submission(desc) == []
+
+    def test_estimation_not_allowed(self):
+        desc = make_description(
+            subsystems_estimated=frozenset({Subsystem.INTERCONNECT})
+        )
+        violations = check_submission(desc)
+        assert any("estimation not allowed" in v.message for v in violations)
+
+    def test_l1_measurement_point(self):
+        desc = make_description(
+            measurement_point=MeasurementPoint.DOWNSTREAM_MODELED_OFFLINE
+        )
+        violations = check_submission(desc)
+        assert any(v.aspect is Aspect.MEASUREMENT_POINT for v in violations)
+
+
+class TestCheckSubmissionL2L3:
+    def make_l2(self, **overrides):
+        kwargs = dict(
+            level=Level.L2,
+            n_nodes_total=1024,
+            n_nodes_measured=128,
+            avg_node_power_watts=400.0,
+            window_start_fraction=0.0,
+            window_end_fraction=1.0,
+            core_phase_seconds=5400.0,
+            sample_interval_s=1.0,
+            subsystems_measured=frozenset({Subsystem.COMPUTE_NODES}),
+            subsystems_estimated=frozenset(
+                {Subsystem.INTERCONNECT, Subsystem.STORAGE,
+                 Subsystem.INFRASTRUCTURE_NODES}
+            ),
+            measurement_point=MeasurementPoint.UPSTREAM_OF_CONVERSION,
+        )
+        kwargs.update(overrides)
+        return MeasurementDescription(**kwargs)
+
+    def test_compliant_l2(self):
+        assert check_submission(self.make_l2()) == []
+
+    def test_l2_partial_window_rejected(self):
+        desc = self.make_l2(window_start_fraction=0.2)
+        violations = check_submission(desc)
+        assert any(v.aspect is Aspect.TIMING for v in violations)
+
+    def test_l2_missing_subsystems(self):
+        desc = self.make_l2(subsystems_estimated=frozenset())
+        violations = check_submission(desc)
+        assert any(v.aspect is Aspect.SUBSYSTEMS for v in violations)
+
+    def test_l3_compliant(self):
+        desc = self.make_l2(
+            level=Level.L3,
+            n_nodes_measured=1024,
+            sample_interval_s=None,
+            subsystems_measured=frozenset(Subsystem),
+            subsystems_estimated=frozenset(),
+        )
+        assert check_submission(desc) == []
+
+    def test_l3_discrete_sampling_rejected(self):
+        desc = self.make_l2(
+            level=Level.L3,
+            n_nodes_measured=1024,
+            sample_interval_s=1.0,
+            subsystems_measured=frozenset(Subsystem),
+            subsystems_estimated=frozenset(),
+        )
+        violations = check_submission(desc)
+        assert any("integrated" in v.message for v in violations)
+
+    def test_l3_partial_fleet_rejected(self):
+        desc = self.make_l2(
+            level=Level.L3,
+            n_nodes_measured=512,
+            sample_interval_s=None,
+            subsystems_measured=frozenset(Subsystem),
+            subsystems_estimated=frozenset(),
+        )
+        violations = check_submission(desc)
+        assert any(v.aspect is Aspect.MACHINE_FRACTION for v in violations)
+
+
+class TestMeasurementDescription:
+    def test_derived_properties(self):
+        desc = make_description()
+        assert desc.window_fraction == pytest.approx(0.2)
+        assert desc.window_seconds == pytest.approx(1080.0)
+        assert desc.measured_watts == pytest.approx(6400.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="measured"):
+            make_description(n_nodes_measured=0)
+        with pytest.raises(ValueError, match="window"):
+            make_description(window_start_fraction=0.7,
+                             window_end_fraction=0.6)
+        with pytest.raises(ValueError, match="core phase"):
+            make_description(core_phase_seconds=0.0)
+        with pytest.raises(ValueError, match="sample interval"):
+            make_description(sample_interval_s=0.0)
+
+    def test_violation_str(self):
+        desc = make_description(n_nodes_measured=2)
+        v = check_submission(desc)[0]
+        assert "machine fraction" in str(v)

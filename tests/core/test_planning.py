@@ -1,0 +1,127 @@
+"""Tests for repro.core.planning — plans and error budgets."""
+
+import pytest
+
+from repro.core.planning import (
+    ErrorBudget,
+    InstrumentationConstraints,
+    MeasurementPlan,
+    plan_measurement,
+)
+from repro.metering.meter import MeterSpec
+
+
+class TestErrorBudget:
+    def test_rss_and_worst_case(self):
+        b = ErrorBudget(sampling=0.03, instrument=0.04, window_bias=0.0,
+                        conversion=0.0)
+        assert b.rss == pytest.approx(0.05)
+        assert b.worst_case == pytest.approx(0.07)
+
+    def test_dominant_term(self):
+        b = ErrorBudget(sampling=0.01, instrument=0.002, window_bias=0.12,
+                        conversion=0.0)
+        assert b.dominant_term() == "window_bias"
+
+    def test_lines_render(self):
+        b = ErrorBudget(0.01, 0.01, 0.0, 0.0)
+        text = "\n".join(b.lines())
+        assert "RSS" in text and "worst case" in text
+
+
+class TestConstraints:
+    def test_max_nodes(self):
+        c = InstrumentationConstraints(n_meters=3, channels_per_meter=24)
+        assert c.max_nodes == 72
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_meters"):
+            InstrumentationConstraints(n_meters=0)
+        with pytest.raises(ValueError, match="channels"):
+            InstrumentationConstraints(channels_per_meter=0)
+        with pytest.raises(ValueError, match="machine_class"):
+            InstrumentationConstraints(machine_class="fpga")
+        with pytest.raises(ValueError, match="conversion"):
+            InstrumentationConstraints(conversion_modeling_error=-0.1)
+
+
+class TestPlanMeasurement:
+    def test_feasible_plan(self):
+        c = InstrumentationConstraints(
+            n_meters=4, channels_per_meter=24,
+            meter_spec=MeterSpec(gain_error_cv=0.002),
+        )
+        plan = plan_measurement(10_000, cv=0.025, target_lambda=0.02,
+                                constraints=c)
+        assert plan.feasible
+        assert plan.n_nodes_to_measure >= 16  # new-rule floor
+
+    def test_meter_pool_caps_nodes(self):
+        c = InstrumentationConstraints(n_meters=1, channels_per_meter=8)
+        plan = plan_measurement(10_000, cv=0.05, target_lambda=0.005,
+                                constraints=c)
+        assert plan.n_nodes_to_measure == 8
+        assert not plan.feasible  # can't reach ±0.5% with 8 nodes
+
+    def test_partial_window_dominates_gpu_budget(self):
+        c = InstrumentationConstraints(
+            n_meters=4, channels_per_meter=24,
+            full_core_window=False, machine_class="gpu",
+        )
+        plan = plan_measurement(10_000, cv=0.02, target_lambda=0.02,
+                                constraints=c)
+        assert plan.budget.dominant_term() == "window_bias"
+        assert not plan.feasible
+
+    def test_full_core_removes_window_term(self):
+        c = InstrumentationConstraints(full_core_window=True,
+                                       machine_class="gpu")
+        plan = plan_measurement(10_000, cv=0.02, target_lambda=0.02,
+                                constraints=c)
+        assert plan.budget.window_bias == 0.0
+
+    def test_better_meters_tighter_budget(self):
+        coarse = InstrumentationConstraints(
+            meter_spec=MeterSpec(gain_error_cv=0.015)
+        )
+        fine = InstrumentationConstraints(
+            meter_spec=MeterSpec(gain_error_cv=0.002)
+        )
+        p_coarse = plan_measurement(10_000, 0.025, 0.02, coarse)
+        p_fine = plan_measurement(10_000, 0.025, 0.02, fine)
+        assert p_fine.budget.rss < p_coarse.budget.rss
+
+    def test_more_meters_average_gain(self):
+        one = InstrumentationConstraints(
+            n_meters=1, channels_per_meter=64,
+            meter_spec=MeterSpec(gain_error_cv=0.01),
+        )
+        four = InstrumentationConstraints(
+            n_meters=4, channels_per_meter=16,
+            meter_spec=MeterSpec(gain_error_cv=0.01),
+        )
+        p1 = plan_measurement(10_000, 0.02, 0.01, one)
+        p4 = plan_measurement(10_000, 0.02, 0.01, four)
+        assert p4.budget.instrument < p1.budget.instrument
+
+    def test_conversion_term_included(self):
+        c = InstrumentationConstraints(conversion_modeling_error=0.03)
+        plan = plan_measurement(10_000, 0.02, 0.02, c)
+        assert plan.budget.conversion == 0.03
+
+    def test_summary_renders(self):
+        plan = plan_measurement(1000, 0.02, 0.02)
+        text = plan.summary()
+        assert "error budget" in text
+        assert "verdict" in text
+
+    def test_small_fleet_capped(self):
+        plan = plan_measurement(
+            10, 0.02, 0.001,
+            InstrumentationConstraints(n_meters=10, channels_per_meter=10),
+        )
+        assert plan.n_nodes_to_measure == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="target_lambda"):
+            plan_measurement(100, 0.02, 0.0)

@@ -1,0 +1,68 @@
+"""Tests for repro.core.recommendations — the paper's new rules."""
+
+import pytest
+
+from repro.core.recommendations import (
+    NEW_RULES,
+    NewRules,
+    meets_new_node_rule,
+    meets_new_window_rule,
+    recommended_measurement_nodes,
+)
+from repro.core.sampling import recommend_sample_size
+from repro.core.windows import MeasurementWindow, full_core_window
+
+
+class TestNodeRule:
+    def test_sixteen_floor(self):
+        # Large systems where 10% < ... wait: 10% of 100 = 10 < 16.
+        assert recommended_measurement_nodes(100) == 16
+        assert recommended_measurement_nodes(160) == 16
+
+    def test_ten_percent_arm(self):
+        assert recommended_measurement_nodes(210) == 21
+        assert recommended_measurement_nodes(18_688) == 1869
+
+    def test_capped_at_fleet(self):
+        assert recommended_measurement_nodes(10) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommended_measurement_nodes(0)
+
+    def test_meets(self):
+        assert meets_new_node_rule(16, 100)
+        assert not meets_new_node_rule(15, 100)
+        assert meets_new_node_rule(21, 210)
+        assert not meets_new_node_rule(16, 210)
+
+    def test_sixteen_suffices_at_headroom_cv(self):
+        # The paper chose 16 to reach the desired accuracy even at one
+        # level greater variability (σ/μ = 5%) than observed: at the
+        # observed band's 1.5% target accuracy, Eq. 5 agrees.
+        need = recommend_sample_size(
+            10_000, NEW_RULES.cv_headroom, accuracy=0.025
+        )
+        assert need.n <= NEW_RULES.min_nodes
+
+    def test_paper_quoted_eleven_nodes(self):
+        # "we find a measurement of at least 11 nodes to be reasonable
+        # even for very large systems" — at cv=2.5%, λ=1.5%.
+        need = recommend_sample_size(1_000_000, 0.025, accuracy=0.015)
+        assert need.n == 11
+
+
+class TestWindowRule:
+    def test_full_core_passes(self):
+        assert meets_new_window_rule(full_core_window())
+
+    def test_partial_fails(self):
+        assert not meets_new_window_rule(MeasurementWindow(0.1, 0.9))
+        assert not meets_new_window_rule(MeasurementWindow(0.0, 0.99))
+
+
+class TestCustomRules:
+    def test_custom_fraction(self):
+        rules = NewRules(min_nodes=8, node_fraction=0.25)
+        assert recommended_measurement_nodes(100, rules) == 25
+        assert recommended_measurement_nodes(20, rules) == 8

@@ -1,0 +1,195 @@
+"""Tests for repro.core.sampling — the Eq. 3-5 sample-size rule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling import (
+    achieved_accuracy,
+    recommend_sample_size,
+    required_sample_size_infinite,
+    sample_size_table,
+    two_step_pilot_plan,
+)
+
+
+class TestInfiniteFormula:
+    def test_eq4_value(self):
+        # n0 = (1.96/0.01 * 0.02)^2 ≈ 15.37.
+        n0 = required_sample_size_infinite(0.02, 0.01)
+        assert n0 == pytest.approx(15.366, rel=1e-3)
+
+    def test_quadratic_in_cv(self):
+        a = required_sample_size_infinite(0.02, 0.01)
+        b = required_sample_size_infinite(0.04, 0.01)
+        assert b / a == pytest.approx(4.0)
+
+    def test_inverse_quadratic_in_accuracy(self):
+        a = required_sample_size_infinite(0.02, 0.01)
+        b = required_sample_size_infinite(0.02, 0.02)
+        assert a / b == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="cv"):
+            required_sample_size_infinite(0.0, 0.01)
+        with pytest.raises(ValueError, match="accuracy"):
+            required_sample_size_infinite(0.02, 0.0)
+
+    @given(
+        st.floats(min_value=0.005, max_value=0.2),
+        st.floats(min_value=0.002, max_value=0.1),
+        st.floats(min_value=0.6, max_value=0.995),
+    )
+    def test_positive(self, cv, lam, conf):
+        assert required_sample_size_infinite(cv, lam, conf) > 0
+
+
+class TestRecommendSampleSize:
+    def test_paper_table5_spot_checks(self):
+        assert recommend_sample_size(10_000, 0.02, 0.01).n == 16
+        assert recommend_sample_size(10_000, 0.03, 0.005).n == 137
+        assert recommend_sample_size(10_000, 0.05, 0.005).n == 370
+        assert recommend_sample_size(10_000, 0.02, 0.02).n == 4
+
+    def test_fpc_reduces_requirement(self):
+        # Small fleet: the FPC caps the requirement well below n0.
+        res = recommend_sample_size(100, 0.05, 0.005)
+        assert res.n < res.n0
+        assert res.n <= 100
+
+    def test_capped_at_fleet(self):
+        res = recommend_sample_size(10, 0.10, 0.001)
+        assert res.n == 10
+
+    def test_minimum_two(self):
+        res = recommend_sample_size(10_000, 0.001, 0.5)
+        assert res.n == 2
+
+    def test_str(self):
+        s = str(recommend_sample_size(10_000, 0.02, 0.01))
+        assert "16" in s and "10000" in s
+
+    def test_bad_fleet(self):
+        with pytest.raises(ValueError, match="n_nodes"):
+            recommend_sample_size(0, 0.02, 0.01)
+
+    @given(
+        st.integers(min_value=2, max_value=100_000),
+        st.floats(min_value=0.005, max_value=0.1),
+        st.floats(min_value=0.002, max_value=0.05),
+    )
+    @settings(max_examples=60)
+    def test_invariants(self, n_nodes, cv, lam):
+        res = recommend_sample_size(n_nodes, cv, lam)
+        # Always feasible, and the FPC never *increases* the requirement
+        # (the n_exact ≤ n0 identity holds whenever n0 ≥ 1; below one
+        # node the formula is moot since the floor of 2 applies).
+        assert 2 <= res.n <= n_nodes
+        assert res.n_exact <= max(res.n0, 1.0) + 1e-9
+
+    @given(st.floats(min_value=0.005, max_value=0.08))
+    @settings(max_examples=30)
+    def test_monotone_in_cv(self, cv):
+        lo = recommend_sample_size(10_000, cv, 0.01).n
+        hi = recommend_sample_size(10_000, cv * 1.5, 0.01).n
+        assert hi >= lo
+
+    @given(st.floats(min_value=0.003, max_value=0.05))
+    @settings(max_examples=30)
+    def test_monotone_in_accuracy(self, lam):
+        strict = recommend_sample_size(10_000, 0.03, lam).n
+        loose = recommend_sample_size(10_000, 0.03, lam * 2).n
+        assert strict >= loose
+
+    @given(st.integers(min_value=50, max_value=100_000))
+    @settings(max_examples=30)
+    def test_monotone_in_population(self, n_nodes):
+        small = recommend_sample_size(n_nodes, 0.03, 0.01).n
+        large = recommend_sample_size(n_nodes * 2, 0.03, 0.01).n
+        assert large >= small
+
+
+class TestSampleSizeTable:
+    def test_paper_exact(self):
+        tbl = sample_size_table()
+        expected = np.array([[62, 137, 370], [16, 35, 96],
+                             [7, 16, 43], [4, 9, 24]])
+        np.testing.assert_array_equal(tbl, expected)
+
+    def test_shape(self):
+        tbl = sample_size_table(accuracies=(0.01,), cvs=(0.02, 0.05))
+        assert tbl.shape == (1, 2)
+
+    def test_rows_decrease_columns_increase(self):
+        tbl = sample_size_table()
+        assert np.all(np.diff(tbl, axis=0) <= 0)  # looser λ → fewer nodes
+        assert np.all(np.diff(tbl, axis=1) >= 0)  # higher cv → more nodes
+
+
+class TestAchievedAccuracy:
+    def test_paper_examples(self):
+        assert achieved_accuracy(4, 210, 0.02) == pytest.approx(0.032, abs=0.002)
+        assert achieved_accuracy(292, 18_688, 0.02) == pytest.approx(
+            0.002, abs=0.0005
+        )
+
+    def test_z_vs_t(self):
+        t_acc = achieved_accuracy(4, 210, 0.02, method="t")
+        z_acc = achieved_accuracy(4, 210, 0.02, method="z")
+        assert z_acc < t_acc
+
+    def test_census_gives_zero(self):
+        assert achieved_accuracy(210, 210, 0.02) == 0.0
+
+    def test_more_nodes_better(self):
+        accs = [achieved_accuracy(n, 10_000, 0.02) for n in (4, 16, 64, 256)]
+        assert all(a > b for a, b in zip(accs, accs[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="2 <= n"):
+            achieved_accuracy(1, 100, 0.02)
+        with pytest.raises(ValueError, match="method"):
+            achieved_accuracy(5, 100, 0.02, method="x")
+
+    def test_roundtrip_with_recommendation(self):
+        # Measuring the recommended n achieves at least the target λ.
+        for cv in (0.02, 0.03, 0.05):
+            for lam in (0.005, 0.01, 0.02):
+                n = recommend_sample_size(10_000, cv, lam).n
+                got = achieved_accuracy(n, 10_000, cv, method="z")
+                assert got <= lam * 1.001
+
+
+class TestTwoStepPilot:
+    def test_plan_from_pilot(self, rng):
+        pilot = rng.normal(200.0, 4.0, 10)
+        plan = two_step_pilot_plan(9216, pilot, accuracy=0.01)
+        assert 2 <= plan.n <= 9216
+        assert plan.cv == pytest.approx(pilot.std(ddof=1) / pilot.mean())
+
+    def test_t_plan_conservative(self, rng):
+        pilot = rng.normal(200.0, 4.0, 10)
+        t_plan = two_step_pilot_plan(9216, pilot, use_t=True)
+        z_plan = two_step_pilot_plan(9216, pilot, use_t=False)
+        assert t_plan.n >= z_plan.n
+
+    def test_uniform_pilot(self):
+        plan = two_step_pilot_plan(100, [5.0, 5.0, 5.0])
+        assert plan.n == 2
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="at least two"):
+            two_step_pilot_plan(100, [5.0])
+        with pytest.raises(ValueError, match="finite"):
+            two_step_pilot_plan(100, [5.0, float("nan")])
+        with pytest.raises(ValueError, match="finite"):
+            two_step_pilot_plan(100, [5.0, -1.0])
+
+    def test_noisier_pilot_larger_plan(self, rng):
+        quiet = 200.0 + 2.0 * rng.standard_normal(10)
+        loud = 200.0 + 8.0 * rng.standard_normal(10)
+        assert (
+            two_step_pilot_plan(9216, loud).n
+            > two_step_pilot_plan(9216, quiet).n
+        )

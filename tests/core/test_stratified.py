@@ -1,0 +1,161 @@
+"""Tests for repro.core.stratified — the imbalanced-fleet repair."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.registry import get_system, workload_utilisation
+from repro.core.stratified import (
+    allocate_stratified,
+    quantile_strata,
+    stratified_estimate,
+    stratified_sample,
+)
+from repro.workloads.schedule import imbalanced
+
+
+class TestQuantileStrata:
+    def test_labels_in_range(self, rng):
+        x = rng.normal(size=100)
+        lab = quantile_strata(x, 4)
+        assert set(np.unique(lab)) <= {0, 1, 2, 3}
+
+    def test_roughly_equal_strata(self, rng):
+        x = rng.normal(size=1000)
+        lab = quantile_strata(x, 5)
+        counts = np.bincount(lab)
+        assert counts.min() > 150
+
+    def test_ordered_by_value(self, rng):
+        x = rng.normal(size=500)
+        lab = quantile_strata(x, 3)
+        assert x[lab == 0].max() <= x[lab == 2].min() + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            quantile_strata([], 2)
+        with pytest.raises(ValueError, match="n_strata"):
+            quantile_strata([1.0, 2.0], 3)
+
+
+class TestAllocation:
+    def test_proportional(self):
+        alloc = allocate_stratified([100, 300], 40)
+        assert alloc.sum() == 40
+        assert alloc[1] == pytest.approx(3 * alloc[0], abs=2)
+
+    def test_neyman_favours_noisy_strata(self):
+        alloc = allocate_stratified(
+            [200, 200], 40, method="neyman", strata_sds=[1.0, 9.0]
+        )
+        assert alloc.sum() == 40
+        assert alloc[1] > 3 * alloc[0]
+
+    def test_minimum_two_each(self):
+        alloc = allocate_stratified([500, 4], 6)
+        assert np.all(alloc >= 2)
+        assert alloc.sum() == 6
+
+    def test_capped_by_stratum(self):
+        alloc = allocate_stratified([4, 400], 100)
+        assert alloc[0] <= 4
+        assert alloc.sum() == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="two nodes"):
+            allocate_stratified([1, 100], 10)
+        with pytest.raises(ValueError, match="n_total"):
+            allocate_stratified([10, 10], 2)
+        with pytest.raises(ValueError, match="exceeds"):
+            allocate_stratified([5, 5], 11)
+        with pytest.raises(ValueError, match="requires strata_sds"):
+            allocate_stratified([10, 10], 8, method="neyman")
+        with pytest.raises(ValueError, match="unknown allocation"):
+            allocate_stratified([10, 10], 8, method="equal")
+
+
+class TestEstimate:
+    def test_exact_on_census(self, rng):
+        a = rng.normal(100, 5, 40)
+        b = rng.normal(300, 10, 60)
+        est = stratified_estimate([a, b], [40, 60])
+        truth = np.concatenate([a, b]).mean()
+        assert est.mean == pytest.approx(truth)
+        assert est.standard_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_weighted_mean(self, rng):
+        a = rng.normal(100, 1, 10)
+        b = rng.normal(200, 1, 10)
+        est = stratified_estimate([a, b], [900, 100])
+        assert est.mean == pytest.approx(
+            0.9 * a.mean() + 0.1 * b.mean()
+        )
+
+    def test_interval_contains_mean(self, rng):
+        a = rng.normal(100, 5, 10)
+        est = stratified_estimate([a, rng.normal(200, 5, 10)], [500, 500])
+        ci = est.interval()
+        assert ci.contains(est.mean)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="per stratum"):
+            stratified_estimate([rng.normal(size=5)], [10, 10])
+        with pytest.raises(ValueError, match=">= 2"):
+            stratified_estimate([np.array([1.0])], [10])
+        with pytest.raises(ValueError, match="larger than"):
+            stratified_estimate([rng.normal(size=20)], [10])
+
+
+class TestStragglerRepair:
+    """The headline: stratification restores calibrated coverage on the
+    fleet that broke simple random sampling in experiment X1."""
+
+    @pytest.fixture(scope="class")
+    def broken_fleet(self):
+        system = get_system("tu-dresden")
+        rng = np.random.default_rng(0)
+        schedule = imbalanced(
+            system.n_nodes, rng, spread=0.10, straggler_rate=0.08,
+            straggler_level=0.4,
+        )
+        watts = system.node_sample(
+            workload_utilisation("tu-dresden"), schedule=schedule
+        ).watts
+        # The site knows its job placement: straggler shards are a
+        # known label, not something inferred from the power data.
+        labels = (schedule.multipliers < 0.7).astype(int)
+        return watts, labels
+
+    def test_simple_random_undercovers(self, broken_fleet):
+        watts, _ = broken_fleet
+        from repro.core.confidence import mean_confidence_interval
+
+        rng = np.random.default_rng(1)
+        truth = watts.mean()
+        hits = 0
+        trials = 1500
+        for _ in range(trials):
+            idx = rng.choice(watts.size, size=16, replace=False)
+            ci = mean_confidence_interval(watts[idx], confidence=0.95)
+            hits += ci.contains(truth)
+        assert hits / trials < 0.88
+
+    def test_stratified_restores_coverage(self, broken_fleet):
+        watts, labels = broken_fleet
+        rng = np.random.default_rng(2)
+        truth = watts.mean()
+        hits = 0
+        trials = 1500
+        for _ in range(trials):
+            est = stratified_sample(watts, labels, 16, rng)
+            hits += est.interval(0.95).contains(truth)
+        assert hits / trials > 0.92
+
+    def test_stratified_tighter_than_srs(self, broken_fleet):
+        watts, labels = broken_fleet
+        rng = np.random.default_rng(3)
+        est = stratified_sample(watts, labels, 32, rng, method="neyman")
+        from repro.core.confidence import mean_confidence_interval
+
+        idx = rng.choice(watts.size, size=32, replace=False)
+        srs = mean_confidence_interval(watts[idx], confidence=0.95)
+        assert est.interval(0.95).half_width < srs.half_width

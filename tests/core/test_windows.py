@@ -1,0 +1,113 @@
+"""Tests for repro.core.windows."""
+
+import numpy as np
+import pytest
+
+from repro.core.windows import (
+    LEVEL1_MIN_FRACTION,
+    MeasurementWindow,
+    full_core_window,
+    is_legal_level1_window,
+    legal_level1_windows,
+    level2_window_starts,
+)
+
+
+class TestMeasurementWindow:
+    def test_basic(self):
+        w = MeasurementWindow(0.1, 0.3)
+        assert w.length == pytest.approx(0.2)
+        assert w.seconds(1000.0) == pytest.approx(200.0)
+
+    def test_to_absolute(self):
+        w = MeasurementWindow(0.25, 0.75)
+        assert w.to_absolute(100.0, 1000.0) == (350.0, 850.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="start < end"):
+            MeasurementWindow(0.5, 0.5)
+        with pytest.raises(ValueError, match="start < end"):
+            MeasurementWindow(-0.1, 0.5)
+        with pytest.raises(ValueError, match="positive"):
+            MeasurementWindow(0.1, 0.2).seconds(0.0)
+
+    def test_str(self):
+        assert "0.100" in str(MeasurementWindow(0.1, 0.26))
+
+
+class TestFullCore:
+    def test_full(self):
+        w = full_core_window()
+        assert w.start == 0.0 and w.end == 1.0
+
+
+class TestLevel1Legality:
+    def test_minimal_legal(self):
+        w = MeasurementWindow(0.1, 0.1 + LEVEL1_MIN_FRACTION)
+        assert is_legal_level1_window(w, 5400.0)
+
+    def test_too_short(self):
+        w = MeasurementWindow(0.4, 0.5)
+        assert not is_legal_level1_window(w, 5400.0)
+
+    def test_outside_middle80(self):
+        w = MeasurementWindow(0.05, 0.25)
+        assert not is_legal_level1_window(w, 5400.0)
+        w2 = MeasurementWindow(0.75, 0.95)
+        assert not is_legal_level1_window(w2, 5400.0)
+
+    def test_one_minute_floor_dominates_short_runs(self):
+        # 300 s core: 16% is 48 s < 60 s, so a 16% window is illegal.
+        w = MeasurementWindow(0.4, 0.4 + LEVEL1_MIN_FRACTION)
+        assert not is_legal_level1_window(w, 300.0)
+        # A 20%+ window (60 s) is legal.
+        w2 = MeasurementWindow(0.4, 0.6)
+        assert is_legal_level1_window(w2, 300.0)
+
+    def test_bad_runtime(self):
+        with pytest.raises(ValueError, match="positive"):
+            is_legal_level1_window(full_core_window(), 0.0)
+
+
+class TestEnumerate:
+    def test_all_enumerated_legal(self):
+        for w in legal_level1_windows(5400.0, n_placements=25):
+            assert is_legal_level1_window(w, 5400.0)
+
+    def test_covers_placement_range(self):
+        ws = legal_level1_windows(5400.0, n_placements=50)
+        assert ws[0].start == pytest.approx(0.1)
+        assert ws[-1].end == pytest.approx(0.9)
+
+    def test_custom_length(self):
+        ws = legal_level1_windows(5400.0, length=0.3, n_placements=10)
+        assert all(w.length == pytest.approx(0.3) for w in ws)
+
+    def test_too_short_length_rejected(self):
+        with pytest.raises(ValueError, match="legal minimum"):
+            legal_level1_windows(5400.0, length=0.05)
+
+    def test_oversized_length_rejected(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            legal_level1_windows(5400.0, length=0.85)
+
+    def test_single_placement(self):
+        ws = legal_level1_windows(5400.0, n_placements=1)
+        assert len(ws) == 1
+
+
+class TestLevel2Windows:
+    def test_default_ten(self):
+        starts = level2_window_starts()
+        assert starts.shape == (10,)
+        np.testing.assert_allclose(starts, np.arange(10) / 10)
+
+    def test_tiles_core(self):
+        starts = level2_window_starts(4)
+        widths = 1.0 / 4
+        ends = starts + widths
+        assert ends[-1] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            level2_window_starts(0)

@@ -1,0 +1,54 @@
+"""Tests for repro.experiments.base."""
+
+import pytest
+
+from repro.experiments.base import Comparison
+
+
+class TestComparisonMatch:
+    def test_exact(self):
+        c = Comparison("x", paper=10.0, measured=10.0)
+        assert c.ok
+        assert c.rel_diff == 0.0
+
+    def test_within_rel_tol(self):
+        assert Comparison("x", 100.0, 104.0, rel_tol=0.05).ok
+        assert not Comparison("x", 100.0, 106.0, rel_tol=0.05).ok
+
+    def test_within_abs_tol(self):
+        assert Comparison("x", 0.95, 0.96, rel_tol=0.0, abs_tol=0.02).ok
+        assert not Comparison("x", 0.95, 0.98, rel_tol=0.0, abs_tol=0.02).ok
+
+    def test_either_tolerance_suffices(self):
+        c = Comparison("x", 0.001, 0.002, rel_tol=0.01, abs_tol=0.01)
+        assert c.ok  # abs passes even though rel fails
+
+    def test_zero_paper_value(self):
+        assert Comparison("x", 0.0, 0.0).ok
+        c = Comparison("x", 0.0, 0.5, rel_tol=0.5)
+        assert c.rel_diff == float("inf")
+        assert not c.ok
+
+    def test_line_format(self):
+        line = Comparison("core power", 398.7, 398.6, rel_tol=0.01).line()
+        assert "[ok ]" in line and "core power" in line
+
+
+class TestComparisonOneSided:
+    def test_at_least(self):
+        assert Comparison("x", 0.15, 0.20, mode="at_least").ok
+        assert not Comparison("x", 0.15, 0.10, mode="at_least").ok
+        assert Comparison("x", 0.15, 0.149, mode="at_least",
+                          abs_tol=0.01).ok
+
+    def test_at_most(self):
+        assert Comparison("x", 0.02, 0.01, mode="at_most").ok
+        assert not Comparison("x", 0.02, 0.05, mode="at_most").ok
+
+    def test_line_shows_operator(self):
+        assert ">=" in Comparison("x", 1.0, 2.0, mode="at_least").line()
+        assert "<=" in Comparison("x", 1.0, 0.5, mode="at_most").line()
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            Comparison("x", 1.0, 1.0, mode="exactly")

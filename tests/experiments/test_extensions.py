@@ -1,0 +1,93 @@
+"""Tests for the extension experiments (X1-X4)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ext_dvfs_gaming,
+    ext_exascale,
+    ext_imbalance,
+    ext_meter_quality,
+)
+
+
+class TestImbalance:
+    def test_all_ok_reduced(self):
+        res = ext_imbalance.run(n_sims=15_000)
+        assert res.all_ok(), "\n".join(
+            c.line() for c in res.comparisons() if not c.ok
+        )
+
+    def test_coverage_ordering(self):
+        res = ext_imbalance.run(n_sims=15_000)
+        cov = {r.label: r.coverage_at_16 for r in res.regimes}
+        assert cov["straggler-heavy"] < cov["mildly-uneven"]
+        assert cov["straggler-heavy"] < cov["balanced"]
+
+    def test_screen_is_predictive(self):
+        # Each regime that fails coverage is flagged, and vice versa:
+        # the normality screen is a usable gate.
+        res = ext_imbalance.run(n_sims=15_000)
+        for r in res.regimes:
+            healthy = r.coverage_at_16 > 0.93
+            assert healthy == r.passes_normality_check
+
+
+class TestDvfsGaming:
+    def test_all_ok(self):
+        res = ext_dvfs_gaming.run(core_s=1200.0)
+        assert res.all_ok(), "\n".join(
+            c.line() for c in res.comparisons() if not c.ok
+        )
+
+    def test_deeper_downclock_worse(self):
+        shallow = ext_dvfs_gaming.run(multiplier=0.9, core_s=1200.0)
+        deep = ext_dvfs_gaming.run(multiplier=0.7, core_s=1200.0)
+        assert deep.dvfs.spread > shallow.dvfs.spread
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="downclock_fraction"):
+            ext_dvfs_gaming.run(downclock_fraction=1.0)
+        with pytest.raises(ValueError, match="multiplier"):
+            ext_dvfs_gaming.run(multiplier=1.5)
+
+
+class TestExascale:
+    def test_all_ok(self):
+        res = ext_exascale.run()
+        assert res.all_ok()
+
+    def test_requirements_grow_with_cv(self):
+        res = ext_exascale.run()
+        reqs = [r.required_nodes for r in res.rows]
+        assert reqs == sorted(reqs)
+
+    def test_frontier_consistent_with_rows(self):
+        res = ext_exascale.run()
+        for r in res.rows:
+            if r.cv < res.frontier_cv:
+                assert r.sixteen_node_accuracy <= ext_exascale.TARGET_LAMBDA + 1e-9
+            if r.cv > res.frontier_cv * 1.01:
+                assert r.sixteen_node_accuracy > ext_exascale.TARGET_LAMBDA
+
+    def test_ten_percent_rule_always_comfortable(self):
+        res = ext_exascale.run()
+        assert all(r.rule_accuracy < 0.005 for r in res.rows)
+
+
+class TestMeterQuality:
+    def test_all_ok(self):
+        res = ext_meter_quality.run(n_meters=15)
+        assert res.all_ok(), "\n".join(
+            c.line() for c in res.comparisons() if not c.ok
+        )
+
+    def test_error_monotone_in_gain_cv(self):
+        res = ext_meter_quality.run(n_meters=15)
+        errs = [r.abs_error_p95 for r in res.rows]
+        assert errs == sorted(errs)
+
+    def test_datasheet_bias_negative(self):
+        # Optimistic datasheets understate upstream power.
+        res = ext_meter_quality.run(n_meters=5)
+        assert res.datasheet_bias < 0

@@ -1,0 +1,58 @@
+"""Report-rendering checks for the cheap experiments.
+
+The expensive experiments' reports are exercised by the benchmark
+harness; these cover the fast ones directly, including the ASCII
+figure renderings.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ext_derived,
+    ext_exascale,
+    figure1,
+    figure2,
+    sample_size_example,
+    table5,
+)
+
+
+class TestReportsRender:
+    def test_table5_report(self):
+        out = table5.run().report()
+        assert "Table 5" in out
+        assert "exact match with paper: True" in out
+
+    def test_sample_size_example_report(self):
+        out = sample_size_example.run().report()
+        assert "1/64" in out
+        assert "±" in out
+
+    def test_exascale_report(self):
+        out = ext_exascale.run().report()
+        assert "frontier" in out
+        assert "sigma/mu" in out
+
+    def test_derived_report(self):
+        out = ext_derived.run().report()
+        assert "nameplate" in out
+        assert "not" in out  # the incomparability line
+
+    def test_figure1_report_contains_plot(self):
+        out = figure1.run(n_points=60).report()
+        assert "relative power vs core-phase run fraction" in out
+        assert "a=" in out  # plot legend
+        assert "|" in out  # plot frame
+
+    def test_figure2_report_contains_sparklines(self):
+        out = figure2.run().report()
+        assert "histograms" in out
+        assert "█" in out
+
+    def test_summary_lines_match_comparisons(self):
+        res = table5.run()
+        assert len(res.summary_lines()) == len(res.comparisons())
+
+    def test_experiment_metadata(self):
+        assert table5.run().experiment_id == "T5"
+        assert figure2.run().artifact == "Figure 2"

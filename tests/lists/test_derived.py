@@ -1,0 +1,66 @@
+"""Tests for repro.lists.derived and the X5 experiment."""
+
+import pytest
+
+from repro.experiments import ext_derived
+from repro.lists.derived import derive_node_power, derive_system_power
+
+
+class TestDeriveNodePower:
+    def test_tdp_sums_components(self, gpu_config):
+        tdp = derive_node_power(gpu_config, "tdp")
+        expected = (
+            2 * gpu_config.cpu.peak_watts
+            + 4 * gpu_config.gpu.peak_watts
+            + gpu_config.dram.peak_watts
+            + gpu_config.nic.peak_watts
+            + gpu_config.other_watts
+        )
+        assert tdp == pytest.approx(expected)
+
+    def test_recipe_ordering(self, cpu_config):
+        derated = derive_node_power(cpu_config, "tdp-derated")
+        tdp = derive_node_power(cpu_config, "tdp")
+        nameplate = derive_node_power(cpu_config, "nameplate")
+        assert derated < tdp < nameplate
+
+    def test_unknown_method(self, cpu_config):
+        with pytest.raises(ValueError, match="unknown derivation"):
+            derive_node_power(cpu_config, "guess")
+
+
+class TestDeriveSystemPower:
+    def test_scales_with_nodes(self, cpu_config):
+        one = derive_system_power(cpu_config, 1)
+        many = derive_system_power(cpu_config, 64)
+        assert many == pytest.approx(64 * one)
+
+    def test_interconnect_share(self, cpu_config):
+        base = derive_system_power(cpu_config, 100)
+        with_ic = derive_system_power(
+            cpu_config, 100, interconnect_fraction=0.1
+        )
+        assert with_ic == pytest.approx(1.1 * base)
+
+    def test_validation(self, cpu_config):
+        with pytest.raises(ValueError, match="n_nodes"):
+            derive_system_power(cpu_config, 0)
+        with pytest.raises(ValueError, match="interconnect"):
+            derive_system_power(cpu_config, 1, interconnect_fraction=1.0)
+
+
+class TestX5Experiment:
+    def test_all_ok(self):
+        res = ext_derived.run()
+        assert res.all_ok(), "\n".join(
+            c.line() for c in res.comparisons() if not c.ok
+        )
+
+    def test_covers_all_fleets(self):
+        res = ext_derived.run()
+        assert len(res.rows) == 6
+
+    def test_truth_monotone_in_utilisation(self):
+        res = ext_derived.run()
+        for r in res.rows:
+            assert r.true_low_watts < r.true_high_watts

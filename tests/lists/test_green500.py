@@ -1,0 +1,109 @@
+"""Tests for repro.lists.green500."""
+
+import numpy as np
+import pytest
+
+from repro.lists.green500 import Green500List, synthetic_green500
+from repro.lists.submission import PowerSource, Submission
+
+
+def sub(name, eff, rmax=1e6):
+    return Submission(name, rmax_gflops=rmax, power_watts=rmax / eff)
+
+
+class TestGreen500List:
+    def test_ranking_order(self):
+        lst = Green500List([sub("a", 2.0), sub("b", 5.0), sub("c", 3.0)])
+        assert [e.submission.system_name for e in lst] == ["b", "c", "a"]
+        assert lst[1].submission.system_name == "b"
+
+    def test_rank_of(self):
+        lst = Green500List([sub("a", 2.0), sub("b", 5.0)])
+        assert lst.rank_of("b") == 1
+        assert lst.rank_of("a") == 2
+        with pytest.raises(KeyError):
+            lst.rank_of("zzz")
+
+    def test_tie_broken_by_name(self):
+        lst = Green500List([sub("bb", 2.0), sub("aa", 2.0)])
+        assert lst[1].submission.system_name == "aa"
+
+    def test_top(self):
+        lst = Green500List([sub(f"s{i}", float(i + 1)) for i in range(5)])
+        assert len(lst.top(3)) == 3
+        assert lst.top(3)[0].efficiency == 5.0
+
+    def test_efficiency_gap(self):
+        lst = Green500List([sub("a", 5.0), sub("b", 4.0), sub("c", 4.0)])
+        assert lst.efficiency_gap(1, 3) == pytest.approx(0.25)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            Green500List([sub("a", 1.0), sub("a", 2.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Green500List([])
+
+    def test_index_bounds(self):
+        lst = Green500List([sub("a", 1.0)])
+        with pytest.raises(IndexError):
+            lst[0]
+        with pytest.raises(IndexError):
+            lst[2]
+
+    def test_rerank_with_powers(self):
+        lst = Green500List([sub("a", 5.0), sub("b", 4.9)])
+        # Replace a's power so its efficiency halves → b takes #1.
+        a = lst[1].submission
+        new = lst.reranked_with_powers({"a": a.power_watts * 2})
+        assert new[1].submission.system_name == "b"
+
+    def test_rerank_validates_power(self):
+        lst = Green500List([sub("a", 5.0)])
+        with pytest.raises(ValueError, match="positive"):
+            lst.reranked_with_powers({"a": 0.0})
+
+
+class TestSyntheticGreen500:
+    def test_published_mix(self, rng):
+        lst = synthetic_green500(rng)
+        mix = lst.level_mix()
+        assert len(lst) == 267
+        assert mix["derived"] == 233
+        assert mix["L1"] == 28
+        assert mix["L2"] + mix["L3"] == 6
+
+    def test_top3_gap_pinned(self, rng):
+        lst = synthetic_green500(rng, top3_gap=0.135)
+        assert lst.efficiency_gap(1, 3) == pytest.approx(0.135, abs=1e-6)
+
+    def test_top_efficiency_anchored(self, rng):
+        lst = synthetic_green500(rng, top_efficiency=5.27)
+        assert lst[1].efficiency == pytest.approx(5.27, rel=1e-6)
+
+    def test_efficiencies_strictly_ranked(self, rng):
+        lst = synthetic_green500(rng)
+        effs = [e.efficiency for e in lst]
+        assert all(a >= b for a, b in zip(effs, effs[1:]))
+
+    def test_true_powers_recorded(self, rng):
+        lst = synthetic_green500(rng)
+        assert all(
+            e.submission.true_power_watts is not None for e in lst
+        )
+
+    def test_deterministic(self):
+        a = synthetic_green500(np.random.default_rng(0))
+        b = synthetic_green500(np.random.default_rng(0))
+        assert [e.submission.system_name for e in a] == [
+            e.submission.system_name for e in b
+        ]
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="three"):
+            synthetic_green500(rng, n_systems=2)
+        with pytest.raises(ValueError, match="mix"):
+            synthetic_green500(rng, n_systems=10, n_derived=9, n_level1=5)
+        with pytest.raises(ValueError, match="top3_gap"):
+            synthetic_green500(rng, top3_gap=0.0)

@@ -1,0 +1,127 @@
+"""Tests for repro.lists.jsonio and the validate CLI command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.methodology import (
+    Level,
+    MeasurementDescription,
+    MeasurementPoint,
+    Subsystem,
+)
+from repro.lists.jsonio import submission_from_json, submission_to_json
+from repro.lists.submission import PowerSource, Submission
+
+
+@pytest.fixture()
+def measured_submission():
+    desc = MeasurementDescription(
+        level=Level.L1,
+        n_nodes_total=1024,
+        n_nodes_measured=16,
+        avg_node_power_watts=400.0,
+        window_start_fraction=0.4,
+        window_end_fraction=0.6,
+        core_phase_seconds=5400.0,
+        sample_interval_s=1.0,
+    )
+    return Submission(
+        "machine-x", rmax_gflops=1e6, power_watts=409_600.0,
+        source=PowerSource.MEASURED, level=Level.L1, description=desc,
+    )
+
+
+class TestRoundtrip:
+    def test_measured(self, measured_submission):
+        text = submission_to_json(measured_submission)
+        back = submission_from_json(text)
+        assert back.system_name == "machine-x"
+        assert back.level is Level.L1
+        assert back.description == measured_submission.description
+
+    def test_derived(self):
+        sub = Submission(
+            "derived-y", rmax_gflops=2e5, power_watts=5e4,
+            source=PowerSource.DERIVED, level=None,
+        )
+        back = submission_from_json(submission_to_json(sub))
+        assert back.source is PowerSource.DERIVED
+        assert back.level is None
+        assert back.description is None
+
+    def test_l3_integrating_meter(self, measured_submission):
+        desc = MeasurementDescription(
+            level=Level.L3,
+            n_nodes_total=1024,
+            n_nodes_measured=1024,
+            avg_node_power_watts=400.0,
+            window_start_fraction=0.0,
+            window_end_fraction=1.0,
+            core_phase_seconds=5400.0,
+            sample_interval_s=None,
+            subsystems_measured=frozenset(Subsystem),
+            measurement_point=MeasurementPoint.UPSTREAM_OF_CONVERSION,
+        )
+        sub = Submission(
+            "l3-machine", rmax_gflops=1e6, power_watts=4e5,
+            source=PowerSource.MEASURED, level=Level.L3, description=desc,
+        )
+        back = submission_from_json(submission_to_json(sub))
+        assert back.description.sample_interval_s is None
+        assert back.description.subsystems_measured == frozenset(Subsystem)
+
+    def test_truth_not_serialised(self):
+        sub = Submission(
+            "sim", rmax_gflops=1.0, power_watts=1.0,
+            true_power_watts=2.0,
+        )
+        back = submission_from_json(submission_to_json(sub))
+        assert back.true_power_watts is None
+
+
+class TestErrors:
+    def test_bad_format(self):
+        with pytest.raises(ValueError, match="unrecognised format"):
+            submission_from_json('{"format": "nope"}')
+
+    def test_bad_measurement_point(self, measured_submission):
+        doc = json.loads(submission_to_json(measured_submission))
+        doc["description"]["measurement_point"] = "psychic"
+        with pytest.raises(ValueError, match="measurement_point"):
+            submission_from_json(json.dumps(doc))
+
+    def test_bad_subsystem(self, measured_submission):
+        doc = json.loads(submission_to_json(measured_submission))
+        doc["description"]["subsystems_measured"] = ["flux capacitor"]
+        with pytest.raises(ValueError, match="subsystem"):
+            submission_from_json(json.dumps(doc))
+
+
+class TestValidateCli:
+    def test_old_rules_pass(self, tmp_path, measured_submission, capsys):
+        path = tmp_path / "sub.json"
+        path.write_text(submission_to_json(measured_submission))
+        rc = main(["validate", str(path), "--old-rules-only"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OK" in out
+
+    def test_new_rules_fail(self, tmp_path, measured_submission, capsys):
+        path = tmp_path / "sub.json"
+        path.write_text(submission_to_json(measured_submission))
+        rc = main(["validate", str(path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "new-rule failure" in out
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["validate", "/nonexistent/sub.json"])
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json at all")
+        with pytest.raises(SystemExit, match="invalid submission"):
+            main(["validate", str(path)])

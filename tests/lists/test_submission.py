@@ -1,0 +1,55 @@
+"""Tests for repro.lists.submission."""
+
+import pytest
+
+from repro.core.methodology import Level
+from repro.lists.submission import PowerSource, Submission
+
+
+class TestSubmission:
+    def test_efficiency(self):
+        s = Submission("x", rmax_gflops=311_512.0, power_watts=59_110.0)
+        assert s.efficiency_gflops_per_watt == pytest.approx(5.27, rel=0.01)
+
+    def test_true_efficiency(self):
+        s = Submission(
+            "x", rmax_gflops=1000.0, power_watts=500.0,
+            true_power_watts=550.0,
+        )
+        assert s.true_efficiency_gflops_per_watt == pytest.approx(1000 / 550)
+        assert s.power_error == pytest.approx((500 - 550) / 550)
+
+    def test_unknown_truth(self):
+        s = Submission("x", rmax_gflops=1000.0, power_watts=500.0)
+        assert s.true_efficiency_gflops_per_watt is None
+        assert s.power_error is None
+
+    def test_derived_has_no_level(self):
+        s = Submission(
+            "x", rmax_gflops=1.0, power_watts=1.0,
+            source=PowerSource.DERIVED, level=None,
+        )
+        assert s.level is None
+
+    def test_derived_with_level_rejected(self):
+        with pytest.raises(ValueError, match="derived"):
+            Submission(
+                "x", rmax_gflops=1.0, power_watts=1.0,
+                source=PowerSource.DERIVED, level=Level.L1,
+            )
+
+    def test_measured_without_level_rejected(self):
+        with pytest.raises(ValueError, match="must state a level"):
+            Submission(
+                "x", rmax_gflops=1.0, power_watts=1.0,
+                source=PowerSource.MEASURED, level=None,
+            )
+
+    def test_positive_values_required(self):
+        with pytest.raises(ValueError, match="rmax"):
+            Submission("x", rmax_gflops=0.0, power_watts=1.0)
+        with pytest.raises(ValueError, match="power"):
+            Submission("x", rmax_gflops=1.0, power_watts=0.0)
+        with pytest.raises(ValueError, match="true power"):
+            Submission("x", rmax_gflops=1.0, power_watts=1.0,
+                       true_power_watts=-1.0)

@@ -1,0 +1,108 @@
+"""Tests for repro.lists.validation."""
+
+import pytest
+
+from repro.core.methodology import (
+    Level,
+    MeasurementDescription,
+    MeasurementPoint,
+    Subsystem,
+)
+from repro.core.recommendations import NewRules
+from repro.lists.submission import PowerSource, Submission
+from repro.lists.validation import validate_submission
+
+
+def make_submission(**desc_overrides):
+    desc_kwargs = dict(
+        level=Level.L1,
+        n_nodes_total=1024,
+        n_nodes_measured=16,
+        avg_node_power_watts=400.0,
+        window_start_fraction=0.4,
+        window_end_fraction=0.6,
+        core_phase_seconds=5400.0,
+        sample_interval_s=1.0,
+    )
+    desc_kwargs.update(desc_overrides)
+    desc = MeasurementDescription(**desc_kwargs)
+    return Submission(
+        "sys", rmax_gflops=1e6, power_watts=400.0 * 1024,
+        source=PowerSource.MEASURED, level=desc_kwargs["level"],
+        description=desc,
+    )
+
+
+class TestDerived:
+    def test_derived_not_verifiable(self):
+        s = Submission(
+            "derived-sys", rmax_gflops=1e6, power_watts=1e5,
+            source=PowerSource.DERIVED, level=None,
+        )
+        report = validate_submission(s)
+        assert report.complies_with_level  # nothing to violate
+        assert any("derived" in n for n in report.notes)
+        assert "not verifiable" in report.summary()
+
+
+class TestLevelCompliance:
+    def test_compliant_l1_old_rules(self):
+        report = validate_submission(make_submission(), new_rules=None)
+        assert report.complies_with_level
+        assert report.complies_with_new_rules  # vacuous
+
+    def test_violations_reported(self):
+        report = validate_submission(
+            make_submission(n_nodes_measured=4), new_rules=None
+        )
+        assert not report.complies_with_level
+        assert "violation" in report.summary()
+
+    def test_missing_description(self):
+        s = Submission(
+            "x", rmax_gflops=1.0, power_watts=1.0,
+            source=PowerSource.MEASURED, level=Level.L1,
+        )
+        report = validate_submission(s)
+        assert not report.complies_with_level
+        assert "lacks a measurement description" in report.violations[0].message
+
+
+class TestNewRules:
+    def test_old_style_l1_fails_new_rules(self):
+        # Compliant with the old Level 1, but 20%-window + 16-of-1024
+        # nodes fails both new requirements.
+        report = validate_submission(make_submission())
+        assert report.complies_with_level
+        assert not report.complies_with_new_rules
+        assert len(report.new_rule_failures) == 2
+
+    def test_full_core_and_enough_nodes_pass(self):
+        report = validate_submission(
+            make_submission(
+                window_start_fraction=0.0,
+                window_end_fraction=1.0,
+                n_nodes_measured=103,  # ceil(0.1 * 1024)
+            )
+        )
+        assert report.complies_with_new_rules
+
+    def test_sixteen_suffices_small_system(self):
+        report = validate_submission(
+            make_submission(
+                n_nodes_total=128,
+                n_nodes_measured=16,
+                window_start_fraction=0.0,
+                window_end_fraction=1.0,
+            )
+        )
+        assert report.complies_with_new_rules
+
+    def test_custom_rules(self):
+        rules = NewRules(min_nodes=4, node_fraction=0.01,
+                         full_core_phase=False)
+        report = validate_submission(make_submission(), new_rules=rules)
+        assert report.complies_with_new_rules
+
+    def test_summary_mentions_new_rules(self):
+        assert "new rules" in validate_submission(make_submission()).summary()

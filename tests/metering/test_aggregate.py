@@ -1,0 +1,108 @@
+"""Tests for repro.metering.aggregate — multi-meter banks."""
+
+import numpy as np
+import pytest
+
+from repro.metering.aggregate import MeterBank, allocate_nodes_to_meters
+from repro.metering.meter import MeterSpec
+from repro.traces.synth import simulate_run
+from repro.workloads.base import ConstantWorkload
+
+
+@pytest.fixture()
+def run(small_system):
+    wl = ConstantWorkload(utilisation=0.9, core_s=600.0)
+    return simulate_run(small_system, wl, dt=1.0, noise_cv=0.0)
+
+
+class TestAllocation:
+    def test_contiguous_partition(self):
+        groups = allocate_nodes_to_meters(np.arange(10), 3)
+        flat = np.concatenate(groups)
+        np.testing.assert_array_equal(np.sort(flat), np.arange(10))
+        # Contiguity: each group is an unbroken ID range.
+        for g in groups:
+            np.testing.assert_array_equal(np.diff(g), 1)
+
+    def test_striped_partition(self):
+        groups = allocate_nodes_to_meters(np.arange(9), 3, policy="striped")
+        np.testing.assert_array_equal(groups[0], [0, 3, 6])
+        np.testing.assert_array_equal(groups[1], [1, 4, 7])
+
+    def test_partition_is_exact(self):
+        for policy in ("contiguous", "striped"):
+            groups = allocate_nodes_to_meters(
+                np.arange(17), 4, policy=policy
+            )
+            flat = np.sort(np.concatenate(groups))
+            np.testing.assert_array_equal(flat, np.arange(17))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="no nodes"):
+            allocate_nodes_to_meters(np.array([], dtype=int), 1)
+        with pytest.raises(ValueError, match="n_meters"):
+            allocate_nodes_to_meters(np.arange(3), 4)
+        with pytest.raises(ValueError, match="policy"):
+            allocate_nodes_to_meters(np.arange(4), 2, policy="random")
+
+
+class TestMeterBank:
+    def test_distinct_gains(self, rng):
+        bank = MeterBank(MeterSpec(gain_error_cv=0.02), 8, rng)
+        assert len(bank) == 8
+        assert np.unique(bank.gains).size == 8
+
+    def test_ideal_bank_exact(self, run, rng):
+        bank = MeterBank(MeterSpec.ideal(), 4, rng)
+        idx = np.arange(16)
+        reading = bank.measure_subset(run, idx, 100.0, 500.0)
+        truth = run.subset_trace(idx).window(100.0, 500.0).mean_power()
+        assert reading.average_watts == pytest.approx(truth, rel=1e-9)
+
+    def test_bank_matches_sum_of_groups(self, run, rng):
+        spec = MeterSpec(gain_error_cv=0.03, sample_noise_cv=0.0)
+        bank = MeterBank(spec, 2, np.random.default_rng(3))
+        idx = np.arange(8)
+        reading = bank.measure_subset(run, idx, 0.0, 600.0)
+        manual = 0.0
+        for meter, group in zip(
+            bank.meters, allocate_nodes_to_meters(idx, 2)
+        ):
+            manual += meter.measure(
+                run.subset_trace(group), 0.0, 600.0
+            ).average_watts
+        assert reading.average_watts == pytest.approx(manual, rel=1e-9)
+
+    def test_more_meters_average_out_gain_error(self, run):
+        # The g/sqrt(k) effect: the spread of the aggregate error over
+        # many bank draws shrinks as instruments are added.
+        spec = MeterSpec(gain_error_cv=0.03, sample_noise_cv=0.0)
+        idx = np.arange(32)
+        truth = run.subset_trace(idx).window(0.0, 600.0).mean_power()
+
+        def error_spread(k: int, trials: int = 40) -> float:
+            errors = []
+            for t in range(trials):
+                bank = MeterBank(spec, k, np.random.default_rng(100 + t))
+                r = bank.measure_subset(run, idx, 0.0, 600.0)
+                errors.append(r.average_watts / truth - 1.0)
+            return float(np.std(errors))
+
+        assert error_spread(8) < error_spread(1) * 0.7
+
+    def test_effective_gain_weighted(self, rng):
+        bank = MeterBank(MeterSpec(gain_error_cv=0.05), 2, rng)
+        g = bank.gains
+        weighted = bank.effective_gain(np.array([3.0, 1.0]))
+        assert weighted == pytest.approx((3 * g[0] + g[1]) / 4)
+
+    def test_effective_gain_validation(self, rng):
+        bank = MeterBank(MeterSpec(), 2, rng)
+        with pytest.raises(ValueError, match="length"):
+            bank.effective_gain(np.array([1.0]))
+        with pytest.raises(ValueError, match="non-negative"):
+            bank.effective_gain(np.array([0.0, 0.0]))
+
+    def test_bank_validation(self, rng):
+        with pytest.raises(ValueError, match="n_meters"):
+            MeterBank(MeterSpec(), 0, rng)

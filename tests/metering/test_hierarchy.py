@@ -1,0 +1,99 @@
+"""Tests for repro.metering.hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.metering.hierarchy import (
+    TYPICAL_DELIVERY,
+    ConversionStage,
+    PowerDeliveryPath,
+)
+
+
+class TestConversionStage:
+    def test_honest_datasheet_default(self):
+        s = ConversionStage("psu", efficiency=0.9)
+        assert s.claimed == 0.9
+
+    def test_optimistic_datasheet(self):
+        s = ConversionStage("psu", efficiency=0.9, datasheet_efficiency=0.94)
+        assert s.claimed == 0.94
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="efficiency"):
+            ConversionStage("x", efficiency=0.0)
+        with pytest.raises(ValueError, match="datasheet"):
+            ConversionStage("x", efficiency=0.9, datasheet_efficiency=1.5)
+
+
+class TestPowerDeliveryPath:
+    def test_upstream_power(self):
+        path = PowerDeliveryPath(
+            stages=(ConversionStage("a", 0.9), ConversionStage("b", 0.8))
+        )
+        assert path.upstream_power(72.0) == pytest.approx(100.0)
+
+    def test_power_at_depth(self):
+        path = PowerDeliveryPath(
+            stages=(ConversionStage("a", 0.9), ConversionStage("b", 0.8))
+        )
+        # Upstream (depth 0) = 100, after stage a (depth 1) = 90, at the
+        # load (depth 2) = 72.
+        assert path.power_at_depth(72.0, 0) == pytest.approx(100.0)
+        assert path.power_at_depth(72.0, 1) == pytest.approx(90.0)
+        assert path.power_at_depth(72.0, 2) == pytest.approx(72.0)
+
+    def test_reconstruction_with_true_efficiencies_exact(self):
+        it = 500.0
+        for depth in range(len(TYPICAL_DELIVERY.stages) + 1):
+            measured = TYPICAL_DELIVERY.power_at_depth(it, depth)
+            back = TYPICAL_DELIVERY.reconstruct_upstream(
+                measured, depth, use_datasheet=False
+            )
+            assert back == pytest.approx(
+                TYPICAL_DELIVERY.upstream_power(it), rel=1e-12
+            )
+
+    def test_datasheet_reconstruction_biased(self):
+        # The PSU datasheet is optimistic, so a datasheet-based
+        # reconstruction *understates* upstream power.
+        it = 500.0
+        depth = len(TYPICAL_DELIVERY.stages)
+        measured = TYPICAL_DELIVERY.power_at_depth(it, depth)
+        claimed = TYPICAL_DELIVERY.reconstruct_upstream(
+            measured, depth, use_datasheet=True
+        )
+        true = TYPICAL_DELIVERY.upstream_power(it)
+        assert claimed < true
+        # The bias equals the datasheet optimism (~3%).
+        assert (true - claimed) / true == pytest.approx(0.032, abs=0.01)
+
+    def test_upstream_measurement_unbiased(self):
+        # Metering at depth 0 needs no reconstruction at all.
+        measured = TYPICAL_DELIVERY.power_at_depth(500.0, 0)
+        assert TYPICAL_DELIVERY.reconstruct_upstream(
+            measured, 0
+        ) == pytest.approx(measured)
+
+    def test_vectorised(self):
+        w = np.array([100.0, 200.0])
+        up = TYPICAL_DELIVERY.upstream_power(w)
+        assert up.shape == (2,)
+        assert np.all(up > w)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PowerDeliveryPath(stages=())
+        with pytest.raises(TypeError, match="ConversionStage"):
+            PowerDeliveryPath(stages=("psu",))
+        with pytest.raises(ValueError, match="depth"):
+            TYPICAL_DELIVERY.power_at_depth(100.0, 9)
+        with pytest.raises(ValueError, match="non-negative"):
+            TYPICAL_DELIVERY.upstream_power(-1.0)
+
+    def test_efficiency_through(self):
+        eff_all = TYPICAL_DELIVERY.efficiency_through()
+        eff_claimed = TYPICAL_DELIVERY.efficiency_through(claimed=True)
+        assert 0.8 < eff_all < 1.0
+        assert eff_claimed > eff_all  # optimistic datasheets
+        assert TYPICAL_DELIVERY.efficiency_through(0) == 1.0

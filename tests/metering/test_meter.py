@@ -1,0 +1,122 @@
+"""Tests for repro.metering.meter."""
+
+import numpy as np
+import pytest
+
+from repro.metering.meter import MeterSpec, PowerMeter
+from repro.traces.powertrace import PowerTrace
+
+
+@pytest.fixture()
+def ideal():
+    return PowerMeter(MeterSpec.ideal(), np.random.default_rng(0))
+
+
+class TestMeterSpec:
+    def test_ideal_is_perfect(self):
+        spec = MeterSpec.ideal()
+        assert spec.gain_error_cv == 0.0
+        assert spec.sample_noise_cv == 0.0
+        assert spec.integrating
+
+    def test_level3_grade_tight(self):
+        assert MeterSpec.level3_grade().gain_error_cv <= 0.005
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sample_interval"):
+            MeterSpec(sample_interval_s=0.0)
+        with pytest.raises(ValueError, match="noise"):
+            MeterSpec(gain_error_cv=-0.1)
+
+
+class TestGain:
+    def test_gain_drawn_once(self):
+        spec = MeterSpec(gain_error_cv=0.05)
+        m = PowerMeter(spec, np.random.default_rng(1))
+        assert m.gain != 1.0
+        # Same meter, repeated measurements: same gain.
+        tr = PowerTrace.constant(100.0, 60.0)
+        a = m.measure(tr, 0.0, 60.0).average_watts
+        b = m.measure(tr, 0.0, 60.0).average_watts
+        assert a == pytest.approx(b, rel=0.02)
+
+    def test_gain_spread_across_instruments(self):
+        spec = MeterSpec(gain_error_cv=0.02)
+        gains = [
+            PowerMeter(spec, np.random.default_rng(i)).gain
+            for i in range(500)
+        ]
+        assert np.std(gains) == pytest.approx(0.02, rel=0.2)
+
+    def test_ideal_gain_is_one(self, ideal):
+        assert ideal.gain == 1.0
+
+
+class TestMeasure:
+    def test_ideal_exact_on_flat(self, ideal, flat_trace):
+        r = ideal.measure(flat_trace, 100.0, 500.0)
+        assert r.average_watts == pytest.approx(100.0)
+        assert r.energy_joules == pytest.approx(100.0 * 400.0)
+        assert r.window_s == 400.0
+
+    def test_ideal_exact_on_ramp(self, ideal, ramp_trace):
+        r = ideal.measure(ramp_trace, 0.0, 100.0)
+        assert r.average_watts == pytest.approx(50.0)
+
+    def test_sampling_meter_close_on_smooth_signal(self):
+        t = np.linspace(0.0, 600.0, 6001)
+        tr = PowerTrace(t, 100.0 + 10.0 * np.sin(t / 30.0))
+        m = PowerMeter(
+            MeterSpec(sample_interval_s=1.0, gain_error_cv=0.0,
+                      sample_noise_cv=0.0),
+            np.random.default_rng(0),
+        )
+        r = m.measure(tr, 0.0, 600.0)
+        assert r.average_watts == pytest.approx(
+            tr.mean_power(), rel=0.002
+        )
+
+    def test_coarse_meter_aliases_fast_signal(self):
+        # 10 s sampling on a 7 s-period signal: visible aliasing error.
+        t = np.linspace(0.0, 600.0, 60_001)
+        tr = PowerTrace(t, 100.0 + 50.0 * np.sin(2 * np.pi * t / 7.0))
+        coarse = PowerMeter(
+            MeterSpec(sample_interval_s=10.0, gain_error_cv=0.0,
+                      sample_noise_cv=0.0),
+            np.random.default_rng(0),
+        )
+        r = coarse.measure(tr, 0.0, 600.0)
+        # Still near the mean but measurably off vs the ideal meter.
+        assert abs(r.average_watts - tr.mean_power()) > 0.01
+
+    def test_sample_noise_averages_away(self):
+        tr = PowerTrace.constant(100.0, 3600.0)
+        noisy = PowerMeter(
+            MeterSpec(sample_noise_cv=0.05, gain_error_cv=0.0),
+            np.random.default_rng(0),
+        )
+        r = noisy.measure(tr, 0.0, 3600.0)
+        assert r.average_watts == pytest.approx(100.0, rel=0.005)
+
+    def test_gain_biases_reading(self, flat_trace):
+        spec = MeterSpec(gain_error_cv=0.05, sample_noise_cv=0.0)
+        m = PowerMeter(spec, np.random.default_rng(7))
+        r = m.measure(flat_trace, 0.0, 1000.0)
+        assert r.average_watts == pytest.approx(100.0 * m.gain, rel=1e-6)
+
+    def test_n_samples_counted(self, flat_trace):
+        m = PowerMeter(MeterSpec(gain_error_cv=0.0), np.random.default_rng(0))
+        r = m.measure(flat_trace, 0.0, 60.0)
+        assert r.n_samples >= 60
+
+    def test_bad_window(self, ideal, flat_trace):
+        with pytest.raises(ValueError, match="t0 < t1"):
+            ideal.measure(flat_trace, 50.0, 50.0)
+
+    def test_reading_validation(self):
+        from repro.metering.meter import MeterReading
+
+        with pytest.raises(ValueError, match="non-negative"):
+            MeterReading(-1.0, 0.0, 1.0, 1)
+        with pytest.raises(ValueError, match="window"):
+            MeterReading(1.0, 1.0, 0.0, 1)

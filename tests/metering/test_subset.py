@@ -1,0 +1,112 @@
+"""Tests for repro.metering.subset."""
+
+import numpy as np
+import pytest
+
+from repro.metering.subset import (
+    contiguous_subset,
+    power_screened_subset,
+    random_subset,
+    vid_screened_subset,
+)
+
+
+class TestRandomSubset:
+    def test_size_and_uniqueness(self, rng):
+        idx = random_subset(100, 10, rng)
+        assert idx.shape == (10,)
+        assert np.unique(idx).size == 10
+        assert idx.min() >= 0 and idx.max() < 100
+
+    def test_sorted(self, rng):
+        idx = random_subset(100, 10, rng)
+        assert np.all(np.diff(idx) > 0)
+
+    def test_full_census(self, rng):
+        idx = random_subset(10, 10, rng)
+        np.testing.assert_array_equal(idx, np.arange(10))
+
+    def test_bounds(self, rng):
+        with pytest.raises(ValueError):
+            random_subset(10, 0, rng)
+        with pytest.raises(ValueError):
+            random_subset(10, 11, rng)
+
+    def test_unbiased(self, rng):
+        # Every node appears with roughly equal frequency.
+        counts = np.zeros(20)
+        for _ in range(2000):
+            counts[random_subset(20, 5, rng)] += 1
+        expected = 2000 * 5 / 20
+        assert np.all(np.abs(counts - expected) < 5 * np.sqrt(expected))
+
+
+class TestContiguousSubset:
+    def test_contiguous(self, rng):
+        idx = contiguous_subset(100, 10, rng)
+        np.testing.assert_array_equal(np.diff(idx), 1)
+
+    def test_within_range(self, rng):
+        for _ in range(50):
+            idx = contiguous_subset(30, 7, rng)
+            assert idx.min() >= 0 and idx.max() < 30
+
+    def test_full_fleet(self, rng):
+        idx = contiguous_subset(10, 10, rng)
+        np.testing.assert_array_equal(idx, np.arange(10))
+
+
+class TestPowerScreened:
+    def test_low_screen_minimises(self, small_system):
+        idx = power_screened_subset(small_system, 8, prefer="low")
+        watts = small_system.node_total_powers(0.95)
+        assert watts[idx].mean() <= np.sort(watts)[:8].mean() + 1e-9
+
+    def test_high_screen_maximises(self, small_system):
+        idx = power_screened_subset(small_system, 8, prefer="high")
+        watts = small_system.node_total_powers(0.95)
+        assert watts[idx].mean() >= np.sort(watts)[-8:].mean() - 1e-9
+
+    def test_bias_direction(self, small_system):
+        lo = power_screened_subset(small_system, 8, prefer="low")
+        hi = power_screened_subset(small_system, 8, prefer="high")
+        watts = small_system.node_total_powers(0.95)
+        assert watts[lo].mean() < watts.mean() < watts[hi].mean()
+
+    def test_validation(self, small_system):
+        with pytest.raises(ValueError, match="prefer"):
+            power_screened_subset(small_system, 4, prefer="median")
+        with pytest.raises(ValueError, match="1 <= n"):
+            power_screened_subset(small_system, 0)
+
+
+class TestVidScreened:
+    def test_low_vids_selected(self, gpu_system):
+        idx = vid_screened_subset(gpu_system, 8, prefer="low")
+        vids = gpu_system._fleet().gpu_vids.mean(axis=1)
+        assert vids[idx].mean() < vids.mean()
+
+    def test_high_vids_selected(self, gpu_system):
+        idx = vid_screened_subset(gpu_system, 8, prefer="high")
+        vids = gpu_system._fleet().gpu_vids.mean(axis=1)
+        assert vids[idx].mean() > vids.mean()
+
+    def test_mid_selection_near_median(self, gpu_system):
+        idx = vid_screened_subset(gpu_system, 8, prefer="mid")
+        vids = gpu_system._fleet().gpu_vids.mean(axis=1)
+        assert abs(vids[idx].mean() - np.median(vids)) < 1.0
+
+    def test_low_vid_screen_biases_power_low(self, gpu_system):
+        # The paper's Section 5 gaming vector: low-VID nodes run at
+        # lower default voltage → lower power → flattering subset.
+        idx = vid_screened_subset(gpu_system, 8, prefer="low")
+        watts = gpu_system.node_total_powers(0.95)
+        assert watts[idx].mean() < watts.mean()
+
+    def test_cpu_system_rejected(self, small_system):
+        with pytest.raises(ValueError, match="no GPUs"):
+            vid_screened_subset(small_system, 4)
+
+    def test_bad_prefer(self, gpu_system):
+        with pytest.raises(ValueError, match="prefer"):
+            vid_screened_subset(gpu_system, 4, prefer="best")

@@ -1,0 +1,124 @@
+"""Tests for the repro CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+class TestPlan:
+    def test_basic_plan(self, capsys):
+        rc = main(["plan", "--nodes", "10000", "--cv", "0.03",
+                   "--accuracy", "0.01"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "measure 35 of 10000 nodes" in out
+        assert "post-2015 submission rule" in out
+
+    def test_plan_notes_when_target_exceeds_rule(self, capsys):
+        rc = main(["plan", "--nodes", "200", "--cv", "0.05",
+                   "--accuracy", "0.002"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "more nodes than the submission rule" in out
+
+    def test_plan_with_pilot(self, capsys):
+        rng = np.random.default_rng(0)
+        pilot = ",".join(f"{w:.2f}" for w in rng.normal(210, 5, 10))
+        rc = main(["plan", "--nodes", "9216", "--pilot", pilot])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pilot of 10 nodes" in out
+
+    def test_bad_pilot(self):
+        with pytest.raises(SystemExit, match="parse"):
+            main(["plan", "--nodes", "100", "--pilot", "1.0,abc"])
+
+
+class TestAssess:
+    def test_meets_target(self, capsys):
+        rng = np.random.default_rng(1)
+        watts = ",".join(f"{w:.2f}" for w in rng.normal(400, 8, 35))
+        rc = main(["assess", "--nodes", "10000", "--watts", watts,
+                   "--target", "0.02"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "meets" in out
+
+    def test_misses_target_exit_code(self, capsys):
+        rng = np.random.default_rng(1)
+        watts = ",".join(f"{w:.2f}" for w in rng.normal(400, 40, 4))
+        rc = main(["assess", "--nodes", "10000", "--watts", watts,
+                   "--target", "0.001"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "MISSES" in out
+
+    def test_no_target(self, capsys):
+        rc = main(["assess", "--nodes", "100",
+                   "--watts", "400,410,395,405"])
+        assert rc == 0
+
+    def test_too_few_watts(self):
+        with pytest.raises(SystemExit, match="at least two"):
+            main(["assess", "--nodes", "100", "--watts", "400"])
+
+    def test_empty_watts(self):
+        with pytest.raises(SystemExit, match="empty"):
+            main(["assess", "--nodes", "100", "--watts", ","])
+
+
+class TestBudget:
+    def test_feasible(self, capsys):
+        rc = main(["budget", "--nodes", "10000", "--cv", "0.025",
+                   "--accuracy", "0.02", "--meters", "4",
+                   "--meter-gain-cv", "0.002"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "FEASIBLE" in out
+        assert "error budget" in out
+
+    def test_partial_window_infeasible_on_gpu(self, capsys):
+        rc = main(["budget", "--nodes", "10000", "--cv", "0.02",
+                   "--accuracy", "0.02", "--partial-window",
+                   "--machine-class", "gpu"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "NOT FEASIBLE" in out
+        assert "window_bias" in out
+
+    def test_conversion_error_included(self, capsys):
+        rc = main(["budget", "--nodes", "1000", "--conversion-error",
+                   "0.03"])
+        out = capsys.readouterr().out
+        assert "conversion modeling:     ±3.00%" in out
+
+
+class TestSystems:
+    def test_lists_registry(self, capsys):
+        rc = main(["systems"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("lrz", "titan", "tu-dresden", "l-csc", "sequoia"):
+            assert name in out
+
+
+class TestExperiments:
+    def test_run_one(self, capsys):
+        rc = main(["experiments", "T5", "--quiet"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "within tolerance" in out
+
+    def test_markdown_output(self, tmp_path, capsys):
+        path = tmp_path / "exp.md"
+        rc = main(["experiments", "S1", "--quiet", "--markdown", str(path)])
+        assert rc == 0
+        text = path.read_text()
+        assert "S1" in text and "paper" in text
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,67 @@
+"""Documentation contract: every public item carries a docstring.
+
+Walks the installed package and asserts that each module, public class,
+public function and public method is documented.  This keeps the
+"doc comments on every public item" deliverable true by construction.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def _public_members(obj):
+    for name, member in vars(obj).items():
+        if name.startswith("_"):
+            continue
+        yield name, member
+
+
+def _iter_modules():
+    yield "repro", repro
+    for info in pkgutil.walk_packages(repro.__path__, "repro."):
+        yield info.name, importlib.import_module(info.name)
+
+
+def test_every_module_documented():
+    undocumented = [
+        name for name, mod in _iter_modules() if not inspect.getdoc(mod)
+    ]
+    assert not undocumented, f"modules without docstrings: {undocumented}"
+
+
+def test_every_public_class_and_function_documented():
+    missing = []
+    for mod_name, mod in _iter_modules():
+        for name, member in _public_members(mod):
+            if inspect.isclass(member) or inspect.isfunction(member):
+                if getattr(member, "__module__", None) != mod_name:
+                    continue  # re-export; checked at its home module
+                if not inspect.getdoc(member):
+                    missing.append(f"{mod_name}.{name}")
+    assert not missing, f"undocumented public items: {missing}"
+
+
+def test_every_public_method_documented():
+    missing = []
+    for mod_name, mod in _iter_modules():
+        for cls_name, cls in _public_members(mod):
+            if not inspect.isclass(cls):
+                continue
+            if getattr(cls, "__module__", None) != mod_name:
+                continue
+            for name, member in _public_members(cls):
+                if not (inspect.isfunction(member)
+                        or isinstance(member, (property, staticmethod))):
+                    continue
+                func = (
+                    member.fget if isinstance(member, property)
+                    else member.__func__ if isinstance(member, staticmethod)
+                    else member
+                )
+                # Inherited docstrings (e.g. via getdoc) are acceptable.
+                if not inspect.getdoc(func):
+                    missing.append(f"{mod_name}.{cls_name}.{name}")
+    assert not missing, f"undocumented public methods: {missing}"

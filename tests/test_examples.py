@@ -1,0 +1,84 @@
+"""Smoke tests: every example script runs cleanly and prints sane output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "green500_submission.py", "gaming_audit.py",
+            "tune_gpu_efficiency.py", "tco_extrapolation.py",
+            "audit_meter_log.py"} <= names
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "plan (Eq. 5)" in out
+    assert "accuracy assessment" in out
+    assert "meets" in out
+
+
+def test_green500_submission():
+    out = run_example("green500_submission.py")
+    assert "Level 1" in out and "Level 3" in out
+    assert out.count("Table 1 compliant: True") == 3
+    # Old-style L1 and the 7-node L2 both fail the new rules; L3 passes.
+    assert "new (post-2015) rules: FAIL" in out
+    assert "new (post-2015) rules: pass" in out
+
+
+def test_gaming_audit():
+    out = run_example("gaming_audit.py")
+    assert "window gaming" in out
+    assert "VID screening" in out
+    assert "favourably biased" in out
+
+
+def test_tune_gpu_efficiency():
+    out = run_example("tune_gpu_efficiency.py")
+    assert "774 MHz" in out
+    assert "1.018 V" in out
+
+
+def test_tco_extrapolation():
+    out = run_example("tco_extrapolation.py")
+    assert "projected annual electricity cost" in out
+    assert "EUR" in out
+
+
+def test_audit_meter_log():
+    out = run_example("audit_meter_log.py")
+    assert "detected core phase" in out
+    assert "understatement" in out
+    assert "verdict" in out
+
+
+def test_plan_site_campaign():
+    out = run_example("plan_site_campaign.py")
+    assert "error budget" in out
+    assert "FEASIBLE" in out
+    assert "NOT FEASIBLE" in out  # the partial-window what-if
+    assert "empirical check" in out
+
+
+def test_operate_fleet():
+    out = run_example("operate_fleet.py")
+    assert "FLAGGED" in out
+    assert "stratified" in out
+    assert "exceedance" in out

@@ -1,0 +1,240 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These encode the invariants DESIGN.md commits to, across module
+boundaries: trace algebra, estimator/statistics consistency, campaign
+linearity, and methodology monotonicity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.confidence import mean_confidence_interval
+from repro.core.estimators import extrapolate_full_system
+from repro.core.methodology import Level, machine_fraction_nodes
+from repro.core.sampling import achieved_accuracy, recommend_sample_size
+from repro.traces.ops import resample, segment_average, split_fractions
+from repro.traces.powertrace import PowerTrace
+
+watt_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=3, max_value=120),
+    elements=st.floats(min_value=0.0, max_value=1e5),
+)
+
+positive_watt_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=4, max_value=120),
+    elements=st.floats(min_value=1.0, max_value=1e5),
+)
+
+
+class TestTraceAlgebra:
+    @given(watt_arrays, st.floats(min_value=0.05, max_value=60.0))
+    def test_energy_partition(self, watts, interval):
+        """Splitting a trace conserves energy exactly."""
+        tr = PowerTrace.from_uniform(watts, interval=interval)
+        parts = split_fractions(tr, [0.25, 0.5, 0.75])
+        assert sum(p.energy() for p in parts) == pytest.approx(
+            tr.energy(), rel=1e-9, abs=1e-6
+        )
+
+    @given(watt_arrays, st.floats(min_value=0.0, max_value=1e4))
+    def test_scale_linearity(self, watts, factor):
+        """Scaling power scales mean and energy linearly."""
+        tr = PowerTrace.from_uniform(watts)
+        scaled = tr.scale(factor)
+        assert scaled.energy() == pytest.approx(
+            tr.energy() * factor, rel=1e-9, abs=1e-6
+        )
+
+    @given(watt_arrays)
+    def test_shift_invariance(self, watts):
+        """Time shifts change no power statistic."""
+        tr = PowerTrace.from_uniform(watts)
+        sh = tr.shift(1234.5)
+        assert sh.mean_power() == pytest.approx(tr.mean_power(), rel=1e-12)
+        assert sh.energy() == pytest.approx(tr.energy(), rel=1e-12, abs=1e-9)
+
+    @given(watt_arrays, st.floats(min_value=0.3, max_value=5.0))
+    def test_resample_preserves_bounds(self, watts, interval):
+        """Linear resampling cannot create new extremes."""
+        tr = PowerTrace.from_uniform(watts)
+        assume(tr.duration > interval)
+        rs = resample(tr, interval)
+        assert rs.max_power() <= tr.max_power() + 1e-9
+        assert rs.min_power() >= tr.min_power() - 1e-9
+
+    @given(
+        watt_arrays,
+        st.floats(min_value=0.0, max_value=0.6),
+        st.floats(min_value=0.05, max_value=0.4),
+    )
+    def test_segment_average_convexity(self, watts, f0, length):
+        """Any window average lies within the trace's power range."""
+        tr = PowerTrace.from_uniform(watts)
+        f1 = min(f0 + length, 1.0)
+        assume(f1 > f0)
+        avg = segment_average(tr, f0, f1)
+        assert tr.min_power() - 1e-9 <= avg <= tr.max_power() + 1e-9
+
+    @given(watt_arrays)
+    def test_sum_decomposition(self, watts):
+        """sum_traces(a, b) has the energy of a plus b."""
+        a = PowerTrace.from_uniform(watts)
+        b = PowerTrace.from_uniform(watts[::-1].copy())
+        s = PowerTrace.sum_traces([a, b])
+        assert s.energy() == pytest.approx(
+            a.energy() + b.energy(), rel=1e-9, abs=1e-6
+        )
+
+
+class TestEstimatorProperties:
+    @given(positive_watt_arrays, st.integers(min_value=1, max_value=50))
+    def test_extrapolation_scale_equivariance(self, watts, factor):
+        """Extrapolating k·watts gives k times the estimate."""
+        base = extrapolate_full_system(watts, watts.size * 2)
+        scaled = extrapolate_full_system(watts * factor, watts.size * 2)
+        assert scaled.total_watts == pytest.approx(
+            base.total_watts * factor, rel=1e-9
+        )
+
+    @given(positive_watt_arrays)
+    def test_interval_contains_point_estimate(self, watts):
+        est = extrapolate_full_system(watts, watts.size * 4)
+        assert est.interval.contains(est.total_watts)
+
+    @given(positive_watt_arrays, st.floats(min_value=0.5, max_value=0.99))
+    def test_wider_confidence_wider_interval(self, watts, conf):
+        assume(np.std(watts) > 0)
+        lo = mean_confidence_interval(watts, confidence=conf)
+        hi = mean_confidence_interval(watts, confidence=min(conf + 0.009, 0.999))
+        assert hi.half_width >= lo.half_width - 1e-12
+
+
+class TestMethodologyMonotonicity:
+    @given(
+        st.integers(min_value=1, max_value=100_000),
+        st.floats(min_value=10.0, max_value=5000.0),
+    )
+    def test_levels_monotone_in_required_nodes(self, n_nodes, node_power):
+        """Higher levels never require fewer nodes."""
+        l1 = machine_fraction_nodes(Level.L1, n_nodes, node_power)
+        l2 = machine_fraction_nodes(Level.L2, n_nodes, node_power)
+        l3 = machine_fraction_nodes(Level.L3, n_nodes, node_power)
+        assert l1 <= l2 <= l3 == n_nodes
+
+    @given(
+        st.integers(min_value=16, max_value=100_000),
+        st.floats(min_value=0.01, max_value=0.08),
+    )
+    @settings(max_examples=50)
+    def test_plan_then_assess_consistent(self, n_nodes, cv):
+        """The accuracy achieved at the planned n (z-method, matching
+        the planning quantile) never misses the planned λ."""
+        lam = 0.015
+        plan = recommend_sample_size(n_nodes, cv, lam)
+        assume(plan.n < n_nodes)  # census trivially achieves anything
+        got = achieved_accuracy(plan.n, n_nodes, cv, method="z")
+        assert got <= lam * 1.0001
+
+
+class TestStratifiedProperties:
+    @given(
+        st.lists(st.integers(min_value=2, max_value=200), min_size=1,
+                 max_size=6),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=80)
+    def test_allocation_sums_and_bounds(self, sizes, extra):
+        from repro.core.stratified import allocate_stratified
+
+        total_pop = sum(sizes)
+        n_total = min(2 * len(sizes) + extra, total_pop)
+        alloc = allocate_stratified(sizes, n_total)
+        assert alloc.sum() == n_total
+        assert np.all(alloc >= np.minimum(2, sizes))
+        assert np.all(alloc <= np.asarray(sizes))
+
+    @given(hnp.arrays(
+        dtype=np.float64,
+        shape=st.integers(min_value=8, max_value=60),
+        elements=st.floats(min_value=10.0, max_value=1e4),
+    ))
+    @settings(max_examples=50)
+    def test_single_stratum_matches_plain_mean(self, watts):
+        """With one stratum, stratified collapses to the ordinary
+        estimator (same mean, same SE up to the shared FPC)."""
+        from repro.core.stratified import stratified_estimate
+
+        n_pop = watts.size * 4
+        est = stratified_estimate([watts], [n_pop])
+        assert est.mean == pytest.approx(float(watts.mean()), rel=1e-12)
+        expected_se = np.sqrt(
+            watts.var(ddof=1) / watts.size * (1 - watts.size / n_pop)
+        )
+        assert est.standard_error == pytest.approx(
+            float(expected_se), rel=1e-9, abs=1e-12
+        )
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30)
+    def test_census_has_zero_se(self, seed):
+        from repro.core.stratified import stratified_estimate
+
+        rng = np.random.default_rng(seed)
+        a = rng.normal(100, 5, 12)
+        b = rng.normal(300, 9, 20)
+        est = stratified_estimate([a, b], [12, 20])
+        assert est.standard_error == pytest.approx(0.0, abs=1e-9)
+        assert est.mean == pytest.approx(
+            float(np.concatenate([a, b]).mean())
+        )
+
+
+class TestCampaignLinearity:
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(min_value=0.5, max_value=3.0))
+    def test_reported_power_scales_with_machine(self, scale, ):
+        """A uniformly scaled machine reports uniformly scaled power
+        (ideal meter, pinned fans, fixed window/subset)."""
+        from repro.cluster.components import CpuModel, DramModel, FanModel
+        from repro.cluster.node import NodeConfig
+        from repro.cluster.system import SystemModel
+        from repro.cluster.thermal import FanPolicy
+        from repro.core.windows import MeasurementWindow
+        from repro.metering.campaign import MeasurementCampaign
+        from repro.metering.meter import MeterSpec
+        from repro.traces.synth import simulate_run
+        from repro.workloads.base import ConstantWorkload
+
+        # No fans: pinned fan power is a *constant* (it does not scale
+        # with power_scale), which would break strict linearity.
+        config = NodeConfig(
+            cpu=CpuModel(idle_watts=20.0, peak_watts=120.0),
+            n_cpus=2,
+            dram=DramModel.for_capacity(32.0),
+            fan=FanModel(max_watts=0.0),
+            other_watts=15.0,
+        )
+        base = SystemModel("p", 16, config, seed=5).with_fan_policy(
+            FanPolicy.PINNED
+        )
+        wl = ConstantWorkload(utilisation=0.9, core_s=300.0)
+        window = MeasurementWindow(0.2, 0.6)
+        idx = np.arange(4)
+
+        def reported(system):
+            run = simulate_run(system, wl, dt=1.0, noise_cv=0.0)
+            campaign = MeasurementCampaign(
+                run, meter_spec=MeterSpec.ideal()
+            )
+            return campaign.level1(
+                window=window, node_indices=idx
+            ).reported_watts
+
+        r_base = reported(base)
+        r_scaled = reported(base.with_power_scale(scale))
+        assert r_scaled == pytest.approx(r_base * scale, rel=1e-6)

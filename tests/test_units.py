@@ -1,0 +1,94 @@
+"""Tests for repro.units."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestPowerConversions:
+    def test_watts_to_kilowatts(self):
+        assert units.watts_to_kilowatts(1500.0) == 1.5
+
+    def test_kilowatts_to_watts(self):
+        assert units.kilowatts_to_watts(2.5) == 2500.0
+
+    def test_watts_to_megawatts(self):
+        assert units.watts_to_megawatts(11_503_300.0) == pytest.approx(11.5033)
+
+    def test_megawatts_to_watts(self):
+        assert units.megawatts_to_watts(1.0) == 1e6
+
+    def test_array_input_preserves_shape(self):
+        w = np.array([1000.0, 2000.0, 3000.0])
+        kw = units.watts_to_kilowatts(w)
+        assert isinstance(kw, np.ndarray)
+        np.testing.assert_allclose(kw, [1.0, 2.0, 3.0])
+
+    def test_scalar_input_returns_float(self):
+        assert isinstance(units.watts_to_kilowatts(100), float)
+
+    @given(st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+    def test_power_roundtrip(self, w):
+        assert units.kilowatts_to_watts(
+            units.watts_to_kilowatts(w)
+        ) == pytest.approx(w, rel=1e-12, abs=1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+    def test_mega_roundtrip(self, w):
+        assert units.megawatts_to_watts(
+            units.watts_to_megawatts(w)
+        ) == pytest.approx(w, rel=1e-12, abs=1e-9)
+
+
+class TestEnergyConversions:
+    def test_joules_to_kwh(self):
+        assert units.joules_to_kilowatt_hours(3.6e6) == 1.0
+
+    def test_kwh_to_joules(self):
+        assert units.kilowatt_hours_to_joules(2.0) == 7.2e6
+
+    @given(st.floats(min_value=0.0, max_value=1e15, allow_nan=False))
+    def test_energy_roundtrip(self, j):
+        assert units.kilowatt_hours_to_joules(
+            units.joules_to_kilowatt_hours(j)
+        ) == pytest.approx(j, rel=1e-12, abs=1e-9)
+
+
+class TestTimeConversions:
+    def test_seconds_to_hours(self):
+        assert units.seconds_to_hours(7200.0) == 2.0
+
+    def test_hours_to_seconds(self):
+        assert units.hours_to_seconds(1.5) == 5400.0
+
+    def test_seconds_to_minutes(self):
+        assert units.seconds_to_minutes(90.0) == 1.5
+
+    def test_minutes_to_seconds(self):
+        assert units.minutes_to_seconds(2.0) == 120.0
+
+    def test_paper_runtimes(self):
+        # Table 2's runtimes round-trip to the published hours.
+        assert units.seconds_to_hours(units.hours_to_seconds(28.0)) == 28.0
+
+
+class TestEfficiency:
+    def test_flops_per_watt(self):
+        assert units.flops_per_watt(1e12, 1000.0) == 1e9
+
+    def test_gflops_per_watt(self):
+        # L-CSC Nov 2014: ~5.27 GFLOPS/W.
+        assert units.gflops_per_watt(311_512.0, 59_110.0) == pytest.approx(
+            5.27, rel=0.01
+        )
+
+    def test_zero_power_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            units.flops_per_watt(1e9, 0.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            units.gflops_per_watt(1.0, -5.0)

@@ -1,0 +1,94 @@
+"""Tests for repro.traces.io."""
+
+import numpy as np
+import pytest
+
+from repro.traces.io import (
+    read_node_sample_csv,
+    read_trace_csv,
+    trace_from_json,
+    trace_to_json,
+    write_node_sample_csv,
+    write_trace_csv,
+)
+from repro.traces.nodeset import NodeSample
+from repro.traces.powertrace import PowerTrace
+
+
+class TestTraceCsv:
+    def test_roundtrip(self, tmp_path, ramp_trace):
+        path = tmp_path / "trace.csv"
+        write_trace_csv(ramp_trace, path)
+        back = read_trace_csv(path)
+        np.testing.assert_allclose(back.times, ramp_trace.times, atol=1e-6)
+        np.testing.assert_allclose(back.watts, ramp_trace.watts, atol=1e-6)
+
+    def test_header_required(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0,100\n1,101\n")
+        with pytest.raises(ValueError, match="header"):
+            read_trace_csv(path)
+
+    def test_malformed_row_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time_s,watts\n0.0,100.0\nxyz,1\n")
+        with pytest.raises(ValueError, match=":3"):
+            read_trace_csv(path)
+
+    def test_missing_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time_s,watts\n0.0\n")
+        with pytest.raises(ValueError, match="two columns"):
+            read_trace_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("time_s,watts\n")
+        with pytest.raises(ValueError, match="no samples"):
+            read_trace_csv(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "gaps.csv"
+        path.write_text("time_s,watts\n0.0,10.0\n\n1.0,20.0\n")
+        assert len(read_trace_csv(path)) == 2
+
+
+class TestNodeSampleCsv:
+    def test_roundtrip(self, tmp_path):
+        sample = NodeSample([210.5, 208.1, 215.7], system="lrz",
+                            node_ids=[3, 7, 12])
+        path = tmp_path / "nodes.csv"
+        write_node_sample_csv(sample, path)
+        back = read_node_sample_csv(path, system="lrz")
+        np.testing.assert_allclose(back.watts, sample.watts, atol=1e-6)
+        np.testing.assert_array_equal(back.node_ids, sample.node_ids)
+        assert back.system == "lrz"
+
+    def test_header_required(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("id,power\n0,100\n")
+        with pytest.raises(ValueError, match="header"):
+            read_node_sample_csv(path)
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("node_id,watts\n")
+        with pytest.raises(ValueError, match="no nodes"):
+            read_node_sample_csv(path)
+
+
+class TestJson:
+    def test_roundtrip_with_metadata(self, flat_trace):
+        text = trace_to_json(flat_trace, metadata={"system": "lrz",
+                                                   "meter": "pdu-7"})
+        back, meta = trace_from_json(text)
+        assert back == flat_trace
+        assert meta == {"system": "lrz", "meter": "pdu-7"}
+
+    def test_format_checked(self):
+        with pytest.raises(ValueError, match="unrecognised format"):
+            trace_from_json('{"format": "other", "times": [], "watts": []}')
+
+    def test_default_metadata_empty(self, flat_trace):
+        _, meta = trace_from_json(trace_to_json(flat_trace))
+        assert meta == {}

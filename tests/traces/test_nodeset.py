@@ -1,0 +1,161 @@
+"""Tests for repro.traces.nodeset."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.traces.nodeset import NodePowerSample, NodeSample
+
+
+class TestNodePowerSample:
+    def test_basic(self):
+        s = NodePowerSample(node_id=3, watts=250.0, metadata={"vid": 42})
+        assert s.node_id == 3
+        assert s.metadata["vid"] == 42
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            NodePowerSample(node_id=0, watts=-1.0)
+
+
+class TestNodeSampleConstruction:
+    def test_basic(self):
+        ns = NodeSample([100.0, 200.0, 300.0], system="lrz")
+        assert len(ns) == 3
+        assert ns.system == "lrz"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            NodeSample([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            NodeSample([1.0, -2.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            NodeSample([1.0, float("nan")])
+
+    def test_default_node_ids(self):
+        ns = NodeSample([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(ns.node_ids, [0, 1, 2])
+
+    def test_explicit_node_ids(self):
+        ns = NodeSample([1.0, 2.0], node_ids=[5, 9])
+        np.testing.assert_array_equal(ns.node_ids, [5, 9])
+
+    def test_duplicate_node_ids_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            NodeSample([1.0, 2.0], node_ids=[4, 4])
+
+    def test_node_ids_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            NodeSample([1.0, 2.0], node_ids=[1])
+
+    def test_immutable_watts(self):
+        ns = NodeSample([1.0, 2.0])
+        with pytest.raises(ValueError):
+            ns.watts[0] = 7.0
+
+
+class TestStatistics:
+    def test_mean_std(self):
+        ns = NodeSample([100.0, 200.0, 300.0])
+        assert ns.mean() == pytest.approx(200.0)
+        assert ns.std() == pytest.approx(100.0)
+
+    def test_cv(self):
+        ns = NodeSample([100.0, 200.0, 300.0])
+        assert ns.coefficient_of_variation() == pytest.approx(0.5)
+
+    def test_cv_zero_mean_rejected(self):
+        ns = NodeSample([0.0, 0.0])
+        with pytest.raises(ValueError, match="undefined"):
+            ns.coefficient_of_variation()
+
+    def test_total(self):
+        assert NodeSample([100.0, 200.0]).total() == 300.0
+
+    def test_single_node_std_zero(self):
+        assert NodeSample([50.0]).std() == 0.0
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e4), min_size=2,
+                    max_size=80))
+    def test_total_equals_mean_times_n(self, watts):
+        ns = NodeSample(watts)
+        assert ns.total() == pytest.approx(ns.mean() * len(ns), rel=1e-9)
+
+
+class TestSubsetting:
+    def test_take(self):
+        ns = NodeSample([10.0, 20.0, 30.0], system="x")
+        sub = ns.take([0, 2])
+        np.testing.assert_array_equal(sub.watts, [10.0, 30.0])
+        np.testing.assert_array_equal(sub.node_ids, [0, 2])
+        assert sub.system == "x"
+
+    def test_take_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            NodeSample([1.0, 2.0]).take([5])
+
+    def test_take_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            NodeSample([1.0]).take([])
+
+    def test_random_subset_size(self, rng):
+        ns = NodeSample(np.arange(1.0, 101.0))
+        sub = ns.random_subset(10, rng)
+        assert len(sub) == 10
+        # No duplicates: sampling without replacement.
+        assert len(set(sub.node_ids.tolist())) == 10
+
+    def test_random_subset_bounds(self, rng):
+        ns = NodeSample([1.0, 2.0])
+        with pytest.raises(ValueError):
+            ns.random_subset(0, rng)
+        with pytest.raises(ValueError):
+            ns.random_subset(3, rng)
+
+    def test_random_subset_deterministic(self):
+        ns = NodeSample(np.arange(1.0, 51.0))
+        a = ns.random_subset(5, np.random.default_rng(1)).node_ids
+        b = ns.random_subset(5, np.random.default_rng(1)).node_ids
+        np.testing.assert_array_equal(a, b)
+
+    def test_subset_values_are_members(self, rng):
+        ns = NodeSample(np.arange(1.0, 31.0))
+        sub = ns.random_subset(7, rng)
+        assert set(sub.watts.tolist()) <= set(ns.watts.tolist())
+
+
+class TestResamplePopulation:
+    def test_size(self, rng):
+        ns = NodeSample([10.0, 20.0, 30.0])
+        pop = ns.resample_population(100, rng)
+        assert len(pop) == 100
+
+    def test_values_from_source(self, rng):
+        ns = NodeSample([10.0, 20.0, 30.0])
+        pop = ns.resample_population(50, rng)
+        assert set(pop.watts.tolist()) <= {10.0, 20.0, 30.0}
+
+    def test_mean_converges_to_source(self, rng):
+        ns = NodeSample(np.arange(1.0, 101.0))
+        pop = ns.resample_population(200_000, rng)
+        assert pop.mean() == pytest.approx(ns.mean(), rel=0.01)
+
+    def test_bad_size(self, rng):
+        with pytest.raises(ValueError):
+            NodeSample([1.0]).resample_population(0, rng)
+
+
+class TestSorting:
+    def test_sorted_by_power(self):
+        ns = NodeSample([30.0, 10.0, 20.0])
+        s = ns.sorted_by_power()
+        np.testing.assert_array_equal(s.watts, [10.0, 20.0, 30.0])
+        np.testing.assert_array_equal(s.node_ids, [1, 2, 0])
+
+    def test_repr(self):
+        assert "NodeSample" in repr(NodeSample([1.0, 2.0], system="lrz"))

@@ -1,0 +1,198 @@
+"""Tests for repro.traces.ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traces.ops import (
+    align,
+    integrate_energy,
+    mean_over_fraction,
+    resample,
+    segment_average,
+    sliding_window_averages,
+    split_fractions,
+)
+from repro.traces.powertrace import PowerTrace
+
+
+@pytest.fixture()
+def sine_trace():
+    t = np.linspace(0.0, 1000.0, 2001)
+    return PowerTrace(t, 100.0 + 20.0 * np.sin(t / 50.0))
+
+
+class TestSegmentAverage:
+    def test_flat_segments_equal(self, flat_trace):
+        assert segment_average(flat_trace, 0.0, 0.2) == pytest.approx(100.0)
+        assert segment_average(flat_trace, 0.8, 1.0) == pytest.approx(100.0)
+
+    def test_ramp_first_and_last(self, ramp_trace):
+        # f(t)=t on [0,100]: first 20% averages 10, last 20% averages 90.
+        assert segment_average(ramp_trace, 0.0, 0.2) == pytest.approx(10.0)
+        assert segment_average(ramp_trace, 0.8, 1.0) == pytest.approx(90.0)
+
+    def test_full_equals_mean(self, sine_trace):
+        assert segment_average(sine_trace, 0.0, 1.0) == pytest.approx(
+            sine_trace.mean_power()
+        )
+
+    def test_mean_over_fraction(self, ramp_trace):
+        assert mean_over_fraction(ramp_trace, 0.4, 0.2) == pytest.approx(50.0)
+
+    @given(st.floats(min_value=0.0, max_value=0.8))
+    def test_segment_bounded_by_extremes(self, f0):
+        t = np.linspace(0, 100, 301)
+        tr = PowerTrace(t, 50 + 30 * np.cos(t / 9.0))
+        avg = segment_average(tr, f0, f0 + 0.2)
+        assert tr.min_power() - 1e-9 <= avg <= tr.max_power() + 1e-9
+
+
+class TestSplitFractions:
+    def test_split_three_way(self, ramp_trace):
+        parts = split_fractions(ramp_trace, [0.1, 0.9])
+        assert len(parts) == 3
+        assert parts[0].duration == pytest.approx(10.0)
+        assert parts[1].duration == pytest.approx(80.0)
+        assert parts[2].duration == pytest.approx(10.0)
+
+    def test_split_energy_conserved(self, sine_trace):
+        parts = split_fractions(sine_trace, [0.3, 0.6])
+        assert sum(p.energy() for p in parts) == pytest.approx(
+            sine_trace.energy(), rel=1e-9
+        )
+
+    def test_empty_edges_returns_whole(self, flat_trace):
+        assert split_fractions(flat_trace, []) == [flat_trace]
+
+    def test_bad_edges_rejected(self, flat_trace):
+        with pytest.raises(ValueError, match="strictly in"):
+            split_fractions(flat_trace, [0.0, 0.5])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            split_fractions(flat_trace, [0.5, 0.5])
+
+
+class TestSlidingWindows:
+    def test_flat_trace_all_equal(self, flat_trace):
+        starts, avgs = sliding_window_averages(flat_trace, 0.2)
+        np.testing.assert_allclose(avgs, 100.0, rtol=1e-9)
+
+    def test_ramp_monotone_averages(self, ramp_trace):
+        starts, avgs = sliding_window_averages(
+            ramp_trace, 0.2, step_fraction=0.05
+        )
+        assert np.all(np.diff(avgs) > 0)
+
+    def test_window_average_matches_direct(self, sine_trace):
+        starts, avgs = sliding_window_averages(
+            sine_trace, 0.16, within=(0.1, 0.9), step_fraction=0.1
+        )
+        for s, a in zip(starts, avgs):
+            direct = segment_average(sine_trace, s, s + 0.16)
+            assert a == pytest.approx(direct, rel=1e-6)
+
+    def test_within_restricts_placement(self, ramp_trace):
+        starts, _ = sliding_window_averages(
+            ramp_trace, 0.16, within=(0.1, 0.9), step_fraction=0.01
+        )
+        assert starts.min() >= 0.1 - 1e-12
+        assert starts.max() + 0.16 <= 0.9 + 1e-9
+
+    def test_window_too_big_rejected(self, flat_trace):
+        with pytest.raises(ValueError, match="does not fit"):
+            sliding_window_averages(flat_trace, 0.9, within=(0.1, 0.9))
+
+    def test_bad_placement_range(self, flat_trace):
+        with pytest.raises(ValueError, match="invalid placement"):
+            sliding_window_averages(flat_trace, 0.1, within=(0.9, 0.1))
+
+    def test_single_sample_trace(self):
+        tr = PowerTrace([0.0], [42.0])
+        starts, avgs = sliding_window_averages(tr, 0.5, step_fraction=0.25)
+        np.testing.assert_allclose(avgs, 42.0)
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=3, max_value=60))
+    def test_quadratic_interpolation_exact_for_linear(self, n):
+        # For piecewise-linear power, windowed means computed via the
+        # cumulative-integral path must be exact, not first-order.
+        t = np.linspace(0, 10, n)
+        tr = PowerTrace(t, 3.0 * t + 1.0)
+        starts, avgs = sliding_window_averages(tr, 0.3, step_fraction=0.07)
+        for s, a in zip(starts, avgs):
+            mid_t = tr.start + (s + 0.15) * tr.duration
+            assert a == pytest.approx(3.0 * mid_t + 1.0, rel=1e-9)
+
+
+class TestResample:
+    def test_resample_flat(self, flat_trace):
+        r = resample(flat_trace, 10.0)
+        assert r.mean_power() == pytest.approx(100.0)
+        assert r.sample_interval() == pytest.approx(10.0)
+
+    def test_resample_preserves_endpoints(self, ramp_trace):
+        r = resample(ramp_trace, 7.0)
+        assert r.start == ramp_trace.start
+        assert r.end == pytest.approx(ramp_trace.end)
+
+    def test_resample_linear_exact(self, ramp_trace):
+        r = resample(ramp_trace, 0.25)
+        np.testing.assert_allclose(r.watts, r.times, atol=1e-9)
+
+    def test_bad_interval(self, flat_trace):
+        with pytest.raises(ValueError, match="positive"):
+            resample(flat_trace, -1.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError, match="zero-duration"):
+            resample(PowerTrace([0.0], [1.0]), 1.0)
+
+
+class TestAlign:
+    def test_align_overlapping(self):
+        a = PowerTrace.constant(10.0, 100.0, start=0.0)
+        b = PowerTrace.constant(20.0, 100.0, start=50.0)
+        aa, bb = align([a, b])
+        np.testing.assert_array_equal(aa.times, bb.times)
+        assert aa.start == pytest.approx(50.0)
+        assert aa.end == pytest.approx(100.0)
+
+    def test_aligned_traces_summable(self):
+        a = PowerTrace.constant(10.0, 100.0, start=0.0)
+        b = PowerTrace.constant(20.0, 80.0, start=10.0)
+        aa, bb = align([a, b])
+        s = aa + bb
+        assert s.mean_power() == pytest.approx(30.0)
+
+    def test_no_overlap_rejected(self):
+        a = PowerTrace.constant(10.0, 10.0, start=0.0)
+        b = PowerTrace.constant(10.0, 10.0, start=100.0)
+        with pytest.raises(ValueError, match="no overlapping"):
+            align([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            align([])
+
+
+class TestIntegrateEnergy:
+    def test_full_trace(self, flat_trace):
+        assert integrate_energy(flat_trace) == pytest.approx(100.0 * 1000.0)
+
+    def test_sub_window(self, flat_trace):
+        assert integrate_energy(flat_trace, 100.0, 200.0) == pytest.approx(
+            100.0 * 100.0
+        )
+
+    def test_default_bounds(self, ramp_trace):
+        assert integrate_energy(ramp_trace, t0=None, t1=50.0) == pytest.approx(
+            0.5 * 50.0 * 50.0
+        )
+
+    def test_additivity(self, ramp_trace):
+        whole = integrate_energy(ramp_trace)
+        parts = integrate_energy(ramp_trace, 0.0, 30.0) + integrate_energy(
+            ramp_trace, 30.0, 100.0
+        )
+        assert parts == pytest.approx(whole, rel=1e-9)

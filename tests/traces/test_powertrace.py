@@ -1,0 +1,247 @@
+"""Tests for repro.traces.powertrace."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.traces.powertrace import PowerTrace
+
+
+def make_trace(watts, interval=1.0):
+    return PowerTrace.from_uniform(watts, interval=interval)
+
+
+class TestConstruction:
+    def test_basic(self):
+        tr = PowerTrace([0.0, 1.0, 2.0], [10.0, 20.0, 30.0])
+        assert len(tr) == 3
+        assert tr.start == 0.0
+        assert tr.end == 2.0
+        assert tr.duration == 2.0
+
+    def test_single_sample(self):
+        tr = PowerTrace([5.0], [42.0])
+        assert len(tr) == 1
+        assert tr.duration == 0.0
+        assert tr.mean_power() == 42.0
+        assert tr.energy() == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            PowerTrace([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            PowerTrace([0.0, 1.0], [1.0])
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            PowerTrace([0.0, 1.0, 1.0], [1.0, 2.0, 3.0])
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PowerTrace([0.0, 1.0], [1.0, -0.5])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            PowerTrace([0.0, 1.0], [1.0, float("nan")])
+
+    def test_inf_time_rejected(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            PowerTrace([0.0, float("inf")], [1.0, 1.0])
+
+    def test_arrays_are_immutable(self):
+        tr = make_trace([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            tr.watts[0] = 99.0
+        with pytest.raises(ValueError):
+            tr.times[0] = -1.0
+
+    def test_source_mutation_does_not_leak(self):
+        w = np.array([1.0, 2.0, 3.0])
+        tr = PowerTrace([0.0, 1.0, 2.0], w)
+        w[0] = 500.0
+        assert tr.watts[0] == 1.0
+
+
+class TestConstructors:
+    def test_from_uniform_default_interval(self):
+        tr = PowerTrace.from_uniform([5.0, 5.0, 5.0])
+        np.testing.assert_allclose(tr.times, [0.0, 1.0, 2.0])
+
+    def test_from_uniform_custom_start(self):
+        tr = PowerTrace.from_uniform([1.0, 2.0], interval=0.5, start=10.0)
+        np.testing.assert_allclose(tr.times, [10.0, 10.5])
+
+    def test_from_uniform_bad_interval(self):
+        with pytest.raises(ValueError, match="positive"):
+            PowerTrace.from_uniform([1.0], interval=0.0)
+
+    def test_constant(self):
+        tr = PowerTrace.constant(50.0, 100.0)
+        assert tr.mean_power() == pytest.approx(50.0)
+        assert tr.duration == pytest.approx(100.0)
+
+    def test_sum_traces(self):
+        a = make_trace([1.0, 2.0, 3.0])
+        b = make_trace([10.0, 20.0, 30.0])
+        s = PowerTrace.sum_traces([a, b])
+        np.testing.assert_allclose(s.watts, [11.0, 22.0, 33.0])
+
+    def test_sum_traces_misaligned_rejected(self):
+        a = make_trace([1.0, 2.0])
+        b = PowerTrace([0.0, 2.0], [1.0, 2.0])
+        with pytest.raises(ValueError, match="timestamps differ"):
+            PowerTrace.sum_traces([a, b])
+
+    def test_sum_traces_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PowerTrace.sum_traces([])
+
+
+class TestStatistics:
+    def test_mean_power_flat(self, flat_trace):
+        assert flat_trace.mean_power() == pytest.approx(100.0)
+
+    def test_mean_power_ramp(self, ramp_trace):
+        # Linear 0..100 over 100 s: trapezoidal mean is exactly 50.
+        assert ramp_trace.mean_power() == pytest.approx(50.0)
+
+    def test_energy_flat(self, flat_trace):
+        assert flat_trace.energy() == pytest.approx(100.0 * 1000.0)
+
+    def test_energy_ramp(self, ramp_trace):
+        assert ramp_trace.energy() == pytest.approx(0.5 * 100.0 * 100.0)
+
+    def test_max_min(self, ramp_trace):
+        assert ramp_trace.max_power() == 100.0
+        assert ramp_trace.min_power() == 0.0
+
+    def test_sample_interval(self):
+        tr = make_trace([1.0] * 10, interval=2.0)
+        assert tr.sample_interval() == 2.0
+
+    def test_sample_interval_single_sample_raises(self):
+        with pytest.raises(ValueError, match="single-sample"):
+            PowerTrace([0.0], [1.0]).sample_interval()
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=2,
+                 max_size=50)
+    )
+    def test_mean_between_min_and_max(self, watts):
+        tr = make_trace(watts)
+        assert tr.min_power() - 1e-9 <= tr.mean_power() <= tr.max_power() + 1e-9
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=2,
+                 max_size=50),
+        st.floats(min_value=0.01, max_value=100.0),
+    )
+    def test_energy_equals_mean_times_duration(self, watts, interval):
+        tr = make_trace(watts, interval=interval)
+        assert tr.energy() == pytest.approx(
+            tr.mean_power() * tr.duration, rel=1e-9, abs=1e-6
+        )
+
+
+class TestWindow:
+    def test_window_full_span(self, flat_trace):
+        w = flat_trace.window(flat_trace.start, flat_trace.end)
+        assert w.mean_power() == pytest.approx(100.0)
+
+    def test_window_interpolates_edges(self, ramp_trace):
+        w = ramp_trace.window(10.5, 20.5)
+        # Mean over [10.5, 20.5] of f(t)=t is 15.5.
+        assert w.mean_power() == pytest.approx(15.5)
+
+    def test_window_exact_sample_boundaries(self, ramp_trace):
+        w = ramp_trace.window(10.0, 20.0)
+        assert w.start == 10.0
+        assert w.end == 20.0
+        assert w.mean_power() == pytest.approx(15.0)
+
+    def test_window_outside_span_rejected(self, flat_trace):
+        with pytest.raises(ValueError, match="outside"):
+            flat_trace.window(-10.0, 50.0)
+
+    def test_window_bad_order_rejected(self, flat_trace):
+        with pytest.raises(ValueError, match="t0 < t1"):
+            flat_trace.window(50.0, 50.0)
+
+    def test_window_mean_matches_parent_integral(self, ramp_trace):
+        # Windowed mean must equal the trapezoidal average of the parent
+        # over the window, for arbitrary fractional boundaries.
+        w = ramp_trace.window(33.25, 77.75)
+        expected = (77.75 + 33.25) / 2.0
+        assert w.mean_power() == pytest.approx(expected)
+
+    def test_fraction_window_middle_80(self, ramp_trace):
+        w = ramp_trace.fraction_window(0.1, 0.9)
+        assert w.start == pytest.approx(10.0)
+        assert w.end == pytest.approx(90.0)
+
+    def test_fraction_window_bad_bounds(self, ramp_trace):
+        with pytest.raises(ValueError, match="f0 < f1"):
+            ramp_trace.fraction_window(0.9, 0.1)
+
+    def test_fraction_window_zero_duration_rejected(self):
+        tr = PowerTrace([1.0], [5.0])
+        with pytest.raises(ValueError, match="zero-duration"):
+            tr.fraction_window(0.0, 1.0)
+
+    @given(st.floats(min_value=0.0, max_value=0.79))
+    def test_window_segments_partition_energy(self, split):
+        tr = PowerTrace.from_uniform(
+            np.abs(np.sin(np.arange(200) / 7.0)) * 100.0
+        )
+        mid = tr.start + (split + 0.2) * tr.duration
+        left = tr.window(tr.start, mid)
+        right = tr.window(mid, tr.end)
+        assert left.energy() + right.energy() == pytest.approx(
+            tr.energy(), rel=1e-9
+        )
+
+
+class TestTransforms:
+    def test_shift(self, flat_trace):
+        sh = flat_trace.shift(100.0)
+        assert sh.start == flat_trace.start + 100.0
+        np.testing.assert_array_equal(sh.watts, flat_trace.watts)
+
+    def test_scale(self, flat_trace):
+        sc = flat_trace.scale(64.0)
+        assert sc.mean_power() == pytest.approx(6400.0)
+
+    def test_scale_negative_rejected(self, flat_trace):
+        with pytest.raises(ValueError, match="non-negative"):
+            flat_trace.scale(-1.0)
+
+    def test_add(self):
+        a = make_trace([1.0, 2.0])
+        b = make_trace([3.0, 4.0])
+        np.testing.assert_allclose((a + b).watts, [4.0, 6.0])
+
+    def test_add_misaligned_rejected(self):
+        a = make_trace([1.0, 2.0])
+        b = PowerTrace([0.5, 1.5], [1.0, 1.0])
+        with pytest.raises(ValueError, match="share timestamps"):
+            a + b
+
+
+class TestEquality:
+    def test_equal(self):
+        assert make_trace([1.0, 2.0]) == make_trace([1.0, 2.0])
+
+    def test_not_equal_watts(self):
+        assert make_trace([1.0, 2.0]) != make_trace([1.0, 3.0])
+
+    def test_not_equal_times(self):
+        assert make_trace([1.0, 2.0]) != make_trace([1.0, 2.0], interval=2.0)
+
+    def test_hash_consistent(self):
+        assert hash(make_trace([1.0, 2.0])) == hash(make_trace([1.0, 2.0]))
+
+    def test_repr(self):
+        assert "PowerTrace" in repr(make_trace([1.0, 2.0]))

@@ -1,0 +1,130 @@
+"""Tests for repro.traces.synth — trace synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.traces.synth import simulate_run
+from repro.workloads.base import ConstantWorkload
+
+
+@pytest.fixture()
+def run(small_system, gpu_hpl):
+    return simulate_run(small_system, gpu_hpl, dt=2.0, seed=1)
+
+
+class TestSimulateRun:
+    def test_trace_spans_full_run(self, run, gpu_hpl):
+        assert run.trace.start == 0.0
+        assert run.trace.end >= gpu_hpl.phases.total_s - 2.0
+
+    def test_core_window_matches_workload(self, run, gpu_hpl):
+        assert run.core_window == gpu_hpl.phases.core_window()
+
+    def test_core_trace_bounds(self, run):
+        t0, t1 = run.core_window
+        core = run.core_trace()
+        assert core.start == pytest.approx(t0)
+        assert core.end == pytest.approx(t1)
+
+    def test_setup_power_below_core(self, run):
+        t0, _ = run.core_window
+        setup = run.trace.window(0.0, t0)
+        assert setup.mean_power() < run.true_core_average()
+
+    def test_deterministic_given_seed(self, small_system, gpu_hpl):
+        a = simulate_run(small_system, gpu_hpl, dt=2.0, seed=9)
+        b = simulate_run(small_system, gpu_hpl, dt=2.0, seed=9)
+        np.testing.assert_array_equal(a.trace.watts, b.trace.watts)
+
+    def test_different_seed_differs(self, small_system, gpu_hpl):
+        a = simulate_run(small_system, gpu_hpl, dt=2.0, seed=1)
+        b = simulate_run(small_system, gpu_hpl, dt=2.0, seed=2)
+        assert not np.array_equal(a.trace.watts, b.trace.watts)
+
+    def test_zero_noise_smooth(self, small_system):
+        wl = ConstantWorkload(utilisation=0.9, core_s=600.0)
+        run = simulate_run(small_system, wl, dt=1.0, noise_cv=0.0)
+        core = run.core_trace()
+        assert core.watts.std() / core.watts.mean() < 1e-9
+
+    def test_noise_scale(self, small_system):
+        wl = ConstantWorkload(utilisation=0.9, core_s=3600.0)
+        run = simulate_run(small_system, wl, dt=1.0, noise_cv=0.01)
+        core = run.core_trace()
+        cv = core.watts.std() / core.watts.mean()
+        assert 0.003 < cv < 0.03  # near the requested level
+
+    def test_bad_dt(self, small_system, gpu_hpl):
+        with pytest.raises(ValueError, match="dt must be positive"):
+            simulate_run(small_system, gpu_hpl, dt=0.0)
+
+    def test_bad_noise(self, small_system, gpu_hpl):
+        with pytest.raises(ValueError, match="noise_cv"):
+            simulate_run(small_system, gpu_hpl, noise_cv=-0.1)
+
+    def test_gpu_run_tails_off(self, small_system, gpu_hpl):
+        run = simulate_run(small_system, gpu_hpl, dt=2.0, noise_cv=0.0)
+        core = run.core_trace()
+        first = core.fraction_window(0.0, 0.2).mean_power()
+        last = core.fraction_window(0.8, 1.0).mean_power()
+        assert first > last * 1.05  # visible tail-off
+
+
+class TestSubsetTrace:
+    def test_full_subset_equals_trace(self, run, small_system):
+        full = run.subset_trace(np.arange(small_system.n_nodes))
+        np.testing.assert_allclose(full.watts, run.trace.watts, rtol=1e-9)
+
+    def test_subset_scales_roughly_linearly(self, run, small_system):
+        half = run.subset_trace(np.arange(small_system.n_nodes // 2))
+        ratio = half.mean_power() / run.trace.mean_power()
+        assert ratio == pytest.approx(0.5, abs=0.05)
+
+    def test_subset_shares_common_mode_noise(self, run):
+        a = run.subset_trace(np.array([0, 1, 2]))
+        b = run.subset_trace(np.array([10, 11, 12]))
+        # The same noise multiplies both subsets, so their per-sample
+        # ratio is nearly constant (small drift from the fan model's
+        # utilisation non-linearity is allowed) and the signals are
+        # almost perfectly correlated.
+        ratio = a.watts / b.watts
+        assert ratio.std() / ratio.mean() < 0.01
+        assert np.corrcoef(a.watts, b.watts)[0, 1] > 0.99
+
+    def test_empty_subset_rejected(self, run):
+        with pytest.raises(ValueError, match="non-empty"):
+            run.subset_trace(np.array([], dtype=int))
+
+    def test_out_of_range_rejected(self, run, small_system):
+        with pytest.raises(ValueError, match="out of range"):
+            run.subset_trace(np.array([small_system.n_nodes]))
+
+    def test_duplicate_indices_rejected(self, run):
+        with pytest.raises(ValueError, match="unique"):
+            run.subset_trace(np.array([1, 1]))
+
+    def test_disjoint_subsets_sum_to_total(self, run, small_system):
+        n = small_system.n_nodes
+        a = run.subset_trace(np.arange(n // 2))
+        b = run.subset_trace(np.arange(n // 2, n))
+        np.testing.assert_allclose(
+            a.watts + b.watts, run.trace.watts, rtol=1e-9
+        )
+
+
+class TestNodeAveragePowers:
+    def test_shape(self, run, small_system):
+        watts = run.node_average_powers()
+        assert watts.shape == (small_system.n_nodes,)
+
+    def test_sum_matches_core_average(self, run):
+        watts = run.node_average_powers()
+        assert watts.sum() == pytest.approx(run.true_core_average(), rel=0.01)
+
+    def test_all_positive(self, run):
+        assert np.all(run.node_average_powers() > 0)
+
+    def test_node_spread_reflects_variability(self, run):
+        watts = run.node_average_powers()
+        cv = watts.std() / watts.mean()
+        assert 0.002 < cv < 0.10

@@ -1,0 +1,55 @@
+"""Tests for repro.workloads.base."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import ConstantWorkload, PhaseTimings
+
+
+class TestPhaseTimings:
+    def test_totals(self):
+        p = PhaseTimings(setup_s=60.0, core_s=3600.0, teardown_s=30.0)
+        assert p.total_s == 3690.0
+        assert p.core_start_s == 60.0
+        assert p.core_end_s == 3660.0
+        assert p.core_window() == (60.0, 3660.0)
+
+    def test_zero_core_rejected(self):
+        with pytest.raises(ValueError, match="core"):
+            PhaseTimings(0.0, 0.0, 0.0)
+
+    def test_negative_setup_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PhaseTimings(-1.0, 100.0, 0.0)
+
+
+class TestConstantWorkload:
+    def test_flat(self):
+        wl = ConstantWorkload(utilisation=0.8, core_s=600.0)
+        x = np.linspace(0, 1, 11)
+        np.testing.assert_allclose(wl.utilisation(x), 0.8)
+
+    def test_scalar_return(self):
+        wl = ConstantWorkload()
+        assert isinstance(wl.utilisation(0.5), float)
+
+    def test_mean_utilisation(self):
+        wl = ConstantWorkload(utilisation=0.7)
+        assert wl.mean_utilisation() == pytest.approx(0.7)
+
+    def test_core_runtime(self):
+        wl = ConstantWorkload(core_s=1234.0)
+        assert wl.core_runtime_s == 1234.0
+
+    def test_out_of_range_fraction(self):
+        with pytest.raises(ValueError, match="run_fraction"):
+            ConstantWorkload().utilisation(1.5)
+
+    def test_bad_utilisation(self):
+        with pytest.raises(ValueError, match="utilisation"):
+            ConstantWorkload(utilisation=1.2)
+
+    def test_setup_teardown_utilisation_low(self):
+        wl = ConstantWorkload(utilisation=0.95)
+        assert wl.setup_utilisation() < 0.95
+        assert wl.teardown_utilisation() < 0.95

@@ -1,0 +1,70 @@
+"""Tests for repro.workloads.graph500."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.gaming import optimal_window_gain
+from repro.traces.synth import simulate_run
+from repro.workloads.graph500 import Graph500Workload
+from repro.workloads.hpl import HplWorkload
+
+
+class TestGraph500Shape:
+    def test_bounds(self):
+        wl = Graph500Workload()
+        u = wl.utilisation(np.linspace(0, 1, 20_001))
+        assert np.all((u >= 0.0) & (u <= 1.0))
+
+    def test_bursty(self):
+        # High temporal variance relative to the mean — unlike HPL.
+        wl = Graph500Workload()
+        u = wl.utilisation(np.linspace(0, 1, 20_001))
+        assert u.std() / u.mean() > 0.3
+
+    def test_periodic_across_searches(self):
+        wl = Graph500Workload(n_searches=4, levels_per_search=8)
+        x = np.linspace(0.0, 0.2499, 500)
+        u1 = wl.utilisation(x)
+        u2 = wl.utilisation(x + 0.25)
+        np.testing.assert_allclose(u1, u2, atol=1e-9)
+
+    def test_comm_phases_lower(self):
+        wl = Graph500Workload(u_compute=0.9, u_comm=0.2)
+        u = wl.utilisation(np.linspace(0, 1, 50_001))
+        # Bimodal-ish: clear mass near both regimes.
+        assert np.quantile(u, 0.9) > 2 * np.quantile(u, 0.1)
+
+    def test_mean_moderate(self):
+        wl = Graph500Workload()
+        assert 0.3 < wl.mean_utilisation() < 0.75
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="search"):
+            Graph500Workload(n_searches=0)
+        with pytest.raises(ValueError, match="u_comm"):
+            Graph500Workload(u_comm=0.9, u_compute=0.8)
+        with pytest.raises(ValueError, match="frontier_peak"):
+            Graph500Workload(frontier_peak_level=1.0)
+
+
+class TestGraph500Measurement:
+    def test_harder_to_measure_than_cpu_hpl(self, small_system):
+        """Partial windows on BFS are even less representative than on
+        flat CPU HPL — the generalisation the paper's full-core rule
+        anticipates ('the lack of generalizability to workloads with
+        more complex patterns')."""
+        bfs = Graph500Workload(core_s=1800.0, n_searches=16)
+        hpl = HplWorkload.cpu_out_of_core(1800.0)
+        run_bfs = simulate_run(small_system, bfs, dt=1.0, noise_cv=0.0)
+        run_hpl = simulate_run(small_system, hpl, dt=1.0, noise_cv=0.0)
+        spread_bfs = optimal_window_gain(run_bfs.core_trace()).spread
+        spread_hpl = optimal_window_gain(run_hpl.core_trace()).spread
+        assert spread_bfs > 2 * spread_hpl
+
+    def test_full_core_average_stable_across_seeds(self, small_system):
+        bfs = Graph500Workload(core_s=900.0)
+        a = simulate_run(small_system, bfs, dt=1.0, seed=1)
+        b = simulate_run(small_system, bfs, dt=1.0, seed=2)
+        ra = a.true_core_average()
+        rb = b.true_core_average()
+        assert ra == pytest.approx(rb, rel=0.02)

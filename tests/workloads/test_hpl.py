@@ -1,0 +1,149 @@
+"""Tests for repro.workloads.hpl — the LU utilisation model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.hpl import HplWorkload
+
+
+class TestConstruction:
+    def test_presets(self):
+        cpu = HplWorkload.cpu_out_of_core(3600.0)
+        gpu = HplWorkload.gpu_in_core(3600.0)
+        assert cpu.rho < gpu.rho
+        assert cpu.name == "HPL-CPU"
+        assert gpu.name == "HPL-GPU"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rho"):
+            HplWorkload(100.0, rho=0.0)
+        with pytest.raises(ValueError, match="u_max"):
+            HplWorkload(100.0, u_max=1.5)
+        with pytest.raises(ValueError, match="u_min"):
+            HplWorkload(100.0, u_max=0.5, u_min=0.6)
+        with pytest.raises(ValueError, match="warmup_fraction"):
+            HplWorkload(100.0, warmup_fraction=1.0)
+        with pytest.raises(ValueError, match="exceed -1"):
+            HplWorkload(100.0, warmup_fraction=0.2, warmup_boost=-1.0)
+        with pytest.raises(ValueError, match="needs a positive"):
+            HplWorkload(100.0, warmup_boost=0.1)
+
+
+class TestUtilisationShape:
+    def test_starts_at_u_max(self):
+        wl = HplWorkload(1000.0, rho=0.1, u_max=0.93)
+        assert wl.utilisation(0.0) == pytest.approx(0.93, rel=1e-6)
+
+    def test_monotone_decreasing_without_warmup(self):
+        wl = HplWorkload(1000.0, rho=0.2)
+        x = np.linspace(0, 1, 201)
+        u = wl.utilisation(x)
+        assert np.all(np.diff(u) <= 1e-12)
+
+    def test_floor_respected(self):
+        wl = HplWorkload(1000.0, rho=1.0, u_min=0.10, u_max=0.9)
+        assert wl.utilisation(1.0) >= 0.10 - 1e-9
+
+    def test_small_rho_flat(self):
+        wl = HplWorkload(1000.0, rho=1e-4)
+        # First 20% vs last 20% mean utilisation differ by well under 1%.
+        x = np.linspace(0, 1, 2001)
+        u = wl.utilisation(x)
+        first = u[x <= 0.2].mean()
+        last = u[x >= 0.8].mean()
+        assert (first - last) / first < 0.01
+
+    def test_large_rho_tails_off(self):
+        wl = HplWorkload(1000.0, rho=0.4)
+        x = np.linspace(0, 1, 2001)
+        u = wl.utilisation(x)
+        first = u[x <= 0.2].mean()
+        last = u[x >= 0.8].mean()
+        assert (first - last) / first > 0.15
+
+    def test_warmup_boost_raises_start(self):
+        base = HplWorkload(1000.0, rho=0.01)
+        boosted = HplWorkload(
+            1000.0, rho=0.01, warmup_fraction=0.25, warmup_boost=0.05,
+            u_max=0.9,
+        )
+        assert boosted.utilisation(0.0) > base.utilisation(0.0) * 0.99
+
+    def test_negative_warmup_dips_start(self):
+        wl = HplWorkload(
+            1000.0, rho=1e-4, warmup_fraction=0.25, warmup_boost=-0.05
+        )
+        assert wl.utilisation(0.0) < wl.utilisation(0.5)
+
+    def test_warmup_decays_to_zero(self):
+        wl = HplWorkload(
+            1000.0, rho=1e-4, warmup_fraction=0.2, warmup_boost=0.1,
+            u_max=0.8,
+        )
+        base = HplWorkload(1000.0, rho=1e-4, u_max=0.8)
+        assert wl.utilisation(0.5) == pytest.approx(base.utilisation(0.5))
+
+    def test_utilisation_clipped_to_one(self):
+        wl = HplWorkload(
+            1000.0, rho=0.01, u_max=0.98, warmup_fraction=0.3,
+            warmup_boost=0.5,
+        )
+        assert wl.utilisation(0.0) <= 1.0
+
+    @settings(max_examples=20)
+    @given(st.floats(min_value=0.001, max_value=2.0))
+    def test_utilisation_in_bounds_for_any_rho(self, rho):
+        wl = HplWorkload(500.0, rho=rho)
+        u = wl.utilisation(np.linspace(0, 1, 101))
+        assert np.all(u >= 0.0) and np.all(u <= 1.0)
+
+
+class TestTrailingFraction:
+    def test_endpoints(self):
+        wl = HplWorkload(1000.0, rho=0.1)
+        assert wl.trailing_fraction_at(0.0) == pytest.approx(1.0)
+        assert wl.trailing_fraction_at(1.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_monotone(self):
+        wl = HplWorkload(1000.0, rho=0.1)
+        s = wl.trailing_fraction_at(np.linspace(0, 1, 101))
+        assert np.all(np.diff(s) <= 1e-12)
+
+    def test_cpu_spends_run_at_full_efficiency(self):
+        # Out-of-core CPU runs: almost all wall-clock time is at
+        # near-peak utilisation — the flat Figure 1 curves.
+        wl = HplWorkload.cpu_out_of_core(3600.0)
+        x = np.linspace(0, 1, 20_001)
+        u = wl.utilisation(x)
+        frac_degraded = float(np.mean(u < 0.9 * wl.u_max))
+        assert frac_degraded < 0.03
+
+    def test_gpu_spends_much_of_run_degraded(self):
+        # In-core GPU runs: a large share of wall-clock time runs at
+        # visibly reduced utilisation — the sloped Figure 1 curves.
+        wl = HplWorkload.gpu_in_core(3600.0)
+        x = np.linspace(0, 1, 20_001)
+        u = wl.utilisation(x)
+        frac_degraded = float(np.mean(u < 0.9 * wl.u_max))
+        assert frac_degraded > 0.30
+
+    def test_constant_rate_closed_form(self):
+        # With efficiency ~1 everywhere (tiny rho), time ∝ work done, so
+        # s(x) = (1 - x)^{1/3}.
+        wl = HplWorkload(1000.0, rho=1e-6, u_min=0.0)
+        for x in (0.2, 0.5, 0.8):
+            assert wl.trailing_fraction_at(x) == pytest.approx(
+                (1 - x) ** (1 / 3), abs=0.01
+            )
+
+
+class TestMeanUtilisation:
+    def test_mean_below_start(self):
+        wl = HplWorkload(1000.0, rho=0.3)
+        assert wl.mean_utilisation() < wl.utilisation(0.0)
+
+    def test_flat_mean_near_u_max(self):
+        wl = HplWorkload(1000.0, rho=1e-5, u_max=0.9)
+        assert wl.mean_utilisation() == pytest.approx(0.9, rel=0.02)

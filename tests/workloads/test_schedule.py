@@ -1,0 +1,75 @@
+"""Tests for repro.workloads.schedule."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.schedule import LoadSchedule, balanced, imbalanced
+
+
+class TestBalanced:
+    def test_all_ones(self):
+        s = balanced(10)
+        np.testing.assert_allclose(s.multipliers, 1.0)
+        assert s.is_balanced()
+        assert s.n_nodes == 10
+
+    def test_apply(self):
+        s = balanced(4)
+        np.testing.assert_allclose(s.apply(0.9), 0.9)
+
+    def test_skewness_zero(self):
+        assert balanced(20).skewness() == 0.0
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            balanced(0)
+
+
+class TestImbalanced:
+    def test_spread(self, rng):
+        s = imbalanced(1000, rng, spread=0.3)
+        assert not s.is_balanced()
+        assert s.multipliers.min() >= 0.7 - 1e-9
+        assert s.multipliers.max() <= 1.0 + 1e-9
+
+    def test_stragglers_create_skew(self, rng):
+        s = imbalanced(5000, rng, spread=0.05, straggler_rate=0.05,
+                       straggler_level=0.3)
+        # Stragglers pull the left tail down → negative skew.
+        assert s.skewness() < -1.0
+
+    def test_no_stragglers_mild_skew(self, rng):
+        s = imbalanced(5000, rng, spread=0.2, straggler_rate=0.0)
+        assert abs(s.skewness()) < 0.5
+
+    def test_deterministic(self):
+        a = imbalanced(50, np.random.default_rng(1))
+        b = imbalanced(50, np.random.default_rng(1))
+        np.testing.assert_array_equal(a.multipliers, b.multipliers)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="spread"):
+            imbalanced(10, rng, spread=1.0)
+        with pytest.raises(ValueError, match="straggler_rate"):
+            imbalanced(10, rng, straggler_rate=1.0)
+        with pytest.raises(ValueError, match="straggler_level"):
+            imbalanced(10, rng, straggler_level=0.0)
+
+
+class TestLoadSchedule:
+    def test_immutable(self):
+        s = balanced(5)
+        with pytest.raises(ValueError):
+            s.multipliers[0] = 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            LoadSchedule(np.array([]))
+        with pytest.raises(ValueError, match=r"\(0, 1\]"):
+            LoadSchedule(np.array([0.0, 1.0]))
+        with pytest.raises(ValueError, match=r"\(0, 1\]"):
+            LoadSchedule(np.array([0.5, 1.2]))
+
+    def test_apply_validation(self):
+        with pytest.raises(ValueError, match="utilisation"):
+            balanced(3).apply(1.5)

@@ -1,0 +1,86 @@
+"""Tests for repro.workloads.stress and rodinia."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.rodinia import RodiniaCfdWorkload
+from repro.workloads.stress import FirestarterWorkload, MPrimeWorkload
+
+
+class TestFirestarter:
+    def test_flat_at_level(self):
+        wl = FirestarterWorkload(utilisation=0.99)
+        x = np.linspace(0, 1, 50)
+        np.testing.assert_allclose(wl.utilisation(x), 0.99)
+
+    def test_near_peak_by_design(self):
+        assert FirestarterWorkload().utilisation(0.5) > 0.95
+
+    def test_low_setup_utilisation(self):
+        assert FirestarterWorkload().setup_utilisation() < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="utilisation"):
+            FirestarterWorkload(utilisation=0.0)
+
+
+class TestMPrime:
+    def test_mean_near_level(self):
+        wl = MPrimeWorkload(utilisation=0.95, ripple=0.02)
+        assert wl.mean_utilisation() == pytest.approx(0.95, abs=0.005)
+
+    def test_ripple_amplitude(self):
+        wl = MPrimeWorkload(core_s=3600.0, utilisation=0.9, ripple=0.03,
+                            cycle_s=600.0)
+        u = wl.utilisation(np.linspace(0, 1, 10_001))
+        half_amp = (u.max() - u.min()) / 2.0
+        assert half_amp == pytest.approx(0.9 * 0.03, rel=0.05)
+
+    def test_periodicity(self):
+        wl = MPrimeWorkload(core_s=1200.0, cycle_s=600.0, ripple=0.02)
+        # One full cycle apart → same utilisation.
+        assert wl.utilisation(0.1) == pytest.approx(
+            wl.utilisation(0.1 + 0.5), rel=1e-9
+        )
+
+    def test_zero_ripple_flat(self):
+        wl = MPrimeWorkload(ripple=0.0)
+        u = wl.utilisation(np.linspace(0, 1, 100))
+        assert np.ptp(u) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ripple"):
+            MPrimeWorkload(ripple=-0.1)
+        with pytest.raises(ValueError, match="exceeds 1"):
+            MPrimeWorkload(utilisation=0.99, ripple=0.05)
+        with pytest.raises(ValueError, match="cycle"):
+            MPrimeWorkload(cycle_s=0.0)
+
+
+class TestRodinia:
+    def test_ramp_then_plateau(self):
+        wl = RodiniaCfdWorkload(ramp_fraction=0.1, sawtooth=0.0)
+        assert wl.utilisation(0.0) < wl.utilisation(0.5)
+        assert wl.utilisation(0.5) == pytest.approx(
+            wl.utilisation(0.9), rel=0.01
+        )
+
+    def test_sawtooth_present(self):
+        wl = RodiniaCfdWorkload(sawtooth=0.05, iterations=100)
+        u = wl.utilisation(np.linspace(0.5, 0.52, 200))
+        assert np.ptp(u) > 0.01
+
+    def test_bounds(self):
+        wl = RodiniaCfdWorkload(utilisation=0.95, sawtooth=0.1)
+        u = wl.utilisation(np.linspace(0, 1, 5001))
+        assert np.all((u >= 0.0) & (u <= 1.0))
+
+    def test_no_ramp(self):
+        wl = RodiniaCfdWorkload(ramp_fraction=0.0, sawtooth=0.0)
+        assert wl.utilisation(0.0) == pytest.approx(wl.utilisation(0.5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="iterations"):
+            RodiniaCfdWorkload(iterations=0)
+        with pytest.raises(ValueError, match="ramp_fraction"):
+            RodiniaCfdWorkload(ramp_fraction=1.0)
