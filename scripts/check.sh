@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Pre-merge gate: domain lint, tier-1 tests, bytecode compile.
+#
+# Run from anywhere inside the repo:
+#     sh scripts/check.sh
+#
+# Exits non-zero on the first failing stage.  The lint stage enforces
+# the reproducibility/units/RNG invariants (docs/linting.md); the test
+# stage is the tier-1 suite; compileall catches syntax errors in files
+# no test imports.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+echo "== repro lint (RPX001-RPX007)"
+python -m repro.cli lint src/repro
+
+echo "== pytest (tier 1)"
+python -m pytest -x -q
+
+echo "== compileall"
+python -m compileall -q src
+
+echo "all gates green"

@@ -1,0 +1,65 @@
+"""Domain lint engine enforcing the repo's reproducibility invariants.
+
+``repro.checks`` is a small AST-based static-analysis pass with rules
+specific to this reproduction's methodology: no global NumPy random
+state (RPX001), unit-literal discipline (RPX002), no float equality on
+computed values (RPX003), no hidden nondeterminism in library code
+(RPX004), the experiment runner/seed contract (RPX005), honest
+``__all__`` export lists (RPX006) and no OS-entropy generator
+construction (RPX007).
+
+Run it as ``repro lint [paths...]`` or programmatically::
+
+    from repro.checks import load_config, run_lint
+    report = run_lint(["src/repro"], config=load_config("."))
+    assert report.ok, report.render_text()
+
+See ``docs/linting.md`` for rule rationale, configuration
+(``[tool.repro.lint]`` in ``pyproject.toml``) and suppression
+(``# repro: noqa RPXnnn``).
+"""
+
+from __future__ import annotations
+
+from repro.checks.config import LintConfig, find_pyproject, load_config, path_matches
+from repro.checks.engine import (
+    CACHE_VERSION,
+    PARSE_ERROR_ID,
+    FileContext,
+    Finding,
+    ImportMap,
+    LintCache,
+    LintReport,
+    Rule,
+    cache_key,
+    check_file,
+    check_source,
+    iter_python_files,
+    noqa_map,
+    run_lint,
+)
+from repro.checks.rules import ALL_RULES, default_rules, rule_index
+
+__all__ = [
+    "ALL_RULES",
+    "CACHE_VERSION",
+    "FileContext",
+    "Finding",
+    "ImportMap",
+    "LintCache",
+    "LintConfig",
+    "LintReport",
+    "PARSE_ERROR_ID",
+    "Rule",
+    "cache_key",
+    "check_file",
+    "check_source",
+    "default_rules",
+    "find_pyproject",
+    "iter_python_files",
+    "load_config",
+    "noqa_map",
+    "path_matches",
+    "rule_index",
+    "run_lint",
+]

@@ -1,0 +1,54 @@
+"""Rule registry for the :mod:`repro.checks` lint engine.
+
+Each rule lives in its own module named after its id; this package
+assembles them into the default rule set and applies the config's
+``select`` / ``ignore`` filters.  See ``docs/linting.md`` for the
+rule-by-rule methodology rationale.
+"""
+
+from __future__ import annotations
+
+from repro.checks.config import LintConfig
+from repro.checks.engine import Rule
+from repro.checks.rules.rpx001_global_rng import GlobalNumpyRandomRule
+from repro.checks.rules.rpx002_units import UnitLiteralRule
+from repro.checks.rules.rpx003_float_eq import FloatEqualityRule
+from repro.checks.rules.rpx004_nondeterminism import NondeterminismRule
+from repro.checks.rules.rpx005_experiments import ExperimentContractRule
+from repro.checks.rules.rpx006_all_exports import AllExportsRule
+from repro.checks.rules.rpx007_entropy_rng import EntropyGeneratorRule
+
+__all__ = [
+    "ALL_RULES",
+    "AllExportsRule",
+    "EntropyGeneratorRule",
+    "ExperimentContractRule",
+    "FloatEqualityRule",
+    "GlobalNumpyRandomRule",
+    "NondeterminismRule",
+    "UnitLiteralRule",
+    "default_rules",
+    "rule_index",
+]
+
+#: Every registered rule, in id order.
+ALL_RULES: tuple[Rule, ...] = (
+    GlobalNumpyRandomRule(),
+    UnitLiteralRule(),
+    FloatEqualityRule(),
+    NondeterminismRule(),
+    ExperimentContractRule(),
+    AllExportsRule(),
+    EntropyGeneratorRule(),
+)
+
+
+def rule_index() -> dict[str, Rule]:
+    """Rule id → rule instance for every registered rule."""
+    return {rule.rule_id: rule for rule in ALL_RULES}
+
+
+def default_rules(config: LintConfig | None = None) -> list[Rule]:
+    """The registered rules surviving the config's select/ignore filters."""
+    config = config or LintConfig()
+    return [rule for rule in ALL_RULES if config.rule_enabled(rule.rule_id)]

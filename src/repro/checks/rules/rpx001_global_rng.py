@@ -1,0 +1,87 @@
+"""RPX001 — no global NumPy random state.
+
+Every stochastic component must draw from a
+:class:`numpy.random.Generator` threaded in explicitly (created via
+:mod:`repro.rng`).  The legacy ``numpy.random.*`` module-level functions
+(``seed``, ``rand``, ``choice``, ...) and ``numpy.random.RandomState``
+share hidden global state, so one extra draw anywhere silently shifts
+every downstream sample — exactly the kind of invisible methodological
+drift the paper's calibration study exists to rule out.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.engine import FileContext, Finding
+
+__all__ = ["GLOBAL_STATE_NAMES", "GlobalNumpyRandomRule"]
+
+#: ``numpy.random`` module-level functions backed by the hidden global
+#: ``RandomState`` (the new ``Generator`` API has none of these at
+#: module level except via ``default_rng``).
+GLOBAL_STATE_NAMES = frozenset(
+    {
+        "seed",
+        "get_state",
+        "set_state",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "random_integers",
+        "ranf",
+        "sample",
+        "bytes",
+        "choice",
+        "shuffle",
+        "permutation",
+        "normal",
+        "standard_normal",
+        "uniform",
+        "exponential",
+        "poisson",
+        "binomial",
+        "lognormal",
+        "gamma",
+        "beta",
+    }
+)
+
+_LEGACY_CLASS = "RandomState"
+
+
+class GlobalNumpyRandomRule:
+    """Flag use of the global NumPy random state."""
+
+    rule_id = "RPX001"
+    title = "no global NumPy random state; thread a Generator from repro.rng"
+
+    def _message(self, name: str) -> str:
+        return (
+            f"numpy.random.{name} uses the hidden global random state; "
+            "thread an explicit numpy.random.Generator from repro.rng instead"
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield a finding for each global-state numpy.random access."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                qualname = ctx.imports.qualify(node)
+                if qualname is None:
+                    continue
+                prefix, _, attr = qualname.rpartition(".")
+                if prefix != "numpy.random":
+                    continue
+                if attr in GLOBAL_STATE_NAMES or attr == _LEGACY_CLASS:
+                    yield ctx.finding(node, self.rule_id, self._message(attr))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module != "numpy.random" or node.level:
+                    continue
+                for alias in node.names:
+                    if alias.name in GLOBAL_STATE_NAMES or alias.name == _LEGACY_CLASS:
+                        yield ctx.finding(
+                            node, self.rule_id, self._message(alias.name)
+                        )

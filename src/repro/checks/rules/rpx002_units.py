@@ -1,0 +1,110 @@
+"""RPX002 — unit-literal discipline.
+
+Internal computation is SI-only (watts, joules, seconds); conversions
+happen once, explicitly, through :mod:`repro.units`.  A bare ``3600.0``
+or ``x / 1e3`` scattered through the code is how kW/W and hour/second
+confusion creeps in — the paper's Table 4 numbers span three orders of
+magnitude of node power, so a silent factor of 1000 is not obviously
+wrong at a glance.  Three checks:
+
+* unit-conversion constants (``3600``, ``86400``, ``3.6e6``) anywhere
+  outside the units module;
+* scientific-notation scale factors (``1e3``, ``1e6``, ``1e9`` and
+  their inverses) used as a multiplier or divisor outside the units
+  module — the textual form distinguishes a deliberate ``1000.0`` node
+  count from a ``1e3`` unit shuffle;
+* quantity-named parameters (``power``, ``energy``, ``duration``, ...)
+  without a unit suffix such as ``_w``/``_kw``/``_j``/``_s``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.engine import FileContext, Finding
+from repro.units import JOULES_PER_KWH, SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+__all__ = ["BARE_QUANTITY_NAMES", "SCALE_FACTORS", "UNIT_CONSTANTS", "UnitLiteralRule"]
+
+#: Values that are unit-conversion constants wherever they appear.
+UNIT_CONSTANTS = frozenset({SECONDS_PER_HOUR, SECONDS_PER_DAY, JOULES_PER_KWH})
+
+#: Decimal scale factors that, written in scientific notation next to a
+#: ``*`` or ``/``, almost always mean a unit prefix shuffle (k/M/G).
+SCALE_FACTORS = frozenset({1e3, 1e6, 1e9, 1e-3, 1e-6, 1e-9})
+
+#: Parameter names that state a physical quantity but not its unit.
+BARE_QUANTITY_NAMES = frozenset(
+    {"power", "energy", "duration", "elapsed", "runtime", "interval", "walltime"}
+)
+
+_SUFFIX_HINT = "_w/_kw/_mw, _j/_kwh, _s/_min/_h"
+
+
+def _is_scientific(text: str) -> bool:
+    """Whether the literal was *written* in scientific notation.
+
+    ``1e3`` is flagged; a spelled-out ``1000.0`` is not — the former
+    reads as a unit prefix, the latter as a genuine quantity.
+    """
+    return "e" in text.lower()
+
+
+class UnitLiteralRule:
+    """Flag magic unit factors and unit-less quantity parameters."""
+
+    rule_id = "RPX002"
+    title = "unit factors belong in repro.units; quantities carry unit suffixes"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for magic unit literals and unit-less parameters."""
+        if not ctx.is_units_module:
+            yield from self._check_constants(ctx)
+        yield from self._check_parameters(ctx)
+
+    def _check_constants(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Constant) and _is_number(node.value):
+                if float(node.value) in UNIT_CONSTANTS:
+                    yield ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"magic unit constant {ctx.segment(node) or node.value}; "
+                        "use the named constant/helper from repro.units",
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Mult, ast.Div)
+            ):
+                for operand in (node.left, node.right):
+                    if (
+                        isinstance(operand, ast.Constant)
+                        and _is_number(operand.value)
+                        and float(operand.value) in SCALE_FACTORS
+                        and _is_scientific(ctx.segment(operand))
+                    ):
+                        yield ctx.finding(
+                            operand,
+                            self.rule_id,
+                            f"scale factor {ctx.segment(operand)} looks like a "
+                            "unit conversion; use a repro.units helper "
+                            "(e.g. watts_to_kilowatts)",
+                        )
+
+    def _check_parameters(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                if arg.arg in BARE_QUANTITY_NAMES:
+                    yield ctx.finding(
+                        arg,
+                        self.rule_id,
+                        f"parameter {arg.arg!r} names a physical quantity "
+                        f"without a unit suffix ({_SUFFIX_HINT})",
+                    )
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)

@@ -1,0 +1,73 @@
+"""RPX003 — no ``==`` / ``!=`` on computed floating-point values.
+
+The reproduction asserts paper values to explicit tolerances
+(:class:`repro.experiments.base.Comparison`); an exact equality against
+a float literal or an arithmetic expression is a latent flake that
+passes on one platform's FMA contraction and fails on another's.  Use
+``math.isclose`` / ``numpy.isclose`` (or an explicit tolerance) instead.
+
+Integer-flavoured comparisons (``arr.size == 0``, ``n % 2 == 0``,
+``i == n - 1`` index arithmetic) are deliberately not flagged: an
+operand counts as "computed float" only if it is a float literal
+(optionally under unary minus), a true division (``/`` always yields a
+float), or an arithmetic expression containing a float literal
+somewhere in its subtree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.engine import FileContext, Finding
+
+__all__ = ["FloatEqualityRule"]
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.Pow)
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def _contains_float_literal(node: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.Constant) and isinstance(sub.value, float)
+        for sub in ast.walk(node)
+    )
+
+
+def _is_computed(node: ast.AST) -> bool:
+    if _is_float_literal(node):
+        return True
+    if not (isinstance(node, ast.BinOp) and isinstance(node.op, _ARITH_OPS)):
+        return False
+    return isinstance(node.op, ast.Div) or _contains_float_literal(node)
+
+
+class FloatEqualityRule:
+    """Flag exact equality against float literals or arithmetic results."""
+
+    rule_id = "RPX003"
+    title = "no float ==/!= on computed values; use math.isclose/np.isclose"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield a finding per comparison with a computed-float operand."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                if _is_computed(left) or _is_computed(right):
+                    yield ctx.finding(
+                        node,
+                        self.rule_id,
+                        "exact ==/!= on a floating-point value; use "
+                        "math.isclose/numpy.isclose or an explicit tolerance",
+                    )
+                    break

@@ -1,0 +1,86 @@
+"""RPX004 — no hidden nondeterminism in library code.
+
+A variability study is only falsifiable if two runs with the same seed
+produce the same bytes.  Wall clocks, OS entropy and the stdlib
+``random`` module smuggle ambient state into what should be a pure
+function of ``(inputs, seed)`` — the "part-time power measurement"
+failure mode, where results depend on *when* the code ran.  Only the
+CLI / experiment runner (configured via ``nondeterminism-exempt``) may
+read wall time, and then only for reporting.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.engine import FileContext, Finding
+
+__all__ = ["BANNED_CALLS", "BANNED_MODULES", "NondeterminismRule"]
+
+#: Fully-qualified callables whose results depend on ambient state.
+BANNED_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.today",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: Modules banned wholesale: any attribute access is ambient state.
+BANNED_MODULES = ("random", "secrets")
+
+
+class NondeterminismRule:
+    """Flag wall-clock / OS-entropy use outside the exempted CLI layer."""
+
+    rule_id = "RPX004"
+    title = "library code must be a pure function of (inputs, seed)"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for ambient-state reads in non-exempt files."""
+        if ctx.is_nondeterminism_exempt:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                qualname = ctx.imports.qualify(node)
+                if qualname is None:
+                    continue
+                if qualname in BANNED_CALLS:
+                    yield ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"{qualname} reads ambient state; library results "
+                        "must be a pure function of (inputs, seed)",
+                    )
+                elif qualname.split(".", 1)[0] in BANNED_MODULES:
+                    yield ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"{qualname}: the stdlib {qualname.split('.', 1)[0]!r} "
+                        "module is hidden global entropy; thread a "
+                        "numpy.random.Generator from repro.rng",
+                    )
+            elif isinstance(node, ast.ImportFrom) and not node.level:
+                module = node.module or ""
+                for alias in node.names:
+                    qualname = f"{module}.{alias.name}"
+                    if qualname in BANNED_CALLS or module in BANNED_MODULES:
+                        yield ctx.finding(
+                            node,
+                            self.rule_id,
+                            f"importing {qualname} pulls ambient state into "
+                            "library code; keep wall-clock/entropy reads in "
+                            "the CLI layer",
+                        )

@@ -1,0 +1,102 @@
+"""RPX005 — the experiment contract.
+
+Every module in the experiments package is a claim about the paper, and
+the runner must be able to execute it headlessly and reproducibly:
+
+* the module exposes a top-level ``run()`` entry point (what
+  :mod:`repro.experiments.runner` registers);
+* every ``seed`` / ``rng`` parameter of ``run``-family functions has a
+  *constant* default (an int or ``None`` — which :mod:`repro.rng` maps
+  to the fixed :data:`~repro.rng.DEFAULT_SEED`), never a required
+  argument and never a call that could reach OS entropy.
+
+Infrastructure modules (``__init__``, ``base``, ``runner`` by default)
+are exempt via the ``experiments-exempt`` config key.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.engine import FileContext, Finding
+
+__all__ = ["ExperimentContractRule"]
+
+_SEED_PARAM_NAMES = frozenset({"seed", "rng"})
+
+
+def _is_constant_default(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        node = node.operand
+    return isinstance(node, ast.Constant)
+
+
+class ExperimentContractRule:
+    """Flag experiment modules that break the runner/seed contract."""
+
+    rule_id = "RPX005"
+    title = "experiments expose run() with deterministic seed/rng defaults"
+
+    def _applies(self, ctx: FileContext) -> bool:
+        if not any(
+            f"/{pkg.strip('/')}/" in f"/{ctx.path}"
+            for pkg in ctx.config.experiments_packages
+        ):
+            return False
+        basename = ctx.path.rsplit("/", 1)[-1]
+        return basename not in ctx.config.experiments_exempt
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for contract breaches in experiment modules."""
+        if not self._applies(ctx):
+            return
+        body = getattr(ctx.tree, "body", [])
+        run_functions = [
+            node
+            for node in body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and (node.name == "run" or node.name.startswith("run_"))
+        ]
+        if not any(node.name == "run" for node in run_functions):
+            yield Finding(
+                path=ctx.path,
+                line=1,
+                col=0,
+                rule_id=self.rule_id,
+                message="experiment module must expose a top-level run() "
+                "entry point for the runner registry",
+            )
+        for node in run_functions:
+            yield from self._check_seed_defaults(ctx, node)
+
+    def _check_seed_defaults(
+        self, ctx: FileContext, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        args = node.args
+        positional = [*args.posonlyargs, *args.args]
+        # Positional defaults right-align with the parameter list.
+        pos_defaults: list[ast.AST | None] = [None] * (
+            len(positional) - len(args.defaults)
+        ) + list(args.defaults)
+        pairs = list(zip(positional, pos_defaults)) + list(
+            zip(args.kwonlyargs, args.kw_defaults)
+        )
+        for arg, default in pairs:
+            if arg.arg not in _SEED_PARAM_NAMES:
+                continue
+            if default is None:
+                yield ctx.finding(
+                    arg,
+                    self.rule_id,
+                    f"{node.name}() parameter {arg.arg!r} must default to a "
+                    "deterministic constant so the runner reproduces the "
+                    "published numbers",
+                )
+            elif not _is_constant_default(default):
+                yield ctx.finding(
+                    default,
+                    self.rule_id,
+                    f"{node.name}() default for {arg.arg!r} must be a "
+                    "constant (int or None), not a computed value",
+                )

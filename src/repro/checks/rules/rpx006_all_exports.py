@@ -1,0 +1,126 @@
+"""RPX006 — ``__all__`` consistency with public definitions.
+
+The repo's import-boundary convention: every module declares ``__all__``
+truthfully.  Two failure modes are flagged in modules that define
+``__all__``:
+
+* a name listed in ``__all__`` that the module never defines (a doc
+  that lies, and a ``from m import *`` that raises AttributeError);
+* a public top-level function or class missing from ``__all__`` (API
+  that exists but is invisible to the export list).
+
+Module-level *variables* are only checked in the first direction —
+constants are often intentionally module-private without an underscore.
+Modules without ``__all__`` are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.engine import FileContext, Finding
+
+__all__ = ["AllExportsRule"]
+
+
+def _all_assignment(tree: ast.AST) -> tuple[ast.AST, list[str]] | None:
+    """Find the module-level ``__all__`` list and its string entries."""
+    for node in getattr(tree, "body", []):
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target = node.target
+            value = node.value
+        else:
+            continue
+        if isinstance(target, ast.Name) and target.id == "__all__":
+            if isinstance(value, (ast.List, ast.Tuple)):
+                names = [
+                    elt.value
+                    for elt in value.elts
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                ]
+                return node, names
+    return None
+
+
+def _defined_names(tree: ast.AST) -> set[str]:
+    """Names bound at module top level (descending into if/try blocks)."""
+    names: set[str] = set()
+
+    def visit(body: list[ast.stmt]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    names.update(_target_names(target))
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                names.update(_target_names(node.target))
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    names.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.If):
+                visit(node.body)
+                visit(node.orelse)
+            elif isinstance(node, ast.Try):
+                visit(node.body)
+                for handler in node.handlers:
+                    visit(handler.body)
+                visit(node.orelse)
+                visit(node.finalbody)
+
+    visit(getattr(tree, "body", []))
+    return names
+
+
+def _target_names(target: ast.AST) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: set[str] = set()
+        for elt in target.elts:
+            out.update(_target_names(elt))
+        return out
+    return set()
+
+
+class AllExportsRule:
+    """Flag ``__all__`` entries that lie and public defs left unexported."""
+
+    rule_id = "RPX006"
+    title = "__all__ lists exactly the module's public functions/classes"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for __all__/definition mismatches."""
+        found = _all_assignment(ctx.tree)
+        if found is None:
+            return
+        all_node, exported = found
+        defined = _defined_names(ctx.tree)
+        for name in exported:
+            if name not in defined:
+                yield ctx.finding(
+                    all_node,
+                    self.rule_id,
+                    f"__all__ exports {name!r} but the module never defines it",
+                )
+        listed = set(exported)
+        for node in getattr(ctx.tree, "body", []):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if node.name.startswith("_") or node.name in listed:
+                continue
+            yield ctx.finding(
+                node,
+                self.rule_id,
+                f"public {'class' if isinstance(node, ast.ClassDef) else 'function'} "
+                f"{node.name!r} is missing from __all__",
+            )

@@ -1,0 +1,55 @@
+"""RPX007 — no OS-entropy generator construction.
+
+``numpy.random.default_rng()`` with no argument (or an explicit
+``None``) seeds from the operating system — a different stream every
+process.  The repo's contract is *reproducible by default*:
+:func:`repro.rng.default_rng` maps ``None`` to the fixed paper seed,
+and callers wanting true entropy must say so at the CLI boundary.  The
+same applies to an entropy-less ``numpy.random.SeedSequence()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.engine import FileContext, Finding
+
+__all__ = ["EntropyGeneratorRule"]
+
+_FACTORIES = {
+    "numpy.random.default_rng": "default_rng",
+    "numpy.random.SeedSequence": "SeedSequence",
+}
+
+
+class EntropyGeneratorRule:
+    """Flag unseeded ``default_rng()`` / ``SeedSequence()`` construction."""
+
+    rule_id = "RPX007"
+    title = "generators are seeded explicitly, never from OS entropy"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield a finding per entropy-seeded generator construction."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualname = ctx.imports.qualify(node.func)
+            if qualname not in _FACTORIES:
+                continue
+            first = node.args[0] if node.args else None
+            if first is None:
+                for kw in node.keywords:
+                    if kw.arg in ("seed", "entropy"):
+                        first = kw.value
+                        break
+            if first is None or (
+                isinstance(first, ast.Constant) and first.value is None
+            ):
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"{_FACTORIES[qualname]} without a seed draws OS entropy; "
+                    "use repro.rng.default_rng (fixed paper seed) or pass an "
+                    "explicit seed",
+                )

@@ -1,17 +1,20 @@
 """Command-line interface.
 
-Four subcommands mirror the workflows the paper prescribes for sites::
+The subcommands mirror the workflows the paper prescribes for sites::
 
     python -m repro.cli plan --nodes 9216 --cv 0.025 --accuracy 0.01
     python -m repro.cli assess --nodes 9216 --watts 207.1,210.4,...
     python -m repro.cli systems
     python -m repro.cli experiments T5 F3 --markdown out.md
+    python -m repro.cli lint src/repro --format json
 
 ``plan`` sizes a measurement subset (Eq. 5, or the two-step pilot
 procedure when per-node pilot watts are given); ``assess`` produces the
 accuracy statement the paper wants attached to every submission;
 ``systems`` prints the calibrated registry; ``experiments`` is a
-shortcut to :mod:`repro.experiments.runner`.
+shortcut to :mod:`repro.experiments.runner`; ``lint`` runs the
+:mod:`repro.checks` reproducibility/units/RNG static analysis and exits
+non-zero on findings (the pre-merge gate, see ``scripts/check.sh``).
 """
 
 from __future__ import annotations
@@ -33,7 +36,7 @@ from repro.core.accuracy import assess_accuracy
 from repro.core.recommendations import recommended_measurement_nodes
 from repro.core.sampling import recommend_sample_size, two_step_pilot_plan
 
-__all__ = ["main"]
+__all__ = ["build_parser", "main"]
 
 
 def _parse_watts(text: str) -> np.ndarray:
@@ -154,6 +157,40 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.checks import LintCache, LintConfig, load_config, run_lint
+
+    paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
+    config = load_config(paths[0])
+    overrides = {}
+    if args.select:
+        overrides["select"] = tuple(
+            s.strip() for s in args.select.split(",") if s.strip()
+        )
+    if args.ignore:
+        overrides["ignore"] = tuple(
+            s.strip() for s in args.ignore.split(",") if s.strip()
+        )
+    if overrides:
+        config = LintConfig(
+            **{
+                **{f: getattr(config, f) for f in config.__dataclass_fields__},
+                **overrides,
+            }
+        )
+    cache = None
+    if not args.no_cache:
+        cache = LintCache(Path(args.cache_file))
+    report = run_lint(paths, config=config, jobs=args.jobs, cache=cache)
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as runner_main
 
@@ -243,6 +280,27 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--markdown", default=None)
     experiments.add_argument("--quiet", action="store_true")
     experiments.set_defaults(func=_cmd_experiments)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the reproducibility/units/RNG static analysis "
+             "(rules RPX001-RPX007)",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories (default: src if present, "
+                           "else .)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--select", default=None,
+                      help="comma-separated rule ids to run (default: all)")
+    lint.add_argument("--ignore", default=None,
+                      help="comma-separated rule ids to skip")
+    lint.add_argument("--jobs", type=int, default=None,
+                      help="worker threads for the parallel scan")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="disable the per-file findings cache")
+    lint.add_argument("--cache-file", default=".repro_lint_cache.json",
+                      help="cache location (default: %(default)s)")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -38,7 +38,7 @@ from repro.cluster.node import NodeConfig
 from repro.cluster.system import SystemModel
 from repro.cluster.thermal import FanController, ThermalEnvironment
 from repro.cluster.variability import ManufacturingVariation, VidBinning
-from repro.units import hours_to_seconds
+from repro.units import hours_to_seconds, kilowatts_to_watts
 from repro.workloads.hpl import HplWorkload
 
 __all__ = [
@@ -54,6 +54,7 @@ __all__ = [
     "get_system",
     "get_trace_setup",
     "list_systems",
+    "workload_utilisation",
 ]
 
 
@@ -465,7 +466,7 @@ def get_trace_setup(name: str) -> tuple[SystemModel, HplWorkload]:
     row = PAPER_TABLE2[name]
     system = _trace_base(name)
     cpu_class = name in ("colosse", "sequoia")
-    target_w = row.core_kw * 1e3
+    target_w = kilowatts_to_watts(row.core_kw)
     workload = _fit_trace_shape(system, name, row, cpu_class)
     # Fan power responds non-linearly to the global scale (cube-law in a
     # clipped affine speed), so pinning the absolute level is a short

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.confidence import ConfidenceInterval
 from repro.core.estimators import FullSystemEstimate, extrapolate_full_system
+from repro.units import watts_to_kilowatts
 
 __all__ = ["AccuracyAssessment", "assess_accuracy"]
 
@@ -57,7 +58,7 @@ class AccuracyAssessment:
     def summary(self) -> str:
         """One-line statement suitable for a submission form."""
         base = (
-            f"{self.estimate.total_watts / 1e3:.1f} kW "
+            f"{watts_to_kilowatts(self.estimate.total_watts):.1f} kW "
             f"±{self.achieved_lambda:.2%} at "
             f"{self.estimate.per_node.confidence:.0%} confidence "
             f"({self.estimate.n_measured}/{self.estimate.n_nodes} nodes, "

@@ -23,6 +23,8 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.units import watts_to_kilowatts
 from scipy import stats
 
 __all__ = ["exceedance_probability", "required_cap", "CapAssessment",
@@ -103,7 +105,7 @@ class CapAssessment:
     def summary(self) -> str:
         """One-line operational statement."""
         return (
-            f"cap {self.cap_watts / 1e3:.1f} kW over {self.n_nodes} nodes: "
+            f"cap {watts_to_kilowatts(self.cap_watts):.1f} kW over {self.n_nodes} nodes: "
             f"exceedance {self.exceedance:.2%}, headroom "
             f"{self.headroom_fraction:+.1%} over the expected draw"
         )

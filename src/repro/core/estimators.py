@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.confidence import ConfidenceInterval, mean_confidence_interval
+from repro.units import watts_to_kilowatts
 
 __all__ = ["FullSystemEstimate", "extrapolate_full_system", "extrapolation_error"]
 
@@ -48,7 +49,7 @@ class FullSystemEstimate:
 
     def __str__(self) -> str:
         return (
-            f"{self.total_watts / 1e3:.1f} kW from {self.n_measured}/"
+            f"{watts_to_kilowatts(self.total_watts):.1f} kW from {self.n_measured}/"
             f"{self.n_nodes} nodes (±{self.relative_half_width:.2%} at "
             f"{self.per_node.confidence:.0%})"
         )

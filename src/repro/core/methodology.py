@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import enum
 import math
+
+from repro.units import watts_to_kilowatts
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -308,7 +310,7 @@ def check_submission(desc: MeasurementDescription) -> list[Violation]:
                 f"measured {desc.n_nodes_measured} nodes, rule requires "
                 f"{required_nodes} (greater of {spec.machine_fraction:.4g} of "
                 f"{desc.n_nodes_total} nodes or "
-                f"{spec.min_measured_watts / 1e3:g} kW)",
+                f"{watts_to_kilowatts(spec.min_measured_watts):g} kW)",
             )
         )
 

@@ -27,6 +27,7 @@ from repro.cluster.node import NodeConfig
 from repro.cluster.system import SystemModel
 from repro.experiments.base import Comparison, ExperimentResult
 from repro.traces.synth import simulate_run
+from repro.units import SECONDS_PER_HOUR
 from repro.workloads.base import ConstantWorkload
 
 __all__ = ["DvfsGamingResult", "run"]
@@ -110,7 +111,7 @@ def run(
     *,
     downclock_fraction: float = 0.4,
     multiplier: float = 0.75,
-    core_s: float = 3600.0,
+    core_s: float = SECONDS_PER_HOUR,
 ) -> DvfsGamingResult:
     """Run the DVFS gaming study.
 

@@ -23,6 +23,7 @@ from repro.cluster.registry import TRACE_SYSTEMS, get_trace_setup
 from repro.experiments.base import Comparison, ExperimentResult
 from repro.traces.ops import resample
 from repro.traces.synth import simulate_run
+from repro.units import watts_to_kilowatts
 
 __all__ = ["Figure1Result", "Figure1Series", "run"]
 
@@ -154,7 +155,7 @@ def run(*, n_points: int = 400, seed: int | None = None) -> Figure1Result:
             Figure1Series(
                 system=name,
                 times=frac,
-                kilowatts=plot.watts / 1e3,
+                kilowatts=watts_to_kilowatts(plot.watts),
                 core_cv=cv,
                 plateau_to_end_drop=float(drop),
             )

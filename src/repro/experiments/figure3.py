@@ -22,7 +22,7 @@ from repro.core.coverage import CoverageResult, coverage_study
 from repro.experiments.base import Comparison, ExperimentResult
 from repro.rng import stream
 
-__all__ = ["Figure3Result", "run", "PILOT_SIZE"]
+__all__ = ["Figure3Result", "run", "run_all_systems", "PILOT_SIZE"]
 
 #: Figure 3's caption: a pilot of 516 LRZ nodes.
 PILOT_SIZE = 516

@@ -14,7 +14,7 @@ from repro.cluster.registry import PAPER_TABLE2, TRACE_SYSTEMS, get_trace_setup
 from repro.experiments.base import Comparison, ExperimentResult
 from repro.traces.ops import segment_average
 from repro.traces.synth import simulate_run
-from repro.units import seconds_to_hours
+from repro.units import seconds_to_hours, watts_to_kilowatts
 
 __all__ = ["Table2Result", "Table2Row", "run"]
 
@@ -109,9 +109,9 @@ def run(*, dt: float | None = None, seed: int | None = None) -> Table2Result:
             Table2Row(
                 system=name,
                 runtime_s=workload.core_runtime_s,
-                core_kw=core.mean_power() / 1e3,
-                first20_kw=segment_average(core, 0.0, 0.2) / 1e3,
-                last20_kw=segment_average(core, 0.8, 1.0) / 1e3,
+                core_kw=watts_to_kilowatts(core.mean_power()),
+                first20_kw=watts_to_kilowatts(segment_average(core, 0.0, 0.2)),
+                last20_kw=watts_to_kilowatts(segment_average(core, 0.8, 1.0)),
             )
         )
     return Table2Result(rows=rows)

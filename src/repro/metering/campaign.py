@@ -30,6 +30,7 @@ from repro.metering.meter import MeterReading, MeterSpec, PowerMeter
 from repro.metering.subset import random_subset
 from repro.rng import SeededStreams
 from repro.traces.synth import SimulatedRun
+from repro.units import watts_to_kilowatts
 
 __all__ = ["CampaignResult", "MeasurementCampaign"]
 
@@ -71,8 +72,8 @@ class CampaignResult:
 
     def __str__(self) -> str:
         return (
-            f"L{int(self.level)}: {self.reported_watts / 1e3:.1f} kW "
-            f"(truth {self.true_watts / 1e3:.1f} kW, "
+            f"L{int(self.level)}: {watts_to_kilowatts(self.reported_watts):.1f} kW "
+            f"(truth {watts_to_kilowatts(self.true_watts):.1f} kW, "
             f"{self.relative_error:+.2%}) window={self.window} "
             f"nodes={len(self.node_indices)}"
         )

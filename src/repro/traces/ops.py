@@ -131,26 +131,29 @@ def _interp_cumulative(tq: np.ndarray, t: np.ndarray, p: np.ndarray,
     return cum[idx] + pl * dt + 0.5 * slope * dt * dt
 
 
-def resample(trace: PowerTrace, interval: float) -> PowerTrace:
-    """Resample a trace to uniform spacing by linear interpolation.
+def resample(trace: PowerTrace, interval_s: float) -> PowerTrace:
+    """Resample a trace to uniform ``interval_s``-second spacing.
 
-    Used to model a meter reading the underlying (continuous) power
-    signal at its own granularity — e.g. one sample per second for a
-    Level 1 meter reading a sub-second simulated signal.
+    Linear interpolation; used to model a meter reading the underlying
+    (continuous) power signal at its own granularity — e.g. one sample
+    per second for a Level 1 meter reading a sub-second simulated
+    signal.
     """
-    if interval <= 0:
-        raise ValueError(f"interval must be positive, got {interval}")
+    if interval_s <= 0:
+        raise ValueError(f"interval_s must be positive, got {interval_s}")
     if trace.duration <= 0:
         raise ValueError("cannot resample a zero-duration trace")
-    n = int(np.floor(trace.duration / interval)) + 1
-    t = trace.start + interval * np.arange(n, dtype=float)
+    n = int(np.floor(trace.duration / interval_s)) + 1
+    t = trace.start + interval_s * np.arange(n, dtype=float)
     if t[-1] < trace.end - 1e-9:
         t = np.append(t, trace.end)
     p = np.interp(t, trace.times, trace.watts)
     return PowerTrace(t, p)
 
 
-def align(traces: list[PowerTrace], interval: float | None = None) -> list[PowerTrace]:
+def align(
+    traces: list[PowerTrace], interval_s: float | None = None
+) -> list[PowerTrace]:
     """Resample traces onto a common uniform grid over their overlap.
 
     Raises if the traces share no overlapping time span.
@@ -161,9 +164,9 @@ def align(traces: list[PowerTrace], interval: float | None = None) -> list[Power
     end = min(tr.end for tr in traces)
     if end <= start:
         raise ValueError("traces have no overlapping time span")
-    if interval is None:
-        interval = min(tr.sample_interval() for tr in traces if len(tr) >= 2)
-    n = max(2, int(np.floor((end - start) / interval)) + 1)
+    if interval_s is None:
+        interval_s = min(tr.sample_interval() for tr in traces if len(tr) >= 2)
+    n = max(2, int(np.floor((end - start) / interval_s)) + 1)
     grid = np.linspace(start, end, n)
     out = []
     for tr in traces:

@@ -216,26 +216,26 @@ class PowerTrace:
     # ------------------------------------------------------------------
     @staticmethod
     def from_uniform(
-        watts: Iterable[float], interval: float = 1.0, start: float = 0.0
+        watts: Iterable[float], interval_s: float = 1.0, start: float = 0.0
     ) -> "PowerTrace":
         """Build a trace from uniformly spaced readings.
 
-        ``interval`` defaults to one second — the Level 1/2 sampling
+        ``interval_s`` defaults to one second — the Level 1/2 sampling
         granularity mandated by the methodology (Table 1, aspect 1a).
         """
         p = np.asarray(list(watts) if not isinstance(watts, np.ndarray) else watts,
                        dtype=float)
-        if interval <= 0:
-            raise ValueError(f"interval must be positive, got {interval}")
-        t = start + interval * np.arange(p.size, dtype=float)
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        t = start + interval_s * np.arange(p.size, dtype=float)
         return PowerTrace(t, p)
 
     @staticmethod
-    def constant(watts: float, duration: float, interval: float = 1.0,
+    def constant(watts: float, duration_s: float, interval_s: float = 1.0,
                  start: float = 0.0) -> "PowerTrace":
-        """A flat trace at ``watts`` for ``duration`` seconds."""
-        n = max(2, int(round(duration / interval)) + 1)
-        t = np.linspace(start, start + duration, n)
+        """A flat trace at ``watts`` for ``duration_s`` seconds."""
+        n = max(2, int(round(duration_s / interval_s)) + 1)
+        t = np.linspace(start, start + duration_s, n)
         return PowerTrace(t, np.full(n, float(watts)))
 
     @staticmethod

@@ -31,11 +31,13 @@ __all__ = [
     "gflops_per_watt",
     "SECONDS_PER_MINUTE",
     "SECONDS_PER_HOUR",
+    "SECONDS_PER_DAY",
     "JOULES_PER_KWH",
 ]
 
 SECONDS_PER_MINUTE = 60.0
 SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 24.0 * SECONDS_PER_HOUR
 JOULES_PER_KWH = 3.6e6
 
 

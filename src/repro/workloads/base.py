@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.units import SECONDS_PER_HOUR
+
 __all__ = ["PhaseTimings", "Workload", "ConstantWorkload"]
 
 
@@ -110,7 +112,8 @@ class ConstantWorkload(Workload):
     Level 1 error is sampling error.
     """
 
-    def __init__(self, utilisation: float = 0.95, core_s: float = 3600.0,
+    def __init__(self, utilisation: float = 0.95,
+                 core_s: float = SECONDS_PER_HOUR,
                  setup_s: float = 120.0, teardown_s: float = 60.0,
                  name: str = "constant") -> None:
         if not (0.0 <= utilisation <= 1.0):

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.units import SECONDS_PER_HOUR
 from repro.workloads.base import PhaseTimings, Workload
 
 __all__ = ["FirestarterWorkload", "MPrimeWorkload"]
@@ -61,7 +62,8 @@ class MPrimeWorkload(Workload):
         Wall-clock period of one FFT-size sweep.
     """
 
-    def __init__(self, core_s: float = 3600.0, *, utilisation: float = 0.96,
+    def __init__(self, core_s: float = SECONDS_PER_HOUR, *,
+                 utilisation: float = 0.96,
                  ripple: float = 0.02, cycle_s: float = 600.0,
                  setup_s: float = 10.0, teardown_s: float = 5.0) -> None:
         if not (0.0 < utilisation <= 1.0):

@@ -1,0 +1,9 @@
+"""Fail fixture: global NumPy random state (RPX001)."""
+
+import numpy as np
+from numpy.random import seed  # expect: RPX001
+
+np.random.seed(1234)  # expect: RPX001
+x = np.random.rand(4)  # expect: RPX001
+y = np.random.choice([1, 2, 3])  # expect: RPX001
+state = np.random.RandomState(7)  # expect: RPX001

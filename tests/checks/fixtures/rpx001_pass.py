@@ -1,0 +1,10 @@
+"""Pass fixture: generators threaded explicitly (RPX001)."""
+
+import numpy as np
+
+__all__ = ["draw"]
+
+
+def draw(rng: np.random.Generator) -> float:
+    """Draw one sample from an explicitly threaded generator."""
+    return float(rng.normal())

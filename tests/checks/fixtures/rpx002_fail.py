@@ -1,0 +1,16 @@
+"""Fail fixture: magic unit literals and unit-less parameters (RPX002)."""
+
+
+def to_hours(seconds_total):
+    """Convert with a magic hour constant."""
+    return seconds_total / 3600.0  # expect: RPX002
+
+
+def report_kw(watts):
+    """Convert with a bare scientific scale factor."""
+    return watts / 1e3  # expect: RPX002
+
+
+def integrate(power, dt_s):  # expect: RPX002
+    """Parameter named after a quantity with no unit suffix."""
+    return power * dt_s

@@ -1,0 +1,18 @@
+"""Pass fixture: conversions via repro.units, suffixed parameters."""
+
+from repro.units import SECONDS_PER_HOUR, watts_to_kilowatts
+
+
+def to_hours(seconds_total):
+    """Convert using the named constant."""
+    return seconds_total / SECONDS_PER_HOUR
+
+
+def report_kw(power_w):
+    """Convert through the units helper."""
+    return watts_to_kilowatts(power_w)
+
+
+def node_count():
+    """A decimal 1000.0 is a quantity, not a unit prefix."""
+    return 1000.0

@@ -1,0 +1,13 @@
+"""Fail fixture: exact equality on computed floats (RPX003)."""
+
+
+def check(a, b):
+    """Compare computed floats exactly."""
+    if a == 0.5:  # expect: RPX003
+        return True
+    return a / b == 0.25  # expect: RPX003
+
+
+def drift(x):
+    """FMA contraction makes this platform-dependent."""
+    return x * 2.0 != x + x  # expect: RPX003

@@ -1,0 +1,18 @@
+"""Pass fixture: tolerances for floats, exact equality for ints."""
+
+import math
+
+
+def check(a, b):
+    """Tolerance-based comparison."""
+    return math.isclose(a / b, 0.25, rel_tol=1e-9)
+
+
+def is_last(i, n):
+    """Integer index arithmetic is fine."""
+    return i == n - 1
+
+
+def is_empty(values):
+    """Integer equality is fine."""
+    return len(values) == 0

@@ -1,0 +1,21 @@
+"""Fail fixture: ambient state in library code (RPX004)."""
+
+import random
+import time
+from datetime import datetime
+from os import urandom  # expect: RPX004
+
+
+def jitter():
+    """stdlib random is hidden global entropy."""
+    return random.random()  # expect: RPX004
+
+
+def stamp():
+    """Wall-clock read."""
+    return time.time()  # expect: RPX004
+
+
+def label():
+    """Wall-clock read via datetime."""
+    return datetime.now().isoformat()  # expect: RPX004

@@ -1,0 +1,8 @@
+"""Pass fixture: library code as a pure function of (inputs, seed)."""
+
+from repro.rng import default_rng
+
+
+def jitter(seed):
+    """Deterministic noise from a threaded generator."""
+    return float(default_rng(seed).normal())

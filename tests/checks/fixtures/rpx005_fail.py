@@ -1,0 +1,11 @@
+"""Fail fixture: experiment-contract violations (RPX005)."""  # expect: RPX005
+
+
+def run_sweep(seed):  # expect: RPX005
+    """A seed parameter with no default is not runnable headlessly."""
+    return seed
+
+
+def run_extra(*, rng=object()):  # expect: RPX005
+    """A computed default could reach OS entropy."""
+    return rng

@@ -1,0 +1,11 @@
+"""Pass fixture: a well-formed experiment module (RPX005)."""
+
+
+def run(*, seed=None, n=10):
+    """Entry point with a deterministic seed default."""
+    return n if seed is None else seed
+
+
+def run_variant(*, seed=0):
+    """Secondary runner, also seeded by constant."""
+    return seed

@@ -1,0 +1,13 @@
+"""Fail fixture: __all__ inconsistencies (RPX006)."""
+
+__all__ = ["missing_name", "helper"]  # expect: RPX006
+
+
+def helper():
+    """Exported and defined — fine."""
+    return 1
+
+
+def orphan():  # expect: RPX006
+    """Public but not exported."""
+    return 2

@@ -1,0 +1,13 @@
+"""Pass fixture: __all__ matches the public surface (RPX006)."""
+
+__all__ = ["helper"]
+
+
+def helper():
+    """The only public definition."""
+    return 1
+
+
+def _private():
+    """Underscore-prefixed names need no export."""
+    return 2

@@ -1,0 +1,7 @@
+"""Fail fixture: OS-entropy generator construction (RPX007)."""
+
+import numpy as np
+
+gen = np.random.default_rng()  # expect: RPX007
+seq = np.random.SeedSequence()  # expect: RPX007
+explicit_none = np.random.default_rng(None)  # expect: RPX007

@@ -1,0 +1,8 @@
+"""Pass fixture: explicitly seeded generators (RPX007)."""
+
+import numpy as np
+
+from repro.rng import default_rng
+
+gen = np.random.default_rng(1234)
+named = default_rng(None)

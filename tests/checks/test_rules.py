@@ -1,0 +1,124 @@
+"""Per-rule fixture tests for the repro.checks lint rules.
+
+Every rule ships a pass-fixture (clean for that rule) and a
+fail-fixture whose violating lines carry ``# expect: RPXnnn`` markers.
+The tests assert the findings match the markers exactly (rule id *and*
+line number), and that rewriting each marker into ``# repro: noqa
+RPXnnn`` suppresses the corresponding finding.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.checks import LintConfig, check_source, rule_index
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule id → virtual path the fixture is linted "as" (path-scoped rules
+#: like the experiment contract key off the module's location).
+VIRTUAL_PATHS = {
+    "RPX005": "src/repro/experiments/fixture_exp.py",
+}
+DEFAULT_PATH = "src/repro/lib/fixture_mod.py"
+
+RULE_IDS = sorted(rule_index())
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(RPX\d{3})")
+
+
+def expected_findings(source: str) -> list[tuple[int, str]]:
+    """(line, rule_id) pairs declared by ``# expect:`` markers."""
+    out = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        for match in _EXPECT_RE.finditer(line):
+            out.append((lineno, match.group(1)))
+    return sorted(out)
+
+
+def lint_with(rule_id: str, source: str) -> list[tuple[int, str]]:
+    """Lint ``source`` with a single rule; return (line, rule_id) pairs."""
+    rule = rule_index()[rule_id]
+    path = VIRTUAL_PATHS.get(rule_id, DEFAULT_PATH)
+    findings = check_source(source, path, [rule], LintConfig())
+    return sorted((f.line, f.rule_id) for f in findings)
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_fail_fixture_exact_lines(rule_id):
+    source = (FIXTURES / f"{rule_id.lower()}_fail.py").read_text()
+    expected = expected_findings(source)
+    assert expected, f"fixture for {rule_id} declares no expectations"
+    assert lint_with(rule_id, source) == expected
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_pass_fixture_clean(rule_id):
+    source = (FIXTURES / f"{rule_id.lower()}_pass.py").read_text()
+    assert lint_with(rule_id, source) == []
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_noqa_suppresses_every_finding(rule_id):
+    source = (FIXTURES / f"{rule_id.lower()}_fail.py").read_text()
+    suppressed = _EXPECT_RE.sub(lambda m: f"# repro: noqa {m.group(1)}", source)
+    assert lint_with(rule_id, suppressed) == []
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_bare_noqa_suppresses_too(rule_id):
+    source = (FIXTURES / f"{rule_id.lower()}_fail.py").read_text()
+    suppressed = _EXPECT_RE.sub("# repro: noqa", source)
+    assert lint_with(rule_id, suppressed) == []
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_noqa_for_other_rule_does_not_suppress(rule_id):
+    source = (FIXTURES / f"{rule_id.lower()}_fail.py").read_text()
+    other = "RPX999"
+    partially = _EXPECT_RE.sub(f"# repro: noqa {other}", source)
+    assert lint_with(rule_id, partially) == [
+        (line, rid) for line, rid in expected_findings(source)
+    ]
+
+
+class TestRuleScoping:
+    """Path-scoped behaviour that fixtures alone can't show."""
+
+    def test_units_module_may_define_unit_constants(self):
+        source = "SECONDS_PER_HOUR = 3600.0\n__all__ = ['SECONDS_PER_HOUR']\n"
+        rule = rule_index()["RPX002"]
+        clean = check_source(source, "src/repro/units.py", [rule], LintConfig())
+        assert clean == []
+        dirty = check_source(source, DEFAULT_PATH, [rule], LintConfig())
+        assert [f.rule_id for f in dirty] == ["RPX002"]
+
+    def test_cli_module_may_read_wall_clock(self):
+        source = "import time\n\nelapsed = time.time()\n"
+        rule = rule_index()["RPX004"]
+        clean = check_source(source, "src/repro/cli.py", [rule], LintConfig())
+        assert clean == []
+        dirty = check_source(source, DEFAULT_PATH, [rule], LintConfig())
+        assert [f.rule_id for f in dirty] == ["RPX004"]
+
+    def test_experiment_contract_skips_infrastructure_modules(self):
+        source = "X = 1\n"
+        rule = rule_index()["RPX005"]
+        for basename in ("__init__.py", "base.py", "runner.py"):
+            path = f"src/repro/experiments/{basename}"
+            assert check_source(source, path, [rule], LintConfig()) == []
+        assert check_source(source, DEFAULT_PATH, [rule], LintConfig()) == []
+
+    def test_missing_run_is_reported_on_line_one(self):
+        source = '"""An experiment module with no entry point."""\n'
+        rule = rule_index()["RPX005"]
+        findings = check_source(
+            source, VIRTUAL_PATHS["RPX005"], [rule], LintConfig()
+        )
+        assert [(f.rule_id, f.line) for f in findings] == [("RPX005", 1)]
+
+    def test_modules_without_all_are_not_flagged(self):
+        source = "def public():\n    return 1\n"
+        rule = rule_index()["RPX006"]
+        assert check_source(source, DEFAULT_PATH, [rule], LintConfig()) == []

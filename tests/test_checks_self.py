@@ -1,0 +1,29 @@
+"""Tier-1 self-lint gate: the repro source tree obeys its own invariants.
+
+This is the machine-checked version of the repo's methodology
+conventions — if a change reintroduces a global-state RNG call, a magic
+unit constant, a float ``==``, hidden wall-clock reads, an experiment
+without a deterministic seed default, or a lying ``__all__``, this test
+fails with the exact ``path:line:col: RPXnnn`` findings.
+"""
+
+from pathlib import Path
+
+from repro.checks import load_config, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_source_tree_is_lint_clean():
+    report = run_lint([SRC], config=load_config(REPO_ROOT))
+    assert report.ok, "\n" + report.render_text()
+    assert report.files_scanned > 50
+
+
+def test_gate_actually_runs_the_rules():
+    """Guard against a config that silently disables everything."""
+    from repro.checks import default_rules
+
+    config = load_config(REPO_ROOT)
+    assert len(default_rules(config)) >= 7

@@ -118,6 +118,72 @@ class TestExperiments:
         assert "S1" in text and "paper" in text
 
 
+class TestLint:
+    CLEAN = '"""Clean."""\n\n__all__ = ["f"]\n\n\ndef f(x):\n    """Id."""\n    return x\n'
+    DIRTY = '"""Dirty."""\n\nHOUR = 3600.0\n'
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(self.CLEAN)
+        rc = main(["lint", str(tmp_path), "--no-cache"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 findings" in out
+
+    def test_findings_exit_one_with_locations(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(self.DIRTY)
+        rc = main(["lint", str(tmp_path), "--no-cache"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "mod.py:3:" in out and "RPX002" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        (tmp_path / "mod.py").write_text(self.DIRTY)
+        rc = main(["lint", str(tmp_path), "--no-cache", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["files_scanned"] == 1
+        assert [f["rule"] for f in payload["findings"]] == ["RPX002"]
+        assert payload["findings"][0]["line"] == 3
+
+    def test_json_format_clean(self, tmp_path, capsys):
+        import json
+
+        (tmp_path / "mod.py").write_text(self.CLEAN)
+        rc = main(["lint", str(tmp_path), "--no-cache", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["findings"] == []
+
+    def test_ignore_flag_disables_rule(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(self.DIRTY)
+        rc = main(["lint", str(tmp_path), "--no-cache", "--ignore", "RPX002"])
+        assert rc == 0
+
+    def test_select_flag_runs_only_named_rule(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(self.DIRTY)
+        rc = main(["lint", str(tmp_path), "--no-cache", "--select", "RPX001"])
+        assert rc == 0
+
+    def test_cache_round_trip(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(self.DIRTY)
+        cache = tmp_path / "cache.json"
+        main(["lint", str(tmp_path), "--cache-file", str(cache)])
+        capsys.readouterr()
+        rc = main(["lint", str(tmp_path), "--cache-file", str(cache)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "(1 cached)" in out
+
+    def test_self_lint_on_repo_source(self, capsys):
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parents[1] / "src" / "repro"
+        rc = main(["lint", str(src), "--no-cache"])
+        assert rc == 0
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

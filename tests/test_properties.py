@@ -35,7 +35,7 @@ class TestTraceAlgebra:
     @given(watt_arrays, st.floats(min_value=0.05, max_value=60.0))
     def test_energy_partition(self, watts, interval):
         """Splitting a trace conserves energy exactly."""
-        tr = PowerTrace.from_uniform(watts, interval=interval)
+        tr = PowerTrace.from_uniform(watts, interval_s=interval)
         parts = split_fractions(tr, [0.25, 0.5, 0.75])
         assert sum(p.energy() for p in parts) == pytest.approx(
             tr.energy(), rel=1e-9, abs=1e-6

@@ -8,8 +8,8 @@ from hypothesis import strategies as st
 from repro.traces.powertrace import PowerTrace
 
 
-def make_trace(watts, interval=1.0):
-    return PowerTrace.from_uniform(watts, interval=interval)
+def make_trace(watts, interval_s=1.0):
+    return PowerTrace.from_uniform(watts, interval_s=interval_s)
 
 
 class TestConstruction:
@@ -71,12 +71,12 @@ class TestConstructors:
         np.testing.assert_allclose(tr.times, [0.0, 1.0, 2.0])
 
     def test_from_uniform_custom_start(self):
-        tr = PowerTrace.from_uniform([1.0, 2.0], interval=0.5, start=10.0)
+        tr = PowerTrace.from_uniform([1.0, 2.0], interval_s=0.5, start=10.0)
         np.testing.assert_allclose(tr.times, [10.0, 10.5])
 
     def test_from_uniform_bad_interval(self):
         with pytest.raises(ValueError, match="positive"):
-            PowerTrace.from_uniform([1.0], interval=0.0)
+            PowerTrace.from_uniform([1.0], interval_s=0.0)
 
     def test_constant(self):
         tr = PowerTrace.constant(50.0, 100.0)
@@ -119,7 +119,7 @@ class TestStatistics:
         assert ramp_trace.min_power() == 0.0
 
     def test_sample_interval(self):
-        tr = make_trace([1.0] * 10, interval=2.0)
+        tr = make_trace([1.0] * 10, interval_s=2.0)
         assert tr.sample_interval() == 2.0
 
     def test_sample_interval_single_sample_raises(self):
@@ -140,7 +140,7 @@ class TestStatistics:
         st.floats(min_value=0.01, max_value=100.0),
     )
     def test_energy_equals_mean_times_duration(self, watts, interval):
-        tr = make_trace(watts, interval=interval)
+        tr = make_trace(watts, interval_s=interval)
         assert tr.energy() == pytest.approx(
             tr.mean_power() * tr.duration, rel=1e-9, abs=1e-6
         )
@@ -238,7 +238,7 @@ class TestEquality:
         assert make_trace([1.0, 2.0]) != make_trace([1.0, 3.0])
 
     def test_not_equal_times(self):
-        assert make_trace([1.0, 2.0]) != make_trace([1.0, 2.0], interval=2.0)
+        assert make_trace([1.0, 2.0]) != make_trace([1.0, 2.0], interval_s=2.0)
 
     def test_hash_consistent(self):
         assert hash(make_trace([1.0, 2.0])) == hash(make_trace([1.0, 2.0]))
