@@ -1,0 +1,101 @@
+"""Streaming subsystem benchmarks — ingestion throughput and merge cost.
+
+Two questions a site sizing a live collector asks:
+
+* how many samples/s can the single-threaded ingest → estimator path
+  absorb at fleet scale (1k and 10k nodes)?
+* what does the per-node → fleet estimator roll-up (shard merges plus
+  the pooled collapse) cost when readings arrive sharded?
+
+Node power matrices are synthesised directly (seeded RNG, no system
+calibration) so the numbers isolate the streaming layer itself.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.stream.estimators import RunningMoments
+from repro.stream.ingest import IngestLoop, SampleBatch
+from repro.stream.monitor import ComplianceMonitor
+
+_TICKS = 600
+_TICKS_PER_BATCH = 60
+_DT_S = 1.0
+
+
+def _batches(n_nodes: int) -> list[SampleBatch]:
+    rng = np.random.default_rng(2015)
+    node_scale = rng.normal(1.0, 0.03, size=n_nodes)
+    out = []
+    ids = np.arange(n_nodes, dtype=np.int64)
+    for lo in range(0, _TICKS, _TICKS_PER_BATCH):
+        n_t = min(_TICKS_PER_BATCH, _TICKS - lo)
+        times = (lo + np.arange(n_t)) * _DT_S
+        common = rng.normal(1.0, 0.004, size=n_t)
+        watts = 250.0 * node_scale[None, :] * common[:, None]
+        out.append(SampleBatch(times=times, watts=watts, node_ids=ids))
+    return out
+
+
+def _ingest_throughput(n_nodes: int) -> tuple[float, int]:
+    batches = _batches(n_nodes)
+    monitor = ComplianceMonitor(
+        (0.0, _TICKS * _DT_S), required_interval_s=_DT_S
+    )
+    fleet = RunningMoments()
+
+    def consume(batch: SampleBatch) -> None:
+        monitor.observe(batch)
+        fleet.push_batch(batch.watts.ravel())
+
+    t0 = time.perf_counter()
+    loop = IngestLoop(iter(batches), consume, queue_capacity=8).run()
+    elapsed = time.perf_counter() - t0
+    return loop.samples_ingested / elapsed, loop.samples_ingested
+
+
+def _merge_cost(n_nodes: int, n_shards: int = 64) -> tuple[float, float]:
+    rng = np.random.default_rng(7)
+    shards = []
+    for _ in range(n_shards):
+        m = RunningMoments()
+        m.push_batch(rng.normal(250.0, 12.0, size=(50, n_nodes)))
+        shards.append(m)
+    t0 = time.perf_counter()
+    total = RunningMoments()
+    for m in shards:
+        total.merge(m)
+    merge_s = time.perf_counter() - t0
+    t1 = time.perf_counter()
+    total.pooled()
+    pooled_s = time.perf_counter() - t1
+    return merge_s / n_shards, pooled_s
+
+
+def _sweep():
+    rows = []
+    for n_nodes in (1_000, 10_000):
+        rate, n_samples = _ingest_throughput(n_nodes)
+        per_merge_s, pooled_s = _merge_cost(n_nodes)
+        rows.append((n_nodes, n_samples, rate, per_merge_s, pooled_s))
+    return rows
+
+
+def bench_stream_pipeline(benchmark, report_sink):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    t = Table(
+        ["nodes", "samples", "ingest (samples/s)",
+         "merge/shard (us)", "pooled roll-up (us)"],
+        title="streaming pipeline — ingestion throughput and merge cost",
+    )
+    for n_nodes, n_samples, rate, per_merge_s, pooled_s in rows:
+        t.add_row(
+            [f"{n_nodes}", f"{n_samples}", f"{rate:,.0f}",
+             f"{per_merge_s * 1e6:.1f}", f"{pooled_s * 1e6:.1f}"]
+        )
+    report_sink("streaming throughput", t.render())
+    assert all(r[2] > 100_000 for r in rows), "ingest slower than 100k/s"

@@ -5,16 +5,20 @@ The subcommands mirror the workflows the paper prescribes for sites::
     python -m repro.cli plan --nodes 9216 --cv 0.025 --accuracy 0.01
     python -m repro.cli assess --nodes 9216 --watts 207.1,210.4,...
     python -m repro.cli systems
+    python -m repro.cli stream --system l-csc --accuracy 0.02
     python -m repro.cli experiments T5 F3 --markdown out.md
     python -m repro.cli lint src/repro --format json
 
 ``plan`` sizes a measurement subset (Eq. 5, or the two-step pilot
 procedure when per-node pilot watts are given); ``assess`` produces the
 accuracy statement the paper wants attached to every submission;
-``systems`` prints the calibrated registry; ``experiments`` is a
-shortcut to :mod:`repro.experiments.runner`; ``lint`` runs the
-:mod:`repro.checks` reproducibility/units/RNG static analysis and exits
-non-zero on findings (the pre-merge gate, see ``scripts/check.sh``).
+``systems`` prints the calibrated registry; ``stream`` replays a
+registry system through the :mod:`repro.stream` online pipeline (live
+statistics, rule compliance and the sequential stopping verdict);
+``experiments`` is a shortcut to :mod:`repro.experiments.runner`;
+``lint`` runs the :mod:`repro.checks` reproducibility/units/RNG static
+analysis and exits non-zero on findings (the pre-merge gate, see
+``scripts/check.sh``).
 """
 
 from __future__ import annotations
@@ -35,6 +39,7 @@ from repro.cluster.registry import (
 from repro.core.accuracy import assess_accuracy
 from repro.core.recommendations import recommended_measurement_nodes
 from repro.core.sampling import recommend_sample_size, two_step_pilot_plan
+from repro.units import SECONDS_PER_HOUR
 
 __all__ = ["build_parser", "main"]
 
@@ -43,9 +48,17 @@ def _parse_watts(text: str) -> np.ndarray:
     try:
         values = np.array([float(x) for x in text.split(",") if x.strip()])
     except ValueError as exc:
-        raise SystemExit(f"error: could not parse watts list: {exc}")
+        raise SystemExit(
+            f"error: could not parse watts list: {exc}"
+        ) from exc
     if values.size == 0:
         raise SystemExit("error: empty watts list")
+    if not np.all(np.isfinite(values)):
+        raise SystemExit(
+            "error: watts values must be finite (got nan or inf)"
+        )
+    if np.any(values < 0):
+        raise SystemExit("error: watts values must be non-negative")
     return values
 
 
@@ -191,6 +204,62 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cluster.registry import TRACE_SYSTEMS as _TRACE
+    from repro.cluster.registry import get_trace_setup
+    from repro.stream.session import stream_session
+    from repro.traces.synth import simulate_run
+    from repro.workloads.base import ConstantWorkload
+
+    name = args.system
+    if name in _TRACE:
+        system, workload = get_trace_setup(name)
+    elif name in NODE_VARIABILITY_SYSTEMS:
+        system = get_system(name)
+        workload = ConstantWorkload(
+            utilisation=workload_utilisation(name),
+            core_s=args.core_seconds,
+        )
+    else:
+        known = ", ".join((*_TRACE, *NODE_VARIABILITY_SYSTEMS))
+        raise SystemExit(f"error: unknown system {name!r} (known: {known})")
+
+    quantiles = tuple(
+        float(q) for q in args.quantiles.split(",") if q.strip()
+    )
+    if not quantiles or not all(0.0 < q < 1.0 for q in quantiles):
+        raise SystemExit("error: quantiles must be in (0, 1)")
+
+    node_indices = None
+    if args.max_nodes is not None:
+        if args.max_nodes < 1:
+            raise SystemExit("error: --max-nodes must be >= 1")
+        n = min(args.max_nodes, system.n_nodes)
+        node_indices = np.arange(n)
+
+    run = simulate_run(system, workload, dt=args.dt, seed=args.seed)
+    result = stream_session(
+        run,
+        node_indices=node_indices,
+        ticks_per_batch=args.ticks_per_batch,
+        quantiles=quantiles,
+        accuracy=args.accuracy,
+        confidence=args.confidence,
+        report_every_s=args.report_every,
+    )
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2, default=float))
+    else:
+        print(result.render_text())
+    ok = (
+        result.monitor_report.interval_ok
+        and result.stopping.should_stop
+    )
+    return 0 if ok else 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as runner_main
 
@@ -272,6 +341,39 @@ def build_parser() -> argparse.ArgumentParser:
              "post-2015 requirements",
     )
     validate.set_defaults(func=_cmd_validate)
+
+    stream = sub.add_parser(
+        "stream",
+        help="replay a registry system through the online telemetry "
+             "pipeline (live stats, compliance, sequential stopping)",
+    )
+    stream.add_argument("--system", default="l-csc",
+                        help="registry system to replay (default: l-csc)")
+    stream.add_argument("--dt", type=float, default=1.0,
+                        help="sample spacing in seconds (default 1, the "
+                             "Level 1/2 granularity)")
+    stream.add_argument("--seed", type=int, default=2015,
+                        help="replay seed (default 2015)")
+    stream.add_argument("--accuracy", type=float, default=0.01,
+                        help="sequential stopping target lambda")
+    stream.add_argument("--confidence", type=float, default=0.95)
+    stream.add_argument("--quantiles", default="0.5,0.95",
+                        help="comma-separated fleet power quantiles to "
+                             "track (default 0.5,0.95)")
+    stream.add_argument("--ticks-per-batch", type=int, default=60,
+                        help="collector flush interval in ticks")
+    stream.add_argument("--report-every", type=float, default=600.0,
+                        help="snapshot cadence in simulated seconds")
+    stream.add_argument("--max-nodes", type=int, default=None,
+                        help="stream only the first K nodes (a measured "
+                             "subset; default: the whole fleet)")
+    stream.add_argument("--core-seconds", type=float,
+                        default=SECONDS_PER_HOUR,
+                        help="core duration for node-variability systems "
+                             "(which have no HPL trace; default 1 hour)")
+    stream.add_argument("--format", choices=("text", "json"),
+                        default="text")
+    stream.set_defaults(func=_cmd_stream)
 
     experiments = sub.add_parser(
         "experiments", help="run the paper-reproduction experiments"

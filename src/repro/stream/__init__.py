@@ -1,0 +1,68 @@
+"""Online power-telemetry: single-pass estimators, live compliance,
+sequential stopping.
+
+The batch pipeline materialises a full :class:`~repro.traces.synth.SimulatedRun`
+and post-processes it; this package answers the same questions *while
+the samples arrive*:
+
+* :mod:`repro.stream.estimators` — single-pass Welford moments,
+  covariance, min/max and P²-quantile estimators with ``merge()`` for
+  per-node → fleet roll-up;
+* :mod:`repro.stream.ring` — fixed-capacity sample/time ring buffers
+  backing rolling windows;
+* :mod:`repro.stream.ingest` — a deterministic tick-driven ingestion
+  loop (simulated clock only, bounded-queue backpressure) replaying
+  simulated runs or per-node traces as batched samples;
+* :mod:`repro.stream.monitor` — live EE HPC WG rule compliance and
+  per-node anomaly flags;
+* :mod:`repro.stream.stopping` — sequential Eq. 1–5 sample-size logic
+  emitting a stop signal once the requested accuracy is met;
+* :mod:`repro.stream.session` — the orchestration the ``repro stream``
+  CLI subcommand drives.
+
+Everything in this package is a pure function of ``(inputs, seed)``:
+time advances only via the simulated tick clock, never the wall clock.
+"""
+
+from repro.stream.estimators import (
+    P2Quantile,
+    RunningCovariance,
+    RunningMoments,
+)
+from repro.stream.ingest import (
+    BoundedQueue,
+    IngestLoop,
+    SampleBatch,
+    SimClock,
+    replay_run,
+    replay_traces,
+)
+from repro.stream.monitor import ComplianceMonitor, MonitorReport
+from repro.stream.ring import RingBuffer, TimeRing
+from repro.stream.session import (
+    StreamSessionResult,
+    StreamSnapshot,
+    stream_session,
+)
+from repro.stream.stopping import SequentialStopper, StoppingDecision
+
+__all__ = [
+    "P2Quantile",
+    "RunningCovariance",
+    "RunningMoments",
+    "BoundedQueue",
+    "IngestLoop",
+    "SampleBatch",
+    "SimClock",
+    "replay_run",
+    "replay_traces",
+    "ComplianceMonitor",
+    "MonitorReport",
+    "RingBuffer",
+    "TimeRing",
+    "StreamSessionResult",
+    "StreamSnapshot",
+    "stream_session",
+    "SequentialStopper",
+    "StoppingDecision",
+]

@@ -1,0 +1,185 @@
+"""Fixed-capacity ring buffers backing rolling windows.
+
+Two flavours, both O(capacity) memory with no per-push allocation:
+
+* :class:`RingBuffer` keeps the last ``capacity`` samples — the
+  "last k ticks" view.
+* :class:`TimeRing` keeps ``(t, value)`` pairs no older than a time
+  horizon — the "last 60 simulated seconds" view the live monitor
+  reports, independent of sampling cadence.
+
+Timestamps are *simulated* seconds supplied by the caller (see
+:class:`repro.stream.ingest.SimClock`); nothing here reads a clock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RingBuffer", "TimeRing"]
+
+
+class RingBuffer:
+    """Last-``capacity`` samples of a scalar stream."""
+
+    __slots__ = ("_data", "_head", "_size")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._data = np.zeros(capacity, dtype=float)
+        self._head = 0  # next write slot
+        self._size = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained samples."""
+        return int(self._data.size)
+
+    @property
+    def full(self) -> bool:
+        """Whether the buffer has wrapped at least once."""
+        return self._size == self._data.size
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, value: float) -> None:
+        """Append one sample, evicting the oldest when full."""
+        self._data[self._head] = float(value)
+        self._head = (self._head + 1) % self._data.size
+        if self._size < self._data.size:
+            self._size += 1
+
+    def push_batch(self, values) -> None:
+        """Append many samples in order."""
+        arr = np.asarray(values, dtype=float).ravel()
+        if arr.size >= self._data.size:
+            # Only the tail survives; lay it out contiguously.
+            self._data[:] = arr[-self._data.size:]
+            self._head = 0
+            self._size = self._data.size
+            return
+        for v in self._split_for(arr):
+            n = v.size
+            self._data[self._head:self._head + n] = v
+            self._head = (self._head + n) % self._data.size
+        self._size = min(self._size + arr.size, self._data.size)
+
+    def _split_for(self, arr: np.ndarray) -> list[np.ndarray]:
+        room = self._data.size - self._head
+        if arr.size <= room:
+            return [arr]
+        return [arr[:room], arr[room:]]
+
+    def values(self) -> np.ndarray:
+        """Retained samples, oldest first (a fresh array)."""
+        if self._size < self._data.size:
+            return self._data[: self._size].copy()
+        return np.concatenate(
+            (self._data[self._head:], self._data[: self._head])
+        )
+
+    def mean(self) -> float:
+        """Mean of the retained samples."""
+        if self._size == 0:
+            raise ValueError("empty buffer")
+        if self._size < self._data.size:
+            return float(self._data[: self._size].mean())
+        return float(self._data.mean())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RingBuffer(size={self._size}/{self.capacity})"
+
+
+class TimeRing:
+    """Samples within a sliding time horizon.
+
+    Holds ``(t, value)`` pairs with ``t`` within ``horizon_s`` of the
+    newest timestamp.  Capacity bounds worst-case memory; when cadence
+    outpaces capacity the oldest in-horizon samples are evicted (the
+    window degrades gracefully to "last ``capacity`` samples").
+    """
+
+    __slots__ = ("_horizon_s", "_times", "_values", "_head", "_size")
+
+    def __init__(self, horizon_s: float, capacity: int = 4096) -> None:
+        if horizon_s <= 0:
+            raise ValueError(f"horizon_s must be positive, got {horizon_s}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._horizon_s = float(horizon_s)
+        self._times = np.zeros(capacity, dtype=float)
+        self._values = np.zeros(capacity, dtype=float)
+        self._head = 0
+        self._size = 0
+
+    @property
+    def horizon_s(self) -> float:
+        """Sliding-window length in simulated seconds."""
+        return self._horizon_s
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(self, t_s: float, value: float) -> None:
+        """Append a timestamped sample; timestamps must not decrease."""
+        t = float(t_s)
+        if self._size and t < self._newest_time() - 1e-12:
+            raise ValueError(
+                f"timestamps must be non-decreasing, got {t} after "
+                f"{self._newest_time()}"
+            )
+        self._times[self._head] = t
+        self._values[self._head] = float(value)
+        self._head = (self._head + 1) % self._times.size
+        if self._size < self._times.size:
+            self._size += 1
+        self._evict(t)
+
+    def _newest_time(self) -> float:
+        return float(self._times[(self._head - 1) % self._times.size])
+
+    def _oldest_index(self) -> int:
+        return (self._head - self._size) % self._times.size
+
+    def _evict(self, now_s: float) -> None:
+        cutoff = now_s - self._horizon_s
+        while self._size > 1:
+            idx = self._oldest_index()
+            if self._times[idx] >= cutoff - 1e-12:
+                break
+            self._size -= 1
+
+    def times(self) -> np.ndarray:
+        """In-horizon timestamps, oldest first."""
+        return self._ordered(self._times)
+
+    def values(self) -> np.ndarray:
+        """In-horizon samples, oldest first."""
+        return self._ordered(self._values)
+
+    def _ordered(self, data: np.ndarray) -> np.ndarray:
+        if self._size == 0:
+            return np.empty(0, dtype=float)
+        start = self._oldest_index()
+        idx = (start + np.arange(self._size)) % data.size
+        return data[idx]
+
+    def mean(self) -> float:
+        """Mean of the in-horizon samples."""
+        if self._size == 0:
+            raise ValueError("empty buffer")
+        return float(self.values().mean())
+
+    def span_s(self) -> float:
+        """Time covered by the retained samples."""
+        if self._size == 0:
+            return 0.0
+        t = self.times()
+        return float(t[-1] - t[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TimeRing(horizon_s={self._horizon_s}, size={self._size})"
+        )

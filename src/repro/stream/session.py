@@ -1,0 +1,324 @@
+"""End-to-end streaming sessions: replay → estimate → monitor → stop.
+
+:func:`stream_session` is what the ``repro stream`` CLI subcommand
+drives: it replays a :class:`~repro.traces.synth.SimulatedRun` through
+the bounded-queue ingestion loop, keeps every streaming estimator and
+the compliance monitor up to date, evaluates the sequential stopping
+boundary as node means firm up, and emits periodic
+:class:`StreamSnapshot` records plus a final summary.
+
+The session is deterministic: the simulated tick clock is the only
+time source, and all estimator state is a pure function of the replayed
+samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.stream.estimators import P2Quantile, RunningCovariance, RunningMoments
+from repro.stream.ingest import IngestLoop, SampleBatch, replay_run
+from repro.stream.monitor import ComplianceMonitor, MonitorReport
+from repro.stream.stopping import SequentialStopper, StoppingDecision
+from repro.traces.synth import SimulatedRun
+
+__all__ = ["StreamSnapshot", "StreamSessionResult", "stream_session"]
+
+
+@dataclass(frozen=True)
+class StreamSnapshot:
+    """One periodic observation of the live stream state."""
+
+    t_s: float
+    samples_seen: int
+    fleet_mean_w: float
+    fleet_std_w: float
+    node_cv: float
+    quantiles_w: dict[float, float]
+    rolling_mean_w: float
+    coverage: float
+    interval_ok: bool
+    legal_level1_window: bool
+    n_outliers: int
+    achieved_lambda: float
+    should_stop: bool
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering."""
+        return {
+            "t_s": self.t_s,
+            "samples_seen": self.samples_seen,
+            "fleet_mean_w": self.fleet_mean_w,
+            "fleet_std_w": self.fleet_std_w,
+            "node_cv": self.node_cv,
+            "quantiles_w": {f"{q:g}": v for q, v in self.quantiles_w.items()},
+            "rolling_mean_w": self.rolling_mean_w,
+            "coverage": self.coverage,
+            "interval_ok": self.interval_ok,
+            "legal_level1_window": self.legal_level1_window,
+            "n_outliers": self.n_outliers,
+            "achieved_lambda": self.achieved_lambda,
+            "should_stop": self.should_stop,
+        }
+
+    def line(self) -> str:
+        """One live status line."""
+        qtext = " ".join(
+            f"p{int(round(q * 100))}={v:.1f}" for q, v in self.quantiles_w.items()
+        )
+        lam = (
+            "inf"
+            if not np.isfinite(self.achieved_lambda)
+            else f"{self.achieved_lambda:.2%}"
+        )
+        flags = []
+        if not self.interval_ok:
+            flags.append("INTERVAL!")
+        if self.n_outliers:
+            flags.append(f"outliers={self.n_outliers}")
+        if self.should_stop:
+            flags.append("STOP")
+        return (
+            f"t={self.t_s:8.0f}s n={self.samples_seen:9d} "
+            f"mean={self.fleet_mean_w:8.1f}W sd={self.fleet_std_w:6.1f}W "
+            f"{qtext} cov={self.coverage:6.1%} lambda={lam}"
+            + (" [" + " ".join(flags) + "]" if flags else "")
+        )
+
+
+@dataclass
+class StreamSessionResult:
+    """Everything a finished streaming session produced."""
+
+    snapshots: list[StreamSnapshot]
+    monitor_report: MonitorReport
+    stopping: StoppingDecision
+    fleet_moments: RunningMoments
+    node_moments: RunningMoments
+    node_fleet_correlation: float
+    quantiles_w: dict[float, float]
+    queue_stalls: int
+    queue_high_watermark: int
+    samples_ingested: int
+    stopped_at_nodes: int | None = field(default=None)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering of the final state."""
+        pooled = self.fleet_moments
+        return {
+            "samples_ingested": self.samples_ingested,
+            "fleet_mean_w": float(np.asarray(pooled.mean)),
+            "fleet_std_w": float(np.asarray(pooled.std())),
+            "fleet_min_w": float(np.asarray(pooled.minimum)),
+            "fleet_max_w": float(np.asarray(pooled.maximum)),
+            "quantiles_w": {f"{q:g}": v for q, v in self.quantiles_w.items()},
+            "node_fleet_correlation": self.node_fleet_correlation,
+            "queue_stalls": self.queue_stalls,
+            "queue_high_watermark": self.queue_high_watermark,
+            "stopped_at_nodes": self.stopped_at_nodes,
+            "stopping": self.stopping.to_dict(),
+            "monitor": self.monitor_report.to_dict(),
+            "snapshots": [s.to_dict() for s in self.snapshots],
+        }
+
+    def render_text(self) -> str:
+        """Full plain-text session report."""
+        lines = [s.line() for s in self.snapshots]
+        lines.append("")
+        lines.append("== final stream state ==")
+        lines.append(
+            f"samples ingested: {self.samples_ingested} "
+            f"(queue stalls {self.queue_stalls}, "
+            f"high-water {self.queue_high_watermark})"
+        )
+        lines.append(
+            f"fleet per-node power: mean "
+            f"{float(np.asarray(self.fleet_moments.mean)):.1f} W, "
+            f"sd {float(np.asarray(self.fleet_moments.std())):.1f} W, "
+            f"range [{float(np.asarray(self.fleet_moments.minimum)):.1f}, "
+            f"{float(np.asarray(self.fleet_moments.maximum)):.1f}] W"
+        )
+        for q, v in self.quantiles_w.items():
+            lines.append(f"  p{int(round(q * 100))}: {v:.1f} W")
+        lines.append(
+            f"node-vs-fleet correlation: {self.node_fleet_correlation:.3f}"
+        )
+        lines.extend(self.monitor_report.lines())
+        d = self.stopping
+        verdict = "met" if d.should_stop else "NOT met"
+        lines.append(
+            f"sequential stopping: target {verdict} at n={d.n_observed} "
+            f"nodes (achieved lambda "
+            + (
+                f"{d.achieved_lambda:.2%}"
+                if np.isfinite(d.achieved_lambda)
+                else "inf"
+            )
+            + f", Eq. 5 projection {d.projected_n} nodes)"
+        )
+        if self.stopped_at_nodes is not None:
+            lines.append(
+                f"stop signal first fired with {self.stopped_at_nodes} nodes"
+            )
+        return "\n".join(lines)
+
+
+def stream_session(
+    run: SimulatedRun,
+    *,
+    node_indices: np.ndarray | None = None,
+    ticks_per_batch: int = 60,
+    quantiles: tuple[float, ...] = (0.5, 0.95),
+    accuracy: float = 0.01,
+    confidence: float = 0.95,
+    report_every_s: float = 600.0,
+    queue_capacity: int = 8,
+    core_only: bool = True,
+) -> StreamSessionResult:
+    """Replay a run through the full streaming pipeline.
+
+    Parameters
+    ----------
+    run:
+        The simulated run to stream.
+    node_indices:
+        Optional measured subset (default: the whole fleet).
+    ticks_per_batch:
+        Collector flush interval in ticks.
+    quantiles:
+        Fleet power quantiles tracked by P² estimators.
+    accuracy / confidence:
+        Sequential stopping target (λ, 1 − α).
+    report_every_s:
+        Snapshot cadence in simulated seconds.
+    queue_capacity:
+        Bounded ingest-queue depth (backpressure threshold).
+    core_only:
+        Stream only the core phase (the methodology's view).
+    """
+    if report_every_s <= 0:
+        raise ValueError("report_every_s must be positive")
+    for q in quantiles:
+        if not (0.0 < q < 1.0):
+            raise ValueError(f"quantiles must be in (0, 1), got {q}")
+
+    monitor = ComplianceMonitor(
+        run.core_window, required_interval_s=max(run.dt, 1.0)
+    )
+    fleet = RunningMoments()
+    p2 = {q: P2Quantile(q) for q in quantiles}
+    covar = RunningCovariance()
+    stopper = SequentialStopper(
+        accuracy=accuracy,
+        population=run.system.n_nodes,
+        confidence=confidence,
+        method="t",
+    )
+    snapshots: list[StreamSnapshot] = []
+    state = {
+        "next_report_s": None,
+        "decision": stopper.evaluate(),
+        "nodes_fed": 0,
+    }
+
+    def consume(batch: SampleBatch) -> None:
+        monitor.observe(batch)
+        fleet.push_batch(batch.watts.ravel())
+        for est in p2.values():
+            est.push_batch(batch.watts)
+        covar.push_batch(
+            batch.watts, np.broadcast_to(
+                batch.fleet_means()[:, None], batch.watts.shape
+            ),
+        )
+
+        # Sequential stopping: nodes "report in" one at a time as the
+        # stream progresses — node k's running mean is admitted once
+        # the stream has warmed up past k batches, modelling staggered
+        # instrumentation roll-out across the fleet.
+        node_means = np.asarray(monitor.node_moments.mean)
+        admitted = min(
+            state["nodes_fed"] + max(1, batch.n_nodes // 8),
+            node_means.size,
+        )
+        if admitted > state["nodes_fed"]:
+            fresh = node_means[state["nodes_fed"]:admitted]
+            state["decision"] = stopper_feed(fresh)
+            state["nodes_fed"] = admitted
+
+        t_now = batch.t1_s
+        if state["next_report_s"] is None:
+            state["next_report_s"] = batch.t0_s + report_every_s
+        while t_now >= state["next_report_s"] - 1e-9:
+            snapshots.append(snapshot_at(t_now))
+            state["next_report_s"] += report_every_s
+
+    def stopper_feed(means: np.ndarray) -> StoppingDecision:
+        decision = state["decision"]
+        for w in means:
+            decision = stopper.update(float(w))
+        return decision
+
+    def snapshot_at(t_s: float) -> StreamSnapshot:
+        report = monitor.report()
+        decision = state["decision"]
+        have_sd = fleet.count >= 2
+        node_means = np.asarray(monitor.node_moments.mean)
+        mu = float(node_means.mean())
+        sd_nodes = (
+            float(node_means.std(ddof=1)) if node_means.size > 1 else 0.0
+        )
+        return StreamSnapshot(
+            t_s=float(t_s),
+            samples_seen=fleet.count,
+            fleet_mean_w=float(np.asarray(fleet.mean)),
+            fleet_std_w=(
+                float(np.asarray(fleet.std())) if have_sd else 0.0
+            ),
+            node_cv=(sd_nodes / mu if mu > 0 else 0.0),
+            quantiles_w={q: est.value for q, est in p2.items()},
+            rolling_mean_w=report.rolling_mean_w,
+            coverage=report.window_fraction_covered,
+            interval_ok=report.interval_ok,
+            legal_level1_window=report.legal_level1_window,
+            n_outliers=len(report.outlier_nodes),
+            achieved_lambda=decision.achieved_lambda,
+            should_stop=decision.should_stop,
+        )
+
+    source = replay_run(
+        run,
+        node_indices=node_indices,
+        ticks_per_batch=ticks_per_batch,
+        core_only=core_only,
+    )
+    loop = IngestLoop(
+        source, consume, queue_capacity=queue_capacity
+    ).run()
+
+    # Any nodes not yet admitted to the stopper report in at shutdown.
+    node_means = np.asarray(monitor.node_moments.mean)
+    if state["nodes_fed"] < node_means.size:
+        state["decision"] = stopper_feed(node_means[state["nodes_fed"]:])
+        state["nodes_fed"] = node_means.size
+
+    final_monitor = monitor.report()
+    if not snapshots:
+        snapshots.append(snapshot_at(final_monitor.t_now_s))
+    return StreamSessionResult(
+        snapshots=snapshots,
+        monitor_report=final_monitor,
+        stopping=state["decision"],
+        fleet_moments=fleet,
+        node_moments=monitor.node_moments,
+        node_fleet_correlation=float(
+            np.mean(np.asarray(covar.correlation()))
+        ),
+        quantiles_w={q: est.value for q, est in p2.items()},
+        queue_stalls=loop.stalls,
+        queue_high_watermark=loop.queue.high_watermark,
+        samples_ingested=loop.samples_ingested,
+        stopped_at_nodes=stopper.stopped_at,
+    )

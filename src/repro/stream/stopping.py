@@ -1,0 +1,230 @@
+"""Sequential sample-size decisions (paper Eqs. 1–5, evaluated online).
+
+The batch rule sizes a subset up front from an assumed σ/μ
+(:mod:`repro.core.sampling`).  Streaming inverts the workflow: nodes
+come online one by one, their time-averaged powers accumulate, and the
+site wants a *stop signal* — "your subset now supports the requested
+accuracy at the requested confidence" — the moment it becomes true.
+
+:class:`SequentialStopper` evaluates the Eq. 1 t-based confidence
+interval with the finite-population correction after every update and
+stops once the relative half-width reaches the target λ.  With a known
+coefficient of variation and the z-quantile (``method="z"``,
+``cv_override=...``) the stopping boundary reduces *exactly* to the
+Eq. 5 rule, so the sequential procedure reproduces Table 5's node
+counts cell for cell — the cross-check
+:mod:`repro.experiments.ext_streaming` runs.
+
+A sequential caveat the docstring must carry: repeatedly testing a 95%
+interval and stopping at the first success is an optional-stopping
+procedure, so realised coverage at the stopping time is slightly below
+nominal.  The paper's two-step pilot plan has the same character; for
+site practice the t-quantile's conservatism at small ``n`` is the
+compensating margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.confidence import (
+    ConfidenceInterval,
+    finite_population_correction,
+    t_quantile,
+    z_quantile,
+)
+from repro.core.sampling import recommend_sample_size
+from repro.stream.estimators import RunningMoments
+
+__all__ = ["StoppingDecision", "SequentialStopper"]
+
+
+@dataclass(frozen=True)
+class StoppingDecision:
+    """Outcome of one sequential evaluation.
+
+    Attributes
+    ----------
+    should_stop:
+        Whether the accuracy target is met at this update.
+    n_observed:
+        Nodes contributing measurements so far.
+    achieved_lambda:
+        Relative CI half-width at this update (``inf`` before the
+        minimum node count).
+    projected_n:
+        Eq. 5 projection of the total nodes needed, using the current
+        σ/μ estimate (the live re-plan a site acts on).
+    interval:
+        The Eq. 1 interval itself (``None`` before two nodes).
+    """
+
+    should_stop: bool
+    n_observed: int
+    achieved_lambda: float
+    projected_n: int
+    interval: ConfidenceInterval | None
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering."""
+        return {
+            "should_stop": self.should_stop,
+            "n_observed": self.n_observed,
+            "achieved_lambda": self.achieved_lambda,
+            "projected_n": self.projected_n,
+            "mean_w": None if self.interval is None else self.interval.mean,
+            "half_width_w": (
+                None if self.interval is None else self.interval.half_width
+            ),
+        }
+
+
+class SequentialStopper:
+    """Stop a node-sampling campaign once Eq. 1–5 accuracy is reached.
+
+    Parameters
+    ----------
+    accuracy:
+        Target relative half-width λ (the paper's ±1% is 0.01).
+    population:
+        Fleet size ``N`` for the finite-population correction.
+    confidence:
+        Nominal CI coverage (default 95%).
+    method:
+        ``"t"`` (Eq. 1 — the honest small-sample choice) or ``"z"``
+        (Eq. 2 — the large-``n`` approximation Table 5 is built from).
+    cv_override:
+        Evaluate the boundary at this fixed σ/μ instead of the sample
+        estimate.  With ``method="z"`` this makes the stopping time a
+        deterministic function of ``n`` — exactly Eq. 5.
+    min_nodes:
+        Never stop before this many nodes (2 is the algebraic floor; 4
+        keeps the t-quantile out of its wildest regime).
+    """
+
+    def __init__(
+        self,
+        *,
+        accuracy: float,
+        population: int,
+        confidence: float = 0.95,
+        method: str = "t",
+        cv_override: float | None = None,
+        min_nodes: int = 4,
+    ) -> None:
+        if accuracy <= 0:
+            raise ValueError(f"accuracy must be positive, got {accuracy}")
+        if population < 2:
+            raise ValueError("population must be >= 2")
+        if method not in ("t", "z"):
+            raise ValueError(f"method must be 't' or 'z', got {method!r}")
+        if cv_override is not None and cv_override <= 0:
+            raise ValueError("cv_override must be positive")
+        if min_nodes < 2:
+            raise ValueError("min_nodes must be >= 2")
+        self.accuracy = float(accuracy)
+        self.population = int(population)
+        self.confidence = float(confidence)
+        self.method = method
+        self.cv_override = cv_override
+        self.min_nodes = int(min_nodes)
+        self.node_means = RunningMoments()
+        self._stopped_at: int | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_observed(self) -> int:
+        """Nodes contributing so far."""
+        return self.node_means.count
+
+    @property
+    def stopped_at(self) -> int | None:
+        """Node count at the first stop signal (``None`` if not yet)."""
+        return self._stopped_at
+
+    def update(self, node_mean_watts: float) -> StoppingDecision:
+        """Add one node's time-averaged power and re-evaluate."""
+        w = float(node_mean_watts)
+        if not np.isfinite(w) or w < 0:
+            raise ValueError(
+                f"node mean power must be finite and >= 0, got {w}"
+            )
+        if self.n_observed >= self.population:
+            raise ValueError("more node measurements than the population")
+        self.node_means.push(w)
+        return self.evaluate()
+
+    def update_many(self, node_mean_watts) -> StoppingDecision:
+        """Add several nodes' means; returns the final decision."""
+        arr = np.asarray(node_mean_watts, dtype=float).ravel()
+        decision = None
+        for w in arr:
+            decision = self.update(float(w))
+        if decision is None:
+            decision = self.evaluate()
+        return decision
+
+    def evaluate(self) -> StoppingDecision:
+        """Evaluate the boundary at the current state (no new data)."""
+        n = self.n_observed
+        if n < 2:
+            return StoppingDecision(
+                should_stop=False,
+                n_observed=n,
+                achieved_lambda=float("inf"),
+                projected_n=self.population,
+                interval=None,
+            )
+        mu = float(np.asarray(self.node_means.mean))
+        sd = float(np.asarray(self.node_means.std()))
+        if mu <= 0:
+            raise ValueError("mean power must be positive to assess accuracy")
+        cv = self.cv_override if self.cv_override is not None else sd / mu
+        if self.method == "t":
+            q = t_quantile(self.confidence, n - 1)
+        else:
+            q = z_quantile(self.confidence)
+        fpc = finite_population_correction(n, self.population)
+        achieved = q * cv / np.sqrt(n) * fpc
+        interval = ConfidenceInterval(
+            mean=mu,
+            half_width=float(achieved * mu),
+            confidence=self.confidence,
+            method=self.method,
+        )
+        if cv > 0:
+            projected = recommend_sample_size(
+                self.population, cv, self.accuracy, self.confidence
+            ).n
+        else:
+            projected = self.min_nodes
+        stop = bool(
+            n >= self.min_nodes and achieved <= self.accuracy + 1e-12
+        )
+        if stop and self._stopped_at is None:
+            self._stopped_at = n
+        return StoppingDecision(
+            should_stop=stop,
+            n_observed=n,
+            achieved_lambda=float(achieved),
+            projected_n=int(projected),
+            interval=interval,
+        )
+
+    def scan(self, node_mean_watts) -> int:
+        """Feed node means in order; return the stopping node count.
+
+        Raises if the target is never reached — the caller's fleet was
+        too small for the requested accuracy at this σ/μ.
+        """
+        arr = np.asarray(node_mean_watts, dtype=float).ravel()
+        for w in arr:
+            decision = self.update(float(w))
+            if decision.should_stop:
+                return decision.n_observed
+        raise ValueError(
+            f"accuracy {self.accuracy:.3%} not reached after "
+            f"{self.n_observed} of {self.population} nodes"
+        )

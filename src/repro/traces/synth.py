@@ -148,6 +148,68 @@ class SimulatedRun:
             )
         return PowerTrace(self._times, watts * self._noise)
 
+    def node_power_matrix(
+        self,
+        t0_s: float | None = None,
+        t1_s: float | None = None,
+        node_indices: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-node instantaneous power on the simulation grid.
+
+        Returns ``(times, watts)`` where ``watts[k, j]`` is node
+        ``node_indices[j]``'s power at ``times[k]``, including the
+        common-mode noise (consistent with :meth:`subset_trace`, which
+        is the row-sum of this matrix).  ``[t0_s, t1_s]`` clips to grid
+        samples inside the bounds (defaults: the whole run).  This is
+        the per-node view the streaming layer
+        (:mod:`repro.stream.ingest`) replays tick by tick.
+        """
+        if node_indices is None:
+            idx = np.arange(self.system.n_nodes, dtype=np.int64)
+        else:
+            idx = np.asarray(node_indices, dtype=np.int64).ravel()
+            if idx.size == 0:
+                raise ValueError("node subset must be non-empty")
+            if np.any(idx < 0) or np.any(idx >= self.system.n_nodes):
+                raise ValueError("node index out of range")
+            if np.unique(idx).size != idx.size:
+                raise ValueError("node indices must be unique")
+        lo = self._times[0] if t0_s is None else float(t0_s)
+        hi = self._times[-1] if t1_s is None else float(t1_s)
+        if hi < lo:
+            raise ValueError(f"need t0_s <= t1_s, got [{lo}, {hi}]")
+        in_span = (self._times >= lo - 1e-9) & (self._times <= hi + 1e-9)
+        times = self._times[in_span]
+        if times.size == 0:
+            raise ValueError("no grid samples inside the requested span")
+        util = self._util[in_span]
+        noise = self._noise[in_span]
+        u_grid = np.linspace(0.0, 1.0, _U_GRID)
+        if self._freq_mult is None:
+            levels = np.array([1.0])
+            level_of = np.zeros(times.size, dtype=np.int64)
+        else:
+            fm = self._freq_mult[in_span]
+            levels, level_of = np.unique(fm, return_inverse=True)
+        watts = np.empty((times.size, idx.size))
+        for li, mult in enumerate(levels):
+            per_node = np.empty((_U_GRID, idx.size))
+            for gi, ui in enumerate(u_grid):
+                per_node[gi] = self.system.node_total_powers(
+                    float(ui), indices=idx, freq_multiplier=float(mult)
+                )
+            mask = level_of == li
+            u_sel = util[mask]
+            cell = np.clip(
+                np.searchsorted(u_grid, u_sel) - 1, 0, _U_GRID - 2
+            )
+            w = (u_sel - u_grid[cell]) / (u_grid[cell + 1] - u_grid[cell])
+            watts[mask] = (
+                per_node[cell] * (1 - w)[:, None]
+                + per_node[cell + 1] * w[:, None]
+            )
+        return times, watts * noise[:, None]
+
     def node_average_powers(self) -> np.ndarray:
         """True per-node time-averaged power over the core phase.
 

@@ -1,0 +1,21 @@
+"""Shared fixtures for the streaming subsystem tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.synth import SimulatedRun, simulate_run
+
+
+@pytest.fixture()
+def small_run(gpu_system, gpu_hpl) -> SimulatedRun:
+    """A fast 32-node GPU HPL run (1800 s core at 2 s ticks)."""
+    return simulate_run(gpu_system, gpu_hpl, dt=2.0, seed=5)
+
+
+@pytest.fixture()
+def core_matrix(small_run) -> tuple[np.ndarray, np.ndarray]:
+    """Batch ground truth: (times, watts) over the core phase."""
+    t0_s, t1_s = small_run.core_window
+    return small_run.node_power_matrix(t0_s, t1_s)

@@ -1,0 +1,159 @@
+"""Tests for repro.stream.estimators."""
+
+import numpy as np
+import pytest
+
+from repro.stream.estimators import P2Quantile, RunningCovariance, RunningMoments
+
+
+@pytest.fixture()
+def samples() -> np.ndarray:
+    return np.random.default_rng(42).normal(200.0, 15.0, size=5000)
+
+
+class TestRunningMoments:
+    def test_matches_numpy(self, samples):
+        m = RunningMoments()
+        for x in samples:
+            m.push(x)
+        assert float(np.asarray(m.mean)) == pytest.approx(
+            samples.mean(), rel=1e-12
+        )
+        assert float(np.asarray(m.variance())) == pytest.approx(
+            samples.var(ddof=1), rel=1e-12
+        )
+        assert float(np.asarray(m.minimum)) == samples.min()
+        assert float(np.asarray(m.maximum)) == samples.max()
+
+    def test_push_batch_equals_push_loop(self, samples):
+        a, b = RunningMoments(), RunningMoments()
+        for x in samples:
+            a.push(x)
+        b.push_batch(samples)
+        assert float(np.asarray(b.mean)) == pytest.approx(
+            float(np.asarray(a.mean)), rel=1e-12
+        )
+        assert float(np.asarray(b.variance())) == pytest.approx(
+            float(np.asarray(a.variance())), rel=1e-12
+        )
+        assert b.count == a.count
+
+    def test_merge_exact(self, samples):
+        left, right = RunningMoments(), RunningMoments()
+        left.push_batch(samples[:1700])
+        right.push_batch(samples[1700:])
+        merged = left.merge(right)
+        assert float(np.asarray(merged.mean)) == pytest.approx(
+            samples.mean(), rel=1e-12
+        )
+        assert float(np.asarray(merged.variance())) == pytest.approx(
+            samples.var(ddof=1), rel=1e-12
+        )
+        assert merged.count == samples.size
+
+    def test_merge_with_empty(self, samples):
+        m = RunningMoments()
+        m.push_batch(samples)
+        merged = m.merge(RunningMoments())
+        assert merged.count == samples.size
+        assert float(np.asarray(merged.mean)) == pytest.approx(
+            samples.mean(), rel=1e-12
+        )
+
+    def test_vector_state_and_pooled(self, samples):
+        mat = samples.reshape(-1, 4)
+        m = RunningMoments()
+        m.push_batch(mat)
+        np.testing.assert_allclose(
+            np.asarray(m.mean), mat.mean(axis=0), rtol=1e-12
+        )
+        pooled = m.pooled()
+        assert float(np.asarray(pooled.mean)) == pytest.approx(
+            samples.mean(), rel=1e-12
+        )
+        assert float(np.asarray(pooled.variance())) == pytest.approx(
+            samples.var(ddof=1), rel=1e-12
+        )
+
+    def test_cv(self, samples):
+        m = RunningMoments()
+        m.push_batch(samples)
+        assert float(np.asarray(m.cv())) == pytest.approx(
+            samples.std(ddof=1) / samples.mean(), rel=1e-12
+        )
+
+    def test_variance_needs_two(self):
+        m = RunningMoments()
+        m.push(1.0)
+        with pytest.raises(ValueError, match="more than"):
+            m.variance()
+
+
+class TestRunningCovariance:
+    def test_matches_numpy(self, samples):
+        y = 0.5 * samples + np.random.default_rng(7).normal(
+            0.0, 5.0, samples.size
+        )
+        c = RunningCovariance()
+        c.push_batch(samples, y)
+        expected = np.cov(samples, y, ddof=1)[0, 1]
+        assert float(np.asarray(c.covariance())) == pytest.approx(
+            expected, rel=1e-10
+        )
+        expected_r = np.corrcoef(samples, y)[0, 1]
+        assert float(np.asarray(c.correlation())) == pytest.approx(
+            expected_r, rel=1e-10
+        )
+
+    def test_merge_exact(self, samples):
+        y = samples[::-1].copy()
+        a, b = RunningCovariance(), RunningCovariance()
+        a.push_batch(samples[:2000], y[:2000])
+        b.push_batch(samples[2000:], y[2000:])
+        merged = a.merge(b)
+        whole = RunningCovariance()
+        whole.push_batch(samples, y)
+        assert float(np.asarray(merged.covariance())) == pytest.approx(
+            float(np.asarray(whole.covariance())), rel=1e-10
+        )
+
+
+class TestP2Quantile:
+    @pytest.mark.parametrize("q", [0.1, 0.5, 0.9, 0.95])
+    def test_accuracy_on_stationary_stream(self, samples, q):
+        est = P2Quantile(q)
+        est.push_batch(samples)
+        exact = np.quantile(samples, q)
+        assert est.value == pytest.approx(exact, rel=0.01)
+
+    def test_small_sample_exact(self):
+        est = P2Quantile(0.5)
+        for x in (5.0, 1.0, 3.0):
+            est.push(x)
+        assert est.value == pytest.approx(3.0)
+
+    def test_merge_approximation(self, samples):
+        a, b = P2Quantile(0.5), P2Quantile(0.5)
+        a.push_batch(samples[: samples.size // 2])
+        b.push_batch(samples[samples.size // 2:])
+        merged = a.merge(b)
+        exact = np.quantile(samples, 0.5)
+        assert merged.value == pytest.approx(exact, rel=0.01)
+        assert merged.count == samples.size
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError, match="quantile"):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError, match="quantile"):
+            P2Quantile(1.0)
+
+    def test_empty_value_rejected(self):
+        with pytest.raises(ValueError, match="no observations"):
+            P2Quantile(0.5).value
+
+    def test_mismatched_merge_rejected(self):
+        a, b = P2Quantile(0.5), P2Quantile(0.95)
+        a.push(1.0)
+        b.push(1.0)
+        with pytest.raises(ValueError, match="quantile"):
+            a.merge(b)

@@ -1,0 +1,77 @@
+"""Tests for repro.stream.ring."""
+
+import numpy as np
+import pytest
+
+from repro.stream.ring import RingBuffer, TimeRing
+
+
+class TestRingBuffer:
+    def test_fills_then_wraps(self):
+        ring = RingBuffer(3)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            ring.push(v)
+        np.testing.assert_allclose(ring.values(), [2.0, 3.0, 4.0])
+        assert ring.full
+        assert len(ring) == 3
+
+    def test_values_oldest_first_before_full(self):
+        ring = RingBuffer(5)
+        ring.push(1.0)
+        ring.push(2.0)
+        np.testing.assert_allclose(ring.values(), [1.0, 2.0])
+        assert not ring.full
+
+    def test_push_batch_equals_push_loop(self):
+        data = np.arange(17, dtype=float)
+        a, b = RingBuffer(7), RingBuffer(7)
+        for v in data:
+            a.push(float(v))
+        b.push_batch(data)
+        np.testing.assert_allclose(a.values(), b.values())
+
+    def test_push_batch_larger_than_capacity(self):
+        ring = RingBuffer(4)
+        ring.push_batch(np.arange(100, dtype=float))
+        np.testing.assert_allclose(ring.values(), [96.0, 97.0, 98.0, 99.0])
+
+    def test_mean(self):
+        ring = RingBuffer(3)
+        ring.push_batch(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert ring.mean() == pytest.approx(3.0)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            RingBuffer(0)
+
+
+class TestTimeRing:
+    def test_evicts_beyond_horizon(self):
+        ring = TimeRing(10.0)
+        for t in range(25):
+            ring.push(float(t), float(t) * 2.0)
+        times = ring.times()
+        assert times.min() >= 24.0 - 10.0
+        assert times.max() == pytest.approx(24.0)
+
+    def test_mean_over_window(self):
+        ring = TimeRing(5.0)
+        for t in range(10):
+            ring.push(float(t), 100.0)
+        assert ring.mean() == pytest.approx(100.0)
+
+    def test_span(self):
+        ring = TimeRing(60.0)
+        ring.push(0.0, 1.0)
+        ring.push(12.0, 1.0)
+        assert ring.span_s() == pytest.approx(12.0)
+
+    def test_rejects_time_reversal(self):
+        ring = TimeRing(10.0)
+        ring.push(5.0, 1.0)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            ring.push(4.0, 1.0)
+
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError, match="horizon"):
+            TimeRing(0.0)

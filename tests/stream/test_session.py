@@ -1,0 +1,92 @@
+"""Tests for repro.stream.session (end-to-end pipeline)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.stream.session import stream_session
+
+
+@pytest.fixture()
+def session_result(small_run, core_matrix):
+    _, watts = core_matrix
+    result = stream_session(
+        small_run, accuracy=0.05, report_every_s=300.0
+    )
+    return result, watts
+
+
+class TestStreamSession:
+    def test_moments_match_batch(self, session_result):
+        result, watts = session_result
+        flat = watts.ravel()
+        assert float(np.asarray(result.fleet_moments.mean)) == pytest.approx(
+            flat.mean(), rel=1e-12
+        )
+        assert float(np.asarray(result.fleet_moments.std())) == pytest.approx(
+            flat.std(ddof=1), rel=1e-12
+        )
+        assert result.samples_ingested == flat.size
+
+    def test_node_moments_match_batch(self, session_result):
+        result, watts = session_result
+        np.testing.assert_allclose(
+            np.asarray(result.node_moments.mean), watts.mean(axis=0),
+            rtol=1e-12,
+        )
+
+    def test_quantiles_close_to_batch(self, session_result):
+        result, watts = session_result
+        flat = watts.ravel()
+        for q, est in result.quantiles_w.items():
+            assert est == pytest.approx(
+                float(np.quantile(flat, q)), rel=0.03
+            )
+
+    def test_compliance_and_stopping(self, session_result):
+        result, _ = session_result
+        assert result.monitor_report.full_core_compliant
+        assert result.monitor_report.interval_ok
+        assert result.stopping.should_stop
+        assert result.stopped_at_nodes is not None
+        assert result.stopped_at_nodes <= 32
+
+    def test_snapshots_cadence(self, session_result):
+        result, _ = session_result
+        assert len(result.snapshots) >= 4
+        t = [s.t_s for s in result.snapshots]
+        assert t == sorted(t)
+
+    def test_everything_consumed_without_loss(self, session_result):
+        result, watts = session_result
+        assert result.queue_high_watermark >= 1
+        assert result.fleet_moments.count == watts.size
+
+    def test_subset_session(self, small_run):
+        idx = np.arange(8)
+        result = stream_session(
+            small_run, node_indices=idx, accuracy=0.5,
+            report_every_s=300.0,
+        )
+        assert result.node_moments.shape == (8,)
+        assert result.stopping.n_observed == 8
+
+    def test_invalid_arguments(self, small_run):
+        with pytest.raises(ValueError, match="report_every_s"):
+            stream_session(small_run, report_every_s=0.0)
+        with pytest.raises(ValueError, match="quantiles"):
+            stream_session(small_run, quantiles=(1.5,))
+
+    def test_json_round_trip(self, session_result):
+        result, _ = session_result
+        text = json.dumps(result.to_dict(), default=float)
+        parsed = json.loads(text)
+        assert parsed["samples_ingested"] == result.samples_ingested
+        assert "monitor" in parsed and "stopping" in parsed
+
+    def test_render_text(self, session_result):
+        result, _ = session_result
+        text = result.render_text()
+        assert "final stream state" in text
+        assert "sequential stopping" in text

@@ -67,6 +67,59 @@ class TestAssess:
         with pytest.raises(SystemExit, match="empty"):
             main(["assess", "--nodes", "100", "--watts", ","])
 
+    def test_nan_watts_rejected(self):
+        with pytest.raises(SystemExit, match="finite"):
+            main(["assess", "--nodes", "100", "--watts", "100,nan,102"])
+
+    def test_inf_watts_rejected(self):
+        with pytest.raises(SystemExit, match="finite"):
+            main(["assess", "--nodes", "100", "--watts", "100,inf,102"])
+
+    def test_negative_watts_rejected(self):
+        with pytest.raises(SystemExit, match="non-negative"):
+            main(["assess", "--nodes", "100", "--watts", "100,-4.0,102"])
+
+    def test_unparseable_watts_chain_cause(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["plan", "--nodes", "100", "--pilot", "1.0,abc"])
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+class TestStream:
+    def test_text_replay(self, capsys):
+        rc = main(["stream", "--system", "l-csc", "--dt", "4",
+                   "--max-nodes", "12", "--accuracy", "0.05",
+                   "--report-every", "1200"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "final stream state" in out
+        assert "sequential stopping" in out
+        assert "full-core compliant" in out
+
+    def test_json_replay(self, capsys):
+        import json
+
+        rc = main(["stream", "--system", "l-csc", "--dt", "4",
+                   "--max-nodes", "12", "--accuracy", "0.05",
+                   "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["monitor"]["full_core_compliant"] is True
+        assert payload["stopping"]["should_stop"] is True
+        assert payload["samples_ingested"] > 0
+
+    def test_unknown_system(self):
+        with pytest.raises(SystemExit, match="unknown system"):
+            main(["stream", "--system", "not-a-machine"])
+
+    def test_bad_quantiles(self):
+        with pytest.raises(SystemExit, match="quantiles"):
+            main(["stream", "--system", "l-csc", "--quantiles", "1.5"])
+
+    def test_bad_max_nodes(self):
+        with pytest.raises(SystemExit, match="max-nodes"):
+            main(["stream", "--system", "l-csc", "--max-nodes", "0"])
+
 
 class TestBudget:
     def test_feasible(self, capsys):

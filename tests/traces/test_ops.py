@@ -148,6 +148,31 @@ class TestResample:
         with pytest.raises(ValueError, match="zero-duration"):
             resample(PowerTrace([0.0], [1.0]), 1.0)
 
+    def test_end_sample_appended_when_grid_falls_short(self, ramp_trace):
+        # 100 s duration with a 7 s grid: the last uniform tick is 98 s,
+        # so the trace end must be appended as an extra sample.
+        r = resample(ramp_trace, 7.0)
+        assert r.times[-1] == pytest.approx(100.0)
+        assert r.times[-1] - r.times[-2] == pytest.approx(2.0)
+        assert r.watts[-1] == pytest.approx(ramp_trace.watts[-1])
+
+    def test_no_duplicate_end_sample_when_grid_lands_exactly(
+        self, ramp_trace
+    ):
+        r = resample(ramp_trace, 10.0)
+        assert r.times.size == 11
+        assert r.times[-1] == pytest.approx(100.0)
+        assert np.all(np.diff(r.times) > 0)
+
+    def test_interval_longer_than_duration(self, ramp_trace):
+        # Grid collapses to the start sample; the end is appended, so
+        # the result still spans the trace with exactly two samples.
+        r = resample(ramp_trace, 250.0)
+        assert r.times.size == 2
+        assert r.start == pytest.approx(ramp_trace.start)
+        assert r.end == pytest.approx(ramp_trace.end)
+        assert r.mean_power() == pytest.approx(ramp_trace.mean_power())
+
 
 class TestAlign:
     def test_align_overlapping(self):
@@ -168,6 +193,14 @@ class TestAlign:
     def test_no_overlap_rejected(self):
         a = PowerTrace.constant(10.0, 10.0, start=0.0)
         b = PowerTrace.constant(10.0, 10.0, start=100.0)
+        with pytest.raises(ValueError, match="no overlapping"):
+            align([a, b])
+
+    def test_touching_spans_rejected(self):
+        # End of one trace == start of the other: zero-length overlap
+        # is not a usable span either.
+        a = PowerTrace.constant(10.0, 10.0, start=0.0)
+        b = PowerTrace.constant(10.0, 10.0, start=10.0)
         with pytest.raises(ValueError, match="no overlapping"):
             align([a, b])
 
