@@ -1,0 +1,75 @@
+"""Parallel-runner benchmarks — pool speedup and cache replay latency.
+
+Three questions a site running the sweep repeatedly asks:
+
+* what does ``--jobs N`` buy on the full 19-experiment sweep (the
+  serial sweep is dominated by V1 at ~70% of wall-clock, so
+  longest-first scheduling matters as much as the worker count)?
+* what does a warm-cache replay cost (the target is ≥ 10× faster than
+  recomputation — it is pure unpickling)?
+* what is the per-experiment overhead the pool itself adds on a sweep
+  of sub-millisecond experiments (the scheduling floor)?
+
+Run with ``python -m pytest benchmarks/bench_runner_parallel.py
+--benchmark-only``.  Speedup over serial scales with available cores;
+on a single-core box the pool can only demonstrate overhead, so the
+bench reports the measured ratio rather than asserting one.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.report import Table
+from repro.experiments.runner import run_all
+from repro.parallel.cache import ResultCache
+
+#: The sub-second experiments — enough work to time, cheap enough to
+#: repeat (the full sweep variant runs them all, see bench_sweep).
+FAST_IDS = ["T5", "T4", "S1", "F4", "X3", "X5", "F2", "Z1", "X2"]
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def bench_serial_subset(benchmark):
+    benchmark(lambda: run_all(ids=FAST_IDS, verbose=False))
+
+
+def bench_parallel_subset(benchmark):
+    benchmark(lambda: run_all(ids=FAST_IDS, verbose=False, jobs=4))
+
+
+def bench_cache_replay(benchmark, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    run_all(ids=FAST_IDS, verbose=False, cache=cache)  # warm it
+    benchmark(lambda: run_all(ids=FAST_IDS, verbose=False, cache=cache))
+
+
+def bench_sweep_speedup_report(report_sink):
+    """One full paper-scale sweep per layout, reported as a table."""
+    serial_s = _timed(lambda: run_all(verbose=False))
+    parallel_s = _timed(lambda: run_all(verbose=False, jobs=4))
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as td:
+        cache = ResultCache(td)
+        run_all(verbose=False, jobs=4, cache=cache)
+        replay_s = _timed(lambda: run_all(verbose=False, cache=cache))
+
+    table = Table(
+        ["layout", "wall s", "vs serial"],
+        title="full 19-experiment sweep, paper scale",
+    )
+    table.add_row(["serial", f"{serial_s:.2f}", "1.0x"])
+    table.add_row(
+        ["--jobs 4", f"{parallel_s:.2f}", f"{serial_s / parallel_s:.1f}x"]
+    )
+    table.add_row(
+        ["warm cache", f"{replay_s:.2f}", f"{serial_s / replay_s:.1f}x"]
+    )
+    report_sink("runner parallel/cache sweep", table.render())

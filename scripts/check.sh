@@ -20,7 +20,14 @@ echo "== repro lint (RPX001-RPX007)"
 python -m repro.cli lint src/repro
 
 echo "== pytest (tier 1)"
-python -m pytest -x -q
+# Shard across cores when pytest-xdist is available (CI installs it);
+# fall back to serial otherwise.  Always print the slowest tests so
+# tier-1 creep is visible in every log.
+if python -c "import xdist" 2>/dev/null; then
+    python -m pytest -x -q -n auto --durations=5
+else
+    python -m pytest -x -q --durations=5
+fi
 
 echo "== compileall"
 python -m compileall -q src

@@ -1,0 +1,59 @@
+"""Regenerate the golden comparison snapshot.
+
+Runs the full experiment sweep serially at paper scale and writes every
+``Comparison`` (label, paper, measured) to
+``tests/experiments/golden_comparisons.json`` — the file the golden
+regression test (``tests/experiments/test_runner_golden.py``) holds
+serial, parallel and cached-replay runs to, bit for bit.
+
+Run it only when a deliberate change to an experiment or a shared
+statistical kernel shifts the measured values::
+
+    PYTHONPATH=src python scripts/make_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.runner import run_all
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "tests" / "experiments" / "golden_comparisons.json"
+)
+
+
+def snapshot(results) -> dict:
+    """Every comparison of every result, as JSON-stable primitives."""
+    return {
+        exp_id: [
+            {
+                "label": c.label,
+                "paper": float(c.paper),
+                "measured": float(c.measured),
+            }
+            for c in result.comparisons()
+        ]
+        for exp_id, result in results.items()
+    }
+
+
+def main() -> int:
+    results = run_all(verbose=False)
+    failed = [i for i, r in results.items() if not r.all_ok()]
+    if failed:
+        raise SystemExit(f"refusing to snapshot failing experiments: {failed}")
+    GOLDEN_PATH.write_text(
+        json.dumps(snapshot(results), indent=1, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    n = sum(len(v) for v in snapshot(results).values())
+    print(f"wrote {GOLDEN_PATH} ({len(results)} experiments, "
+          f"{n} comparisons)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,7 @@ The subcommands mirror the workflows the paper prescribes for sites::
     python -m repro.cli assess --nodes 9216 --watts 207.1,210.4,...
     python -m repro.cli systems
     python -m repro.cli stream --system l-csc --accuracy 0.02
+    python -m repro.cli run --jobs 4
     python -m repro.cli experiments T5 F3 --markdown out.md
     python -m repro.cli lint src/repro --format json
 
@@ -15,10 +16,13 @@ accuracy statement the paper wants attached to every submission;
 ``systems`` prints the calibrated registry; ``stream`` replays a
 registry system through the :mod:`repro.stream` online pipeline (live
 statistics, rule compliance and the sequential stopping verdict);
-``experiments`` is a shortcut to :mod:`repro.experiments.runner`;
-``lint`` runs the :mod:`repro.checks` reproducibility/units/RNG static
-analysis and exits non-zero on findings (the pre-merge gate, see
-``scripts/check.sh``).
+``run`` executes the experiment sweep on a process pool with the
+content-addressed result cache on by default (``--no-cache`` disables,
+``--refresh`` re-runs; results are byte-identical to a serial run);
+``experiments`` is the classic serial shortcut to
+:mod:`repro.experiments.runner`; ``lint`` runs the :mod:`repro.checks`
+reproducibility/units/RNG static analysis and exits non-zero on
+findings (the pre-merge gate, see ``scripts/check.sh``).
 """
 
 from __future__ import annotations
@@ -271,6 +275,35 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return runner_main(argv)
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import experiments_markdown, run_all
+    from repro.parallel.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir) if args.cache else None
+    try:
+        results = run_all(
+            ids=args.ids or None,
+            verbose=not args.quiet,
+            jobs=args.jobs if args.jobs is not None else 1,
+            cache=cache,
+            refresh=args.refresh,
+        )
+    except (KeyError, ValueError) as exc:
+        # Bad experiment ids are a usage error: exit 2, like argparse.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as fh:
+            fh.write(experiments_markdown(results))
+        print(f"wrote {args.markdown}")
+    failed = [i for i, r in results.items() if not r.all_ok()]
+    if failed:
+        print(f"FAILED experiments: {failed}", file=sys.stderr)
+        return 1
+    print(f"all {len(results)} experiments within tolerance")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -375,8 +408,40 @@ def build_parser() -> argparse.ArgumentParser:
                         default="text")
     stream.set_defaults(func=_cmd_stream)
 
+    run = sub.add_parser(
+        "run",
+        help="run the experiment sweep — parallel (--jobs N) with the "
+             "content-addressed result cache on by default",
+        description="Run the paper-reproduction experiment sweep. "
+                    "Experiments are scheduled longest-first onto a "
+                    "process pool; unchanged experiments replay from "
+                    "the content-addressed cache under --cache-dir. "
+                    "Every layout (serial, --jobs N, cached) produces "
+                    "byte-identical records.",
+    )
+    run.add_argument("ids", nargs="*",
+                     help="experiment ids to run (default: all)")
+    run.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                     help="worker processes (default: 1, serial)")
+    run.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                     default=True,
+                     help="replay unchanged experiments from the result "
+                          "cache (default: on; --no-cache disables)")
+    run.add_argument("--cache-dir", default=".repro-cache", metavar="PATH",
+                     help="cache location (default: %(default)s)")
+    run.add_argument("--refresh", action="store_true",
+                     help="re-run every experiment and overwrite its "
+                          "cache entry")
+    run.add_argument("--markdown", default=None, metavar="PATH",
+                     help="write the EXPERIMENTS.md body to PATH")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-experiment output")
+    run.set_defaults(func=_cmd_run)
+
     experiments = sub.add_parser(
-        "experiments", help="run the paper-reproduction experiments"
+        "experiments",
+        help="run the paper-reproduction experiments (serial shortcut; "
+             "see `run` for --jobs/--cache)",
     )
     experiments.add_argument("ids", nargs="*")
     experiments.add_argument("--markdown", default=None)

@@ -20,11 +20,24 @@ themselves iid draws from the pilot's empirical distribution, and the
 remaining ``N − n`` nodes' total is a multinomial functional of the
 pilot values.  Each replicate is then exact without ever building the
 population, and all replicates for one ``n`` evaluate as one
-``(n_sims, n)`` array operation.
+``(block, n)`` array operation.
+
+Determinism and parallelism: the ``n_sims`` replicates for each
+``(n, level)`` point are partitioned into fixed-size *blocks* of
+:data:`RNG_BLOCK` replicates, and every block draws from its own
+:class:`numpy.random.SeedSequence` child (spawned point-by-point,
+block-by-block, in a fixed order from the caller's generator).  The
+block — not the worker — is the unit of randomness, so executing the
+blocks serially, on 2 workers, or on 7 workers produces bit-identical
+coverage counts: per-block hit counts are integers and integer addition
+is exact and order-independent.  ``jobs > 1`` farms block groups out to
+a process pool.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -32,9 +45,13 @@ import numpy as np
 
 from repro.core.confidence import t_quantile, z_quantile
 
-__all__ = ["CoverageResult", "coverage_study"]
+__all__ = ["CoverageResult", "coverage_study", "RNG_BLOCK"]
 
-_CHUNK = 20_000  # replicates per multinomial chunk (memory control)
+#: Replicates per RNG block — the unit of the draw stream.  Fixed so the
+#: draws (and therefore the coverage counts) do not depend on how blocks
+#: are grouped into worker chunks.
+RNG_BLOCK = 5_000
+
 _EXACT_REST_MAX = 2_000  # largest remainder drawn by exact multinomial
 
 
@@ -86,6 +103,88 @@ class CoverageResult:
         return self.max_miscalibration() <= tolerance
 
 
+def _block_sizes(n_sims: int) -> list[int]:
+    """Partition ``n_sims`` replicates into fixed-size RNG blocks."""
+    full, rem = divmod(n_sims, RNG_BLOCK)
+    return [RNG_BLOCK] * full + ([rem] if rem else [])
+
+
+def _block_hits(
+    values: np.ndarray,
+    population: int,
+    n: int,
+    conf: tuple,
+    method: str,
+    n_block: int,
+    seed_seq: np.random.SeedSequence,
+) -> np.ndarray:
+    """Hit counts (per confidence level) for one block of replicates.
+
+    The block's draws come only from ``seed_seq``, so the result is a
+    pure function of the arguments — independent of which worker runs
+    it and of every other block.
+    """
+    rng = np.random.default_rng(seed_seq)
+    k = values.size
+    # Step 2 (via exchangeability): the sample is n iid draws from the
+    # pilot's empirical distribution.
+    idx = rng.integers(0, k, size=(n_block, n))
+    x = values[idx]
+    mean_hat = x.mean(axis=1)
+    sd_hat = x.std(axis=1, ddof=1)
+    sem = sd_hat / np.sqrt(n)
+
+    # Step 1's remaining N − n nodes: their sum is a multinomial
+    # functional of the pilot values.  For small remainders it is drawn
+    # exactly; for large ones (the usual case — thousands of unmeasured
+    # nodes) its CLT limit with the empirical distribution's exact
+    # first two moments is indistinguishable (relative skew error
+    # O(m^{-1/2}) ≲ 1e-2 at m = 2000) and two orders of magnitude
+    # faster than ``Generator.multinomial``.
+    m = population - n
+    if m == 0:
+        rest_sum = np.zeros(n_block)
+    elif m <= _EXACT_REST_MAX:
+        counts = rng.multinomial(m, np.full(k, 1.0 / k), size=n_block)
+        rest_sum = counts @ values
+    else:
+        mu_pop = values.mean()
+        sd_pop = values.std(ddof=0)
+        rest_sum = m * mu_pop + np.sqrt(m) * sd_pop * rng.standard_normal(
+            n_block
+        )
+    true_mean = (x.sum(axis=1) + rest_sum) / population
+
+    err = np.abs(mean_hat - true_mean)
+    hits = np.empty(len(conf), dtype=np.int64)
+    for i, c in enumerate(conf):
+        q = t_quantile(c, n - 1) if method == "t" else z_quantile(c)
+        hits[i] = int(np.count_nonzero(err <= q * sem))
+    return hits
+
+
+def _chunk_hits(
+    values: np.ndarray,
+    population: int,
+    conf: tuple,
+    method: str,
+    tasks: list[tuple[int, int, int, np.random.SeedSequence]],
+) -> dict[int, np.ndarray]:
+    """Sum block hit counts for one worker's share of the blocks.
+
+    ``tasks`` is a list of ``(point_index, n, n_block, seed_seq)``
+    entries; the return maps point index → summed hit counts.
+    """
+    out: dict[int, np.ndarray] = {}
+    for j, n, n_block, seq in tasks:
+        hits = _block_hits(values, population, n, conf, method, n_block, seq)
+        if j in out:
+            out[j] = out[j] + hits
+        else:
+            out[j] = hits
+    return out
+
+
 def coverage_study(
     pilot_watts,
     *,
@@ -96,6 +195,7 @@ def coverage_study(
     method: str = "t",
     rng: np.random.Generator | None = None,
     system: str = "",
+    jobs: int | None = None,
 ) -> CoverageResult:
     """Run the Figure 3 calibration simulation.
 
@@ -117,6 +217,10 @@ def coverage_study(
         ``"t"`` for Equation 1 (the paper's procedure) or ``"z"`` for
         the Equation 2 approximation — comparing the two reproduces the
         Section 4.2 under-coverage discussion.
+    jobs:
+        Worker processes for the replicate blocks.  ``None`` or ``1``
+        runs serially; any value produces bit-identical coverage (the
+        RNG block, not the worker, is the unit of randomness).
     """
     values = np.asarray(pilot_watts, dtype=float).ravel()
     if values.size < 2:
@@ -133,54 +237,55 @@ def coverage_study(
         raise ValueError(f"method must be 't' or 'z', got {method!r}")
     if rng is None:
         rng = np.random.default_rng(0)
+    n_jobs = 1 if jobs is None else int(jobs)
+    if n_jobs < 1:
+        raise ValueError("jobs must be >= 1")
 
-    k = values.size
     conf = tuple(float(c) for c in confidences)
     sizes = tuple(int(n) for n in sample_sizes)
+
+    # One SeedSequence child per (point, block), spawned in a fixed
+    # order so every execution layout sees the same streams.
+    point_seqs = rng.bit_generator.seed_seq.spawn(len(sizes))
+    blocks = _block_sizes(int(n_sims))
+    tasks: list[tuple[int, int, int, np.random.SeedSequence]] = []
+    for j, n in enumerate(sizes):
+        for n_block, seq in zip(blocks, point_seqs[j].spawn(len(blocks))):
+            tasks.append((j, n, n_block, seq))
+
+    hits = {j: np.zeros(len(conf), dtype=np.int64) for j in range(len(sizes))}
+    if n_jobs == 1 or len(tasks) == 1:
+        for j, partial in _chunk_hits(
+            values, population, conf, method, tasks
+        ).items():
+            hits[j] += partial
+    else:
+        n_chunks = min(n_jobs * 2, len(tasks))
+        chunks = [tasks[c::n_chunks] for c in range(n_chunks)]
+        ctx = (
+            multiprocessing.get_context("fork")
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        with ProcessPoolExecutor(
+            max_workers=min(n_jobs, len(chunks)), mp_context=ctx
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _chunk_hits, values, population, conf, method, chunk
+                )
+                for chunk in chunks
+            ]
+            for fut in futures:
+                for j, partial in fut.result().items():
+                    hits[j] += partial
+
     cov = np.empty((len(conf), len(sizes)))
     se = np.empty_like(cov)
-
-    for j, n in enumerate(sizes):
-        # Step 2 (via exchangeability): the sample is n iid draws from
-        # the pilot's empirical distribution.
-        idx = rng.integers(0, k, size=(n_sims, n))
-        x = values[idx]
-        mean_hat = x.mean(axis=1)
-        sd_hat = x.std(axis=1, ddof=1)
-        sem = sd_hat / np.sqrt(n)
-
-        # Step 1's remaining N − n nodes: their sum is a multinomial
-        # functional of the pilot values.  For small remainders it is
-        # drawn exactly; for large ones (the usual case — thousands of
-        # unmeasured nodes) its CLT limit with the empirical
-        # distribution's exact first two moments is indistinguishable
-        # (relative skew error O(m^{-1/2}) ≲ 1e-2 at m = 2000) and two
-        # orders of magnitude faster than ``Generator.multinomial``.
-        m = population - n
-        rest_sum = np.empty(n_sims)
-        if m == 0:
-            rest_sum[:] = 0.0
-        elif m <= _EXACT_REST_MAX:
-            p = np.full(k, 1.0 / k)
-            for lo in range(0, n_sims, _CHUNK):
-                hi = min(lo + _CHUNK, n_sims)
-                counts = rng.multinomial(m, p, size=hi - lo)
-                rest_sum[lo:hi] = counts @ values
-        else:
-            mu_pop = values.mean()
-            sd_pop = values.std(ddof=0)
-            rest_sum = m * mu_pop + np.sqrt(m) * sd_pop * rng.standard_normal(
-                n_sims
-            )
-        true_mean = (x.sum(axis=1) + rest_sum) / population
-
-        err = np.abs(mean_hat - true_mean)
-        for i, c in enumerate(conf):
-            q = t_quantile(c, n - 1) if method == "t" else z_quantile(c)
-            hits = err <= q * sem
-            phat = float(hits.mean())
-            cov[i, j] = phat
-            se[i, j] = float(np.sqrt(max(phat * (1 - phat), 1e-12) / n_sims))
+    for j in range(len(sizes)):
+        phat = hits[j] / float(n_sims)
+        cov[:, j] = phat
+        se[:, j] = np.sqrt(np.maximum(phat * (1 - phat), 1e-12) / n_sims)
 
     return CoverageResult(
         sample_sizes=sizes,

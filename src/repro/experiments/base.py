@@ -5,7 +5,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
-__all__ = ["Comparison", "ExperimentResult"]
+__all__ = ["Comparison", "ExperimentResult", "FailedResult"]
 
 
 @dataclass(frozen=True)
@@ -95,3 +95,31 @@ class ExperimentResult(abc.ABC):
     def summary_lines(self) -> list[str]:
         """Comparison lines for EXPERIMENTS.md."""
         return [c.line() for c in self.comparisons()]
+
+
+class FailedResult(ExperimentResult):
+    """Recorded failure: an experiment raised instead of returning.
+
+    The parallel scheduler converts a crash into one of these so a
+    single bad experiment degrades to a failed record (and a nonzero
+    sweep exit status) instead of killing the other jobs.
+    """
+
+    artifact = "(raised)"
+
+    def __init__(self, experiment_id: str, error: str) -> None:
+        self.experiment_id = experiment_id
+        #: The formatted traceback (or error message) from the worker.
+        self.error = error
+
+    def comparisons(self) -> list[Comparison]:
+        """A failure compares against nothing."""
+        return []
+
+    def all_ok(self) -> bool:
+        """Never OK — the experiment produced no result."""
+        return False
+
+    def report(self) -> str:
+        """The captured traceback, for the sweep log."""
+        return f"experiment {self.experiment_id} raised:\n{self.error}"

@@ -1,0 +1,42 @@
+"""Parallel experiment execution with content-addressed result caching.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.parallel.hashing` — AST-normalised source hashing over an
+  experiment module and its in-package import closure, so a cache key
+  changes exactly when code that could change the result changes (and
+  *not* for comments, blank lines or reformatting).
+* :mod:`repro.parallel.cache` — the content-addressed on-disk result
+  cache under ``.repro-cache/`` (checksummed pickles; corrupted entries
+  are discarded with a warning, never raised), plus the recorded
+  per-experiment durations that drive scheduling.
+* :mod:`repro.parallel.scheduler` — the process-pool scheduler used by
+  :func:`repro.experiments.runner.run_all`: longest-first ordering from
+  recorded durations, per-experiment isolation (a crash becomes a
+  recorded :class:`~repro.experiments.base.FailedResult`, not a dead
+  sweep), and cache replay.
+
+Determinism contract: every experiment is a pure function of its seed,
+so executing them in any order, in any number of processes, or from the
+cache produces byte-identical EXPERIMENTS.md records — enforced by the
+golden regression test (``tests/experiments/test_runner_golden.py``).
+"""
+
+from repro.parallel.cache import ResultCache
+from repro.parallel.hashing import (
+    closure_digest,
+    experiment_fingerprint,
+    import_closure,
+    normalized_source_digest,
+)
+from repro.parallel.scheduler import RunRecord, run_experiments
+
+__all__ = [
+    "ResultCache",
+    "RunRecord",
+    "closure_digest",
+    "experiment_fingerprint",
+    "import_closure",
+    "normalized_source_digest",
+    "run_experiments",
+]

@@ -1,0 +1,153 @@
+"""Content-addressed on-disk result cache.
+
+Layout (under ``.repro-cache/`` by default)::
+
+    .repro-cache/
+    ├── results/<k0k1>/<key>.pkl   one entry per fingerprint: a 64-char
+    │                              SHA-256 of the pickled payload, a
+    │                              newline, then the payload itself
+    ├── durations.json             experiment id → last observed wall
+    │                              seconds (drives longest-first
+    │                              scheduling)
+    └── CACHEDIR.TAG               marks the tree as disposable
+
+Entries are immutable: a key is a digest of the experiment's code
+closure and parameters (:mod:`repro.parallel.hashing`), so a hit can
+simply be unpickled and returned.  Anything wrong with an entry — short
+file, checksum mismatch, unpicklable payload — is treated as a miss: the
+entry is deleted and a :class:`RuntimeWarning` is emitted, because a
+corrupted cache must degrade to recomputation, never to a crash or (far
+worse) a silently wrong result.
+
+Writes go through a temporary file and :func:`os.replace` so a reader
+never observes a half-written entry, and concurrent writers of the same
+key are idempotent (same key ⇒ same bytes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import warnings
+from pathlib import Path
+
+__all__ = ["ResultCache", "DEFAULT_CACHE_DIR"]
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_TAG_CONTENT = (
+    "Signature: 8a477f597d28d172789f06886806bc55\n"
+    "# Result cache for repro experiments (safe to delete).\n"
+)
+
+
+class ResultCache:
+    """Content-addressed store of pickled experiment results."""
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    # -- entries -------------------------------------------------------
+    def entry_path(self, key: str) -> Path:
+        """Where a fingerprint's entry lives (existing or not)."""
+        return self.root / "results" / key[:2] / f"{key}.pkl"
+
+    def lookup(self, key: str):
+        """Return the cached object for ``key``, or ``None`` on a miss.
+
+        A corrupted entry counts as a miss: it is deleted and a
+        :class:`RuntimeWarning` is emitted.
+        """
+        path = self.entry_path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        reason = None
+        if len(blob) < 65 or blob[64:65] != b"\n":
+            reason = "malformed header"
+        else:
+            digest, payload = blob[:64], blob[65:]
+            if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+                reason = "checksum mismatch"
+            else:
+                try:
+                    return pickle.loads(payload)
+                except Exception as exc:  # any unpickle error is a miss
+                    reason = f"unpicklable payload ({exc.__class__.__name__})"
+        warnings.warn(
+            f"discarding corrupted cache entry {path.name}: {reason}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        self._discard(path)
+        return None
+
+    def store(self, key: str, result) -> Path:
+        """Write ``result`` under ``key`` (atomic); returns the path."""
+        path = self.entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._write_tag()
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        tmp.write_bytes(digest + b"\n" + payload)
+        os.replace(tmp, path)
+        return path
+
+    # -- durations -----------------------------------------------------
+    @property
+    def _durations_path(self) -> Path:
+        return self.root / "durations.json"
+
+    def durations(self) -> dict[str, float]:
+        """Last observed wall-clock seconds per experiment id."""
+        try:
+            raw = json.loads(self._durations_path.read_text("utf-8"))
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(raw, dict):
+            return {}
+        out: dict[str, float] = {}
+        for exp_id, duration_s in raw.items():
+            try:
+                out[str(exp_id)] = float(duration_s)
+            except (TypeError, ValueError):
+                continue
+        return out
+
+    def record_durations(self, durations_s: dict[str, float]) -> None:
+        """Merge observed ``{experiment id: seconds}`` into the record."""
+        if not durations_s:
+            return
+        merged = self.durations()
+        merged.update({k: float(v) for k, v in durations_s.items()})
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._write_tag()
+        tmp = self._durations_path.with_suffix(f".tmp-{os.getpid()}")
+        tmp.write_text(
+            json.dumps(merged, sort_keys=True, indent=1), encoding="utf-8"
+        )
+        os.replace(tmp, self._durations_path)
+
+    # -- internals -----------------------------------------------------
+    def _write_tag(self) -> None:
+        tag = self.root / "CACHEDIR.TAG"
+        if not tag.exists():
+            try:
+                tag.write_text(_TAG_CONTENT, encoding="utf-8")
+            except OSError:  # pragma: no cover - best effort only
+                pass
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - already gone / read-only
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultCache({str(self.root)!r})"

@@ -1,0 +1,182 @@
+"""Content hashing for the experiment result cache.
+
+A cached result may be replayed only while re-running the experiment
+would produce the same bytes.  Since every experiment is a pure function
+of ``(code, parameters, seed)`` — the invariant the :mod:`repro.checks`
+rules enforce — the cache key is a digest of:
+
+* the experiment's module source and the source of every ``repro.*``
+  module it (transitively) imports — the *import closure*, so an edit
+  to a shared helper such as :mod:`repro.core.coverage` invalidates the
+  experiments that use it and no others;
+* the parameters the runner will call it with;
+* the interpreter and NumPy versions (different float paths can change
+  low-order bits).
+
+Sources are hashed by their AST dump, not their bytes: comments, blank
+lines and reformatting do not invalidate; any change the parser can see
+(including docstrings and constants) does.  Files that fail to parse
+fall back to a raw byte hash, so a mid-edit syntax error still misses.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "closure_digest",
+    "experiment_fingerprint",
+    "import_closure",
+    "normalized_source_digest",
+]
+
+
+def normalized_source_digest(source: str) -> str:
+    """SHA-256 of the source's AST dump (whitespace/comment-insensitive).
+
+    Falls back to hashing the raw text when the source does not parse.
+    """
+    try:
+        payload = ast.dump(ast.parse(source))
+    except SyntaxError:
+        payload = source
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _package_root(package: str) -> Path:
+    spec = importlib.util.find_spec(package)
+    if spec is None or not spec.submodule_search_locations:
+        raise ValueError(f"cannot locate package {package!r}")
+    return Path(next(iter(spec.submodule_search_locations)))
+
+
+def _module_path(name: str, package: str, root: Path) -> Path | None:
+    """Resolve a dotted module name to a file under ``root`` (or None)."""
+    if name != package and not name.startswith(package + "."):
+        return None
+    parts = name.split(".")[1:]
+    base = root.joinpath(*parts) if parts else root
+    for candidate in (base.with_suffix(".py"), base / "__init__.py"):
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def _imported_names(tree: ast.AST, module: str, package: str) -> set[str]:
+    """Dotted names a module's import statements could bind.
+
+    ``from pkg.a import b`` contributes both ``pkg.a`` and ``pkg.a.b``
+    (the latter matters when ``b`` is itself a submodule); relative
+    imports resolve against the importing module's package.
+    """
+    parent = module.rsplit(".", 1)[0] if "." in module else module
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                hops = parent.split(".")
+                if node.level > 1:
+                    hops = hops[: -(node.level - 1)]
+                base = ".".join(hops)
+                target = f"{base}.{node.module}" if node.module else base
+            else:
+                target = node.module or ""
+            if not target:
+                continue
+            names.add(target)
+            for alias in node.names:
+                names.add(f"{target}.{alias.name}")
+    return {
+        n for n in names if n == package or n.startswith(package + ".")
+    }
+
+
+def import_closure(
+    module: str, *, package: str = "repro", root: Path | None = None
+) -> dict[str, Path]:
+    """The module plus every in-package module it transitively imports.
+
+    Parameters
+    ----------
+    module:
+        Dotted module name, e.g. ``"repro.experiments.figure3"``.
+    package:
+        Root package whose internals participate in the closure; imports
+        outside it (numpy, stdlib) are environment, not content, and are
+        covered by the version fields of the fingerprint.
+    root:
+        Directory of the package's source (defaults to the installed
+        location of ``package``) — injectable so tests can hash a
+        synthetic package tree.
+    """
+    if root is None:
+        root = _package_root(package)
+    start = _module_path(module, package, root)
+    if start is None:
+        raise ValueError(
+            f"cannot resolve module {module!r} under {root}"
+        )
+    closure: dict[str, Path] = {module: start}
+    queue = [module]
+    while queue:
+        name = queue.pop()
+        path = closure[name]
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError:
+            continue  # still hashed (raw bytes); just not walkable
+        for dep in _imported_names(tree, name, package):
+            if dep in closure:
+                continue
+            dep_path = _module_path(dep, package, root)
+            if dep_path is None:
+                continue  # an attribute, not a submodule
+            closure[dep] = dep_path
+            queue.append(dep)
+    return closure
+
+
+def closure_digest(
+    module: str, *, package: str = "repro", root: Path | None = None
+) -> str:
+    """One digest over the normalised sources of the import closure."""
+    closure = import_closure(module, package=package, root=root)
+    h = hashlib.sha256()
+    for name in sorted(closure):
+        h.update(name.encode("utf-8"))
+        h.update(b"\x00")
+        source = closure[name].read_text(encoding="utf-8")
+        h.update(normalized_source_digest(source).encode("ascii"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def experiment_fingerprint(
+    experiment_id: str,
+    module: str,
+    params: dict | None = None,
+    *,
+    package: str = "repro",
+    root: Path | None = None,
+) -> str:
+    """Content-addressed cache key for one experiment invocation."""
+    payload = {
+        "id": experiment_id,
+        "module": module,
+        "params": params or {},
+        "code": closure_digest(module, package=package, root=root),
+        "python": f"{sys.version_info.major}.{sys.version_info.minor}",
+        "numpy": np.__version__,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -110,6 +110,23 @@ class TestFigure3:
         res = figure3.run(n_sims=5_000, sample_sizes=(5,))
         assert res.pilot_size == 516
 
+    def test_chunked_equals_serial_across_chunk_counts(self):
+        # The determinism contract of the bootstrap hot path: the RNG
+        # block, not the worker, is the unit of randomness, so 1, 2 and
+        # 7 workers all reproduce the serial draws bit for bit.
+        serial = figure3.run(n_sims=12_000, sample_sizes=(3, 10))
+        for jobs in (1, 2, 7):
+            chunked = figure3.run(
+                n_sims=12_000, sample_sizes=(3, 10), jobs=jobs
+            )
+            np.testing.assert_array_equal(
+                serial.coverage.coverage, chunked.coverage.coverage
+            )
+            np.testing.assert_array_equal(
+                serial.coverage.standard_error,
+                chunked.coverage.standard_error,
+            )
+
 
 class TestFigure4:
     def test_all_ok(self):
@@ -199,9 +216,25 @@ class TestRunner:
         assert set(results) == {"T5", "S1"}
         assert all(r.all_ok() for r in results.values())
 
-    def test_unknown_id(self):
+    def test_unknown_id_rejected_before_any_work(self):
+        with pytest.raises(KeyError, match="unknown") as excinfo:
+            run_all(ids=["T5", "XX"], verbose=False)
+        # The error names the offenders and the known ids.
+        assert "XX" in str(excinfo.value)
+        assert "T5" in str(excinfo.value)
+
+    def test_unknown_id_rejected_in_parallel_mode(self):
         with pytest.raises(KeyError, match="unknown"):
-            run_all(ids=["XX"], verbose=False)
+            run_all(ids=["XX"], verbose=False, jobs=2)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate") as excinfo:
+            run_all(ids=["T5", "S1", "T5"], verbose=False)
+        assert "T5" in str(excinfo.value)
+
+    def test_duplicate_ids_rejected_in_parallel_mode(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_all(ids=["S1", "S1"], verbose=False, jobs=2)
 
     def test_experiments_markdown(self):
         from repro.experiments.runner import experiments_markdown

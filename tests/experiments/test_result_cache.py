@@ -1,0 +1,179 @@
+"""Cache correctness: precise invalidation and corruption tolerance.
+
+The fingerprint must change exactly when something that could change
+the result changes — a significant source edit (to the module or to
+anything in its in-package import closure), or a parameter change — and
+must *not* change for whitespace/comment-only edits.  A corrupted entry
+must degrade to a miss with a warning, never a crash.
+
+Hashing is exercised against a synthetic package tree so the tests can
+edit sources freely without touching the real library.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.cache import ResultCache
+from repro.parallel.hashing import (
+    closure_digest,
+    experiment_fingerprint,
+    import_closure,
+    normalized_source_digest,
+)
+
+EXP_SOURCE = '''\
+"""A fake experiment module."""
+from fakepkg import helper
+from fakepkg.nested import deep
+
+SCALE = 3
+
+
+def run(seed=0):
+    return helper.boost(SCALE) + deep.base(seed)
+'''
+
+HELPER_SOURCE = '''\
+def boost(x):
+    return x * 2
+'''
+
+DEEP_SOURCE = '''\
+def base(seed):
+    return seed + 1
+'''
+
+
+@pytest.fixture()
+def pkg(tmp_path):
+    root = tmp_path / "fakepkg"
+    (root / "nested").mkdir(parents=True)
+    (root / "__init__.py").write_text("", encoding="utf-8")
+    (root / "exp.py").write_text(EXP_SOURCE, encoding="utf-8")
+    (root / "helper.py").write_text(HELPER_SOURCE, encoding="utf-8")
+    (root / "nested" / "__init__.py").write_text("", encoding="utf-8")
+    (root / "nested" / "deep.py").write_text(DEEP_SOURCE, encoding="utf-8")
+    return root
+
+
+def _fingerprint(root, params=None):
+    return experiment_fingerprint(
+        "E1", "fakepkg.exp", params, package="fakepkg", root=root
+    )
+
+
+class TestImportClosure:
+    def test_closure_walks_package_imports(self, pkg):
+        closure = import_closure("fakepkg.exp", package="fakepkg", root=pkg)
+        assert set(closure) >= {
+            "fakepkg.exp", "fakepkg.helper", "fakepkg.nested.deep",
+        }
+        assert all(p.is_file() for p in closure.values())
+
+    def test_unresolvable_module_raises(self, pkg):
+        with pytest.raises(ValueError, match="cannot resolve"):
+            import_closure("fakepkg.absent", package="fakepkg", root=pkg)
+
+    def test_real_experiment_closure_reaches_shared_kernels(self):
+        closure = import_closure("repro.experiments.figure3")
+        assert "repro.core.coverage" in closure
+        assert "repro.rng" in closure
+
+
+class TestFingerprint:
+    def test_hit_on_identical_code_and_params(self, pkg):
+        assert _fingerprint(pkg) == _fingerprint(pkg)
+
+    def test_whitespace_and_comment_edits_do_not_invalidate(self, pkg):
+        before = _fingerprint(pkg)
+        reformatted = EXP_SOURCE.replace(
+            "SCALE = 3", "# tuned per the paper\nSCALE  =  3\n"
+        )
+        (pkg / "exp.py").write_text(reformatted, encoding="utf-8")
+        assert _fingerprint(pkg) == before
+        assert normalized_source_digest(
+            EXP_SOURCE
+        ) == normalized_source_digest(reformatted)
+
+    def test_significant_edit_invalidates(self, pkg):
+        before = _fingerprint(pkg)
+        (pkg / "exp.py").write_text(
+            EXP_SOURCE.replace("SCALE = 3", "SCALE = 4"), encoding="utf-8"
+        )
+        assert _fingerprint(pkg) != before
+
+    def test_edit_in_import_closure_invalidates(self, pkg):
+        before = _fingerprint(pkg)
+        (pkg / "nested" / "deep.py").write_text(
+            DEEP_SOURCE.replace("seed + 1", "seed + 2"), encoding="utf-8"
+        )
+        assert _fingerprint(pkg) != before
+
+    def test_edit_outside_closure_does_not_invalidate(self, pkg):
+        before = _fingerprint(pkg)
+        (pkg / "unrelated.py").write_text("X = 9\n", encoding="utf-8")
+        assert _fingerprint(pkg) == before
+
+    def test_param_change_invalidates(self, pkg):
+        assert _fingerprint(pkg, {"n": 5}) != _fingerprint(pkg, {"n": 6})
+        assert _fingerprint(pkg, {"n": 5}) == _fingerprint(pkg, {"n": 5})
+
+    def test_syntax_error_still_changes_digest(self, pkg):
+        before = closure_digest("fakepkg.exp", package="fakepkg", root=pkg)
+        (pkg / "exp.py").write_text(
+            EXP_SOURCE + "\ndef broken(:\n", encoding="utf-8"
+        )
+        assert closure_digest(
+            "fakepkg.exp", package="fakepkg", root=pkg
+        ) != before
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.store("a" * 64, {"rows": [1, 2, 3]})
+        assert cache.lookup("a" * 64) == {"rows": [1, 2, 3]}
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ResultCache(tmp_path / "c").lookup("b" * 64) is None
+
+    def test_corrupted_entry_is_discarded_with_warning(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = "c" * 64
+        path = cache.store(key, [1.0, 2.0])
+        path.write_bytes(b"not a cache entry")
+        with pytest.warns(RuntimeWarning, match="corrupted cache entry"):
+            assert cache.lookup(key) is None
+        assert not path.exists()  # discarded, so the next run re-stores
+        assert cache.lookup(key) is None  # silent plain miss now
+
+    def test_checksum_mismatch_is_discarded_with_warning(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = "d" * 64
+        path = cache.store(key, [1.0, 2.0])
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flip one payload bit; header stays intact
+        path.write_bytes(bytes(blob))
+        with pytest.warns(RuntimeWarning, match="checksum mismatch"):
+            assert cache.lookup(key) is None
+
+    def test_durations_roundtrip_and_merge(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert cache.durations() == {}
+        cache.record_durations({"V1": 22.2, "T5": 0.01})
+        cache.record_durations({"T5": 0.02})
+        assert cache.durations() == {"V1": 22.2, "T5": 0.02}
+
+    def test_garbage_durations_file_is_a_clean_slate(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.record_durations({"V1": 1.0})
+        (tmp_path / "c" / "durations.json").write_text(
+            "{broken", encoding="utf-8"
+        )
+        assert cache.durations() == {}
+
+    def test_cachedir_tag_written(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.store("e" * 64, 1)
+        assert (tmp_path / "c" / "CACHEDIR.TAG").exists()

@@ -1,0 +1,79 @@
+"""Failure isolation: one crashing experiment must not kill the sweep.
+
+The scheduler converts a raising experiment into a
+:class:`~repro.experiments.base.FailedResult` carrying the worker
+traceback; every other job completes, and the runner's exit status goes
+nonzero.  The injected experiment is a module-level function so it
+pickles into pool workers by reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.base import FailedResult
+
+
+def _boom():
+    raise RuntimeError("injected failure for the isolation test")
+
+
+def _register_boom(monkeypatch):
+    monkeypatch.setitem(runner.ALL_EXPERIMENTS, "BOOM", _boom)
+
+
+class TestFailureIsolation:
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_crash_degrades_to_failed_result(self, monkeypatch, jobs):
+        _register_boom(monkeypatch)
+        results = runner.run_all(
+            ids=["T5", "BOOM", "S1"], verbose=False, jobs=jobs
+        )
+        assert list(results) == ["T5", "BOOM", "S1"]
+        failed = results["BOOM"]
+        assert isinstance(failed, FailedResult)
+        assert not failed.all_ok()
+        assert failed.comparisons() == []
+        assert "injected failure" in failed.report()
+        assert "RuntimeError" in failed.report()
+        # The siblings completed untouched.
+        assert results["T5"].all_ok()
+        assert results["S1"].all_ok()
+
+    def test_exit_status_nonzero(self, monkeypatch, capsys):
+        _register_boom(monkeypatch)
+        code = runner.main(["T5", "BOOM", "--jobs", "2", "--quiet"])
+        assert code == 1
+        assert "BOOM" in capsys.readouterr().err
+
+    def test_failure_is_not_cached(self, monkeypatch, tmp_path):
+        _register_boom(monkeypatch)
+        from repro.parallel.cache import ResultCache
+
+        cache = ResultCache(tmp_path / "c")
+        first = runner.run_all(
+            ids=["T5", "BOOM"], verbose=False, jobs=2, cache=cache
+        )
+        assert isinstance(first["BOOM"], FailedResult)
+        # A second sweep re-attempts the failed experiment (replaying a
+        # failure would mask a later fix) while T5 replays from cache.
+        second = runner.run_all(
+            ids=["T5", "BOOM"], verbose=False, jobs=2, cache=cache
+        )
+        assert isinstance(second["BOOM"], FailedResult)
+        assert second["T5"].all_ok()
+
+    def test_markdown_records_the_failure(self, monkeypatch):
+        _register_boom(monkeypatch)
+        results = runner.run_all(ids=["T5", "BOOM"], verbose=False, jobs=2)
+        text = runner.experiments_markdown(results)
+        assert "## BOOM — (raised) [FAIL]" in text
+        assert "RuntimeError" in text
+
+    def test_serial_default_still_propagates(self, monkeypatch):
+        # The classic serial path (no jobs, no cache) keeps its
+        # fail-fast contract for library callers.
+        _register_boom(monkeypatch)
+        with pytest.raises(RuntimeError, match="injected failure"):
+            runner.run_all(ids=["BOOM"], verbose=False)

@@ -2,6 +2,9 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
 
 from repro.stream.estimators import P2Quantile, RunningCovariance, RunningMoments
 
@@ -116,6 +119,107 @@ class TestRunningCovariance:
         assert float(np.asarray(merged.covariance())) == pytest.approx(
             float(np.asarray(whole.covariance())), rel=1e-10
         )
+
+
+#: Well-conditioned "node watts"-like values: positive, bounded spread,
+#: so the exact-merge identities hold to ~1e-9 relative without being
+#: swamped by catastrophic cancellation on adversarial floats.
+_watt_streams = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=40),
+    elements=st.floats(min_value=1.0, max_value=1e4),
+)
+
+
+def _moments(xs: np.ndarray) -> RunningMoments:
+    m = RunningMoments()
+    m.push_batch(xs)
+    return m
+
+
+def _close(a, b, rel=1e-9):
+    assert float(np.asarray(a)) == pytest.approx(float(np.asarray(b)), rel=rel)
+
+
+class TestMergeAlgebra:
+    """Metamorphic determinism properties the parallel runner leans on:
+    partial-stream merges must be associative and order-insensitive, or
+    sharded telemetry would depend on which worker finished first."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(_watt_streams, _watt_streams, _watt_streams)
+    def test_moments_merge_associative(self, xs, ys, zs):
+        left = _moments(xs).merge(_moments(ys)).merge(_moments(zs))
+        right = _moments(xs).merge(_moments(ys).merge(_moments(zs)))
+        assert left.count == right.count == xs.size + ys.size + zs.size
+        _close(left.mean, right.mean)
+        _close(left.minimum, right.minimum, rel=0)
+        _close(left.maximum, right.maximum, rel=0)
+        if left.count > 1:
+            _close(left.variance(), right.variance(), rel=1e-8)
+
+    @settings(max_examples=50, deadline=None)
+    @given(_watt_streams, _watt_streams)
+    def test_moments_merge_commutes(self, xs, ys):
+        ab = _moments(xs).merge(_moments(ys))
+        ba = _moments(ys).merge(_moments(xs))
+        _close(ab.mean, ba.mean)
+        if ab.count > 1:
+            _close(ab.variance(), ba.variance(), rel=1e-8)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=2, max_value=60),
+            elements=st.floats(min_value=1.0, max_value=1e4),
+        ),
+        st.randoms(use_true_random=False),
+    )
+    def test_moments_permutation_invariant(self, xs, shuffler):
+        order = list(range(xs.size))
+        shuffler.shuffle(order)
+        direct = _moments(xs)
+        shuffled = _moments(xs[np.asarray(order)])
+        assert direct.count == shuffled.count
+        _close(direct.mean, shuffled.mean)
+        _close(direct.minimum, shuffled.minimum, rel=0)
+        _close(direct.maximum, shuffled.maximum, rel=0)
+        _close(direct.variance(), shuffled.variance(), rel=1e-8)
+
+    @settings(max_examples=50, deadline=None)
+    @given(_watt_streams, _watt_streams, _watt_streams)
+    def test_covariance_merge_associative(self, xs, ys, zs):
+        def cov_of(arr):
+            c = RunningCovariance()
+            c.push_batch(arr, np.sqrt(arr))
+            return c
+
+        left = cov_of(xs).merge(cov_of(ys)).merge(cov_of(zs))
+        right = cov_of(xs).merge(cov_of(ys).merge(cov_of(zs)))
+        assert left.count == right.count
+        if left.count > 1:
+            _close(left.covariance(), right.covariance(), rel=1e-8)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=2, max_value=60),
+            elements=st.floats(min_value=1.0, max_value=1e4),
+        ),
+        st.randoms(use_true_random=False),
+    )
+    def test_covariance_permutation_invariant(self, xs, shuffler):
+        ys = np.log(xs)
+        order = list(range(xs.size))
+        shuffler.shuffle(order)
+        idx = np.asarray(order)
+        direct = RunningCovariance()
+        direct.push_batch(xs, ys)
+        shuffled = RunningCovariance()
+        shuffled.push_batch(xs[idx], ys[idx])
+        _close(direct.covariance(), shuffled.covariance(), rel=1e-8)
 
 
 class TestP2Quantile:
