@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export PYTHONPATH
 
-echo "== repro lint (RPX001-RPX007)"
+echo "== repro lint (RPX001-RPX008)"
 python -m repro.cli lint src/repro
 
 echo "== pytest (tier 1)"
@@ -28,6 +28,13 @@ if python -c "import xdist" 2>/dev/null; then
 else
     python -m pytest -x -q --durations=5
 fi
+
+echo "== chaos smoke (fault injection + recovery reconciliation)"
+# A small end-to-end chaos sweep: inject dropout + a node loss, stream
+# through the self-healing ingest, and require exact fault
+# reconciliation plus estimates inside the stated error bounds.
+python -m repro.cli chaos --system l-csc --max-nodes 24 \
+    --core-seconds 600 --dropout 0.02,0.05 --node-loss 1
 
 echo "== compileall"
 python -m compileall -q src

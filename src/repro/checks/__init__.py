@@ -5,8 +5,9 @@ specific to this reproduction's methodology: no global NumPy random
 state (RPX001), unit-literal discipline (RPX002), no float equality on
 computed values (RPX003), no hidden nondeterminism in library code
 (RPX004), the experiment runner/seed contract (RPX005), honest
-``__all__`` export lists (RPX006) and no OS-entropy generator
-construction (RPX007).
+``__all__`` export lists (RPX006), no OS-entropy generator
+construction (RPX007) and no silent fault swallowing in recovery
+paths (RPX008).
 
 Run it as ``repro lint [paths...]`` or programmatically::
 

@@ -17,10 +17,12 @@ from repro.checks.rules.rpx004_nondeterminism import NondeterminismRule
 from repro.checks.rules.rpx005_experiments import ExperimentContractRule
 from repro.checks.rules.rpx006_all_exports import AllExportsRule
 from repro.checks.rules.rpx007_entropy_rng import EntropyGeneratorRule
+from repro.checks.rules.rpx008_bare_except import BareExceptRule
 
 __all__ = [
     "ALL_RULES",
     "AllExportsRule",
+    "BareExceptRule",
     "EntropyGeneratorRule",
     "ExperimentContractRule",
     "FloatEqualityRule",
@@ -40,6 +42,7 @@ ALL_RULES: tuple[Rule, ...] = (
     ExperimentContractRule(),
     AllExportsRule(),
     EntropyGeneratorRule(),
+    BareExceptRule(),
 )
 
 

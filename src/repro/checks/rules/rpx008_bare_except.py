@@ -1,0 +1,92 @@
+"""RPX008 — no silent fault swallowing in recovery paths.
+
+The fault/recovery layer's whole contract is that degradation is
+*labelled*: every dropped sample, retried batch and quarantined node
+shows up in a :class:`~repro.faults.quality.QualityReport`.  A bare
+``except:`` (or a broad ``except Exception:`` whose body is just
+``pass``) breaks that contract at the root — the fault happened, was
+caught, and left no trace.  It also eats ``KeyboardInterrupt`` and
+``SystemExit``, turning an operator's ctrl-C into undefined behaviour.
+
+The rule flags:
+
+* any bare ``except:`` handler, anywhere;
+* ``except Exception:`` / ``except BaseException:`` (alone or in a
+  tuple) whose body does nothing but ``pass`` / ``...`` — catching
+  everything is occasionally right, but only if the handler *records*
+  what it caught.
+
+Catching a *specific* exception type with an empty body is left alone:
+``except StopIteration: pass`` states exactly which condition is
+expected and harmless.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.engine import FileContext, Finding
+
+__all__ = ["BROAD_TYPES", "BareExceptRule"]
+
+#: Exception names considered catch-everything.
+BROAD_TYPES = frozenset({"Exception", "BaseException"})
+
+
+def _names(expr: ast.expr | None) -> list[str]:
+    """Exception type names named by an ``except`` clause."""
+    if expr is None:
+        return []
+    items = expr.elts if isinstance(expr, ast.Tuple) else [expr]
+    out = []
+    for item in items:
+        if isinstance(item, ast.Name):
+            out.append(item.id)
+        elif isinstance(item, ast.Attribute):
+            out.append(item.attr)
+    return out
+
+
+def _body_is_silent(body: list[ast.stmt]) -> bool:
+    """Does the handler do nothing but swallow (pass / ``...``)?"""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ) and stmt.value.value is Ellipsis:
+            continue
+        return False
+    return True
+
+
+class BareExceptRule:
+    """Flag bare ``except`` and silent catch-everything handlers."""
+
+    rule_id = "RPX008"
+    title = "recovery paths must not swallow faults silently"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for silent exception swallowing."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    "bare 'except:' swallows every fault (including "
+                    "KeyboardInterrupt); name the exception type and "
+                    "record what was caught",
+                )
+                continue
+            broad = [n for n in _names(node.type) if n in BROAD_TYPES]
+            if broad and _body_is_silent(node.body):
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"'except {broad[0]}: pass' hides the fault it "
+                    "caught; a recovery path must count, log or "
+                    "re-raise — degraded data may never be silent",
+                )

@@ -264,6 +264,75 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cluster.registry import TRACE_SYSTEMS as _TRACE
+    from repro.cluster.registry import get_trace_setup
+    from repro.faults.chaos import ChaosScenario, run_chaos
+    from repro.traces.synth import simulate_run
+    from repro.workloads.base import ConstantWorkload
+
+    name = args.system
+    if name in _TRACE:
+        system, _ = get_trace_setup(name)
+    elif name in NODE_VARIABILITY_SYSTEMS:
+        system = get_system(name)
+    else:
+        known = ", ".join((*_TRACE, *NODE_VARIABILITY_SYSTEMS))
+        raise SystemExit(f"error: unknown system {name!r} (known: {known})")
+    workload = ConstantWorkload(
+        utilisation=0.95, core_s=args.core_seconds
+    )
+
+    try:
+        rates = [
+            float(r) for r in args.dropout.split(",") if r.strip()
+        ]
+    except ValueError as exc:
+        raise SystemExit(f"error: bad --dropout list: {exc}") from exc
+    if not rates or not all(0.0 <= r < 1.0 for r in rates):
+        raise SystemExit("error: dropout rates must be in [0, 1)")
+
+    node_indices = None
+    if args.max_nodes is not None:
+        if args.max_nodes < 1:
+            raise SystemExit("error: --max-nodes must be >= 1")
+        n = min(args.max_nodes, system.n_nodes)
+        node_indices = np.arange(n)
+
+    run = simulate_run(system, workload, dt=args.dt, seed=args.seed)
+    outcomes = []
+    for rate in rates:
+        scenario = ChaosScenario(
+            name=f"dropout-{rate:g}",
+            dropout_rate=rate,
+            node_loss=args.node_loss,
+            stuck_rate=args.stuck,
+            spike_rate=args.spike,
+            truncate_frac=args.truncate,
+            delivery_failure_rate=args.delivery_failure_rate,
+        )
+        outcomes.append(
+            run_chaos(
+                run,
+                scenario,
+                gap_policy=args.policy,
+                seed=args.seed,
+                node_indices=node_indices,
+            )
+        )
+    if args.format == "json":
+        print(json.dumps(
+            [o.to_dict() for o in outcomes], indent=2, default=float
+        ))
+    else:
+        for outcome in outcomes:
+            print("\n".join(outcome.lines()))
+            print()
+    return 0 if all(o.ok() for o in outcomes) else 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as runner_main
 
@@ -408,6 +477,46 @@ def build_parser() -> argparse.ArgumentParser:
                         default="text")
     stream.set_defaults(func=_cmd_stream)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="inject deterministic meter faults into a replayed system, "
+             "run the self-healing recovery and audit the quality label "
+             "(exit 1 on any bound breach or ledger mismatch)",
+    )
+    chaos.add_argument("--system", default="l-csc",
+                       help="registry system to degrade (default: l-csc)")
+    chaos.add_argument("--dropout", default="0.05",
+                       help="comma-separated sample-dropout rates to "
+                            "sweep (default 0.05)")
+    chaos.add_argument("--node-loss", type=int, default=1,
+                       help="nodes lost mid-run per scenario (default 1)")
+    chaos.add_argument("--stuck", type=float, default=0.0,
+                       help="stuck-at-last-value start rate (default 0)")
+    chaos.add_argument("--spike", type=float, default=0.0,
+                       help="spike-glitch rate (default 0)")
+    chaos.add_argument("--truncate", type=float, default=0.0,
+                       help="fraction of the trace tail that never "
+                            "arrives (default 0)")
+    chaos.add_argument("--delivery-failure-rate", type=float, default=0.0,
+                       help="per-attempt transient delivery failure "
+                            "probability (default 0)")
+    chaos.add_argument("--policy", choices=("hold", "interpolate",
+                                            "exclude"),
+                       default="hold", help="gap-repair policy")
+    chaos.add_argument("--dt", type=float, default=2.0,
+                       help="sample spacing in seconds (default 2)")
+    chaos.add_argument("--seed", type=int, default=2015,
+                       help="fault-plan and replay seed (default 2015)")
+    chaos.add_argument("--core-seconds", type=float, default=1800.0,
+                       help="core duration of the degraded run "
+                            "(default 1800)")
+    chaos.add_argument("--max-nodes", type=int, default=None,
+                       help="degrade only the first K nodes "
+                            "(default: the whole fleet)")
+    chaos.add_argument("--format", choices=("text", "json"),
+                       default="text")
+    chaos.set_defaults(func=_cmd_chaos)
+
     run = sub.add_parser(
         "run",
         help="run the experiment sweep — parallel (--jobs N) with the "
@@ -451,7 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="run the reproducibility/units/RNG static analysis "
-             "(rules RPX001-RPX007)",
+             "(rules RPX001-RPX008)",
     )
     lint.add_argument("paths", nargs="*",
                       help="files or directories (default: src if present, "

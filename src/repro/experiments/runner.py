@@ -20,6 +20,7 @@ from repro.experiments import (
     ext_derived,
     ext_dvfs_gaming,
     ext_exascale,
+    ext_faults,
     ext_imbalance,
     ext_meter_quality,
     ext_streaming,
@@ -69,6 +70,7 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "X5": ext_derived.run,
     "X6": ext_subsystems.run,
     "X-STR": ext_streaming.run,
+    "X-FAULT": ext_faults.run,
 }
 
 

@@ -1,0 +1,74 @@
+"""Deterministic fault injection and self-healing ingestion.
+
+The paper's measurements came from real meters that drop samples,
+latch stale readings, glitch, drift and die mid-run; this package
+models those failures deterministically and hardens the streaming
+pipeline against them, labelling every degraded aggregate with an
+exact :class:`~repro.faults.quality.QualityReport`.
+
+Layout:
+
+* :mod:`repro.faults.models` — seeded, composable fault models over
+  per-node power matrices, with an exact injection ledger.
+* :mod:`repro.faults.recovery` — bounded retry with backoff, fault
+  detection, gap repair policies, per-node quarantine and the
+  compliance circuit breaker.
+* :mod:`repro.faults.quality` — the provenance label and its stated
+  error bounds.
+* :mod:`repro.faults.chaos` — the end-to-end harness auditing that
+  recovery accounts for every injected fault and stays within the
+  bounds it states.
+"""
+
+from repro.faults.chaos import ChaosOutcome, ChaosScenario, chaos_sweep, run_chaos
+from repro.faults.models import (
+    BurstDropout,
+    ClockDrift,
+    ClockJitter,
+    FaultInjection,
+    FaultLedger,
+    FaultModel,
+    FaultPlan,
+    NodeLoss,
+    SampleDropout,
+    SpikeGlitch,
+    StuckAtLastValue,
+    TruncatedTail,
+    inject_run,
+)
+from repro.faults.quality import QualityReport
+from repro.faults.recovery import (
+    FlakySource,
+    MaskedRunningMoments,
+    RecoveryPipeline,
+    ResilientIngestLoop,
+    RetryPolicy,
+    TransientMeterError,
+)
+
+__all__ = [
+    "BurstDropout",
+    "ChaosOutcome",
+    "ChaosScenario",
+    "ClockDrift",
+    "ClockJitter",
+    "FaultInjection",
+    "FaultLedger",
+    "FaultModel",
+    "FaultPlan",
+    "FlakySource",
+    "MaskedRunningMoments",
+    "NodeLoss",
+    "QualityReport",
+    "RecoveryPipeline",
+    "ResilientIngestLoop",
+    "RetryPolicy",
+    "SampleDropout",
+    "SpikeGlitch",
+    "StuckAtLastValue",
+    "TransientMeterError",
+    "TruncatedTail",
+    "chaos_sweep",
+    "inject_run",
+    "run_chaos",
+]

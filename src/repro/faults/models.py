@@ -1,0 +1,601 @@
+"""Deterministic fault models over per-node power matrices.
+
+Real meters do not deliver the clean ``(times, watts)`` grid the rest
+of the library assumes.  "Part-time" meters drop samples (singly and in
+bursts), firmware latches a stale reading and repeats it, ADC glitches
+emit wild spikes, collector clocks drift and jitter, nodes disappear
+mid-run, and log files end early.  This module renders each of those as
+a *deterministic, composable transform* over a per-node power matrix —
+the same ``(times, watts, node_ids)`` view that
+:meth:`repro.traces.synth.SimulatedRun.node_power_matrix` produces and
+:mod:`repro.stream.ingest` replays.
+
+Determinism contract
+--------------------
+Every model draws from its own :class:`numpy.random.SeedSequence`
+stream, namespaced by the model's position and label inside the
+:class:`FaultPlan` (the :mod:`repro.rng` discipline).  A plan applied
+twice to the same matrix with the same seed injects bit-identical
+faults, and adding a new model to the end of a plan never perturbs the
+draws of the models before it.
+
+Disjointness contract
+---------------------
+A matrix cell is faulted by at most one model: each model only touches
+cells no earlier model claimed.  That keeps the :class:`FaultLedger`
+exact — the recovery layer's :class:`~repro.faults.quality.QualityReport`
+must reconcile against these counts *exactly*, category by category,
+which is only a meaningful test if the categories cannot overlap.
+
+Missing samples (dropout, node loss) are marked ``NaN`` in the returned
+matrix; value corruptions (stuck-at, spikes) keep finite — but wrong —
+readings, exactly as a real meter would report them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.rng import stream
+
+__all__ = [
+    "FaultLedger",
+    "FaultInjection",
+    "FaultModel",
+    "SampleDropout",
+    "BurstDropout",
+    "StuckAtLastValue",
+    "SpikeGlitch",
+    "ClockJitter",
+    "ClockDrift",
+    "NodeLoss",
+    "TruncatedTail",
+    "FaultPlan",
+    "inject_run",
+]
+
+
+@dataclass(frozen=True)
+class FaultLedger:
+    """Exact accounting of every injected fault.
+
+    The injector's side of the reconciliation test: the recovery
+    layer's :class:`~repro.faults.quality.QualityReport` must explain
+    every one of these counts.
+
+    Attributes
+    ----------
+    n_ticks_planned / n_nodes:
+        Shape of the matrix *before* any truncation — what a perfect
+        meter would have delivered.
+    samples_dropped / samples_burst_dropped:
+        Cells turned ``NaN`` by per-sample and burst dropout.
+    samples_stuck:
+        Cells overwritten with the previous reading (stuck meter).
+    samples_spiked:
+        Cells multiplied by a glitch factor.
+    node_loss_samples / nodes_lost:
+        Cells blanked by mid-run node loss, and the node ids that died.
+    ticks_truncated:
+        Whole trailing ticks removed from the matrix (log ends early).
+    jittered_ticks / max_jitter_s / drift_frac:
+        Timestamp perturbations (these move ``times``, not ``watts``).
+    """
+
+    n_ticks_planned: int
+    n_nodes: int
+    samples_dropped: int = 0
+    samples_burst_dropped: int = 0
+    samples_stuck: int = 0
+    samples_spiked: int = 0
+    node_loss_samples: int = 0
+    nodes_lost: tuple[int, ...] = ()
+    ticks_truncated: int = 0
+    jittered_ticks: int = 0
+    max_jitter_s: float = 0.0
+    drift_frac: float = 0.0
+
+    @property
+    def samples_planned(self) -> int:
+        """Cells a perfect meter would have delivered."""
+        return self.n_ticks_planned * self.n_nodes
+
+    @property
+    def samples_truncated(self) -> int:
+        """Cells that never arrive because the trace tail is cut."""
+        return self.ticks_truncated * self.n_nodes
+
+    @property
+    def samples_missing_at_arrival(self) -> int:
+        """Cells delivered as ``NaN`` (dropout of any kind + node loss)."""
+        return (
+            self.samples_dropped
+            + self.samples_burst_dropped
+            + self.node_loss_samples
+        )
+
+    @property
+    def samples_corrupted(self) -> int:
+        """Cells delivered finite but wrong (stuck + spiked)."""
+        return self.samples_stuck + self.samples_spiked
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering."""
+        return {
+            "n_ticks_planned": self.n_ticks_planned,
+            "n_nodes": self.n_nodes,
+            "samples_dropped": self.samples_dropped,
+            "samples_burst_dropped": self.samples_burst_dropped,
+            "samples_stuck": self.samples_stuck,
+            "samples_spiked": self.samples_spiked,
+            "node_loss_samples": self.node_loss_samples,
+            "nodes_lost": list(self.nodes_lost),
+            "ticks_truncated": self.ticks_truncated,
+            "jittered_ticks": self.jittered_ticks,
+            "max_jitter_s": self.max_jitter_s,
+            "drift_frac": self.drift_frac,
+        }
+
+
+class _InjectionState:
+    """Mutable scratch state threaded through a plan's models."""
+
+    def __init__(
+        self, times: np.ndarray, watts: np.ndarray, node_ids: np.ndarray
+    ) -> None:
+        self.times = np.array(times, dtype=float, copy=True)
+        self.watts = np.array(watts, dtype=float, copy=True)
+        self.node_ids = np.asarray(node_ids, dtype=np.int64)
+        n_ticks, n_nodes = self.watts.shape
+        # Cells already claimed by some model (disjointness contract).
+        self.taken = np.zeros((n_ticks, n_nodes), dtype=bool)
+        self.missing = np.zeros((n_ticks, n_nodes), dtype=bool)
+        self.stuck = np.zeros((n_ticks, n_nodes), dtype=bool)
+        self.spiked = np.zeros((n_ticks, n_nodes), dtype=bool)
+        self.ledger = FaultLedger(
+            n_ticks_planned=n_ticks, n_nodes=n_nodes
+        )
+
+    def mark_missing(self, mask: np.ndarray) -> int:
+        """NaN every unclaimed cell in ``mask``; returns how many."""
+        fresh = mask & ~self.taken
+        self.watts[fresh] = np.nan
+        self.missing |= fresh
+        self.taken |= fresh
+        return int(fresh.sum())
+
+    def tally(self, **updates) -> None:
+        """Fold count updates into the ledger."""
+        self.ledger = replace(self.ledger, **updates)
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """A faulted matrix plus the exact record of what was done to it."""
+
+    times: np.ndarray
+    watts: np.ndarray
+    node_ids: np.ndarray
+    ledger: FaultLedger
+    missing_mask: np.ndarray
+    stuck_mask: np.ndarray
+    spike_mask: np.ndarray
+
+    @property
+    def n_ticks(self) -> int:
+        """Delivered ticks (after any truncation)."""
+        return int(self.times.size)
+
+    @property
+    def n_nodes(self) -> int:
+        """Nodes in the matrix."""
+        return int(self.node_ids.size)
+
+    def batches(self, ticks_per_batch: int = 60):
+        """Yield the faulted matrix as :class:`SampleBatch` objects.
+
+        Batch boundaries never affect which faults exist — the whole
+        matrix is faulted up front — so any ``ticks_per_batch`` streams
+        bit-identical faulty samples.
+        """
+        from repro.stream.ingest import SampleBatch
+
+        if ticks_per_batch < 1:
+            raise ValueError("ticks_per_batch must be >= 1")
+        for lo in range(0, self.times.size, ticks_per_batch):
+            hi = min(lo + ticks_per_batch, self.times.size)
+            yield SampleBatch(
+                times=self.times[lo:hi],
+                watts=self.watts[lo:hi],
+                node_ids=self.node_ids,
+            )
+
+
+class FaultModel:
+    """Base class: one named, seeded fault transform.
+
+    Subclasses implement :meth:`_apply`; the label (class name plus the
+    instance ``tag``) namespaces the model's random stream inside a
+    :class:`FaultPlan`.
+    """
+
+    #: Distinguishes two instances of the same model in one plan.
+    tag: str = ""
+
+    @property
+    def label(self) -> str:
+        """Stable stream label for this model."""
+        base = type(self).__name__
+        return f"{base}:{self.tag}" if self.tag else base
+
+    def _apply(self, state: _InjectionState, rng: np.random.Generator) -> None:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    @staticmethod
+    def _burst_starts(
+        rng: np.random.Generator,
+        shape: tuple[int, int],
+        rate: float,
+        mean_ticks: float,
+    ) -> list[tuple[int, int, int]]:
+        """Deterministic ``(t, node, length)`` burst plan.
+
+        Starts are iid Bernoulli per cell; lengths are geometric with
+        the given mean (>= 1).  Draw order is fixed (full-grid uniforms,
+        then one geometric per start in row-major order), so the plan
+        is a pure function of ``(rng stream, shape, rate, mean_ticks)``.
+        """
+        starts = np.argwhere(rng.random(shape) < rate)
+        if starts.size == 0:
+            return []
+        p = min(1.0, 1.0 / max(mean_ticks, 1.0))
+        lengths = rng.geometric(p, size=starts.shape[0])
+        return [
+            (int(t), int(j), int(ln))
+            for (t, j), ln in zip(starts, lengths)
+        ]
+
+
+@dataclass(frozen=True)
+class SampleDropout(FaultModel):
+    """Per-sample iid dropout: each cell goes ``NaN`` with ``rate``."""
+
+    rate: float
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.rate < 1.0):
+            raise ValueError(f"rate must be in [0, 1), got {self.rate}")
+
+    def _apply(self, state: _InjectionState, rng: np.random.Generator) -> None:
+        mask = rng.random(state.watts.shape) < self.rate
+        n = state.mark_missing(mask)
+        state.tally(samples_dropped=state.ledger.samples_dropped + n)
+
+
+@dataclass(frozen=True)
+class BurstDropout(FaultModel):
+    """Consecutive-run dropout: a meter goes quiet for several ticks.
+
+    ``rate`` is the per-cell probability that a burst *starts* there;
+    burst length is geometric with mean ``mean_ticks``.
+    """
+
+    rate: float
+    mean_ticks: float = 5.0
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.rate < 1.0):
+            raise ValueError(f"rate must be in [0, 1), got {self.rate}")
+        if self.mean_ticks < 1.0:
+            raise ValueError("mean_ticks must be >= 1")
+
+    def _apply(self, state: _InjectionState, rng: np.random.Generator) -> None:
+        n_ticks = state.watts.shape[0]
+        total = 0
+        for t, j, length in self._burst_starts(
+            rng, state.watts.shape, self.rate, self.mean_ticks
+        ):
+            hi = min(t + length, n_ticks)
+            mask = np.zeros(state.watts.shape, dtype=bool)
+            mask[t:hi, j] = True
+            total += state.mark_missing(mask)
+        state.tally(
+            samples_burst_dropped=state.ledger.samples_burst_dropped + total
+        )
+
+
+@dataclass(frozen=True)
+class StuckAtLastValue(FaultModel):
+    """A meter latches its previous reading and repeats it.
+
+    A stuck run at ``(t, node)`` overwrites ``length`` cells with the
+    reading at ``t - 1``.  Runs needing an unclaimed anchor cell and an
+    unclaimed target range are kept; others are skipped whole, so the
+    ledger counts exactly the cells that were actually overwritten.
+    """
+
+    rate: float
+    mean_ticks: float = 4.0
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.rate < 1.0):
+            raise ValueError(f"rate must be in [0, 1), got {self.rate}")
+        if self.mean_ticks < 1.0:
+            raise ValueError("mean_ticks must be >= 1")
+
+    def _apply(self, state: _InjectionState, rng: np.random.Generator) -> None:
+        n_ticks = state.watts.shape[0]
+        total = 0
+        for t, j, length in self._burst_starts(
+            rng, state.watts.shape, self.rate, self.mean_ticks
+        ):
+            if t < 1:
+                continue  # no previous reading to latch
+            hi = min(t + length, n_ticks)
+            # Anchor and targets must be unclaimed (disjointness).
+            if state.taken[t - 1: hi, j].any():
+                continue
+            state.watts[t:hi, j] = state.watts[t - 1, j]
+            state.stuck[t:hi, j] = True
+            # Claim the anchor too (without counting it): a later
+            # dropout model must not erase the reference reading the
+            # recovery detector needs for an exact reconciliation.
+            state.taken[t - 1: hi, j] = True
+            total += hi - t
+        state.tally(samples_stuck=state.ledger.samples_stuck + total)
+
+
+@dataclass(frozen=True)
+class SpikeGlitch(FaultModel):
+    """Isolated ADC glitches: a reading multiplied by ``factor``.
+
+    Spikes land only on unclaimed cells whose *previous* tick is also
+    unclaimed, so the recovery layer's last-good-value detector sees a
+    genuine reference reading before every spike.
+    """
+
+    rate: float
+    factor: float = 8.0
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.rate < 1.0):
+            raise ValueError(f"rate must be in [0, 1), got {self.rate}")
+        if self.factor <= 1.0:
+            raise ValueError("factor must exceed 1")
+
+    def _apply(self, state: _InjectionState, rng: np.random.Generator) -> None:
+        hits = np.argwhere(rng.random(state.watts.shape) < self.rate)
+        total = 0
+        for t, j in hits:
+            t, j = int(t), int(j)
+            if t < 1 or state.taken[t, j] or state.taken[t - 1, j]:
+                continue
+            if state.spiked[t - 1, j]:  # keep spikes isolated
+                continue
+            state.watts[t, j] *= self.factor
+            state.spiked[t, j] = True
+            # Claim the spike and its anchor (anchor uncounted): the
+            # detector needs a clean preceding reading to reference.
+            state.taken[t - 1: t + 1, j] = True
+            total += 1
+        state.tally(samples_spiked=state.ledger.samples_spiked + total)
+
+
+@dataclass(frozen=True)
+class ClockJitter(FaultModel):
+    """Per-tick timestamping noise, bounded to preserve monotonicity.
+
+    Jitter is clipped to ±45% of the local tick spacing so the stream
+    stays time-ordered; what degrades is the *worst observed interval*,
+    which is exactly what the live compliance monitor judges.
+    """
+
+    sd_s: float
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sd_s <= 0:
+            raise ValueError("sd_s must be positive")
+
+    def _apply(self, state: _InjectionState, rng: np.random.Generator) -> None:
+        t = state.times
+        if t.size < 2:
+            return
+        dt_lo = float(np.diff(t).min())
+        bound_s = 0.45 * dt_lo
+        jitter_s = np.clip(
+            rng.normal(0.0, self.sd_s, size=t.size), -bound_s, bound_s
+        )
+        state.times = t + jitter_s
+        state.tally(
+            jittered_ticks=state.ledger.jittered_ticks + int(t.size),
+            max_jitter_s=max(
+                state.ledger.max_jitter_s, float(np.abs(jitter_s).max())
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ClockDrift(FaultModel):
+    """Linear collector-clock drift: times stretch by ``drift_frac``."""
+
+    drift_frac: float
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if abs(self.drift_frac) >= 0.5:
+            raise ValueError("drift_frac must be small (|drift| < 0.5)")
+
+    def _apply(self, state: _InjectionState, rng: np.random.Generator) -> None:
+        t0 = float(state.times[0])
+        state.times = t0 + (state.times - t0) * (1.0 + self.drift_frac)
+        state.tally(drift_frac=state.ledger.drift_frac + self.drift_frac)
+
+
+@dataclass(frozen=True)
+class NodeLoss(FaultModel):
+    """``count`` nodes disappear at ``at_frac`` of the way through."""
+
+    count: int = 1
+    at_frac: float = 0.5
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if not (0.0 <= self.at_frac < 1.0):
+            raise ValueError("at_frac must be in [0, 1)")
+
+    def _apply(self, state: _InjectionState, rng: np.random.Generator) -> None:
+        n_ticks, n_nodes = state.watts.shape
+        if self.count > n_nodes:
+            raise ValueError(
+                f"cannot lose {self.count} of {n_nodes} nodes"
+            )
+        cols = rng.choice(n_nodes, size=self.count, replace=False)
+        fail_tick = int(self.at_frac * n_ticks)
+        mask = np.zeros(state.watts.shape, dtype=bool)
+        for j in np.sort(cols):
+            mask[fail_tick:, int(j)] = True
+        n = state.mark_missing(mask)
+        state.tally(
+            node_loss_samples=state.ledger.node_loss_samples + n,
+            nodes_lost=tuple(
+                sorted(
+                    set(state.ledger.nodes_lost)
+                    | {int(state.node_ids[int(j)]) for j in cols}
+                )
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class TruncatedTail(FaultModel):
+    """The trace ends early: the last ``frac`` of ticks never arrive."""
+
+    frac: float
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.frac < 1.0):
+            raise ValueError(f"frac must be in [0, 1), got {self.frac}")
+
+    def _apply(self, state: _InjectionState, rng: np.random.Generator) -> None:
+        n_ticks = state.watts.shape[0]
+        cut = int(round(self.frac * n_ticks))
+        if cut == 0:
+            return
+        keep = n_ticks - cut
+        if keep < 1:
+            raise ValueError("truncation would remove the whole trace")
+        state.times = state.times[:keep]
+        state.watts = state.watts[:keep]
+        state.taken = state.taken[:keep]
+        state.missing = state.missing[:keep]
+        state.stuck = state.stuck[:keep]
+        state.spiked = state.spiked[:keep]
+        state.tally(ticks_truncated=state.ledger.ticks_truncated + cut)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, seeded composition of fault models.
+
+    Models apply in sequence; each gets an independent stream derived
+    from ``seed`` and its position + label, so reordering or removing a
+    model never changes the faults another model injects (beyond the
+    cells it frees up).  Put shape-changing models
+    (:class:`TruncatedTail`) first and value corruptions
+    (:class:`StuckAtLastValue`, :class:`SpikeGlitch`) before dropout so
+    corruption anchors see clean cells — :meth:`canonical` builds that
+    order for you.
+    """
+
+    models: tuple[FaultModel, ...]
+    seed: int
+
+    def __post_init__(self) -> None:
+        labels = [
+            f"{i}:{m.label}" for i, m in enumerate(self.models)
+        ]
+        if len(set(labels)) != len(labels):  # pragma: no cover - by construction
+            raise ValueError("fault model labels must be unique")
+
+    @staticmethod
+    def canonical(models: list[FaultModel], seed: int) -> "FaultPlan":
+        """Order models so corruption anchors precede dropout NaNs."""
+        rank = {
+            TruncatedTail: 0,
+            ClockDrift: 1,
+            ClockJitter: 2,
+            StuckAtLastValue: 3,
+            SpikeGlitch: 4,
+            NodeLoss: 5,
+            BurstDropout: 6,
+            SampleDropout: 7,
+        }
+        ordered = sorted(
+            models, key=lambda m: rank.get(type(m), len(rank))
+        )
+        return FaultPlan(models=tuple(ordered), seed=seed)
+
+    def apply(
+        self,
+        times: np.ndarray,
+        watts: np.ndarray,
+        node_ids: np.ndarray | None = None,
+    ) -> FaultInjection:
+        """Fault a per-node matrix; returns matrix + exact ledger."""
+        watts = np.asarray(watts, dtype=float)
+        if watts.ndim != 2:
+            raise ValueError("watts must be 2-D (n_ticks, n_nodes)")
+        times = np.asarray(times, dtype=float)
+        if times.shape != (watts.shape[0],):
+            raise ValueError("times length must match watts rows")
+        if node_ids is None:
+            node_ids = np.arange(watts.shape[1], dtype=np.int64)
+        if not np.all(np.isfinite(watts)):
+            raise ValueError("input matrix must be fault-free (finite)")
+        state = _InjectionState(times, watts, node_ids)
+        for i, model in enumerate(self.models):
+            rng = stream(self.seed, f"faults:{i}:{model.label}")
+            model._apply(state, rng)
+        return FaultInjection(
+            times=state.times,
+            watts=state.watts,
+            node_ids=state.node_ids,
+            ledger=state.ledger,
+            missing_mask=state.missing,
+            stuck_mask=state.stuck,
+            spike_mask=state.spiked,
+        )
+
+
+def inject_run(
+    run,
+    plan: FaultPlan,
+    *,
+    node_indices: np.ndarray | None = None,
+    core_only: bool = True,
+) -> FaultInjection:
+    """Fault a :class:`~repro.traces.synth.SimulatedRun`'s node matrix.
+
+    The faulted view is what the streaming layer then replays — see
+    :meth:`FaultInjection.batches`.
+    """
+    if core_only:
+        t0_s, t1_s = run.core_window
+        times, watts = run.node_power_matrix(t0_s, t1_s, node_indices)
+    else:
+        times, watts = run.node_power_matrix(node_indices=node_indices)
+    if node_indices is None:
+        ids = np.arange(run.system.n_nodes, dtype=np.int64)
+    else:
+        ids = np.asarray(node_indices, dtype=np.int64).ravel()
+    return plan.apply(times, watts, ids)

@@ -1,0 +1,610 @@
+"""Self-healing ingestion: retry, detect, repair, quarantine, label.
+
+The clean pipeline (:mod:`repro.stream.ingest`) assumes every sample
+arrives finite and on time.  This module is the hardened version a real
+collector needs, in four deterministic pieces:
+
+* :class:`RetryPolicy` + :class:`ResilientIngestLoop` — transient
+  delivery failures (:class:`TransientMeterError`) are absorbed by
+  bounded retry with exponential backoff and seeded jitter, all on the
+  :class:`~repro.stream.ingest.SimClock`; after ``max_retries`` the
+  batch is abandoned, *counted*, and the loop moves on.
+* :class:`FlakySource` — a deterministic fault wrapper that makes any
+  batch source raise a seeded number of transient failures per batch;
+  the chaos harness's delivery-failure channel.
+* :class:`RecoveryPipeline` — per-sample detection (NaN dropouts,
+  stuck-at-last-value repeats, spike glitches), configurable gap
+  policies (``hold`` / ``interpolate`` / ``exclude``), per-node
+  quarantine after sustained outages, a circuit breaker that downgrades
+  the run's compliance level instead of failing, and one-pass masked
+  statistics feeding a :class:`~repro.faults.quality.QualityReport`.
+* :class:`MaskedRunningMoments` — the per-node Welford accumulator that
+  tolerates holes: each node keeps its own count, so a missing cell
+  simply doesn't advance that node's moments.
+
+Everything is a pure function of ``(inputs, seed)``; nothing here reads
+the wall clock or global RNG state, and a replay of the same faulty
+stream produces a bit-identical report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.quality import QualityReport
+from repro.rng import stream
+from repro.stream.ingest import BoundedQueue, SampleBatch, SimClock
+
+__all__ = [
+    "TransientMeterError",
+    "RetryPolicy",
+    "FlakySource",
+    "ResilientIngestLoop",
+    "MaskedRunningMoments",
+    "GAP_POLICIES",
+    "RecoveryPipeline",
+]
+
+#: Supported gap-repair policies.
+GAP_POLICIES = ("hold", "interpolate", "exclude")
+
+
+class TransientMeterError(RuntimeError):
+    """A retryable delivery failure (collector timeout, bus glitch)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and seeded jitter.
+
+    Attempt ``k`` (0-based) waits ``base_delay_s * factor**k``,
+    perturbed by ±``jitter_frac`` (drawn from the caller's seeded
+    stream so replays back off identically).
+    """
+
+    max_retries: int = 3
+    base_delay_s: float = 1.0
+    factor: float = 2.0
+    jitter_frac: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay_s <= 0:
+            raise ValueError("base_delay_s must be positive")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if not (0.0 <= self.jitter_frac < 1.0):
+            raise ValueError("jitter_frac must be in [0, 1)")
+
+    def delay_s(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff delay before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        nominal_s = self.base_delay_s * self.factor ** attempt
+        jitter = 1.0 + self.jitter_frac * (2.0 * rng.random() - 1.0)
+        return nominal_s * jitter
+
+
+class FlakySource:
+    """Wrap a batch iterator with deterministic transient failures.
+
+    Each underlying batch is preceded by a seeded geometric number of
+    :class:`TransientMeterError` raises (``failure_rate`` is the
+    per-attempt failure probability).  The wrapper is itself a batch
+    iterator, so it drops straight into :class:`ResilientIngestLoop` —
+    or into the plain :class:`~repro.stream.ingest.IngestLoop`, where
+    the first failure crashes the run and motivates this module.
+    """
+
+    def __init__(
+        self,
+        batches,
+        *,
+        failure_rate: float,
+        seed: int | None = None,
+        label: str = "flaky-source",
+    ) -> None:
+        if not (0.0 <= failure_rate < 1.0):
+            raise ValueError(
+                f"failure_rate must be in [0, 1), got {failure_rate}"
+            )
+        self._inner = iter(batches)
+        self._rate = failure_rate
+        self._rng = stream(seed, label)
+        self._pending: SampleBatch | None = None
+        self._fails_left = 0
+        self.failures_raised = 0
+
+    def __iter__(self) -> "FlakySource":
+        return self
+
+    def _draw_failures(self) -> int:
+        k = 0
+        while self._rate > 0 and self._rng.random() < self._rate:
+            k += 1
+        return k
+
+    def __next__(self) -> SampleBatch:
+        if self._pending is None:
+            self._pending = next(self._inner)
+            self._fails_left = self._draw_failures()
+        if self._fails_left > 0:
+            self._fails_left -= 1
+            self.failures_raised += 1
+            raise TransientMeterError(
+                "simulated transient delivery failure"
+            )
+        batch = self._pending
+        self._pending = None
+        return batch
+
+    def abandon_current(self) -> SampleBatch | None:
+        """Give up on the pending batch; returns it (for accounting)."""
+        batch = self._pending
+        self._pending = None
+        self._fails_left = 0
+        return batch
+
+
+class ResilientIngestLoop:
+    """An ingest loop that survives transient source failures.
+
+    Same deterministic producer/consumer schedule and bounded-queue
+    backpressure as :class:`~repro.stream.ingest.IngestLoop`, but
+    ``next(source)`` raising :class:`TransientMeterError` triggers the
+    :class:`RetryPolicy`: back off on the simulated clock, retry, and
+    after ``max_retries`` abandon the batch (via the source's
+    ``abandon_current`` hook when it has one) and continue.  Every
+    retry, abandonment and lost sample is counted — faults never
+    disappear silently.
+    """
+
+    def __init__(
+        self,
+        source,
+        consumer,
+        *,
+        clock: SimClock,
+        policy: RetryPolicy | None = None,
+        seed: int | None = None,
+        queue_capacity: int = 8,
+        drain_per_step: int = 1,
+    ) -> None:
+        if drain_per_step < 1:
+            raise ValueError("drain_per_step must be >= 1")
+        self._source = iter(source)
+        self._consumer = consumer
+        self._clock = clock
+        self._policy = policy if policy is not None else RetryPolicy()
+        self._rng = stream(seed, "resilient-ingest:retry-jitter")
+        self.queue = BoundedQueue(queue_capacity)
+        self._drain_per_step = int(drain_per_step)
+        self.stalls = 0
+        self.batches_ingested = 0
+        self.samples_ingested = 0
+        self.retries = 0
+        self.backoff_ticks = 0
+        self.batches_abandoned = 0
+        self.samples_abandoned = 0
+        #: Abandoned batches, kept for exact fault reconciliation.
+        self.abandoned: list[SampleBatch] = []
+
+    def _abandon(self) -> None:
+        self.batches_abandoned += 1
+        abandon = getattr(self._source, "abandon_current", None)
+        if abandon is None:
+            return
+        batch = abandon()
+        if batch is not None:
+            self.samples_abandoned += batch.n_samples
+            self.abandoned.append(batch)
+
+    _EXHAUSTED = object()
+
+    def _next_batch(self):
+        """Fetch the next batch, retrying through transient failures."""
+        attempt = 0
+        while True:
+            try:
+                return next(self._source)
+            except StopIteration:
+                return self._EXHAUSTED
+            except TransientMeterError:
+                if attempt >= self._policy.max_retries:
+                    self._abandon()
+                    attempt = 0
+                    continue
+                delay_s = self._policy.delay_s(attempt, self._rng)
+                ticks = max(1, math.ceil(delay_s / self._clock.dt_s))
+                self._clock.advance(ticks)
+                self.backoff_ticks += ticks
+                self.retries += 1
+                attempt += 1
+
+    def _drain(self, max_items: int) -> None:
+        for _ in range(max_items):
+            if not len(self.queue):
+                return
+            batch = self.queue.get()
+            self._consumer(batch)
+            self.batches_ingested += 1
+            self.samples_ingested += batch.n_samples
+
+    def run(self) -> "ResilientIngestLoop":
+        """Drive the loop until the source and queue are empty."""
+        while True:
+            batch = self._next_batch()
+            if batch is self._EXHAUSTED:
+                break
+            while not self.queue.put(batch):
+                self.stalls += 1
+                self._drain(1)
+            self._drain(self._drain_per_step)
+        self._drain(len(self.queue))
+        return self
+
+
+class MaskedRunningMoments:
+    """Per-component Welford moments that tolerate missing samples.
+
+    Like :class:`repro.stream.estimators.RunningMoments`, but each of
+    the ``n_components`` columns keeps its *own* count: pushing a row
+    with a validity mask advances only the valid columns.  Update order
+    is strictly row-by-row, so the accumulated moments are bit-identical
+    for any batching of the same row sequence.
+    """
+
+    __slots__ = ("_count", "_mean", "_m2")
+
+    def __init__(self, n_components: int) -> None:
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self._count = np.zeros(n_components, dtype=np.int64)
+        self._mean = np.zeros(n_components)
+        self._m2 = np.zeros(n_components)
+
+    @property
+    def count(self) -> np.ndarray:
+        """Valid samples per component."""
+        return self._count.copy()
+
+    def push_row(self, values: np.ndarray, valid: np.ndarray) -> None:
+        """Fold one row in; only ``valid`` columns advance."""
+        values = np.asarray(values, dtype=float)
+        valid = np.asarray(valid, dtype=bool)
+        if values.shape != self._mean.shape or valid.shape != values.shape:
+            raise ValueError("row shape must match n_components")
+        cnt = self._count + valid
+        delta = np.where(valid, values - self._mean, 0.0)
+        self._mean = self._mean + delta / np.maximum(cnt, 1)
+        delta2 = np.where(valid, values - self._mean, 0.0)
+        self._m2 = self._m2 + delta * delta2
+        self._count = cnt
+
+    def push_value(self, component: int, value: float) -> None:
+        """Fold a single scalar into one component."""
+        row = np.zeros_like(self._mean)
+        valid = np.zeros_like(self._mean, dtype=bool)
+        row[component] = value
+        valid[component] = True
+        self.push_row(row, valid)
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Per-component mean (NaN where no samples)."""
+        return np.where(self._count > 0, self._mean, np.nan)
+
+    @property
+    def variance(self) -> np.ndarray:
+        """Per-component sample variance, ddof=1 (NaN below 2)."""
+        return np.where(
+            self._count > 1, self._m2 / np.maximum(self._count - 1, 1), np.nan
+        )
+
+    @property
+    def std(self) -> np.ndarray:
+        """Per-component sample standard deviation."""
+        return np.sqrt(self.variance)
+
+
+class _NodeState:
+    """Cross-batch per-node recovery state (arrays over nodes)."""
+
+    def __init__(self, n_nodes: int) -> None:
+        self.last_raw = np.full(n_nodes, np.nan)      # last finite reading
+        self.last_good = np.full(n_nodes, np.nan)     # last trusted reading
+        self.repeat_run = np.zeros(n_nodes, dtype=np.int64)
+        self.missing_run = np.zeros(n_nodes, dtype=np.int64)
+        self.quarantined = np.zeros(n_nodes, dtype=bool)
+        self.gap_len = np.zeros(n_nodes, dtype=np.int64)  # interpolate only
+
+
+class RecoveryPipeline:
+    """Detect, repair and label a degraded per-node sample stream.
+
+    Feed it :class:`~repro.stream.ingest.SampleBatch` objects (NaN
+    marks a missing reading) via :meth:`observe`; call :meth:`finalize`
+    with the planned horizon to get the :class:`QualityReport`.
+
+    Detection — per cell, in order:
+
+    1. **missing**: the reading is NaN.
+    2. **stuck**: the reading exactly equals the node's previous finite
+       reading for at least ``stuck_min_repeats`` consecutive ticks (a
+       latched meter; genuine continuous readings never repeat
+       exactly).
+    3. **spiked**: the reading exceeds ``spike_ratio`` × the node's
+       last trusted reading (an isolated ADC glitch).
+
+    Repair — what a flagged/missing cell contributes to statistics:
+
+    * ``hold``: the node's last trusted reading.
+    * ``interpolate``: linear fill once the gap closes (tail gaps fall
+      back to hold); the *live* repaired feed still holds, because a
+      streaming consumer cannot wait for the future.
+    * ``exclude``: nothing — the cell is excised.
+
+    A node whose readings go missing for ``quarantine_after``
+    consecutive ticks is quarantined (sticky): its column is dropped
+    from the final statistics and reported in the quality label.  The
+    circuit breaker then grades the surviving coverage into an
+    effective compliance level — a degraded run downgrades (L3 → L2 →
+    L1 → 0) instead of failing.
+    """
+
+    def __init__(
+        self,
+        *,
+        gap_policy: str = "hold",
+        spike_ratio: float = 4.0,
+        stuck_min_repeats: int = 1,
+        quarantine_after: int = 30,
+        original_level: int = 2,
+        deliver=None,
+    ) -> None:
+        if gap_policy not in GAP_POLICIES:
+            raise ValueError(
+                f"gap_policy must be one of {GAP_POLICIES}, got {gap_policy!r}"
+            )
+        if spike_ratio <= 1.0:
+            raise ValueError("spike_ratio must exceed 1")
+        if stuck_min_repeats < 1:
+            raise ValueError("stuck_min_repeats must be >= 1")
+        if quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
+        self.gap_policy = gap_policy
+        self.spike_ratio = float(spike_ratio)
+        self.stuck_min_repeats = int(stuck_min_repeats)
+        self.quarantine_after = int(quarantine_after)
+        self.original_level = int(original_level)
+        self._deliver = deliver
+        # Established on the first batch.
+        self._nodes: _NodeState | None = None
+        self._moments: MaskedRunningMoments | None = None
+        self._node_ids: np.ndarray | None = None
+        self._usable_per_node: np.ndarray | None = None
+        # Counters.
+        self.ticks_seen = 0
+        self.samples_missing = 0
+        self.samples_stuck = 0
+        self.samples_spiked = 0
+        self.samples_held = 0
+        self.samples_interpolated = 0
+        self.samples_excluded = 0
+
+    # ------------------------------------------------------------------
+    def _start(self, batch: SampleBatch) -> None:
+        n = batch.n_nodes
+        self._nodes = _NodeState(n)
+        self._moments = MaskedRunningMoments(n)
+        self._node_ids = np.asarray(batch.node_ids, dtype=np.int64).copy()
+        self._usable_per_node = np.zeros(n, dtype=np.int64)
+
+    def _push_stat(self, j: int, value: float) -> None:
+        self._moments.push_value(j, value)
+
+    def _repair_cell(self, j: int, nodes: _NodeState) -> tuple[float, bool]:
+        """Dispose of one unusable cell.
+
+        Returns ``(delivered value, counts toward the statistics)``;
+        the caller folds counted values into the tick's single
+        vectorised moment push.
+        """
+        have_ref = bool(np.isfinite(nodes.last_good[j]))
+        if nodes.quarantined[j] or not have_ref:
+            self.samples_excluded += 1
+            return np.nan, False
+        if self.gap_policy == "exclude":
+            self.samples_excluded += 1
+            return np.nan, False
+        if self.gap_policy == "interpolate":
+            # Defer: filled linearly when the gap closes (or held at
+            # finalize for tail gaps).  The live feed holds meanwhile.
+            nodes.gap_len[j] += 1
+            return float(nodes.last_good[j]), False
+        # hold
+        self.samples_held += 1
+        return float(nodes.last_good[j]), True
+
+    def _close_gap(self, j: int, nodes: _NodeState, new_value: float) -> None:
+        """Linear-fill a closed interpolation gap into the statistics."""
+        gap = int(nodes.gap_len[j])
+        if gap == 0:
+            return
+        lo = float(nodes.last_good[j])
+        for k in range(1, gap + 1):
+            filled = lo + (new_value - lo) * k / (gap + 1)
+            self._push_stat(j, filled)
+        self.samples_interpolated += gap
+        nodes.gap_len[j] = 0
+
+    def observe(self, batch: SampleBatch) -> None:
+        """Fold one (possibly faulty) batch into the pipeline."""
+        if self._nodes is None:
+            self._start(batch)
+        elif not np.array_equal(batch.node_ids, self._node_ids):
+            raise ValueError("batch node_ids changed mid-stream")
+        nodes = self._nodes
+        repaired = np.array(batch.watts, dtype=float, copy=True)
+        keep_tick = np.zeros(batch.n_ticks, dtype=bool)
+        for i in range(batch.n_ticks):
+            row = np.asarray(batch.watts[i], dtype=float)
+            finite = np.isfinite(row)
+            missing = ~finite
+            self.samples_missing += int(missing.sum())
+            # Stuck: exact repeat of the previous finite reading.
+            eq = finite & np.isfinite(nodes.last_raw) & (row == nodes.last_raw)
+            nodes.repeat_run = np.where(eq, nodes.repeat_run + 1, 0)
+            stuck = eq & (nodes.repeat_run >= self.stuck_min_repeats)
+            self.samples_stuck += int(stuck.sum())
+            # Spike: a jump past spike_ratio x the last trusted reading.
+            ref = nodes.last_good
+            with np.errstate(invalid="ignore"):
+                spiked = (
+                    finite
+                    & ~stuck
+                    & np.isfinite(ref)
+                    & (row > self.spike_ratio * ref)
+                )
+            self.samples_spiked += int(spiked.sum())
+            usable = finite & ~stuck & ~spiked
+            # Quarantine on sustained outage (sticky).
+            nodes.missing_run = np.where(missing, nodes.missing_run + 1, 0)
+            nodes.quarantined |= nodes.missing_run >= self.quarantine_after
+            # Account + repair.  Columns are independent in the Welford
+            # update, so the tick's scalar pushes fold into one masked
+            # row push — bit-identical to pushing column by column, but
+            # O(n) per tick instead of O(n^2).
+            active = usable & ~nodes.quarantined
+            if self.gap_policy == "interpolate":
+                for j in np.flatnonzero(active & (nodes.gap_len > 0)):
+                    self._close_gap(int(j), nodes, float(row[j]))
+            push_vals = np.where(active, row, 0.0)
+            push_mask = active.copy()
+            for j in np.flatnonzero(~usable):
+                j = int(j)
+                value, counted = self._repair_cell(j, nodes)
+                repaired[i, j] = value
+                if counted:
+                    push_vals[j] = value
+                    push_mask[j] = True
+            self._moments.push_row(push_vals, push_mask)
+            self._usable_per_node += active
+            nodes.last_good = np.where(usable, row, nodes.last_good)
+            nodes.last_raw = np.where(finite, row, nodes.last_raw)
+            keep_tick[i] = bool(np.isfinite(repaired[i]).any())
+            self.ticks_seen += 1
+        if self._deliver is not None and keep_tick.any():
+            self._deliver(
+                SampleBatch(
+                    times=np.asarray(batch.times)[keep_tick],
+                    watts=repaired[keep_tick],
+                    node_ids=self._node_ids,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def _flush_tail_gaps(self) -> None:
+        """Hold-fill interpolation gaps still open at end of stream."""
+        if self._nodes is None or self.gap_policy != "interpolate":
+            return
+        nodes = self._nodes
+        for j in range(nodes.gap_len.size):
+            gap = int(nodes.gap_len[j])
+            if gap == 0:
+                continue
+            for _ in range(gap):
+                self._push_stat(j, float(nodes.last_good[j]))
+            self.samples_held += gap
+            nodes.gap_len[j] = 0
+
+    def _breaker_level(self, coverage: float, any_quarantined: bool) -> int:
+        """Grade surviving coverage into an effective compliance level."""
+        level = self.original_level
+        if coverage < 0.995 or any_quarantined:
+            level = min(level, 2)
+        if coverage < 0.98:
+            level = min(level, 1)
+        if coverage < 0.60:
+            level = 0
+        return level
+
+    def finalize(
+        self,
+        *,
+        expected_ticks: int,
+        batches_retried: int = 0,
+        batches_abandoned: int = 0,
+    ) -> QualityReport:
+        """Close the stream and emit the quality-labelled statistics.
+
+        ``expected_ticks`` is the planned horizon (what a perfect meter
+        would have delivered); the gap between it and what arrived is
+        attributed to truncation/abandonment (``samples_never_arrived``).
+        """
+        if self._nodes is None:
+            raise ValueError("no batches observed")
+        if expected_ticks < self.ticks_seen:
+            raise ValueError(
+                "expected_ticks cannot be below the ticks actually seen"
+            )
+        self._flush_tail_gaps()
+        nodes = self._nodes
+        n = nodes.quarantined.size
+        usable = (
+            self._usable_per_node
+            if self._usable_per_node is not None
+            else np.zeros(n, dtype=np.int64)
+        )
+        kept = ~nodes.quarantined
+        samples_expected = int(expected_ticks) * n
+        samples_arrived = self.ticks_seen * n
+        coverage = float(usable[kept].sum()) / max(samples_expected, 1)
+        quarantined_ids = tuple(
+            int(i) for i in self._node_ids[nodes.quarantined]
+        )
+        # Fleet statistics over surviving nodes.
+        node_means = self._moments.mean
+        node_stds = self._moments.std
+        counts = self._moments.count
+        used = kept & (counts >= 2)
+        n_used = int(used.sum())
+        if n_used >= 2:
+            means = node_means[used]
+            fleet_mean_w = float(means.mean())
+            sigma_node_w = float(means.std(ddof=1))
+            node_cv = sigma_node_w / fleet_mean_w
+            sigma_tick_w = float(node_stds[used].mean())
+        else:
+            fleet_mean_w = float(node_means[used][0]) if n_used else 0.0
+            sigma_node_w = 0.0
+            node_cv = 0.0
+            sigma_tick_w = 0.0
+        return QualityReport(
+            samples_expected=samples_expected,
+            samples_arrived=samples_arrived,
+            samples_missing=self.samples_missing,
+            samples_never_arrived=samples_expected - samples_arrived,
+            samples_stuck=self.samples_stuck,
+            samples_spiked=self.samples_spiked,
+            samples_held=self.samples_held,
+            samples_interpolated=self.samples_interpolated,
+            samples_excluded=self.samples_excluded,
+            nodes_quarantined=quarantined_ids,
+            batches_retried=batches_retried,
+            batches_abandoned=batches_abandoned,
+            effective_coverage=coverage,
+            original_level=self.original_level,
+            effective_level=self._breaker_level(
+                coverage, bool(nodes.quarantined.any())
+            ),
+            fleet_mean_w=fleet_mean_w,
+            node_cv=node_cv,
+            sigma_node_w=sigma_node_w,
+            sigma_tick_w=sigma_tick_w,
+            n_nodes_used=n_used,
+        )

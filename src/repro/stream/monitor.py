@@ -60,6 +60,12 @@ class MonitorReport:
     core duration; ``full_core_compliant`` is the post-2015 rule,
     ``legal_level1_window`` the pre-2015 one evaluated on the span
     covered so far.
+
+    ``insufficient_data`` is the degenerate-window flag: when no
+    samples have been observed (an empty stream, or total dropout)
+    there is nothing to judge, so every compliance field is pinned
+    conservative (not-compliant) and this flag tells the reader the
+    report is a *non-verdict*, not a failure.
     """
 
     t_now_s: float
@@ -75,11 +81,13 @@ class MonitorReport:
     rolling_span_s: float
     outlier_nodes: tuple[NodeFlags, ...] = field(default_factory=tuple)
     excursion_nodes: tuple[NodeFlags, ...] = field(default_factory=tuple)
+    insufficient_data: bool = False
 
     def to_dict(self) -> dict:
         """JSON-friendly rendering."""
         return {
             "t_now_s": self.t_now_s,
+            "insufficient_data": self.insufficient_data,
             "samples_seen": self.samples_seen,
             "nodes_seen": self.nodes_seen,
             "interval_ok": self.interval_ok,
@@ -104,6 +112,11 @@ class MonitorReport:
 
     def lines(self) -> list[str]:
         """Human-readable verdict lines."""
+        if self.insufficient_data:
+            return [
+                "insufficient data: no samples observed — "
+                "no compliance verdict"
+            ]
         ok = "ok" if self.interval_ok else "VIOLATION"
         out = [
             f"sampling interval: worst {self.worst_interval_s:.2f} s vs "
@@ -202,6 +215,8 @@ class ComplianceMonitor:
 
     def observe(self, batch: SampleBatch) -> None:
         """Fold one batch into the monitor's state."""
+        if batch.n_ticks == 0:
+            return  # an empty flush carries nothing to judge
         if self._node_ids is None:
             self._node_ids = batch.node_ids.copy()
             self._excursions = np.zeros(batch.n_nodes, dtype=np.int64)
@@ -298,7 +313,28 @@ class ComplianceMonitor:
         ]
 
     def report(self) -> MonitorReport:
-        """Render the current verdicts."""
+        """Render the current verdicts.
+
+        With zero observed samples there is no basis for a verdict:
+        the report comes back with ``insufficient_data=True`` and every
+        compliance field conservative instead of vacuously passing
+        (an all-dropout window must not read as "interval ok").
+        """
+        if self._samples == 0:
+            return MonitorReport(
+                t_now_s=0.0,
+                samples_seen=0,
+                nodes_seen=0,
+                interval_ok=False,
+                worst_interval_s=float("inf"),
+                required_interval_s=self._required_interval_s,
+                window_fraction_covered=0.0,
+                full_core_compliant=False,
+                legal_level1_window=False,
+                rolling_mean_w=0.0,
+                rolling_span_s=0.0,
+                insufficient_data=True,
+            )
         flags = self.node_flags()
         coverage = self._coverage()
         rolling_ok = len(self._rolling) > 0

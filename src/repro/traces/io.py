@@ -46,8 +46,11 @@ def write_trace_csv(trace: PowerTrace, path) -> None:
 def read_trace_csv(path) -> PowerTrace:
     """Read a ``time_s,watts`` CSV into a trace.
 
-    Rows must be time-ordered; a malformed file raises ``ValueError``
-    with the offending line number.
+    Every row is validated *at load time* with the offending line
+    number — a NaN/inf reading, a negative power, or a timestamp that
+    fails to increase raises ``ValueError`` here instead of flowing
+    silently into downstream estimators (real meter logs contain all
+    three; see :mod:`repro.faults.models` for how they arise).
     """
     path = Path(path)
     times: list[float] = []
@@ -67,10 +70,31 @@ def read_trace_csv(path) -> PowerTrace:
             if len(row) < 2:
                 raise ValueError(f"{path}:{lineno}: expected two columns")
             try:
-                times.append(float(row[0]))
-                watts.append(float(row[1]))
+                t = float(row[0])
+                w = float(row[1])
             except ValueError as exc:
                 raise ValueError(f"{path}:{lineno}: {exc}") from None
+            if not np.isfinite(t):
+                raise ValueError(
+                    f"{path}:{lineno}: non-finite timestamp {row[0]!r}"
+                )
+            if not np.isfinite(w):
+                raise ValueError(
+                    f"{path}:{lineno}: non-finite power reading {row[1]!r} "
+                    "(dropped meter sample? repair it before loading)"
+                )
+            if w < 0:
+                raise ValueError(
+                    f"{path}:{lineno}: negative power reading {w!r} W"
+                )
+            if times and t <= times[-1]:
+                raise ValueError(
+                    f"{path}:{lineno}: timestamp {t!r} does not increase "
+                    f"(previous row had {times[-1]!r}; is the log "
+                    "interleaved or clock-skewed?)"
+                )
+            times.append(t)
+            watts.append(w)
     if not times:
         raise ValueError(f"{path}: no samples")
     return PowerTrace(times, watts)
@@ -106,10 +130,20 @@ def read_node_sample_csv(path, *, system: str = "") -> NodeSample:
             if len(row) < 2:
                 raise ValueError(f"{path}:{lineno}: expected two columns")
             try:
-                ids.append(int(row[0]))
-                watts.append(float(row[1]))
+                node_id = int(row[0])
+                w = float(row[1])
             except ValueError as exc:
                 raise ValueError(f"{path}:{lineno}: {exc}") from None
+            if not np.isfinite(w):
+                raise ValueError(
+                    f"{path}:{lineno}: non-finite power reading {row[1]!r}"
+                )
+            if w < 0:
+                raise ValueError(
+                    f"{path}:{lineno}: negative power reading {w!r} W"
+                )
+            ids.append(node_id)
+            watts.append(w)
     if not watts:
         raise ValueError(f"{path}: no nodes")
     return NodeSample(watts, system=system, node_ids=ids)

@@ -1,0 +1,25 @@
+"""Fail fixture: silent fault swallowing in recovery code (RPX008)."""
+
+
+def retry_read(meter):
+    """Bare except: swallows every fault, even KeyboardInterrupt."""
+    try:
+        return meter.read()
+    except:  # expect: RPX008
+        return None
+
+
+def drain(queue):
+    """Catch-everything with a pass body leaves no trace of the fault."""
+    try:
+        return queue.get()
+    except Exception:  # expect: RPX008
+        pass
+
+
+def flush(sink):
+    """Broad type inside a tuple, still silent."""
+    try:
+        sink.flush()
+    except (ValueError, BaseException):  # expect: RPX008
+        ...

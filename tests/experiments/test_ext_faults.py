@@ -1,0 +1,56 @@
+"""Tests for the X-FAULT fault-injection/recovery audit experiment."""
+
+import pytest
+
+from repro.experiments import ext_faults
+
+
+@pytest.fixture(scope="module")
+def result():
+    # A shortened core keeps the full pipeline (acceptance under all
+    # three policies, sweep, flaky delivery, replay) test-suite fast.
+    return ext_faults.run(core_s=600.0)
+
+
+class TestFaultsExperiment:
+    def test_all_ok(self, result):
+        assert result.all_ok(), "\n".join(
+            c.line() for c in result.comparisons() if not c.ok
+        )
+
+    def test_every_policy_reconciles_exactly(self, result):
+        for policy, outcome in result.acceptance.items():
+            assert outcome.reconciled, (policy, outcome.reconciliation)
+
+    def test_quarantine_names_the_lost_node(self, result):
+        assert result.nodes_lost != ()
+        for outcome in result.acceptance.values():
+            assert (
+                tuple(outcome.report.nodes_quarantined) == result.nodes_lost
+            )
+
+    def test_sweep_breaker_is_monotone(self, result):
+        rates = sorted(result.sweep)
+        levels = [result.sweep[r].report.effective_level for r in rates]
+        assert levels == sorted(levels, reverse=True)
+        assert result.sweep[rates[0]].report.effective_level == 3
+        assert result.sweep[rates[-1]].report.downgraded()
+
+    def test_flaky_path_exercised(self, result):
+        assert result.flaky.retries > 0
+        assert result.flaky.reconciled
+
+    def test_deterministic_replay(self, result):
+        assert result.deterministic
+
+    def test_report_renders(self, result):
+        text = result.report()
+        assert "acceptance scenario" in text
+        assert "escalating dropout" in text
+        assert "bit-identical replay: True" in text
+        assert "data quality" in text
+
+    def test_registered_in_runner(self):
+        from repro.experiments.runner import ALL_EXPERIMENTS
+
+        assert ALL_EXPERIMENTS["X-FAULT"] is ext_faults.run

@@ -12,6 +12,8 @@ edit sources freely without touching the real library.
 
 from __future__ import annotations
 
+import logging
+
 import pytest
 
 from repro.parallel.cache import ResultCache
@@ -147,6 +149,35 @@ class TestResultCache:
             assert cache.lookup(key) is None
         assert not path.exists()  # discarded, so the next run re-stores
         assert cache.lookup(key) is None  # silent plain miss now
+
+    def test_corruption_warning_reaches_the_logging_layer(
+        self, tmp_path, caplog
+    ):
+        """The discard warning must survive warnings→logging capture.
+
+        Operators running sweeps under ``logging.captureWarnings(True)``
+        (the common service configuration) still need the corrupted-entry
+        discard on record, naming the exact entry file.
+        """
+        cache = ResultCache(tmp_path / "c")
+        key = "f" * 64
+        path = cache.store(key, [3.0])
+        path.write_bytes(b"garbage")
+        logging.captureWarnings(True)
+        try:
+            with caplog.at_level(logging.WARNING, logger="py.warnings"):
+                assert cache.lookup(key) is None
+        finally:
+            logging.captureWarnings(False)
+        messages = [
+            rec.getMessage()
+            for rec in caplog.records
+            if rec.name == "py.warnings"
+        ]
+        assert any(
+            "discarding corrupted cache entry" in m and path.name in m
+            for m in messages
+        ), messages
 
     def test_checksum_mismatch_is_discarded_with_warning(self, tmp_path):
         cache = ResultCache(tmp_path / "c")

@@ -1,0 +1,29 @@
+"""Shared fixtures for the fault-injection subsystem tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.synth import SimulatedRun, simulate_run
+
+
+@pytest.fixture()
+def small_run(gpu_system, gpu_hpl) -> SimulatedRun:
+    """A fast 32-node GPU HPL run (1800 s core at 2 s ticks)."""
+    return simulate_run(gpu_system, gpu_hpl, dt=2.0, seed=5)
+
+
+@pytest.fixture()
+def matrix() -> tuple[np.ndarray, np.ndarray]:
+    """A small, fully clean matrix with no exact repeats anywhere.
+
+    Every cell is unique, so a stuck fault is the *only* way two
+    consecutive readings can be equal — the detector's premise.
+    """
+    n_ticks, n_nodes = 120, 6
+    times = np.arange(n_ticks) * 2.0
+    t = np.arange(n_ticks)[:, None]
+    j = np.arange(n_nodes)[None, :]
+    watts = 200.0 + 7.0 * j + 0.013 * t + 0.0001 * t * j
+    return times, watts

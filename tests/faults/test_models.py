@@ -1,0 +1,231 @@
+"""Tests for repro.faults.models: determinism, disjointness, exactness."""
+
+import numpy as np
+import pytest
+
+from repro.faults.models import (
+    BurstDropout,
+    ClockDrift,
+    ClockJitter,
+    FaultPlan,
+    NodeLoss,
+    SampleDropout,
+    SpikeGlitch,
+    StuckAtLastValue,
+    TruncatedTail,
+    inject_run,
+)
+
+
+def _everything_plan(seed=77) -> FaultPlan:
+    return FaultPlan.canonical(
+        [
+            SampleDropout(rate=0.05),
+            BurstDropout(rate=0.004),
+            StuckAtLastValue(rate=0.01),
+            SpikeGlitch(rate=0.01),
+            ClockJitter(sd_s=0.05),
+            ClockDrift(drift_frac=1e-4),
+            NodeLoss(count=1, at_frac=0.5),
+            TruncatedTail(frac=0.05),
+        ],
+        seed,
+    )
+
+
+class TestDeterminism:
+    def test_same_plan_same_input_is_bit_identical(self, matrix):
+        times, watts = matrix
+        plan = _everything_plan()
+        a = plan.apply(times, watts)
+        b = plan.apply(times, watts)
+        np.testing.assert_array_equal(a.times, b.times)
+        np.testing.assert_array_equal(a.watts, b.watts)
+        assert a.ledger == b.ledger
+
+    def test_appending_a_model_never_perturbs_earlier_draws(self, matrix):
+        times, watts = matrix
+        base = FaultPlan(models=(SampleDropout(rate=0.1),), seed=3)
+        extended = FaultPlan(
+            models=(SampleDropout(rate=0.1), NodeLoss(count=1)), seed=3
+        )
+        a = base.apply(times, watts)
+        b = extended.apply(times, watts)
+        np.testing.assert_array_equal(a.missing_mask, b.missing_mask & a.missing_mask)
+        assert b.ledger.samples_dropped == a.ledger.samples_dropped
+
+    def test_input_matrix_is_never_mutated(self, matrix):
+        times, watts = matrix
+        before = watts.copy()
+        _everything_plan().apply(times, watts)
+        np.testing.assert_array_equal(watts, before)
+
+
+class TestDisjointnessAndLedger:
+    def test_masks_are_mutually_exclusive(self, matrix):
+        times, watts = matrix
+        inj = _everything_plan().apply(times, watts)
+        overlap = (
+            (inj.missing_mask & inj.stuck_mask)
+            | (inj.missing_mask & inj.spike_mask)
+            | (inj.stuck_mask & inj.spike_mask)
+        )
+        assert not overlap.any()
+
+    def test_ledger_counts_equal_mask_sums(self, matrix):
+        times, watts = matrix
+        inj = _everything_plan().apply(times, watts)
+        led = inj.ledger
+        assert inj.missing_mask.sum() == led.samples_missing_at_arrival
+        assert inj.stuck_mask.sum() == led.samples_stuck
+        assert inj.spike_mask.sum() == led.samples_spiked
+        assert led.samples_corrupted == led.samples_stuck + led.samples_spiked
+        assert led.samples_planned == watts.size
+        assert led.samples_truncated == led.ticks_truncated * led.n_nodes
+        assert inj.n_ticks == led.n_ticks_planned - led.ticks_truncated
+
+    def test_nan_cells_are_exactly_the_missing_mask(self, matrix):
+        times, watts = matrix
+        inj = _everything_plan().apply(times, watts)
+        np.testing.assert_array_equal(np.isnan(inj.watts), inj.missing_mask)
+
+
+class TestIndividualModels:
+    def test_dropout_rate_roughly_honoured(self, matrix):
+        times, watts = matrix
+        inj = FaultPlan((SampleDropout(rate=0.1),), seed=1).apply(times, watts)
+        frac = inj.ledger.samples_dropped / watts.size
+        assert 0.05 < frac < 0.15
+
+    def test_stuck_cells_repeat_the_anchor_reading(self, matrix):
+        times, watts = matrix
+        inj = FaultPlan((StuckAtLastValue(rate=0.02),), seed=2).apply(
+            times, watts
+        )
+        assert inj.ledger.samples_stuck > 0
+        for t, j in np.argwhere(inj.stuck_mask):
+            run_start = t
+            while inj.stuck_mask[run_start - 1, j]:
+                run_start -= 1
+            assert inj.watts[t, j] == watts[run_start - 1, j]
+
+    def test_spikes_scale_the_original_reading(self, matrix):
+        times, watts = matrix
+        inj = FaultPlan((SpikeGlitch(rate=0.02, factor=8.0),), seed=2).apply(
+            times, watts
+        )
+        assert inj.ledger.samples_spiked > 0
+        for t, j in np.argwhere(inj.spike_mask):
+            assert inj.watts[t, j] == pytest.approx(8.0 * watts[t, j])
+            assert not inj.spike_mask[t - 1, j]  # isolated
+
+    def test_node_loss_blanks_the_column_tail(self, matrix):
+        times, watts = matrix
+        inj = FaultPlan(
+            (NodeLoss(count=2, at_frac=0.5),), seed=9
+        ).apply(times, watts)
+        assert len(inj.ledger.nodes_lost) == 2
+        fail_tick = watts.shape[0] // 2
+        for node in inj.ledger.nodes_lost:
+            j = int(np.flatnonzero(inj.node_ids == node)[0])
+            assert np.isnan(inj.watts[fail_tick:, j]).all()
+            assert np.isfinite(inj.watts[:fail_tick, j]).all()
+
+    def test_truncation_shortens_everything_consistently(self, matrix):
+        times, watts = matrix
+        inj = FaultPlan((TruncatedTail(frac=0.25),), seed=0).apply(
+            times, watts
+        )
+        keep = watts.shape[0] - inj.ledger.ticks_truncated
+        assert inj.times.shape == (keep,)
+        assert inj.watts.shape[0] == keep
+        assert inj.missing_mask.shape[0] == keep
+
+    def test_jitter_preserves_time_order(self, matrix):
+        times, watts = matrix
+        inj = FaultPlan((ClockJitter(sd_s=10.0),), seed=4).apply(times, watts)
+        assert (np.diff(inj.times) > 0).all()
+        assert inj.ledger.jittered_ticks == times.size
+        assert inj.ledger.max_jitter_s > 0
+
+    def test_drift_stretches_from_the_first_tick(self, matrix):
+        times, watts = matrix
+        inj = FaultPlan((ClockDrift(drift_frac=0.01),), seed=4).apply(
+            times, watts
+        )
+        assert inj.times[0] == times[0]
+        assert inj.times[-1] == pytest.approx(
+            times[0] + (times[-1] - times[0]) * 1.01
+        )
+
+
+class TestValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError, match="rate"):
+            SampleDropout(rate=1.0)
+        with pytest.raises(ValueError, match="rate"):
+            BurstDropout(rate=-0.1)
+        with pytest.raises(ValueError, match="factor"):
+            SpikeGlitch(rate=0.1, factor=1.0)
+        with pytest.raises(ValueError, match="frac"):
+            TruncatedTail(frac=1.0)
+        with pytest.raises(ValueError, match="drift"):
+            ClockDrift(drift_frac=0.6)
+
+    def test_input_must_be_clean_and_2d(self, matrix):
+        times, watts = matrix
+        plan = FaultPlan((SampleDropout(rate=0.1),), seed=0)
+        with pytest.raises(ValueError, match="2-D"):
+            plan.apply(times, watts[:, 0])
+        dirty = watts.copy()
+        dirty[0, 0] = np.nan
+        with pytest.raises(ValueError, match="fault-free"):
+            plan.apply(times, dirty)
+        with pytest.raises(ValueError, match="length"):
+            plan.apply(times[:-1], watts)
+
+    def test_cannot_lose_more_nodes_than_exist(self, matrix):
+        times, watts = matrix
+        plan = FaultPlan((NodeLoss(count=99),), seed=0)
+        with pytest.raises(ValueError, match="cannot lose"):
+            plan.apply(times, watts)
+
+
+class TestPlanAndBatches:
+    def test_canonical_order_puts_corruption_before_dropout(self):
+        plan = _everything_plan()
+        kinds = [type(m) for m in plan.models]
+        assert kinds.index(StuckAtLastValue) < kinds.index(SampleDropout)
+        assert kinds.index(SpikeGlitch) < kinds.index(BurstDropout)
+        assert kinds.index(TruncatedTail) == 0
+
+    def test_batches_reassemble_the_matrix(self, matrix):
+        times, watts = matrix
+        inj = _everything_plan().apply(times, watts)
+        for per in (1, 7, 60, 10_000):
+            chunks = list(inj.batches(per))
+            np.testing.assert_array_equal(
+                np.concatenate([c.times for c in chunks]), inj.times
+            )
+            np.testing.assert_array_equal(
+                np.vstack([c.watts for c in chunks]), inj.watts
+            )
+        with pytest.raises(ValueError, match="ticks_per_batch"):
+            next(inj.batches(0))
+
+
+class TestInjectRun:
+    def test_core_window_and_node_subset(self, small_run):
+        idx = np.arange(8)
+        inj = inject_run(
+            small_run,
+            FaultPlan((SampleDropout(rate=0.05),), seed=11),
+            node_indices=idx,
+        )
+        t0_s, t1_s = small_run.core_window
+        times, watts = small_run.node_power_matrix(t0_s, t1_s, idx)
+        assert inj.n_nodes == 8
+        assert inj.ledger.samples_planned == watts.size
+        np.testing.assert_array_equal(inj.node_ids, idx)
+        clean = ~inj.missing_mask
+        np.testing.assert_array_equal(inj.watts[clean], watts[clean])

@@ -1,0 +1,122 @@
+"""Tests for repro.faults.quality: the provenance label and its bounds."""
+
+import math
+
+import pytest
+
+from repro.faults.quality import COMPLIANCE_LEVELS, QualityReport
+
+
+def _report(**overrides) -> QualityReport:
+    """A plausible mildly degraded report; override what the test needs."""
+    base = dict(
+        samples_expected=10_000,
+        samples_arrived=9_800,
+        samples_missing=300,
+        samples_never_arrived=200,
+        samples_stuck=40,
+        samples_spiked=10,
+        samples_held=330,
+        samples_interpolated=0,
+        samples_excluded=20,
+        nodes_quarantined=(7,),
+        batches_retried=3,
+        batches_abandoned=1,
+        effective_coverage=0.93,
+        original_level=3,
+        effective_level=2,
+        fleet_mean_w=1200.0,
+        node_cv=0.04,
+        sigma_node_w=48.0,
+        sigma_tick_w=60.0,
+        n_nodes_used=31,
+    )
+    base.update(overrides)
+    return QualityReport(**base)
+
+
+class TestAccountingIdentities:
+    def test_derived_counts(self):
+        rep = _report()
+        assert rep.samples_flagged == 50
+        assert rep.samples_repaired == 350
+        assert rep.samples_unusable == 300 + 200 + 50
+        assert rep.downgraded()
+
+    def test_not_downgraded_when_levels_match(self):
+        assert not _report(effective_level=3).downgraded()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            _report(samples_expected=-1)
+        with pytest.raises(ValueError, match="more samples"):
+            _report(samples_arrived=10_001)
+        with pytest.raises(ValueError, match="coverage"):
+            _report(effective_coverage=1.5)
+        with pytest.raises(ValueError, match="level"):
+            _report(effective_level=5)
+        assert COMPLIANCE_LEVELS == (3, 2, 1, 0)
+
+
+class TestErrorBounds:
+    def test_pristine_run_has_zero_bounds(self):
+        rep = _report(
+            samples_arrived=10_000,
+            samples_missing=0,
+            samples_never_arrived=0,
+            samples_stuck=0,
+            samples_spiked=0,
+            samples_held=0,
+            samples_excluded=0,
+            nodes_quarantined=(),
+            batches_retried=0,
+            batches_abandoned=0,
+            effective_coverage=1.0,
+            effective_level=3,
+            n_nodes_used=32,
+        )
+        assert rep.error_bound_fleet_mean() == 0.0
+        assert rep.error_bound_node_cv() == 0.0
+
+    def test_bounds_grow_with_degradation(self):
+        mild = _report()
+        worse = _report(
+            samples_missing=2000,
+            samples_never_arrived=1000,
+            nodes_quarantined=(7, 9, 11),
+        )
+        assert worse.error_bound_fleet_mean() > mild.error_bound_fleet_mean()
+        assert worse.error_bound_node_cv() > mild.error_bound_node_cv()
+
+    def test_degenerate_runs_state_no_bound(self):
+        assert _report(n_nodes_used=1).error_bound_node_cv() == math.inf
+        assert _report(fleet_mean_w=0.0).error_bound_fleet_mean() == math.inf
+        total_loss = _report(
+            samples_missing=10_000,
+            samples_held=0,
+            samples_excluded=0,
+            samples_stuck=0,
+            samples_spiked=0,
+        )
+        assert total_loss.error_bound_fleet_mean() == math.inf
+
+
+class TestRendering:
+    def test_to_dict_carries_the_bounds(self):
+        doc = _report().to_dict()
+        assert doc["samples_expected"] == 10_000
+        assert doc["nodes_quarantined"] == [7]
+        assert doc["error_bound_fleet_mean"] == pytest.approx(
+            _report().error_bound_fleet_mean()
+        )
+        assert "error_bound_node_cv" in doc
+
+    def test_lines_mention_quarantine_and_downgrade(self):
+        text = "\n".join(_report().lines())
+        assert "quarantined nodes   7" in text
+        assert "L3 -> L2" in text
+        assert "stated error bound" in text
+
+    def test_degenerate_bound_is_labelled_unavailable(self):
+        text = "\n".join(_report(fleet_mean_w=0.0).lines())
+        assert "unavailable" in text

@@ -117,3 +117,38 @@ class TestAnomalyFlags:
             )
         with pytest.raises(ValueError, match="thresholds"):
             ComplianceMonitor(small_run.core_window, outlier_z=-1.0)
+
+
+class TestInsufficientData:
+    """Degenerate windows must not manufacture a compliance verdict."""
+
+    def test_no_samples_is_flagged_not_judged(self, small_run):
+        rep = _monitor_for(small_run).report()
+        assert rep.insufficient_data
+        assert not rep.interval_ok
+        assert not rep.full_core_compliant
+        assert not rep.legal_level1_window
+        assert rep.window_fraction_covered == 0.0
+        assert rep.worst_interval_s == np.inf
+        assert rep.nodes_seen == 0
+        assert rep.lines() == [
+            "insufficient data: no samples observed — no compliance verdict"
+        ]
+        assert rep.to_dict()["insufficient_data"] is True
+
+    def test_empty_batch_is_a_no_op(self, small_run):
+        mon = _monitor_for(small_run)
+        empty = SampleBatch(
+            times=np.empty(0),
+            watts=np.empty((0, small_run.system.n_nodes)),
+            node_ids=np.arange(small_run.system.n_nodes, dtype=np.int64),
+        )
+        mon.observe(empty)
+        assert mon.report().insufficient_data
+
+    def test_any_real_sample_clears_the_flag(self, small_run):
+        mon = _monitor_for(small_run)
+        mon.observe(next(iter(replay_run(small_run, ticks_per_batch=4))))
+        rep = mon.report()
+        assert not rep.insufficient_data
+        assert "insufficient" not in "\n".join(rep.lines())

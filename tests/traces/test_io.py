@@ -52,6 +52,36 @@ class TestTraceCsv:
         path.write_text("time_s,watts\n0.0,10.0\n\n1.0,20.0\n")
         assert len(read_trace_csv(path)) == 2
 
+    def test_nan_power_rejected_with_lineno(self, tmp_path):
+        path = tmp_path / "nan.csv"
+        path.write_text("time_s,watts\n0.0,10.0\n1.0,nan\n")
+        with pytest.raises(ValueError, match=r"nan\.csv:3: non-finite power"):
+            read_trace_csv(path)
+
+    def test_inf_timestamp_rejected_with_lineno(self, tmp_path):
+        path = tmp_path / "inf.csv"
+        path.write_text("time_s,watts\n0.0,10.0\ninf,11.0\n")
+        with pytest.raises(ValueError, match=r"inf\.csv:3: non-finite time"):
+            read_trace_csv(path)
+
+    def test_negative_power_rejected_with_lineno(self, tmp_path):
+        path = tmp_path / "neg.csv"
+        path.write_text("time_s,watts\n0.0,10.0\n1.0,-3.5\n")
+        with pytest.raises(ValueError, match=r"neg\.csv:3: negative power"):
+            read_trace_csv(path)
+
+    def test_non_monotonic_timestamp_rejected(self, tmp_path):
+        path = tmp_path / "skew.csv"
+        path.write_text("time_s,watts\n0.0,10.0\n2.0,11.0\n1.5,12.0\n")
+        with pytest.raises(ValueError, match=r"skew\.csv:4.*does not increase"):
+            read_trace_csv(path)
+
+    def test_duplicate_timestamp_rejected(self, tmp_path):
+        path = tmp_path / "dup.csv"
+        path.write_text("time_s,watts\n0.0,10.0\n0.0,11.0\n")
+        with pytest.raises(ValueError, match=r"dup\.csv:3.*does not increase"):
+            read_trace_csv(path)
+
 
 class TestNodeSampleCsv:
     def test_roundtrip(self, tmp_path):
@@ -74,6 +104,18 @@ class TestNodeSampleCsv:
         path = tmp_path / "empty.csv"
         path.write_text("node_id,watts\n")
         with pytest.raises(ValueError, match="no nodes"):
+            read_node_sample_csv(path)
+
+    def test_nan_power_rejected_with_lineno(self, tmp_path):
+        path = tmp_path / "nan.csv"
+        path.write_text("node_id,watts\n0,210.0\n1,nan\n")
+        with pytest.raises(ValueError, match=r"nan\.csv:3: non-finite power"):
+            read_node_sample_csv(path)
+
+    def test_negative_power_rejected_with_lineno(self, tmp_path):
+        path = tmp_path / "neg.csv"
+        path.write_text("node_id,watts\n0,210.0\n1,-1.0\n")
+        with pytest.raises(ValueError, match=r"neg\.csv:3: negative power"):
             read_node_sample_csv(path)
 
 
