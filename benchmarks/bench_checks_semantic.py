@@ -1,0 +1,59 @@
+"""Benchmark — whole-project semantic analysis, cold vs warm.
+
+Measures ``repro.checks.semantic`` over the repo's own ``src/repro``
+tree (the workload CI actually pays for): once with an empty cache
+(parse + summarise + link + rules) and once with the per-module
+summary cache fully warm (parse + link + rules only).  The gap is the
+summarisation cost the AST-normalised cache key amortises away across
+runs; the warm number is the steady-state pre-merge latency.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.checks import LintCache, load_config
+from repro.checks.semantic import run_semantic_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src" / "repro"
+CONFIG = load_config(REPO_ROOT)
+
+
+def _run(cache: LintCache | None):
+    return run_semantic_lint([SRC], config=CONFIG, cache=cache)
+
+
+def bench_semantic_cold(benchmark, report_sink):
+    """Empty cache every round: the first-run / post-rebase cost."""
+    workdir = Path(tempfile.mkdtemp(prefix="bench-semantic-cold-"))
+    counter = [0]
+
+    def setup():
+        counter[0] += 1
+        return (LintCache(workdir / f"cache-{counter[0]}.json"),), {}
+
+    report = benchmark.pedantic(_run, setup=setup, rounds=3, iterations=1)
+    shutil.rmtree(workdir, ignore_errors=True)
+    assert report.summary_cache_hits == 0
+    report_sink(
+        "semantic lint, cold cache",
+        f"{report.files_scanned} files, {len(report.findings)} findings, "
+        f"{report.summary_cache_hits} summary cache hits",
+    )
+
+
+def bench_semantic_warm(benchmark, report_sink):
+    """Summary cache pre-populated: the steady-state re-run cost."""
+    workdir = Path(tempfile.mkdtemp(prefix="bench-semantic-warm-"))
+    cache = LintCache(workdir / "cache.json")
+    _run(cache)  # populate summaries
+
+    report = benchmark.pedantic(_run, args=(cache,), rounds=3, iterations=1)
+    shutil.rmtree(workdir, ignore_errors=True)
+    assert report.summary_cache_hits == report.files_scanned
+    report_sink(
+        "semantic lint, warm summary cache",
+        f"{report.files_scanned} files, {len(report.findings)} findings, "
+        f"all {report.summary_cache_hits} summaries cached",
+    )

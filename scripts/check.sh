@@ -16,8 +16,8 @@ cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export PYTHONPATH
 
-echo "== repro lint (RPX001-RPX008)"
-python -m repro.cli lint src/repro
+echo "== repro lint (per-file RPX001-RPX008 + semantic RPX101-RPX103)"
+python -m repro.cli lint --semantic src/repro
 
 echo "== pytest (tier 1)"
 # Shard across cores when pytest-xdist is available (CI installs it);

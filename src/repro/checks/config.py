@@ -12,6 +12,7 @@ repo's own layout.  Keys may be spelled with dashes or underscores::
     nondeterminism-exempt = ["repro/cli.py", "repro/experiments/runner.py"]
     experiments-packages = ["repro/experiments"]
     experiments-exempt = ["__init__.py", "base.py", "runner.py"]
+    rng-modules = ["repro/rng.py"]
     jobs = 0                          # 0 = auto
 """
 
@@ -63,6 +64,10 @@ class LintConfig:
     #: Basenames inside an experiments package that are infrastructure,
     #: not experiments, and therefore exempt from RPX005.
     experiments_exempt: tuple[str, ...] = ("__init__.py", "base.py", "runner.py")
+    #: Modules whose generator factories count as explicit-seed entry
+    #: points for the RPX102 seed-provenance taint (they map a missing
+    #: seed to the fixed paper seed, never to OS entropy).
+    rng_modules: tuple[str, ...] = ("repro/rng.py",)
     #: Worker threads for the parallel scan (0 = auto-size).
     jobs: int = 0
 

@@ -370,6 +370,21 @@ class LintCache:
         self._entries[key] = [f.to_dict() for f in findings]
         self._dirty = True
 
+    def get_raw(self, key: str):
+        """Arbitrary cached JSON value for ``key`` (``None`` on a miss).
+
+        Used by the semantic pass to store per-module summaries in the
+        same cache document; callers namespace their keys (the summary
+        key hashes a distinct prefix) so the two entry kinds never
+        collide.
+        """
+        return self._entries.get(key)
+
+    def put_raw(self, key: str, value) -> None:
+        """Record an arbitrary JSON-serialisable value for ``key``."""
+        self._entries[key] = value
+        self._dirty = True
+
     def save(self) -> None:
         """Write the cache atomically (best-effort; failures are ignored)."""
         if not self._dirty:

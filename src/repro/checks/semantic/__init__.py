@@ -1,0 +1,53 @@
+"""Whole-project semantic analysis (the RPX1xx rule family).
+
+Where :mod:`repro.checks` rules judge one file at a time, this package
+parses the whole project once (:class:`ProjectContext`), summarises each
+module into a compact, cacheable form, links summaries over the call
+graph, and runs three interprocedural rules:
+
+- **RPX101** purity/determinism: code reachable from a cached
+  experiment ``run()`` must not read ambient state.
+- **RPX102** seed-provenance taint: every sampled generator's seed must
+  trace to an explicit seed or a :mod:`repro.rng` stream.
+- **RPX103** unit-dimension inference: quantities carrying physical
+  units (seconds, watts, joules, ...) must not mix dimensions.
+
+Entry point: :func:`run_semantic_lint`.
+"""
+
+from repro.checks.semantic.analysis import (
+    SEMANTIC_RULES,
+    SemanticReport,
+    run_semantic_lint,
+    semantic_rule_index,
+)
+from repro.checks.semantic.baseline import (
+    DEFAULT_BASELINE_FILE,
+    Baseline,
+    BaselineMatch,
+)
+from repro.checks.semantic.callgraph import CallGraph
+from repro.checks.semantic.project import ModuleInfo, ProjectContext
+from repro.checks.semantic.sarif import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    render_sarif,
+    sarif_document,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineMatch",
+    "CallGraph",
+    "DEFAULT_BASELINE_FILE",
+    "ModuleInfo",
+    "ProjectContext",
+    "SARIF_SCHEMA_URI",
+    "SARIF_VERSION",
+    "SEMANTIC_RULES",
+    "SemanticReport",
+    "render_sarif",
+    "run_semantic_lint",
+    "sarif_document",
+    "semantic_rule_index",
+]

@@ -1,0 +1,132 @@
+"""Accepted-findings baseline: pre-existing findings don't block CI.
+
+A semantic rule landing on a mature tree inevitably surfaces findings
+that are *intentional* (the runner timing itself, a CLI entropy
+escape hatch).  Rather than suppressing them inline or weakening the
+rules, accepted findings live in a committed baseline file
+(``.repro-lint-baseline.json`` by default), each with a one-line
+justification.  The gate then stays strict in the only direction that
+matters: a finding in the baseline is reported as accepted and does not
+fail the run; a *new* finding does.
+
+Baseline entries match on ``(rule, path, message)`` — deliberately not
+on line numbers, so reformatting and unrelated edits never resurrect an
+accepted finding.  Entries that no longer match anything are reported
+as stale so the file cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.checks.engine import Finding
+
+__all__ = ["Baseline", "BaselineMatch", "DEFAULT_BASELINE_FILE"]
+
+DEFAULT_BASELINE_FILE = ".repro-lint-baseline.json"
+
+#: Format version of the baseline document.
+_BASELINE_VERSION = "1"
+
+
+def _key(rule: str, path: str, message: str) -> tuple[str, str, str]:
+    return (rule, Path(path).as_posix(), message)
+
+
+@dataclass
+class BaselineMatch:
+    """Outcome of filtering a report through a baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    accepted: list[Finding] = field(default_factory=list)
+    #: entries that matched nothing this run (candidates for deletion).
+    stale: list[dict] = field(default_factory=list)
+
+
+class Baseline:
+    """The committed set of accepted findings."""
+
+    def __init__(self, entries: list[dict] | None = None) -> None:
+        self.entries = entries or []
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.is_file():
+            return cls()
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or not isinstance(
+            data.get("entries"), list
+        ):
+            raise ValueError(f"malformed baseline {path}")
+        return cls([e for e in data["entries"] if isinstance(e, dict)])
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], justification: str = "accepted at baseline creation"
+    ) -> "Baseline":
+        """Build a baseline accepting every given finding."""
+        entries = [
+            {
+                "rule": f.rule_id,
+                "path": f.path,
+                "message": f.message,
+                "justification": justification,
+            }
+            for f in sorted(findings)
+        ]
+        return cls(entries)
+
+    def apply(self, findings: list[Finding]) -> BaselineMatch:
+        """Split findings into new vs accepted; collect stale entries."""
+        index: dict[tuple[str, str, str], dict] = {}
+        for entry in self.entries:
+            try:
+                index[_key(entry["rule"], entry["path"], entry["message"])] = entry
+            except (KeyError, TypeError):
+                continue  # malformed entry: counts as stale below
+        matched: set[tuple[str, str, str]] = set()
+        result = BaselineMatch()
+        for finding in findings:
+            key = _key(finding.rule_id, finding.path, finding.message)
+            if key in index:
+                matched.add(key)
+                result.accepted.append(finding)
+            else:
+                result.new.append(finding)
+        for entry in self.entries:
+            try:
+                key = _key(entry["rule"], entry["path"], entry["message"])
+            except (KeyError, TypeError):
+                result.stale.append(entry)
+                continue
+            if key not in matched:
+                result.stale.append(entry)
+        return result
+
+    def render(self) -> str:
+        """The canonical on-disk form (sorted, indented, newline-terminated)."""
+        entries = sorted(
+            self.entries,
+            key=lambda e: (
+                str(e.get("rule", "")),
+                str(e.get("path", "")),
+                str(e.get("message", "")),
+            ),
+        )
+        return (
+            json.dumps(
+                {"version": _BASELINE_VERSION, "entries": entries}, indent=2
+            )
+            + "\n"
+        )
+
+    def save(self, path: Path | str) -> None:
+        """Write the baseline file."""
+        Path(path).write_text(self.render(), encoding="utf-8")

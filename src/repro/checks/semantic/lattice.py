@@ -1,0 +1,182 @@
+"""Abstract domains for the semantic analysis: units and seed provenance.
+
+Two small lattices shared by the RPX102/RPX103 rules:
+
+* **Unit lattice** — concrete measurement units (``w``, ``kw``, ``s``,
+  ``j``, ...), each belonging to a physical *dimension* (power, time,
+  energy).  ``UNKNOWN`` is top (no information); ``SCALAR`` marks a
+  dimensionless factor (a count, a ratio, a literal ``2``).  The
+  algebra knows the paper's three load-bearing identities —
+  power × time = energy, energy / time = power, energy / power = time —
+  at SI scale, so ``watts * seconds`` infers joules while
+  ``kilowatts * seconds`` (a scale mix) degrades to ``UNKNOWN`` rather
+  than silently claiming a unit.
+
+* **Provenance lattice** — where a random generator's seed came from:
+  ``EXPLICIT`` (a constant, a threaded parameter, or a
+  :mod:`repro.rng` entry point), ``AMBIENT`` (wall clock, OS entropy,
+  environment, the global RNG), or ``UNKNOWN``.  ``AMBIENT`` dominates
+  a join: one ambient contributor taints the whole value.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "AMBIENT",
+    "DIMENSIONS",
+    "EXPLICIT",
+    "SCALAR",
+    "UNIT_SUFFIXES",
+    "UNIT_WORDS",
+    "UNKNOWN",
+    "describe_unit",
+    "dimension_of",
+    "join_provenance",
+    "join_units",
+    "unit_of_name",
+    "units_divide",
+    "units_multiply",
+]
+
+#: Sentinel units.  ``UNKNOWN`` is "no information" (never flagged);
+#: ``SCALAR`` is "definitely dimensionless" (a literal or count).
+UNKNOWN = "?"
+SCALAR = "1"
+
+#: Concrete unit token -> physical dimension.
+DIMENSIONS: dict[str, str] = {
+    "s": "time",
+    "min": "time",
+    "h": "time",
+    "w": "power",
+    "kw": "power",
+    "mw": "power",
+    "j": "energy",
+    "kwh": "energy",
+}
+
+#: Identifier suffixes that declare a unit (the repo-wide convention
+#: RPX002 enforces for quantity parameters).  ``_min`` is deliberately
+#: absent: ``x_min`` almost always means "minimum", not minutes.
+UNIT_SUFFIXES: dict[str, str] = {
+    "_s": "s",
+    "_seconds": "s",
+    "_h": "h",
+    "_hours": "h",
+    "_w": "w",
+    "_watts": "w",
+    "_kw": "kw",
+    "_mw": "mw",
+    "_j": "j",
+    "_joules": "j",
+    "_kwh": "kwh",
+}
+
+#: Whole identifiers that *are* a unit-bearing quantity (``watts``,
+#: ``seconds``, ...) — used for bare names like the repo's ubiquitous
+#: ``watts`` arrays and for parsing ``x_to_y`` converter names.
+UNIT_WORDS: dict[str, str] = {
+    "seconds": "s",
+    "minutes": "min",
+    "hours": "h",
+    "watts": "w",
+    "kilowatts": "kw",
+    "megawatts": "mw",
+    "joules": "j",
+    "kwh": "kwh",
+    "kilowatt_hours": "kwh",
+}
+
+#: power x time -> energy at SI scale (plus the kW·h convenience pair).
+_PRODUCTS: dict[tuple[str, str], str] = {
+    ("w", "s"): "j",
+    ("kw", "h"): "kwh",
+}
+_QUOTIENTS: dict[tuple[str, str], str] = {
+    ("j", "s"): "w",
+    ("j", "w"): "s",
+    ("kwh", "h"): "kw",
+    ("kwh", "kw"): "h",
+}
+
+
+def dimension_of(unit: str) -> str | None:
+    """Physical dimension of a concrete unit (``None`` for sentinels)."""
+    return DIMENSIONS.get(unit)
+
+
+def describe_unit(unit: str) -> str:
+    """Human-readable rendering, e.g. ``'kw (power)'``."""
+    dim = dimension_of(unit)
+    return f"{unit} ({dim})" if dim else unit
+
+
+def unit_of_name(name: str) -> str:
+    """Unit declared by an identifier, or :data:`UNKNOWN`.
+
+    ``core_power_w`` -> ``w``; ``watts`` -> ``w``; ``n_nodes`` ->
+    :data:`UNKNOWN`.
+    """
+    lowered = name.lower()
+    if lowered in UNIT_WORDS:
+        return UNIT_WORDS[lowered]
+    for suffix, unit in UNIT_SUFFIXES.items():
+        if lowered.endswith(suffix) and len(lowered) > len(suffix):
+            return unit
+    return UNKNOWN
+
+
+def join_units(a: str, b: str) -> str:
+    """Least upper bound: agreement keeps the unit, conflict loses it."""
+    if a == b:
+        return a
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    if a == SCALAR:
+        return b
+    if b == SCALAR:
+        return a
+    return UNKNOWN
+
+
+def units_multiply(a: str, b: str) -> str:
+    """Unit of ``a * b`` under the power/time/energy algebra."""
+    if a == SCALAR:
+        return b
+    if b == SCALAR:
+        return a
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    return _PRODUCTS.get((a, b)) or _PRODUCTS.get((b, a)) or UNKNOWN
+
+
+def units_divide(a: str, b: str) -> str:
+    """Unit of ``a / b`` under the power/time/energy algebra."""
+    if b == SCALAR:
+        return a
+    if a == UNKNOWN or b == UNKNOWN:
+        return UNKNOWN
+    if a == b:
+        return SCALAR
+    if a == SCALAR:
+        return UNKNOWN
+    return _QUOTIENTS.get((a, b), UNKNOWN)
+
+
+# --------------------------------------------------------------------------
+# Seed provenance
+
+EXPLICIT = "explicit"
+AMBIENT = "ambient"
+#: Reused as the provenance "no information" value too — the same
+#: semantics (never flagged) apply.
+_PROVENANCE_ORDER = (EXPLICIT, "?", AMBIENT)
+
+
+def join_provenance(*values: str) -> str:
+    """Join provenances: any :data:`AMBIENT` contributor wins."""
+    best = EXPLICIT
+    for value in values:
+        if _PROVENANCE_ORDER.index(value) > _PROVENANCE_ORDER.index(best):
+            best = value
+    return best

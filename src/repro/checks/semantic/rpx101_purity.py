@@ -1,0 +1,139 @@
+"""RPX101 — purity/determinism of cached experiment code.
+
+The :mod:`repro.parallel` result cache replays a stored experiment
+record whenever the experiment's ``(code, params)`` fingerprint is
+unchanged — which is only sound if everything transitively reachable
+from the experiment's ``run()`` is a pure function of those inputs.  A
+wall-clock read, an environment lookup, a file read outside the
+declared parameters, or a draw from the global RNG three calls below
+``run()`` silently breaks that contract: the cache would keep replaying
+a result the code can no longer reproduce.
+
+This rule propagates each function's direct ambient reads (collected in
+the cached per-module summaries) bottom-up over the call-graph SCCs,
+then reports every ambient operation reachable from an experiment entry
+point, with the shortest call path as a witness.  Files listed in
+``nondeterminism-exempt`` (the CLI, the runner) may read ambient state;
+reads *their callees* perform are still traced.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.checks.engine import Finding
+from repro.checks.semantic.callgraph import CallGraph
+from repro.checks.semantic.project import FunctionKey, ProjectContext
+from repro.checks.semantic.summaries import AmbientOp, resolve_node_path
+
+__all__ = ["PurityRule"]
+
+#: (owning function, ambient op) — the unit of reporting.
+_Site = tuple[FunctionKey, AmbientOp]
+
+
+class PurityRule:
+    """Flag ambient-state reads reachable from cached experiment entry points."""
+
+    rule_id = "RPX101"
+    title = "code reachable from a cached run() must be pure in (params, code)"
+
+    def check_project(
+        self, project: ProjectContext, graph: CallGraph
+    ) -> Iterator[Finding]:
+        """Yield one finding per ambient op reachable from any entry point."""
+        transitive = self._propagate(project, graph)
+        reported: set[_Site] = set()
+        for entry in self._entry_points(project):
+            for site in sorted(
+                transitive.get(entry, ()),
+                key=lambda s: (s[0], s[1].locator),
+            ):
+                if site in reported:
+                    continue
+                reported.add(site)
+                finding = self._finding(project, graph, entry, site)
+                if finding is not None:
+                    yield finding
+
+    # -- propagation --------------------------------------------------
+
+    def _entry_points(self, project: ProjectContext) -> list[FunctionKey]:
+        """Top-level ``run`` functions of experiment modules."""
+        entries: list[FunctionKey] = []
+        packages = project.config.experiments_packages
+        for name in sorted(project.modules):
+            info = project.modules[name]
+            # Same containment convention RPX005 uses for its scope.
+            if not any(
+                f"/{pkg.strip('/')}/" in f"/{info.path}" for pkg in packages
+            ):
+                continue
+            basename = info.path.rsplit("/", 1)[-1]
+            if basename in project.config.experiments_exempt:
+                continue
+            if "run" in info.functions:
+                entries.append((info.name, "run"))
+        return entries
+
+    def _own_sites(self, project: ProjectContext, key: FunctionKey) -> set[_Site]:
+        module, qualname = key
+        info = project.modules.get(module)
+        if info is not None and info.matches_any(
+            project.config.nondeterminism_exempt
+        ):
+            return set()
+        fn = project.function_summary(key)
+        if fn is None:
+            return set()
+        return {(key, op) for op in fn.ambient}
+
+    def _propagate(
+        self, project: ProjectContext, graph: CallGraph
+    ) -> dict[FunctionKey, set[_Site]]:
+        """Bottom-up union of ambient sites over call-graph SCCs."""
+        transitive: dict[FunctionKey, set[_Site]] = {}
+        for component in graph.sccs_bottom_up():
+            sites: set[_Site] = set()
+            for member in component:
+                sites |= self._own_sites(project, member)
+                for callee in graph.callees(member):
+                    if callee not in component:
+                        sites |= transitive.get(callee, set())
+            for member in component:
+                transitive[member] = sites
+        return transitive
+
+    # -- reporting ----------------------------------------------------
+
+    def _finding(
+        self,
+        project: ProjectContext,
+        graph: CallGraph,
+        entry: FunctionKey,
+        site: _Site,
+    ) -> Finding | None:
+        owner, op = site
+        info = project.modules.get(owner[0])
+        if info is None:
+            return None
+        node = resolve_node_path(info.tree, op.locator)
+        path = graph.witness_path(entry, owner)
+        if path is None:
+            via = f"{entry[0]}.{entry[1]}"
+        else:
+            via = " -> ".join(f"{mod}.{name}" for mod, name in path)
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(
+            path=info.path,
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            message=(
+                f"{op.qualname} ({op.kind}) is reachable from cached "
+                f"experiment entry point {entry[0]}.run "
+                f"(call path: {via}); the result cache assumes run() is "
+                "a pure function of (code, params)"
+            ),
+        )

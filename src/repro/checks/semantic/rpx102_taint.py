@@ -1,0 +1,72 @@
+"""RPX102 — seed-provenance taint for random generators.
+
+RPX007 can see an unseeded ``default_rng()`` on the line it is written;
+it cannot see a generator born from ambient entropy *three calls away*
+— a helper that seeds from ``time.time_ns()``, a module global built
+from ``os.getpid()``, a factory whose seed argument some caller fills
+with wall clock.  This rule evaluates the taint term recorded for every
+``Generator``/``SeedSequence`` sampling site in the cached summaries:
+the receiver's seed must trace back to an explicit constant, a threaded
+``seed``/``rng`` parameter, or a :mod:`repro.rng` entry point.  A
+positive trace to ambient state (and only a positive trace — unknown
+dataflow never fires) is reported at the sampling call.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.checks.engine import Finding
+from repro.checks.semantic.callgraph import CallGraph
+from repro.checks.semantic.lattice import AMBIENT
+from repro.checks.semantic.project import ProjectContext
+from repro.checks.semantic.summaries import resolve_node_path
+from repro.checks.semantic.taint import evaluate_term
+
+__all__ = ["SeedTaintRule"]
+
+
+class SeedTaintRule:
+    """Flag sampling from generators whose seed traces to ambient state."""
+
+    rule_id = "RPX102"
+    title = "every sampled generator's seed traces to an explicit seed"
+
+    def check_project(
+        self, project: ProjectContext, graph: CallGraph
+    ) -> Iterator[Finding]:
+        """Yield a finding per ambient-seeded sampling site."""
+        for module_name in sorted(project.summaries):
+            info = project.modules.get(module_name)
+            if info is None:
+                continue
+            if info.matches_any(project.config.nondeterminism_exempt):
+                continue  # the CLI boundary may request true entropy
+            if project.is_rng_module(module_name):
+                continue  # the seed-threading machinery itself
+            summary = project.summaries[module_name]
+            for qualname in sorted(summary.functions):
+                fn = summary.functions[qualname]
+                for site in fn.samples:
+                    value = evaluate_term(
+                        project, module_name, site["recv"]
+                    )
+                    if not (
+                        value.is_generator and value.provenance == AMBIENT
+                    ):
+                        continue
+                    node = resolve_node_path(info.tree, site["locator"])
+                    source = value.why or "ambient state"
+                    yield Finding(
+                        path=info.path,
+                        line=getattr(node, "lineno", 1) if node else 1,
+                        col=getattr(node, "col_offset", 0) if node else 0,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"Generator.{site['method']}() in "
+                            f"{module_name}.{qualname} draws from a "
+                            f"generator whose seed traces to {source}; "
+                            "thread an explicit seed parameter or a "
+                            "repro.rng stream instead"
+                        ),
+                    )

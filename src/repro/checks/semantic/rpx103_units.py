@@ -1,0 +1,364 @@
+"""RPX103 — unit-dimension inference across modules.
+
+RPX002 polices the *lexical* conventions (magic conversion constants,
+unit-less parameter names).  This rule checks that the conventions are
+actually *consistent*: it seeds unit facts from the ``_s``/``_w``/
+``_kw`` suffixes and the :mod:`repro.units` converter signatures, then
+propagates them through assignments and arithmetic under a small
+algebra (power x time = energy, energy / time = power, unit / unit =
+scalar) and across function boundaries via the summaries' parameter and
+return units.  Flagged — only when *both* sides carry a concrete unit,
+so unknown dataflow never fires:
+
+* ``+``/``-``/comparison between different units (``power_w +
+  energy_j``, and the subtler scale mix ``power_w + power_kw``);
+* an argument whose unit contradicts the callee parameter's declared
+  unit, across module boundaries (``fleet_w(total_kw)``);
+* an assignment whose target name declares a different unit than the
+  value (``power_kw = total_w``);
+* a return value contradicting the function name's declared unit.
+
+The configured ``units-modules`` are exempt — converting between units
+is their whole job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.engine import Finding
+from repro.checks.semantic.callgraph import CallGraph
+from repro.checks.semantic.lattice import (
+    SCALAR,
+    UNKNOWN,
+    UNIT_WORDS,
+    describe_unit,
+    dimension_of,
+    join_units,
+    unit_of_name,
+    units_divide,
+    units_multiply,
+)
+from repro.checks.semantic.project import ModuleInfo, ProjectContext
+
+__all__ = ["UnitDimensionRule"]
+
+#: NumPy/builtin callables that return their first argument's unit.
+_PASSTHROUGH_QUALNAMES = frozenset(
+    {
+        "numpy.asarray", "numpy.array", "numpy.abs", "numpy.ravel",
+        "numpy.sort", "numpy.mean", "numpy.nanmean", "numpy.sum",
+        "numpy.nansum", "numpy.median", "numpy.min", "numpy.max",
+        "numpy.amin", "numpy.amax", "numpy.percentile", "numpy.quantile",
+        "numpy.cumsum", "numpy.clip", "numpy.copy", "numpy.squeeze",
+    }
+)
+_PASSTHROUGH_BUILTINS = frozenset(
+    {"float", "abs", "min", "max", "sum", "sorted", "round"}
+)
+
+
+def _unit_from_callable_name(name: str) -> str:
+    """Unit promised by a callable's *name* (converter or suffix)."""
+    parts = name.split("_to_")
+    if len(parts) == 2 and parts[0] in UNIT_WORDS and parts[1] in UNIT_WORDS:
+        return UNIT_WORDS[parts[1]]
+    return unit_of_name(name)
+
+
+class UnitDimensionRule:
+    """Flag mixed-unit arithmetic and cross-module unit mismatches."""
+
+    rule_id = "RPX103"
+    title = "quantities keep their declared unit through dataflow and calls"
+
+    def check_project(
+        self, project: ProjectContext, graph: CallGraph
+    ) -> Iterator[Finding]:
+        """Yield findings for every unit inconsistency in the project."""
+        for module_name in sorted(project.modules):
+            info = project.modules[module_name]
+            if info.matches_any(project.config.units_modules):
+                continue  # converting between units is its whole job
+            walker = _UnitWalker(self.rule_id, project, info)
+            yield from walker.run()
+
+
+class _UnitWalker:
+    """Intraprocedural unit inference for one module's functions."""
+
+    def __init__(
+        self, rule_id: str, project: ProjectContext, info: ModuleInfo
+    ) -> None:
+        self.rule_id = rule_id
+        self.project = project
+        self.info = info
+        self.findings: list[Finding] = []
+
+    def run(self) -> Iterator[Finding]:
+        summary = self.project.summaries.get(self.info.name)
+        for qualname in sorted(self.info.functions):
+            node = self.info.functions[qualname]
+            fn = summary.functions.get(qualname) if summary else None
+            env: dict[str, str] = dict(fn.param_units) if fn else {}
+            declared_return = fn.return_unit if fn else UNKNOWN
+            self._walk_block(node.body, env, declared_return)
+        yield from sorted(self.findings)
+
+    def _emit(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.info.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule_id=self.rule_id,
+                message=message,
+            )
+        )
+
+    @staticmethod
+    def _conflict(a: str, b: str) -> bool:
+        """Both units concrete and different (scale or dimension)."""
+        return (
+            dimension_of(a) is not None
+            and dimension_of(b) is not None
+            and a != b
+        )
+
+    # -- statements ---------------------------------------------------
+
+    def _walk_block(self, body, env, declared_return) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt, env, declared_return)
+
+    def _walk_stmt(self, stmt, env, declared_return) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(stmt, ast.Assign):
+            unit = self._unit_of(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, unit, env)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            unit = self._unit_of(stmt.value, env)
+            self._bind(stmt.target, unit, env)
+        elif isinstance(stmt, ast.AugAssign):
+            value_unit = self._unit_of(stmt.value, env)
+            if isinstance(stmt.target, ast.Name) and isinstance(
+                stmt.op, (ast.Add, ast.Sub)
+            ):
+                target_unit = env.get(
+                    stmt.target.id, unit_of_name(stmt.target.id)
+                )
+                if self._conflict(target_unit, value_unit):
+                    self._emit(
+                        stmt,
+                        f"augmented assignment mixes "
+                        f"{describe_unit(target_unit)} and "
+                        f"{describe_unit(value_unit)}; convert via "
+                        "repro.units first",
+                    )
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                unit = self._unit_of(stmt.value, env)
+                if self._conflict(declared_return, unit):
+                    self._emit(
+                        stmt,
+                        f"returns {describe_unit(unit)} but the function "
+                        f"name declares {describe_unit(declared_return)}",
+                    )
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._unit_of(stmt.test, env)
+            self._walk_block(stmt.body, env, declared_return)
+            self._walk_block(stmt.orelse, env, declared_return)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_unit = self._unit_of(stmt.iter, env)
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = iter_unit
+            self._walk_block(stmt.body, env, declared_return)
+            self._walk_block(stmt.orelse, env, declared_return)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._unit_of(item.context_expr, env)
+            self._walk_block(stmt.body, env, declared_return)
+        elif isinstance(stmt, ast.Try):
+            self._walk_block(stmt.body, env, declared_return)
+            for handler in stmt.handlers:
+                self._walk_block(handler.body, env, declared_return)
+            self._walk_block(stmt.orelse, env, declared_return)
+            self._walk_block(stmt.finalbody, env, declared_return)
+        elif isinstance(stmt, ast.Expr):
+            self._unit_of(stmt.value, env)
+        elif isinstance(stmt, (ast.Assert,)):
+            self._unit_of(stmt.test, env)
+
+    def _bind(self, target: ast.AST, value_unit: str, env) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        declared = unit_of_name(target.id)
+        if self._conflict(declared, value_unit):
+            self._emit(
+                target,
+                f"assignment binds a {describe_unit(value_unit)} value "
+                f"to {target.id!r}, which declares "
+                f"{describe_unit(declared)}",
+            )
+        if dimension_of(declared) is not None:
+            env[target.id] = declared  # the name's declaration wins
+        else:
+            env[target.id] = value_unit
+
+    # -- expressions --------------------------------------------------
+
+    def _unit_of(self, node: ast.AST, env, depth: int = 0) -> str:
+        if depth > 16:
+            return UNKNOWN
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (int, float)) and not isinstance(
+                node.value, bool
+            ):
+                return SCALAR
+            return UNKNOWN
+        if isinstance(node, ast.Name):
+            return env.get(node.id, unit_of_name(node.id))
+        if isinstance(node, ast.Attribute):
+            # Visit the base (it may contain calls worth checking) but
+            # infer from the attribute's own name: `batch.times_s`.
+            self._unit_of(node.value, env, depth + 1)
+            return unit_of_name(node.attr)
+        if isinstance(node, ast.BinOp):
+            return self._binop_unit(node, env, depth)
+        if isinstance(node, ast.UnaryOp):
+            return self._unit_of(node.operand, env, depth + 1)
+        if isinstance(node, ast.Compare):
+            self._compare(node, env, depth)
+            return SCALAR
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self._unit_of(value, env, depth + 1)
+            return UNKNOWN
+        if isinstance(node, ast.IfExp):
+            self._unit_of(node.test, env, depth + 1)
+            return join_units(
+                self._unit_of(node.body, env, depth + 1),
+                self._unit_of(node.orelse, env, depth + 1),
+            )
+        if isinstance(node, ast.Call):
+            return self._call_unit(node, env, depth)
+        if isinstance(node, ast.Subscript):
+            self._unit_of(node.slice, env, depth + 1)
+            return self._unit_of(node.value, env, depth + 1)
+        if isinstance(node, ast.Starred):
+            return self._unit_of(node.value, env, depth + 1)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for element in node.elts:
+                self._unit_of(element, env, depth + 1)
+            return UNKNOWN
+        if isinstance(node, ast.Dict):
+            for value in node.values:
+                if value is not None:
+                    self._unit_of(value, env, depth + 1)
+            return UNKNOWN
+        return UNKNOWN
+
+    def _binop_unit(self, node: ast.BinOp, env, depth: int) -> str:
+        left = self._unit_of(node.left, env, depth + 1)
+        right = self._unit_of(node.right, env, depth + 1)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if self._conflict(left, right):
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+                self._emit(
+                    node,
+                    f"mixing {describe_unit(left)} and "
+                    f"{describe_unit(right)} in {op!r}; convert via "
+                    "repro.units first",
+                )
+                return UNKNOWN
+            return join_units(left, right)
+        if isinstance(node.op, ast.Mult):
+            return units_multiply(left, right)
+        if isinstance(node.op, ast.Div):
+            return units_divide(left, right)
+        return UNKNOWN
+
+    def _compare(self, node: ast.Compare, env, depth: int) -> None:
+        units = [self._unit_of(node.left, env, depth + 1)]
+        units += [self._unit_of(c, env, depth + 1) for c in node.comparators]
+        for index in range(len(units) - 1):
+            if self._conflict(units[index], units[index + 1]):
+                self._emit(
+                    node,
+                    f"comparison between {describe_unit(units[index])} "
+                    f"and {describe_unit(units[index + 1])}; convert via "
+                    "repro.units first",
+                )
+
+    def _call_unit(self, node: ast.Call, env, depth: int) -> str:
+        func = node.func
+        qualname = self.info.imports.qualify(func)
+        arg_units = [self._unit_of(arg, env, depth + 1) for arg in node.args]
+        kwarg_units = {
+            kw.arg: self._unit_of(kw.value, env, depth + 1)
+            for kw in node.keywords
+            if kw.arg is not None
+        }
+        if isinstance(func, ast.Name) and func.id in _PASSTHROUGH_BUILTINS:
+            return arg_units[0] if arg_units else UNKNOWN
+        if qualname in _PASSTHROUGH_QUALNAMES:
+            return arg_units[0] if arg_units else UNKNOWN
+        callee = self._resolve_callee(func, qualname)
+        if callee is not None:
+            self._check_call_args(node, callee, arg_units, kwarg_units)
+            fn = self.project.function_summary(callee)
+            if fn is not None and dimension_of(fn.return_unit) is not None:
+                return fn.return_unit
+            return UNKNOWN
+        # Unresolved: trust the callable's own name (converters and
+        # suffixed helpers outside the scan still carry their contract).
+        name = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else ""
+        )
+        return _unit_from_callable_name(name) if name else UNKNOWN
+
+    def _resolve_callee(self, func, qualname):
+        if qualname is not None:
+            ref = {"kind": "fq", "ref": qualname}
+        elif isinstance(func, ast.Name):
+            ref = {"kind": "local", "name": func.id}
+        else:
+            return None
+        return self.project.resolve_call_ref(self.info.name, ref)
+
+    def _check_call_args(
+        self, node: ast.Call, callee, arg_units, kwarg_units
+    ) -> None:
+        fn = self.project.function_summary(callee)
+        if fn is None:
+            return
+        params = list(fn.params)
+        if params and params[0] in ("self", "cls"):
+            params = params[1:]
+        if any(isinstance(arg, ast.Starred) for arg in node.args):
+            return  # positional mapping unknowable
+        callee_name = f"{callee[0]}.{callee[1]}"
+        for index, unit in enumerate(arg_units):
+            if index >= len(params):
+                break
+            declared = fn.param_units.get(params[index], UNKNOWN)
+            if self._conflict(declared, unit):
+                self._emit(
+                    node.args[index],
+                    f"argument {params[index]!r} of {callee_name} "
+                    f"expects {describe_unit(declared)}, got "
+                    f"{describe_unit(unit)}",
+                )
+        for name, unit in kwarg_units.items():
+            declared = fn.param_units.get(name, UNKNOWN)
+            if self._conflict(declared, unit):
+                self._emit(
+                    node,
+                    f"argument {name!r} of {callee_name} expects "
+                    f"{describe_unit(declared)}, got {describe_unit(unit)}",
+                )

@@ -1,0 +1,121 @@
+"""SARIF 2.1.0 rendering of lint reports.
+
+SARIF (Static Analysis Results Interchange Format) is what CI services
+ingest for code-scanning annotations.  One ``run`` per report: the tool
+descriptor lists every rule that was active (id, short description,
+help URI into ``docs/linting.md``), and each finding becomes a
+``result`` with a physical location.  Findings accepted by the baseline
+are still emitted — SARIF's ``baselineState`` distinguishes
+``"unchanged"`` (accepted) from ``"new"``, so the artifact carries the
+full picture while CI fails only on new results.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.checks.engine import Finding
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "render_sarif", "sarif_document"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_DOCS_URI = "https://github.com/repro/repro/blob/main/docs/linting.md"
+
+
+def _rule_descriptor(rule_id: str, title: str) -> dict:
+    return {
+        "id": rule_id,
+        "name": rule_id,
+        "shortDescription": {"text": title},
+        "helpUri": _DOCS_URI,
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(finding: Finding, baseline_state: str | None) -> dict:
+    result = {
+        "ruleId": finding.rule_id,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        # SARIF columns are 1-based; AST cols are 0-based.
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if baseline_state is not None:
+        result["baselineState"] = baseline_state
+    return result
+
+
+def sarif_document(
+    findings: list[Finding],
+    rules: list[tuple[str, str]],
+    accepted: list[Finding] | None = None,
+) -> dict:
+    """Build the SARIF log object.
+
+    Parameters
+    ----------
+    findings:
+        New (gate-failing) findings.
+    rules:
+        ``(rule_id, title)`` for every rule that ran, whether or not it
+        fired — SARIF viewers use this as the rule catalogue.
+    accepted:
+        Baseline-accepted findings, emitted with ``baselineState:
+        "unchanged"`` so the artifact stays complete.
+    """
+    baseline_in_use = accepted is not None
+    accepted = accepted or []
+    results = [
+        _result(f, "new" if baseline_in_use else None) for f in findings
+    ]
+    results += [_result(f, "unchanged") for f in accepted]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": _DOCS_URI,
+                        "rules": [
+                            _rule_descriptor(rule_id, title)
+                            for rule_id, title in sorted(rules)
+                        ],
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: list[Finding],
+    rules: list[tuple[str, str]],
+    accepted: list[Finding] | None = None,
+) -> str:
+    """Serialise :func:`sarif_document` to a JSON string."""
+    return json.dumps(
+        sarif_document(findings, rules, accepted), indent=2, sort_keys=False
+    )

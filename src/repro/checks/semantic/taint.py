@@ -1,0 +1,172 @@
+"""Cross-module evaluation of seed-provenance taint terms.
+
+Summaries abstract every dataflow as a small term language (see
+:mod:`repro.checks.semantic.summaries`).  This module evaluates a term
+to a :class:`Value` — *is it a random generator, and where did its seed
+come from?* — substituting caller argument values into callee return
+terms at call boundaries, following module-global bindings across
+files, and treating any factory inside a configured ``rng-modules``
+file as explicit-seeded by construction (they map a missing seed to the
+fixed paper seed).
+
+Evaluation is deliberately optimistic about what it cannot see:
+unresolved calls and parameters evaluate to non-taint, so RPX102 only
+fires on a *positive* trace from a sampling call back to ambient
+entropy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.checks.semantic.lattice import AMBIENT, EXPLICIT, join_provenance
+from repro.checks.semantic.project import FunctionKey, ProjectContext
+
+__all__ = ["Value", "evaluate_term"]
+
+_MAX_DEPTH = 24
+
+
+@dataclass(frozen=True)
+class Value:
+    """Abstract value: generator-ness + seed provenance + a witness."""
+
+    is_generator: bool = False
+    provenance: str = EXPLICIT
+    why: str | None = None  # which ambient source, for the message
+
+    def join(self, other: "Value") -> "Value":
+        """Least upper bound: ambient wins, generator-ness is sticky."""
+        provenance = join_provenance(self.provenance, other.provenance)
+        why = self.why if self.provenance == AMBIENT else other.why
+        return Value(
+            is_generator=self.is_generator or other.is_generator,
+            provenance=provenance,
+            why=why,
+        )
+
+
+_EXPLICIT = Value()
+_UNKNOWN = Value(provenance="?")
+
+
+def evaluate_term(
+    project: ProjectContext,
+    module: str,
+    term: dict | None,
+    argenv: dict[str, Value] | None = None,
+    _stack: frozenset[FunctionKey] = frozenset(),
+    _depth: int = 0,
+) -> Value:
+    """Evaluate a taint term in the context of ``module``."""
+    if term is None or _depth > _MAX_DEPTH:
+        return _UNKNOWN
+    kind = term.get("k")
+    if kind == "const":
+        return _EXPLICIT
+    if kind == "param":
+        if argenv is not None and term["name"] in argenv:
+            return argenv[term["name"]]
+        # An unbound parameter is the repo's contract working: the
+        # value was threaded in explicitly by some caller.
+        return _EXPLICIT
+    if kind == "ambient":
+        return Value(provenance=AMBIENT, why=term.get("why"))
+    if kind == "unknown":
+        return _UNKNOWN
+    if kind == "gen":
+        seed = evaluate_term(
+            project, module, term.get("seed"), argenv, _stack, _depth + 1
+        )
+        return Value(
+            is_generator=True, provenance=seed.provenance, why=seed.why
+        )
+    if kind == "join":
+        value = _EXPLICIT
+        for part in term.get("terms", ()):
+            value = value.join(
+                evaluate_term(project, module, part, argenv, _stack, _depth + 1)
+            )
+        return value
+    if kind == "global":
+        return _evaluate_global(
+            project, term.get("ref", ""), _stack, _depth
+        )
+    if kind == "call":
+        return _evaluate_call(project, module, term, argenv, _stack, _depth)
+    return _UNKNOWN
+
+
+def _evaluate_global(
+    project: ProjectContext,
+    ref: str,
+    stack: frozenset[FunctionKey],
+    depth: int,
+) -> Value:
+    resolved = project.resolve_fq(ref)
+    if resolved is None:
+        return _UNKNOWN
+    kind, target_module, name = resolved
+    if kind == "global":
+        summary = project.summaries.get(target_module)
+        if summary is None:
+            return _UNKNOWN
+        term = summary.globals_taint.get(name)
+        return evaluate_term(
+            project, target_module, term, None, stack, depth + 1
+        )
+    if kind == "func" and project.is_rng_module(target_module):
+        # Referencing (not calling) an rng-module factory: harmless.
+        return _EXPLICIT
+    return _UNKNOWN
+
+
+def _evaluate_call(
+    project: ProjectContext,
+    module: str,
+    term: dict,
+    argenv: dict[str, Value] | None,
+    stack: frozenset[FunctionKey],
+    depth: int,
+) -> Value:
+    ref = term.get("ref") or {}
+    callee = project.resolve_call_ref(module, ref)
+    arg_values = [
+        evaluate_term(project, module, arg, argenv, stack, depth + 1)
+        for arg in term.get("args", ())
+    ]
+    kwarg_values = {
+        name: evaluate_term(project, module, sub, argenv, stack, depth + 1)
+        for name, sub in (term.get("kwargs") or {}).items()
+    }
+    if callee is None:
+        # Not a project function.  An rng-modules factory referenced
+        # from outside the scan (e.g. fixtures importing repro.rng)
+        # still counts as explicit-seeded.
+        fq = ref.get("ref", "") if ref.get("kind") == "fq" else ""
+        if fq:
+            owner = fq.rsplit(".", 1)[0]
+            if project.is_rng_module(owner):
+                return Value(is_generator=True, provenance=EXPLICIT)
+        return _UNKNOWN
+    if project.is_rng_module(callee[0]):
+        return Value(is_generator=True, provenance=EXPLICIT)
+    if callee in stack:
+        return _UNKNOWN  # recursion: give up rather than loop
+    fn = project.function_summary(callee)
+    if fn is None or fn.returns is None:
+        return _UNKNOWN
+    callee_env: dict[str, Value] = {}
+    for index, name in enumerate(fn.params):
+        if index < len(arg_values):
+            callee_env[name] = arg_values[index]
+        elif name in kwarg_values:
+            callee_env[name] = kwarg_values[name]
+    return evaluate_term(
+        project,
+        callee[0],
+        fn.returns,
+        callee_env,
+        stack | {callee},
+        depth + 1,
+    )

@@ -174,22 +174,54 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _known_lint_rule_ids() -> frozenset[str]:
+    """Every rule id ``--select``/``--ignore`` may legally name."""
+    from repro.checks import PARSE_ERROR_ID, rule_index
+    from repro.checks.semantic import semantic_rule_index
+
+    return frozenset({PARSE_ERROR_ID, *rule_index(), *semantic_rule_index()})
+
+
+def _lint_rule_catalogue(config, semantic: bool) -> list[tuple[str, str]]:
+    """``(rule_id, title)`` for every rule active in this run."""
+    from repro.checks import rule_index
+    from repro.checks.semantic import SEMANTIC_RULES
+
+    catalogue = [
+        (rule_id, rule.title)
+        for rule_id, rule in rule_index().items()
+        if config.rule_enabled(rule_id)
+    ]
+    if semantic:
+        catalogue += [
+            (rule.rule_id, rule.title)
+            for rule in SEMANTIC_RULES
+            if config.rule_enabled(rule.rule_id)
+        ]
+    return catalogue
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.checks import LintCache, LintConfig, load_config, run_lint
+    from repro.checks import LintCache, LintConfig, LintReport, load_config, run_lint
 
     paths = args.paths or (["src"] if Path("src").is_dir() else ["."])
     config = load_config(paths[0])
     overrides = {}
-    if args.select:
-        overrides["select"] = tuple(
-            s.strip() for s in args.select.split(",") if s.strip()
-        )
-    if args.ignore:
-        overrides["ignore"] = tuple(
-            s.strip() for s in args.ignore.split(",") if s.strip()
-        )
+    known_ids = _known_lint_rule_ids()
+    for option in ("select", "ignore"):
+        raw = getattr(args, option)
+        if raw is None:
+            continue
+        ids = tuple(s.strip() for s in raw.split(",") if s.strip())
+        unknown = sorted(set(ids) - known_ids)
+        if unknown:
+            raise SystemExit(
+                f"error: unknown rule id(s) for --{option}: "
+                f"{', '.join(unknown)} (known: {', '.join(sorted(known_ids))})"
+            )
+        overrides[option] = ids
     if overrides:
         config = LintConfig(
             **{
@@ -197,15 +229,66 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 **overrides,
             }
         )
+    if args.write_baseline and not args.semantic:
+        raise SystemExit("error: --write-baseline requires --semantic")
     cache = None
     if not args.no_cache:
         cache = LintCache(Path(args.cache_file))
     report = run_lint(paths, config=config, jobs=args.jobs, cache=cache)
+    findings = list(report.findings)
+    summary_hits = 0
+    if args.semantic:
+        from repro.checks.semantic import run_semantic_lint
+
+        sem = run_semantic_lint(paths, config=config, cache=cache, jobs=args.jobs)
+        findings = sorted(findings + sem.findings)
+        summary_hits = sem.summary_cache_hits
+    accepted = None
+    if args.semantic and args.write_baseline:
+        from repro.checks.semantic import Baseline
+
+        Baseline.from_findings(
+            findings, "accepted when the baseline was (re)generated"
+        ).save(args.baseline)
+        print(f"wrote {len(findings)} accepted finding(s) to {args.baseline}")
+        return 0
+    if args.semantic and not args.no_baseline:
+        from repro.checks.semantic import Baseline
+
+        try:
+            baseline = Baseline.load(args.baseline)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+        match = baseline.apply(findings)
+        findings, accepted = match.new, match.accepted
+        for entry in match.stale:
+            print(
+                "warning: stale baseline entry: "
+                f"{entry.get('rule')} {entry.get('path')}: "
+                f"{entry.get('message')}",
+                file=sys.stderr,
+            )
+    if args.sarif:
+        from repro.checks.semantic import render_sarif
+
+        catalogue = _lint_rule_catalogue(config, args.semantic)
+        Path(args.sarif).write_text(
+            render_sarif(findings, catalogue, accepted) + "\n", encoding="utf-8"
+        )
+    out = LintReport(
+        findings=findings,
+        files_scanned=report.files_scanned,
+        cache_hits=report.cache_hits,
+    )
     if args.format == "json":
-        print(report.render_json())
+        print(out.render_json())
     else:
-        print(report.render_text())
-    return 0 if report.ok else 1
+        print(out.render_text())
+        if accepted:
+            print(f"{len(accepted)} baseline-accepted finding(s) not shown")
+        if summary_hits:
+            print(f"(semantic summaries: {summary_hits} cached)")
+    return 0 if not findings else 1
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
@@ -560,22 +643,39 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="run the reproducibility/units/RNG static analysis "
-             "(rules RPX001-RPX008)",
+             "(per-file rules RPX001-RPX008; --semantic adds the "
+             "whole-project rules RPX101-RPX103)",
     )
     lint.add_argument("paths", nargs="*",
                       help="files or directories (default: src if present, "
                            "else .)")
     lint.add_argument("--format", choices=("text", "json"), default="text")
     lint.add_argument("--select", default=None,
-                      help="comma-separated rule ids to run (default: all)")
+                      help="comma-separated rule ids to run (default: all); "
+                           "unknown ids are an error")
     lint.add_argument("--ignore", default=None,
-                      help="comma-separated rule ids to skip")
+                      help="comma-separated rule ids to skip; unknown ids "
+                           "are an error")
     lint.add_argument("--jobs", type=int, default=None,
                       help="worker threads for the parallel scan")
     lint.add_argument("--no-cache", action="store_true",
-                      help="disable the per-file findings cache")
+                      help="disable the findings/summary cache")
     lint.add_argument("--cache-file", default=".repro_lint_cache.json",
                       help="cache location (default: %(default)s)")
+    lint.add_argument("--semantic", action="store_true",
+                      help="also run the cross-module semantic rules "
+                           "(purity, seed provenance, unit dimensions)")
+    lint.add_argument("--sarif", default=None, metavar="PATH",
+                      help="write a SARIF 2.1.0 report to PATH")
+    lint.add_argument("--baseline", default=".repro-lint-baseline.json",
+                      metavar="PATH",
+                      help="accepted-findings baseline consulted by "
+                           "--semantic (default: %(default)s)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore the baseline and report every finding")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="accept all current findings into the baseline "
+                           "file and exit")
     lint.set_defaults(func=_cmd_lint)
     return parser
 

@@ -1,0 +1,11 @@
+"""Impure helper: reads the wall clock two calls away from run()."""
+
+import time
+
+
+def stamp():
+    return time.time()  # expect: RPX101
+
+
+def label(prefix):
+    return f"{prefix}@{stamp()}"

@@ -1,0 +1,7 @@
+"""A cached experiment whose run() is secretly impure via pkg.clock."""
+
+from pkg.clock import label
+
+
+def run(params, seed=0):
+    return {"tag": label("trial"), "seed": seed}

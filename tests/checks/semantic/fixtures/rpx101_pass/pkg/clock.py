@@ -1,0 +1,12 @@
+"""Mixed helper module: one impure function, never reached from run()."""
+
+import time
+
+
+def now():
+    # impure, but nothing on run()'s call path uses it
+    return time.time()
+
+
+def double(x):
+    return 2 * x

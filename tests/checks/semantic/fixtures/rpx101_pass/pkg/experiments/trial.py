@@ -1,0 +1,7 @@
+"""A cached experiment that only touches pure helpers."""
+
+from pkg.clock import double
+
+
+def run(params, seed=0):
+    return {"value": double(params.get("x", 1)), "seed": seed}

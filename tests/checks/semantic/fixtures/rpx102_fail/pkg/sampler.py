@@ -1,0 +1,8 @@
+"""Sampling site one module away from the ambient seed."""
+
+from pkg.seeds import fresh_generator
+
+
+def draw(n):
+    gen = fresh_generator()
+    return gen.normal(size=n)  # expect: RPX102

@@ -1,0 +1,9 @@
+"""Generator factory seeded from the wall clock (the taint source)."""
+
+import time
+
+import numpy as np
+
+
+def fresh_generator():
+    return np.random.default_rng(time.time_ns())

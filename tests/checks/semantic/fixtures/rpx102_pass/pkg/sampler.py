@@ -1,0 +1,11 @@
+"""Sampling from explicitly seeded generators, local and cross-module."""
+
+import numpy as np
+
+from pkg.goodrng import stream
+
+
+def draw(n, seed=0):
+    gen = np.random.default_rng(seed)
+    other = stream(123)
+    return gen.normal(size=n) + other.random(n)

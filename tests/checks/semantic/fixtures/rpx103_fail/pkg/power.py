@@ -1,0 +1,5 @@
+"""Unit-annotated helper whose signature other modules must honour."""
+
+
+def average_power_w(energy_j, runtime_s):
+    return energy_j / runtime_s

@@ -1,0 +1,9 @@
+"""Mixed-dimension arithmetic and a cross-module argument mismatch."""
+
+from pkg.power import average_power_w
+
+
+def summarise(power_w, runtime_s):
+    broken = power_w + runtime_s  # expect: RPX103
+    avg = average_power_w(power_w, runtime_s)  # expect: RPX103
+    return broken, avg

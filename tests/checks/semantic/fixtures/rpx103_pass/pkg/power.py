@@ -1,0 +1,5 @@
+"""Unit-annotated helper used correctly by pkg.report."""
+
+
+def average_power_w(energy_j, runtime_s):
+    return energy_j / runtime_s

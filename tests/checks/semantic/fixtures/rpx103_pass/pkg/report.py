@@ -1,0 +1,9 @@
+"""Dimension-consistent arithmetic across two modules."""
+
+from pkg.power import average_power_w
+
+
+def summarise(energy_j, runtime_s):
+    avg_w = average_power_w(energy_j, runtime_s)
+    total_j = avg_w * runtime_s
+    return avg_w, total_j

@@ -1,0 +1,76 @@
+"""Baseline semantics: accepted findings gate out, new ones fail,
+stale entries surface, and line numbers never matter."""
+
+import json
+
+import pytest
+
+from repro.checks.engine import Finding
+from repro.checks.semantic import Baseline
+
+
+def _finding(rule="RPX101", path="src/repro/x.py", line=3, msg="boom"):
+    return Finding(path=path, line=line, col=0, rule_id=rule, message=msg)
+
+
+def test_missing_file_is_empty_baseline(tmp_path):
+    baseline = Baseline.load(tmp_path / "absent.json")
+    match = baseline.apply([_finding()])
+    assert len(match.new) == 1
+    assert match.accepted == [] and match.stale == []
+
+
+def test_malformed_file_is_an_error(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(ValueError, match="malformed"):
+        Baseline.load(path)
+
+
+def test_round_trip_accepts_exactly_the_recorded_findings(tmp_path):
+    known = _finding(msg="known issue")
+    fresh = _finding(msg="fresh issue")
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings([known], "intentional: test").save(path)
+    match = Baseline.load(path).apply([known, fresh])
+    assert match.accepted == [known]
+    assert match.new == [fresh]
+    assert match.stale == []
+
+
+def test_match_ignores_line_numbers(tmp_path):
+    recorded = _finding(line=3)
+    moved = _finding(line=97)  # same rule/path/message, file was edited
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings([recorded]).save(path)
+    match = Baseline.load(path).apply([moved])
+    assert match.accepted == [moved] and match.new == []
+
+
+def test_stale_entries_are_reported(tmp_path):
+    gone = _finding(msg="fixed long ago")
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings([gone], "was intentional").save(path)
+    match = Baseline.load(path).apply([])
+    assert [e["message"] for e in match.stale] == ["fixed long ago"]
+
+
+def test_on_disk_form_is_stable_and_justified(tmp_path):
+    findings = [_finding(msg="b"), _finding(msg="a")]
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings, "why it stays").save(path)
+    data = json.loads(path.read_text())
+    assert data["version"] == "1"
+    messages = [e["message"] for e in data["entries"]]
+    assert messages == sorted(messages), "entries must be sorted"
+    assert all(e["justification"] == "why it stays" for e in data["entries"])
+    # canonical form: rewriting an unchanged baseline is a no-op diff
+    again = Baseline.load(path)
+    assert again.render() == path.read_text()
+
+
+def test_different_rule_same_location_is_not_accepted(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings([_finding(rule="RPX101")]).save(path)
+    match = Baseline.load(path).apply([_finding(rule="RPX102")])
+    assert match.new and not match.accepted

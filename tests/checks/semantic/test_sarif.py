@@ -1,0 +1,255 @@
+"""SARIF 2.1.0 output validation.
+
+The container has no network, so the test validates against a vendored
+subset of the official ``sarif-schema-2.1.0.json`` constraints — the
+required-property structure, enums, and types that CI ingestion
+actually trips over — using ``jsonschema``.  A looser eyeball test
+would let a malformed log rot until the first CI upload failed.
+"""
+
+import json
+
+import jsonschema
+import pytest
+
+from repro.checks.engine import Finding
+from repro.checks.semantic import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    render_sarif,
+    sarif_document,
+)
+
+#: Subset of the official SARIF 2.1.0 schema: every property our
+#: documents emit, with the spec's required fields, types, and enums.
+#: ``additionalProperties: false`` keeps us honest — emitting a
+#: property this subset doesn't know about fails the test, forcing the
+#: subset to grow with the emitter.
+SARIF_21_SUBSET = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "additionalProperties": False,
+    "properties": {
+        "$schema": {"type": "string", "format": "uri"},
+        "version": {"enum": ["2.1.0"]},
+        "runs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "additionalProperties": False,
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "additionalProperties": False,
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "informationUri": {
+                                        "type": "string",
+                                        "format": "uri",
+                                    },
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "additionalProperties": False,
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "name": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                    "properties": {
+                                                        "text": {
+                                                            "type": "string"
+                                                        }
+                                                    },
+                                                },
+                                                "helpUri": {
+                                                    "type": "string",
+                                                    "format": "uri",
+                                                },
+                                                "defaultConfiguration": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "level": {
+                                                            "enum": [
+                                                                "none",
+                                                                "note",
+                                                                "warning",
+                                                                "error",
+                                                            ]
+                                                        }
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "originalUriBaseIds": {"type": "object"},
+                    "columnKind": {
+                        "enum": ["utf16CodeUnits", "unicodeCodePoints"]
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "additionalProperties": False,
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": [
+                                        "none",
+                                        "note",
+                                        "warning",
+                                        "error",
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {
+                                        "text": {"type": "string"}
+                                    },
+                                },
+                                "baselineState": {
+                                    "enum": [
+                                        "new",
+                                        "unchanged",
+                                        "updated",
+                                        "absent",
+                                    ]
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type": "string"
+                                                            },
+                                                            "uriBaseId": {
+                                                                "type": "string"
+                                                            },
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def _finding(rule="RPX101", path="src/repro/x.py", line=3, col=0, msg="boom"):
+    return Finding(path=path, line=line, col=col, rule_id=rule, message=msg)
+
+
+RULES = [
+    ("RPX101", "purity"),
+    ("RPX102", "seed taint"),
+    ("RPX103", "unit dimensions"),
+]
+
+
+@pytest.mark.parametrize(
+    "findings,accepted",
+    [
+        ([], None),
+        ([_finding()], None),
+        ([_finding()], []),
+        ([_finding()], [_finding(rule="RPX103", msg="old")]),
+    ],
+)
+def test_document_validates_against_schema_subset(findings, accepted):
+    doc = sarif_document(findings, RULES, accepted)
+    jsonschema.validate(
+        doc,
+        SARIF_21_SUBSET,
+        format_checker=jsonschema.FormatChecker(),
+    )
+
+
+def test_version_and_schema_uri():
+    doc = sarif_document([], RULES)
+    assert doc["version"] == SARIF_VERSION == "2.1.0"
+    assert doc["$schema"] == SARIF_SCHEMA_URI
+    assert "2.1.0" in SARIF_SCHEMA_URI
+
+
+def test_every_result_references_a_declared_rule():
+    findings = [_finding(rule="RPX101"), _finding(rule="RPX103")]
+    doc = sarif_document(findings, RULES, accepted=[_finding(rule="RPX102")])
+    run = doc["runs"][0]
+    declared = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    used = {r["ruleId"] for r in run["results"]}
+    assert used <= declared
+
+
+def test_baseline_state_split():
+    new = [_finding(msg="fresh")]
+    accepted = [_finding(rule="RPX102", msg="known")]
+    doc = sarif_document(new, RULES, accepted)
+    states = {
+        r["message"]["text"]: r["baselineState"]
+        for r in doc["runs"][0]["results"]
+    }
+    assert states == {"fresh": "new", "known": "unchanged"}
+
+
+def test_no_baseline_means_no_baseline_state():
+    doc = sarif_document([_finding()], RULES, accepted=None)
+    assert "baselineState" not in doc["runs"][0]["results"][0]
+
+
+def test_line_zero_is_clamped_to_one():
+    doc = sarif_document([_finding(line=0)], RULES)
+    region = doc["runs"][0]["results"][0]["locations"][0][
+        "physicalLocation"
+    ]["region"]
+    assert region["startLine"] == 1
+    assert region["startColumn"] == 1  # 0-based AST col -> 1-based SARIF
+
+
+def test_render_round_trips():
+    text = render_sarif([_finding()], RULES, [])
+    doc = json.loads(text)
+    jsonschema.validate(
+        doc, SARIF_21_SUBSET, format_checker=jsonschema.FormatChecker()
+    )

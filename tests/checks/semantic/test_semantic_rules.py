@@ -1,0 +1,141 @@
+"""Fixture tests for the whole-project semantic rules (RPX101-RPX103).
+
+Each rule ships a fixture *package tree* (not a single file — these
+rules exist to see across module boundaries): a ``_fail`` tree whose
+violating lines carry ``# expect: RPXnnn`` markers, and a ``_pass``
+tree that is clean for that rule.  The tests assert the findings match
+the markers exactly — rule id, file, and line.
+"""
+
+import re
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.checks import LintConfig
+from repro.checks.semantic import run_semantic_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+SEMANTIC_IDS = ("RPX101", "RPX102", "RPX103")
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(RPX\d{3})")
+
+#: Configuration the fixture trees are analysed under: the ``pkg``
+#: package plays the project, ``pkg/experiments`` the cached
+#: experiments, ``pkg/goodrng.py`` the seed-threading module.
+FIXTURE_CONFIG = LintConfig(
+    units_modules=(),
+    nondeterminism_exempt=(),
+    experiments_packages=("pkg/experiments",),
+    experiments_exempt=("__init__.py",),
+    rng_modules=("pkg/goodrng.py",),
+)
+
+
+def expected_findings(root: Path) -> list[tuple[str, int, str]]:
+    """(relative path, line, rule_id) triples from ``# expect:`` markers."""
+    out = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            for match in _EXPECT_RE.finditer(line):
+                out.append((rel, lineno, match.group(1)))
+    return sorted(out)
+
+
+def semantic_findings(
+    root: Path, config: LintConfig = FIXTURE_CONFIG
+) -> list[tuple[str, int, str]]:
+    """Run the semantic pass; return (relative path, line, rule) triples."""
+    report = run_semantic_lint([root], config=config)
+    assert report.parse_errors == []
+    out = []
+    for f in report.findings:
+        rel = Path(f.path).resolve().relative_to(root.resolve()).as_posix()
+        out.append((rel, f.line, f.rule_id))
+    return sorted(out)
+
+
+@pytest.mark.parametrize("rule_id", SEMANTIC_IDS)
+def test_fail_fixture_exact_locations(rule_id):
+    root = FIXTURES / f"{rule_id.lower()}_fail"
+    expected = expected_findings(root)
+    assert expected, f"fixture for {rule_id} declares no expectations"
+    assert all(rid == rule_id for _, _, rid in expected)
+    assert semantic_findings(root) == expected
+
+
+@pytest.mark.parametrize("rule_id", SEMANTIC_IDS)
+def test_fail_fixture_spans_modules(rule_id):
+    """The violation genuinely needs cross-module reasoning: the flagged
+    file alone (plus the package inits) analyses clean."""
+    root = FIXTURES / f"{rule_id.lower()}_fail"
+    expected = expected_findings(root)
+    flagged = {rel for rel, _, _ in expected}
+    modules = {
+        p.relative_to(root).as_posix()
+        for p in root.rglob("*.py")
+        if p.name != "__init__.py"
+    }
+    assert len(modules) >= 2, "fixture must span at least two modules"
+    assert flagged < modules, "some module must exist only to set up taint"
+
+
+@pytest.mark.parametrize("rule_id", SEMANTIC_IDS)
+def test_pass_fixture_clean(rule_id):
+    root = FIXTURES / f"{rule_id.lower()}_pass"
+    assert semantic_findings(root) == []
+
+
+@pytest.mark.parametrize("rule_id", SEMANTIC_IDS)
+def test_noqa_suppresses_semantic_findings(rule_id, tmp_path):
+    """``# repro: noqa RPXnnn`` on the reported line silences the rule."""
+    src = FIXTURES / f"{rule_id.lower()}_fail"
+    root = tmp_path / src.name
+    shutil.copytree(src, root)
+    for path in root.rglob("*.py"):
+        path.write_text(
+            _EXPECT_RE.sub(lambda m: f"# repro: noqa {m.group(1)}",
+                           path.read_text())
+        )
+    assert semantic_findings(root) == []
+
+
+@pytest.mark.parametrize("rule_id", SEMANTIC_IDS)
+def test_select_filter_applies_to_semantic_rules(rule_id):
+    root = FIXTURES / f"{rule_id.lower()}_fail"
+    others = tuple(r for r in SEMANTIC_IDS if r != rule_id)
+    config = LintConfig(
+        **{
+            **{f: getattr(FIXTURE_CONFIG, f)
+               for f in FIXTURE_CONFIG.__dataclass_fields__},
+            "select": others,
+        }
+    )
+    assert semantic_findings(root, config) == []
+
+
+def test_rpx101_names_the_call_path():
+    root = FIXTURES / "rpx101_fail"
+    report = run_semantic_lint([root], config=FIXTURE_CONFIG)
+    [finding] = report.findings
+    assert "call path:" in finding.message
+    assert "pkg.experiments.trial.run" in finding.message
+
+
+def test_rpx102_names_the_taint_source():
+    root = FIXTURES / "rpx102_fail"
+    report = run_semantic_lint([root], config=FIXTURE_CONFIG)
+    [finding] = report.findings
+    assert "time.time_ns" in finding.message
+
+
+def test_rpx103_names_both_dimensions():
+    root = FIXTURES / "rpx103_fail"
+    report = run_semantic_lint([root], config=FIXTURE_CONFIG)
+    messages = " | ".join(f.message for f in report.findings)
+    assert "power" in messages and "time" in messages

@@ -27,3 +27,37 @@ def test_gate_actually_runs_the_rules():
 
     config = load_config(REPO_ROOT)
     assert len(default_rules(config)) >= 7
+
+
+def test_source_tree_is_semantically_clean():
+    """The cross-module gate: no unbaselined RPX101/102/103 findings.
+
+    The experiments stay pure functions of (params, seed), every
+    sampled generator's seed traces to an explicit source, and no
+    arithmetic mixes power with time.  Anything intentional must be
+    argued into ``.repro-lint-baseline.json`` with a justification,
+    not silently exempted.
+    """
+    from repro.checks.semantic import Baseline, run_semantic_lint
+
+    report = run_semantic_lint([SRC], config=load_config(REPO_ROOT))
+    assert report.parse_errors == []
+    assert report.files_scanned > 50
+    baseline = Baseline.load(REPO_ROOT / ".repro-lint-baseline.json")
+    match = baseline.apply(report.findings)
+    new = "\n".join(f.format() for f in match.new)
+    assert not match.new, f"unbaselined semantic findings:\n{new}"
+    assert not match.stale, f"stale baseline entries: {match.stale}"
+
+
+def test_semantic_gate_sees_the_experiments():
+    """Guard against the purity rule silently losing its entry points."""
+    from repro.checks.semantic import ProjectContext
+    from repro.checks.semantic.analysis import SEMANTIC_RULES
+
+    config = load_config(REPO_ROOT)
+    project = ProjectContext.build([SRC], config)
+    purity = SEMANTIC_RULES[0]
+    assert purity.rule_id == "RPX101"
+    entries = purity._entry_points(project)
+    assert len(entries) >= 10, "expected the paper experiments' run()s"
