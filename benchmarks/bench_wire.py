@@ -1,0 +1,154 @@
+"""Wire codec benchmarks — samples/s through encode and decode.
+
+The wire layer's sizing question: can a single collector thread keep up
+with a fleet?  At 10 000 nodes × 1 Hz a collector ingests 10k
+samples/s, so the ISSUE's ≥ 10 M samples/s floor for ``delta-varint``
+leaves three orders of magnitude of headroom — enough for bursts,
+replays and the rest of the pipeline sharing the core.
+
+Matrices are synthesised telemetry (slow common drift + per-node
+jitter, seeded) so the varint length distribution matches what real
+frames carry — this is the regime the one-pass-per-byte-slot
+vectorisation was built for.  The framing bench measures the full
+session path (writer → parser → reader) per frame, where codec cost is
+joined by CRC, header packing and batch assembly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import Table
+from repro.stream.ingest import SampleBatch
+from repro.wire.codecs import make_codec
+from repro.wire.session import WireReader, WireWriter
+
+#: One benchmark block: enough samples that per-call overhead vanishes.
+_N_TICKS, _N_NODES = 400, 2500
+_FLOOR_SAMPLES_PER_S = 10_000_000.0
+
+
+def _telemetry(n_ticks: int = _N_TICKS, n_nodes: int = _N_NODES):
+    rng = np.random.default_rng(2015)
+    base = 1500.0 + 40.0 * rng.standard_normal(n_nodes)
+    drift = 25.0 * np.sin(np.linspace(0.0, 3.0, n_ticks))[:, None]
+    jitter = rng.normal(0.0, 3.0, (n_ticks, n_nodes))
+    return base[None, :] + drift + jitter
+
+
+def bench_delta_varint_encode(benchmark, report_sink):
+    """Quantise + delta + zigzag + varint-pack one telemetry block."""
+    codec = make_codec("delta-varint")
+    watts = _telemetry()
+    payload, _ = benchmark(codec.encode, watts)
+    rate = watts.size / benchmark.stats.stats.min
+    report_sink(
+        "delta-varint encode",
+        f"{watts.size:,} samples -> {len(payload):,} B "
+        f"({watts.size * 8 / len(payload):.1f}x vs raw64), "
+        f"{rate / 1e6:.1f} M samples/s",
+    )
+    assert rate >= _FLOOR_SAMPLES_PER_S, (
+        f"delta-varint encode at {rate / 1e6:.1f} M samples/s "
+        "is below the 10 M samples/s floor"
+    )
+
+
+def bench_delta_varint_decode(benchmark, report_sink):
+    """Varint-unpack + unzigzag + cumsum one telemetry block."""
+    codec = make_codec("delta-varint")
+    watts = _telemetry()
+    payload, _ = codec.encode(watts)
+    decoded, _ = benchmark(codec.decode, payload, _N_TICKS, _N_NODES)
+    rate = decoded.size / benchmark.stats.stats.min
+    report_sink(
+        "delta-varint decode",
+        f"{len(payload):,} B -> {decoded.size:,} samples, "
+        f"{rate / 1e6:.1f} M samples/s",
+    )
+    assert rate >= _FLOOR_SAMPLES_PER_S, (
+        f"delta-varint decode at {rate / 1e6:.1f} M samples/s "
+        "is below the 10 M samples/s floor"
+    )
+
+
+def bench_codec_sweep(benchmark, report_sink):
+    """Encode+decode cost and wire size of every codec, one table."""
+    watts = _telemetry(n_ticks=200, n_nodes=1000)
+    specs = (
+        "raw64",
+        "delta-varint",
+        "zlib(delta-varint)",
+        "quant12",
+        "quant8",
+    )
+
+    def sweep():
+        import time
+
+        rows = []
+        for spec in specs:
+            codec = make_codec(spec)
+            t0 = time.perf_counter()
+            payload, bound = codec.encode(watts)
+            t1 = time.perf_counter()
+            codec.decode(payload, *watts.shape)
+            t2 = time.perf_counter()
+            rows.append(
+                (spec, len(payload), bound, t1 - t0, t2 - t1)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    t = Table(
+        ["codec", "B/sample", "bound (W)",
+         "encode (M samp/s)", "decode (M samp/s)"],
+        title="wire codecs — size vs speed at 200x1000 samples",
+    )
+    for spec, n_bytes, bound, enc_s, dec_s in rows:
+        t.add_row(
+            [spec, f"{n_bytes / watts.size:.3f}", f"{bound:g}",
+             f"{watts.size / enc_s / 1e6:.1f}",
+             f"{watts.size / dec_s / 1e6:.1f}"]
+        )
+    report_sink("wire codec sweep", t.render())
+    assert all(r[1] > 0 for r in rows)
+
+
+def bench_session_round_trip(benchmark, report_sink):
+    """Full wire path: writer -> bytes -> parser -> reader -> batches."""
+    n_ticks_per_batch, n_batches, n_nodes = 50, 20, 500
+    rng = np.random.default_rng(7)
+    batches = [
+        SampleBatch(
+            times=np.arange(
+                i * n_ticks_per_batch, (i + 1) * n_ticks_per_batch
+            )
+            * 1.0,
+            watts=1500.0
+            + 10.0 * rng.standard_normal((n_ticks_per_batch, n_nodes)),
+            node_ids=np.arange(n_nodes, dtype=np.int64),
+        )
+        for i in range(n_batches)
+    ]
+    n_samples = n_ticks_per_batch * n_batches * n_nodes
+
+    def round_trip():
+        writer = WireWriter("delta-varint")
+        data = b"".join(f.data for f in writer.write_all(batches))
+        reader = WireReader(dt_s=1.0)
+        got = reader.feed(data)
+        got.extend(reader.close())
+        return reader.frames_ok, len(data)
+
+    frames_ok, n_wire_bytes = benchmark.pedantic(
+        round_trip, rounds=3, iterations=1
+    )
+    rate = n_samples / benchmark.stats.stats.min
+    report_sink(
+        "wire session round trip",
+        f"{n_batches} frames, {n_samples:,} samples, "
+        f"{n_wire_bytes:,} B on the wire, "
+        f"{rate / 1e6:.1f} M samples/s end to end",
+    )
+    assert frames_ok == n_batches

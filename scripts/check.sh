@@ -36,6 +36,16 @@ echo "== chaos smoke (fault injection + recovery reconciliation)"
 python -m repro.cli chaos --system l-csc --max-nodes 24 \
     --core-seconds 600 --dropout 0.02,0.05 --node-loss 1
 
+echo "== wire smoke (parser fuzz + codec frontier reconciliation)"
+# Fuzz the frame parser (mutated streams must never crash it), then
+# run a small bandwidth-vs-accuracy sweep: every cell must reconcile
+# the reader's CRC/sequence counters against the injected ledger
+# exactly and keep drift inside the codec's stated bounds.
+python -m repro.cli wire --fuzz 100
+python -m repro.cli wire --system l-csc --max-nodes 12 \
+    --core-seconds 600 --codecs delta-varint,quant8 \
+    --drop 0 0.1 --corrupt 0.1
+
 echo "== compileall"
 python -m compileall -q src
 

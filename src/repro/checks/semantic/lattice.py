@@ -4,13 +4,14 @@ Two small lattices shared by the RPX102/RPX103 rules:
 
 * **Unit lattice** — concrete measurement units (``w``, ``kw``, ``s``,
   ``j``, ...), each belonging to a physical *dimension* (power, time,
-  energy).  ``UNKNOWN`` is top (no information); ``SCALAR`` marks a
-  dimensionless factor (a count, a ratio, a literal ``2``).  The
-  algebra knows the paper's three load-bearing identities —
-  power × time = energy, energy / time = power, energy / power = time —
-  at SI scale, so ``watts * seconds`` infers joules while
-  ``kilowatts * seconds`` (a scale mix) degrades to ``UNKNOWN`` rather
-  than silently claiming a unit.
+  energy, data, bandwidth).  ``UNKNOWN`` is top (no information);
+  ``SCALAR`` marks a dimensionless factor (a count, a ratio, a literal
+  ``2``).  The algebra knows the paper's three load-bearing
+  identities — power × time = energy, energy / time = power,
+  energy / power = time — at SI scale, plus the wire layer's
+  bytes / time = bandwidth pair, so ``watts * seconds`` infers joules
+  while ``kilowatts * seconds`` (a scale mix) degrades to ``UNKNOWN``
+  rather than silently claiming a unit.
 
 * **Provenance lattice** — where a random generator's seed came from:
   ``EXPLICIT`` (a constant, a threaded parameter, or a
@@ -53,6 +54,9 @@ DIMENSIONS: dict[str, str] = {
     "mw": "power",
     "j": "energy",
     "kwh": "energy",
+    "b": "data",
+    "bit": "data",
+    "b/s": "bandwidth",
 }
 
 #: Identifier suffixes that declare a unit (the repo-wide convention
@@ -70,6 +74,11 @@ UNIT_SUFFIXES: dict[str, str] = {
     "_j": "j",
     "_joules": "j",
     "_kwh": "kwh",
+    # Wire-layer sizes and rates.  ``_b`` is deliberately absent: short
+    # tails like ``rank_b`` mean "the second of a pair", not bytes.
+    "_bytes": "b",
+    "_bits": "bit",
+    "_bps": "b/s",
 }
 
 #: Whole identifiers that *are* a unit-bearing quantity (``watts``,
@@ -85,18 +94,24 @@ UNIT_WORDS: dict[str, str] = {
     "joules": "j",
     "kwh": "kwh",
     "kilowatt_hours": "kwh",
+    "bytes": "b",
+    "bits": "bit",
 }
 
-#: power x time -> energy at SI scale (plus the kW·h convenience pair).
+#: power x time -> energy at SI scale (plus the kW·h convenience pair
+#: and the wire layer's bandwidth x time -> bytes).
 _PRODUCTS: dict[tuple[str, str], str] = {
     ("w", "s"): "j",
     ("kw", "h"): "kwh",
+    ("b/s", "s"): "b",
 }
 _QUOTIENTS: dict[tuple[str, str], str] = {
     ("j", "s"): "w",
     ("j", "w"): "s",
     ("kwh", "h"): "kw",
     ("kwh", "kw"): "h",
+    ("b", "s"): "b/s",
+    ("b", "b/s"): "s",
 }
 
 

@@ -416,6 +416,123 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if all(o.ok() for o in outcomes) else 1
 
 
+def _cmd_wire(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cluster.registry import TRACE_SYSTEMS as _TRACE
+    from repro.cluster.registry import get_trace_setup
+    from repro.traces.synth import simulate_run
+    from repro.wire.codecs import available_codecs
+    from repro.wire.frontier import wire_frontier
+    from repro.workloads.base import ConstantWorkload
+
+    if args.fuzz is not None:
+        return _wire_fuzz(args.fuzz, seed=args.seed)
+
+    name = args.system
+    if name in _TRACE:
+        system, _ = get_trace_setup(name)
+    elif name in NODE_VARIABILITY_SYSTEMS:
+        system = get_system(name)
+    else:
+        known = ", ".join((*_TRACE, *NODE_VARIABILITY_SYSTEMS))
+        raise SystemExit(f"error: unknown system {name!r} (known: {known})")
+
+    codecs = tuple(c.strip() for c in args.codecs.split(",") if c.strip())
+    unknown = [c for c in codecs if c not in available_codecs()]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown codec(s) {', '.join(unknown)} "
+            f"(known: {', '.join(available_codecs())})"
+        )
+    for rate_list in (args.drop, args.corrupt):
+        if not all(0.0 <= r < 1.0 for r in rate_list):
+            raise SystemExit("error: rates must be in [0, 1)")
+    rates = tuple(
+        (drop, corrupt) for drop in args.drop for corrupt in args.corrupt
+    )
+
+    node_indices = None
+    if args.max_nodes is not None:
+        if args.max_nodes < 1:
+            raise SystemExit("error: --max-nodes must be >= 1")
+        node_indices = np.arange(min(args.max_nodes, system.n_nodes))
+
+    workload = ConstantWorkload(utilisation=0.95, core_s=args.core_seconds)
+    run = simulate_run(system, workload, dt=args.dt, seed=args.seed)
+    cells = wire_frontier(
+        run,
+        codecs=codecs,
+        rates=rates,
+        seed=args.seed,
+        node_indices=node_indices,
+        ticks_per_batch=args.ticks_per_frame,
+    )
+    if args.format == "json":
+        print(json.dumps([c.to_dict() for c in cells], indent=2,
+                         default=float))
+    else:
+        header = (
+            f"{'codec':>20s} {'drop':>5s} {'corr':>5s} {'lost':>7s} "
+            f"{'B/node/s':>9s} {'ratio':>6s} {'mean err':>9s} "
+            f"{'cv err':>9s} {'flip':>5s} {'ok':>3s}"
+        )
+        print(header)
+        for c in cells:
+            ok = c.reconciled and c.within_bounds
+            print(
+                f"{c.codec:>20s} {c.drop_rate:>5.0%} {c.corrupt_rate:>5.0%} "
+                f"{c.frames_lost:>3d}/{c.frames_sent:<3d} "
+                f"{c.node_bps:>9.2f} x{c.compression_ratio:<5.2f} "
+                f"{c.rel_err_fleet_mean:>9.2e} {c.rel_err_node_cv:>9.2e} "
+                f"{'yes' if c.verdict_flipped else 'no':>5s} "
+                f"{'yes' if ok else 'NO':>3s}"
+            )
+    return 0 if all(c.reconciled and c.within_bounds for c in cells) else 1
+
+
+def _wire_fuzz(iterations: int, *, seed: int) -> int:
+    """Bounded-iteration frame-parser fuzz (the CI smoke stage).
+
+    Builds a valid frame stream, then mutates, truncates and splices it
+    with seeded randomness; the parser must never raise and never
+    accept a frame whose CRC does not check out.
+    """
+    from repro.rng import stream as _stream
+    from repro.wire.framing import FrameParser, encode_frame
+
+    if iterations < 1:
+        raise SystemExit("error: --fuzz iterations must be >= 1")
+    rng = _stream(seed, "wire:fuzz")
+    base = b"".join(
+        encode_frame(
+            codec_id=1,
+            flags=0,
+            seq=i,
+            node_lo=0,
+            n_nodes=4,
+            n_ticks=2,
+            tick=2 * i,
+            payload=rng.bytes(80),
+        )
+        for i in range(4)
+    )
+    for i in range(iterations):
+        blob = bytearray(base)
+        for _ in range(int(rng.integers(1, 12))):
+            blob[int(rng.integers(len(blob)))] = int(rng.integers(256))
+        lo = int(rng.integers(len(blob)))
+        hi = int(rng.integers(lo, len(blob) + 1))
+        mangled = bytes(blob[lo:hi]) + rng.bytes(int(rng.integers(40)))
+        parser = FrameParser()
+        step = int(rng.integers(1, 97))
+        for off in range(0, len(mangled), step):
+            parser.feed(mangled[off: off + step])
+        parser.close()
+    print(f"wire fuzz: {iterations} mutated streams parsed, no crash")
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as runner_main
 
@@ -599,6 +716,48 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--format", choices=("text", "json"),
                        default="text")
     chaos.set_defaults(func=_cmd_chaos)
+
+    wire = sub.add_parser(
+        "wire",
+        help="sweep the wire codecs' bandwidth-vs-accuracy frontier, "
+             "or fuzz the frame parser (--fuzz N)",
+        description="Replay a simulated fleet through the framed wire "
+                    "protocol at each codec x loss-rate cell, audit "
+                    "the recovery exactly, and print the "
+                    "bandwidth-vs-accuracy frontier.  With --fuzz N, "
+                    "instead mutate N seeded byte streams through the "
+                    "frame parser (the CI smoke stage).",
+    )
+    wire.add_argument("--system", default="l-csc",
+                      help="trace system to stream (default: %(default)s)")
+    wire.add_argument("--codecs",
+                      default="raw64,delta-varint,zlib(delta-varint),"
+                              "quant12,quant8",
+                      help="comma-separated codec specs")
+    wire.add_argument("--drop", type=float, nargs="*",
+                      default=[0.0, 0.1],
+                      help="frame drop rates to sweep (default: 0 0.1)")
+    wire.add_argument("--corrupt", type=float, nargs="*",
+                      default=[0.0, 0.1],
+                      help="frame corruption rates to sweep "
+                           "(default: 0 0.1)")
+    wire.add_argument("--dt", type=float, default=2.0,
+                      help="sample spacing in seconds")
+    wire.add_argument("--core-seconds", type=float, default=1200.0,
+                      help="core-phase length of the simulated run")
+    wire.add_argument("--ticks-per-frame", type=int, default=10,
+                      help="ticks carried per wire frame")
+    wire.add_argument("--seed", type=int, default=2015,
+                      help="root seed for the run and the fault plans")
+    wire.add_argument("--max-nodes", type=int, default=12,
+                      help="leading node subset to frame "
+                           "(default: %(default)s)")
+    wire.add_argument("--fuzz", type=int, default=None, metavar="N",
+                      help="skip the sweep; fuzz the frame parser with "
+                           "N mutated streams and exit")
+    wire.add_argument("--format", choices=("text", "json"),
+                      default="text")
+    wire.set_defaults(func=_cmd_wire)
 
     run = sub.add_parser(
         "run",

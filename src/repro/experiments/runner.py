@@ -25,6 +25,7 @@ from repro.experiments import (
     ext_meter_quality,
     ext_streaming,
     ext_subsystems,
+    ext_wire,
     figure1,
     figure2,
     figure3,
@@ -71,6 +72,7 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "X6": ext_subsystems.run,
     "X-STR": ext_streaming.run,
     "X-FAULT": ext_faults.run,
+    "X-WIRE": ext_wire.run,
 }
 
 

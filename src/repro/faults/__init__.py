@@ -18,6 +18,9 @@ Layout:
 * :mod:`repro.faults.chaos` — the end-to-end harness auditing that
   recovery accounts for every injected fault and stays within the
   bounds it states.
+* :mod:`repro.faults.wire` — frame-level transport faults (drops and
+  CRC-detectable corruption) over the :mod:`repro.wire` protocol,
+  under the same determinism and disjointness contracts.
 """
 
 from repro.faults.chaos import ChaosOutcome, ChaosScenario, chaos_sweep, run_chaos
@@ -45,6 +48,14 @@ from repro.faults.recovery import (
     RetryPolicy,
     TransientMeterError,
 )
+from repro.faults.wire import (
+    FrameCorruption,
+    FrameDrop,
+    WireDelivery,
+    WireFaultModel,
+    WireFaultPlan,
+    WireLedger,
+)
 
 __all__ = [
     "BurstDropout",
@@ -57,6 +68,8 @@ __all__ = [
     "FaultModel",
     "FaultPlan",
     "FlakySource",
+    "FrameCorruption",
+    "FrameDrop",
     "MaskedRunningMoments",
     "NodeLoss",
     "QualityReport",
@@ -68,6 +81,10 @@ __all__ = [
     "StuckAtLastValue",
     "TransientMeterError",
     "TruncatedTail",
+    "WireDelivery",
+    "WireFaultModel",
+    "WireFaultPlan",
+    "WireLedger",
     "chaos_sweep",
     "inject_run",
     "run_chaos",

@@ -64,6 +64,19 @@ class QualityReport:
       run aimed for and the level the circuit breaker actually granted.
     - ``fleet_mean_w`` / ``node_cv`` / ``sigma_node_w`` / ``n_nodes_used``:
       the degraded statistics this report labels.
+
+    Wire provenance (defaulted so pre-wire call sites are unchanged):
+
+    - ``codec``: wire codec spec the samples crossed (``""`` when the
+      aggregate never left process memory).
+    - ``codec_error_bound_w``: the codec's per-sample error bound in
+      watts (0 for lossless codecs); folded into the stated error
+      bounds below.
+    - ``frames_dropped`` / ``frames_corrupt``: transport-level frame
+      losses the reader detected via sequence gaps and CRC failures.
+    - ``notes``: provenance caveats that do not fit a count — e.g. the
+      :class:`~repro.stream.estimators.P2Quantile` approximate-merge
+      caveat when quantile statistics crossed a lossy codec.
     """
 
     samples_expected: int
@@ -86,6 +99,11 @@ class QualityReport:
     sigma_node_w: float
     sigma_tick_w: float
     n_nodes_used: int
+    codec: str = ""
+    codec_error_bound_w: float = 0.0
+    frames_dropped: int = 0
+    frames_corrupt: int = 0
+    notes: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.samples_expected < 0 or self.samples_arrived < 0:
@@ -99,6 +117,14 @@ class QualityReport:
         for level in (self.original_level, self.effective_level):
             if level not in COMPLIANCE_LEVELS:
                 raise ValueError(f"unknown compliance level {level}")
+        if self.codec_error_bound_w < 0.0:
+            raise ValueError("codec_error_bound_w must be non-negative")
+        if self.frames_dropped < 0 or self.frames_corrupt < 0:
+            raise ValueError("frame counts must be non-negative")
+        if self.codec_error_bound_w > 0.0 and not self.codec:
+            raise ValueError(
+                "a non-zero codec error bound requires naming the codec"
+            )
 
     # -- accounting identities -----------------------------------------
     @property
@@ -140,7 +166,10 @@ class QualityReport:
         delivered — perturb the time average by at most ``z`` per-tick
         sigma on the unusable fraction (covers the worst case of an
         entire truncated tail sitting at the extreme of the within-run
-        power swing).
+        power swing).  A lossy wire codec adds a third channel: every
+        surviving sample may sit up to ``codec_error_bound_w`` from its
+        true value, shifting the mean by at most that much — relative
+        term ``e / mu``.
         """
         n_total = self.n_nodes_used + len(self.nodes_quarantined)
         if n_total == 0 or self.fleet_mean_w <= 0:
@@ -153,7 +182,8 @@ class QualityReport:
             return math.inf
         cv_tick = self.sigma_tick_w / self.fleet_mean_w
         repair_term = _BOUND_Z * cv_tick * repair_frac / (1.0 - repair_frac)
-        return subset_term + repair_term
+        codec_term = self.codec_error_bound_w / self.fleet_mean_w
+        return subset_term + repair_term + codec_term
 
     def error_bound_node_cv(self) -> float:
         """Relative bound on the degraded sigma/mu (node CV) estimate.
@@ -163,7 +193,11 @@ class QualityReport:
         ``z * sqrt(k_lost / (2 (n_eff - 1)))``; (b) repairs bias each
         node's time average by at most ``delta = cv_tick * repair_frac``
         of the mean, which perturbs the node CV by about
-        ``(delta/cv)^2 / 2 + z * delta / (cv * sqrt(n_eff))``.
+        ``(delta/cv)^2 / 2 + z * delta / (cv * sqrt(n_eff))``; (c) a
+        lossy wire codec perturbs each node's time average by at most
+        ``e = codec_error_bound_w``, moving the across-node sigma by at
+        most ``2e`` and the mean by at most ``e`` — relative term
+        ``2e / sigma_node + e / mu``.
         """
         n_eff = self.n_nodes_used
         if n_eff < 2 or self.node_cv <= 0 or self.fleet_mean_w <= 0:
@@ -179,7 +213,15 @@ class QualityReport:
         delta = cv_tick * repair_frac / (1.0 - repair_frac)
         bias_term = (delta / self.node_cv) ** 2 / 2.0
         noise_term = _BOUND_Z * delta / (self.node_cv * math.sqrt(n_eff))
-        return sigma_term + bias_term + noise_term
+        codec_term = 0.0
+        if self.codec_error_bound_w > 0.0:
+            if self.sigma_node_w <= 0.0:
+                return math.inf
+            codec_term = (
+                2.0 * self.codec_error_bound_w / self.sigma_node_w
+                + self.codec_error_bound_w / self.fleet_mean_w
+            )
+        return sigma_term + bias_term + noise_term + codec_term
 
     # -- rendering ------------------------------------------------------
     def to_dict(self) -> dict:
@@ -205,6 +247,11 @@ class QualityReport:
             "sigma_node_w": self.sigma_node_w,
             "sigma_tick_w": self.sigma_tick_w,
             "n_nodes_used": self.n_nodes_used,
+            "codec": self.codec,
+            "codec_error_bound_w": self.codec_error_bound_w,
+            "frames_dropped": self.frames_dropped,
+            "frames_corrupt": self.frames_corrupt,
+            "notes": list(self.notes),
             "error_bound_fleet_mean": self.error_bound_fleet_mean(),
             "error_bound_node_cv": self.error_bound_node_cv(),
         }
@@ -228,6 +275,15 @@ class QualityReport:
         if self.nodes_quarantined:
             ids = ", ".join(str(i) for i in self.nodes_quarantined)
             out.append(f"  quarantined nodes   {ids}")
+        if self.codec:
+            out.append(
+                f"  wire codec          {self.codec} "
+                f"(+/-{self.codec_error_bound_w:g} W/sample), "
+                f"{self.frames_dropped} frames dropped, "
+                f"{self.frames_corrupt} corrupt"
+            )
+        for note in self.notes:
+            out.append(f"  note                {note}")
         level_note = (
             f"L{self.original_level} -> L{self.effective_level}"
             if self.downgraded()

@@ -1,0 +1,317 @@
+"""Deterministic fault models over *wire frames*.
+
+:mod:`repro.faults.models` corrupts the sample matrix before it is
+serialised; this module corrupts the **transport**: whole frames of the
+:mod:`repro.wire` protocol are dropped (collector outage, UDP loss) or
+bit-flipped in flight (link noise).  The same two contracts hold:
+
+Determinism
+    Each model draws from its own :mod:`repro.rng` stream, namespaced
+    by position and label inside the :class:`WireFaultPlan`, so a plan
+    applied twice to the same frame sequence mangles bit-identical
+    bytes.
+
+Disjointness
+    A frame is claimed by at most one model — a dropped frame is never
+    also corrupted — so the :class:`WireLedger` is exact and the wire
+    chaos harness (:mod:`repro.wire.chaos`) can reconcile the
+    :class:`~repro.wire.session.WireReader`'s CRC/gap counters against
+    it with ``==``, no tolerances.
+
+Corruption flips bytes strictly *after* the fixed header, so the frame
+still announces a plausible header and its declared extent: the parser
+must detect the damage through the CRC-32 trailer, producing exactly
+one ``corrupt`` event per corrupted frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.rng import stream
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    # repro.wire depends on this module at runtime (wire.chaos builds
+    # WireFaultPlans), so the reverse edge stays annotation-only.
+    from repro.wire.session import WireFrame
+
+__all__ = [
+    "WireLedger",
+    "WireDelivery",
+    "WireFaultModel",
+    "FrameDrop",
+    "FrameCorruption",
+    "WireFaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class WireLedger:
+    """Exact accounting of every frame-level fault injected.
+
+    The transport side of the reconciliation test: the
+    :class:`~repro.wire.session.WireReader` must explain every one of
+    these counts through its CRC and sequence-gap counters.
+    """
+
+    frames_sent: int
+    n_nodes: int
+    frames_dropped: int = 0
+    frames_corrupted: int = 0
+    ticks_dropped: int = 0
+    ticks_corrupted: int = 0
+    bytes_sent: int = 0
+    bytes_corrupted: int = 0
+    dropped_seqs: tuple[int, ...] = ()
+    corrupted_seqs: tuple[int, ...] = ()
+
+    @property
+    def frames_delivered(self) -> int:
+        """Frames that reach the reader with a valid CRC."""
+        return self.frames_sent - self.frames_dropped - self.frames_corrupted
+
+    @property
+    def frames_lost(self) -> int:
+        """Frames whose samples never decode (dropped + corrupted)."""
+        return self.frames_dropped + self.frames_corrupted
+
+    @property
+    def ticks_lost(self) -> int:
+        """Ticks whose rows the reader must deliver as NaN gaps."""
+        return self.ticks_dropped + self.ticks_corrupted
+
+    @property
+    def samples_lost(self) -> int:
+        """Scalar samples lost to the wire (``ticks_lost * n_nodes``)."""
+        return self.ticks_lost * self.n_nodes
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering."""
+        return {
+            "frames_sent": self.frames_sent,
+            "n_nodes": self.n_nodes,
+            "frames_dropped": self.frames_dropped,
+            "frames_corrupted": self.frames_corrupted,
+            "ticks_dropped": self.ticks_dropped,
+            "ticks_corrupted": self.ticks_corrupted,
+            "bytes_sent": self.bytes_sent,
+            "bytes_corrupted": self.bytes_corrupted,
+            "dropped_seqs": list(self.dropped_seqs),
+            "corrupted_seqs": list(self.corrupted_seqs),
+        }
+
+
+@dataclass(frozen=True)
+class WireDelivery:
+    """What the lossy link delivers, plus the exact record of the loss.
+
+    ``chunks`` holds the surviving byte strings in transmission order —
+    dropped frames are simply absent, corrupted frames are present but
+    mangled.  Feed them to a :class:`~repro.wire.session.WireReader`
+    and reconcile its counters against ``ledger``.
+    """
+
+    chunks: tuple[bytes, ...]
+    ledger: WireLedger
+
+    @property
+    def data(self) -> bytes:
+        """The delivered stream as one contiguous byte string."""
+        return b"".join(self.chunks)
+
+
+class _WireState:
+    """Mutable scratch threaded through a plan's models."""
+
+    def __init__(self, frames: list[WireFrame]) -> None:
+        self.frames = list(frames)
+        self.chunks: list[bytes | None] = [f.data for f in frames]
+        # Frames already claimed by some model (disjointness contract).
+        self.claimed = np.zeros(len(frames), dtype=bool)
+        self.ledger = WireLedger(
+            frames_sent=len(frames),
+            n_nodes=frames[0].n_nodes if frames else 0,
+            bytes_sent=sum(f.n_bytes for f in frames),
+        )
+
+    def tally(self, **updates) -> None:
+        """Fold count updates into the ledger."""
+        self.ledger = replace(self.ledger, **updates)
+
+
+class WireFaultModel:
+    """Base class: one named, seeded frame-level fault transform."""
+
+    #: Distinguishes two instances of the same model in one plan.
+    tag: str = ""
+
+    @property
+    def label(self) -> str:
+        """Stable stream label for this model."""
+        base = type(self).__name__
+        return f"{base}:{self.tag}" if self.tag else base
+
+    def _apply(self, state: _WireState, rng: np.random.Generator) -> None:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+@dataclass(frozen=True)
+class FrameDrop(WireFaultModel):
+    """Drop each unclaimed frame independently with probability ``rate``.
+
+    A dropped frame never reaches the reader: its sequence number is a
+    gap, and its rows must come back as NaN.
+    """
+
+    rate: float
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"drop rate must be in [0, 1], got {self.rate}")
+
+    def _apply(self, state: _WireState, rng: np.random.Generator) -> None:
+        hit = rng.random(len(state.frames)) < self.rate
+        hit &= ~state.claimed
+        state.claimed |= hit
+        dropped = [
+            f for f, h in zip(state.frames, hit) if h
+        ]
+        for f in dropped:
+            state.chunks[f.seq - state.frames[0].seq] = None
+        state.tally(
+            frames_dropped=state.ledger.frames_dropped + len(dropped),
+            ticks_dropped=state.ledger.ticks_dropped
+            + sum(f.n_ticks for f in dropped),
+            dropped_seqs=tuple(
+                sorted(
+                    state.ledger.dropped_seqs
+                    + tuple(f.seq for f in dropped)
+                )
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class FrameCorruption(WireFaultModel):
+    """XOR random bytes of each hit frame's body, after the header.
+
+    Each unclaimed frame is hit independently with probability
+    ``rate``; a hit frame gets ``flips`` of its post-header bytes
+    (payload or CRC trailer) XOR-ed with seeded non-zero masks.  The
+    header survives, so the parser reads a plausible frame and must
+    reject it on the CRC — the detection path under test.  In the
+    astronomically unlikely event the mangled body still matches its
+    CRC, one extra deterministic flip is applied.
+    """
+
+    rate: float
+    flips: int = 4
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(
+                f"corruption rate must be in [0, 1], got {self.rate}"
+            )
+        if self.flips < 1:
+            raise ValueError(f"flips must be >= 1, got {self.flips}")
+
+    def _apply(self, state: _WireState, rng: np.random.Generator) -> None:
+        import struct
+        import zlib
+
+        from repro.wire.framing import HEADER_LEN
+
+        hit = rng.random(len(state.frames)) < self.rate
+        hit &= ~state.claimed
+        state.claimed |= hit
+        n_corrupt = 0
+        ticks_corrupt = 0
+        bytes_corrupt = 0
+        seqs: list[int] = []
+        base_seq = state.frames[0].seq if state.frames else 0
+        for frame, h in zip(state.frames, hit):
+            if not h:
+                continue
+            data = bytearray(frame.data)
+            body_len = len(data) - HEADER_LEN
+            n_flips = min(self.flips, body_len)
+            offsets = HEADER_LEN + rng.choice(
+                body_len, size=n_flips, replace=False
+            )
+            masks = rng.integers(1, 256, size=n_flips, dtype=np.uint8)
+            for off, mask in zip(offsets, masks):
+                data[int(off)] ^= int(mask)
+            payload_end = len(data) - 4
+            stored = struct.unpack_from("<I", data, payload_end)[0]
+            if zlib.crc32(bytes(data[:payload_end])) & 0xFFFFFFFF == stored:
+                data[HEADER_LEN] ^= 0xFF  # pragma: no cover - 2**-32
+            state.chunks[frame.seq - base_seq] = bytes(data)
+            n_corrupt += 1
+            ticks_corrupt += frame.n_ticks
+            bytes_corrupt += int(n_flips)
+            seqs.append(frame.seq)
+        state.tally(
+            frames_corrupted=state.ledger.frames_corrupted + n_corrupt,
+            ticks_corrupted=state.ledger.ticks_corrupted + ticks_corrupt,
+            bytes_corrupted=state.ledger.bytes_corrupted + bytes_corrupt,
+            corrupted_seqs=tuple(
+                sorted(state.ledger.corrupted_seqs + tuple(seqs))
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class WireFaultPlan:
+    """An ordered, seeded composition of frame-level fault models.
+
+    Mirrors :class:`~repro.faults.models.FaultPlan`: each model gets an
+    independent stream derived from ``seed`` and its position + label,
+    and models only touch frames no earlier model claimed.
+    """
+
+    models: tuple[WireFaultModel, ...]
+    seed: int
+
+    def __post_init__(self) -> None:
+        labels = [f"{i}:{m.label}" for i, m in enumerate(self.models)]
+        if len(set(labels)) != len(labels):  # pragma: no cover - by construction
+            raise ValueError("wire fault model labels must be unique")
+
+    @staticmethod
+    def canonical(
+        models: list[WireFaultModel], seed: int
+    ) -> "WireFaultPlan":
+        """Order models deterministically: corruption before drops.
+
+        Corruption first means a frame that would have been mangled
+        *and* lost is counted as corrupted — the reader sees neither
+        either way, but the ledger category is fixed by construction.
+        """
+        rank = {FrameCorruption: 0, FrameDrop: 1}
+        ordered = sorted(
+            models, key=lambda m: (rank.get(type(m), len(rank)), m.label)
+        )
+        return WireFaultPlan(models=tuple(ordered), seed=seed)
+
+    def apply(self, frames: list[WireFrame]) -> WireDelivery:
+        """Mangle a frame sequence; returns delivery + exact ledger."""
+        if not frames:
+            raise ValueError("cannot fault an empty frame sequence")
+        seqs = [f.seq for f in frames]
+        if seqs != list(range(seqs[0], seqs[0] + len(seqs))):
+            raise ValueError(
+                "frames must arrive in consecutive sequence order"
+            )
+        state = _WireState(frames)
+        for i, model in enumerate(self.models):
+            rng = stream(self.seed, f"wire-faults:{i}:{model.label}")
+            model._apply(state, rng)
+        return WireDelivery(
+            chunks=tuple(c for c in state.chunks if c is not None),
+            ledger=state.ledger,
+        )

@@ -349,10 +349,21 @@ class P2Quantile:
 
     ``merge`` approximates the combined stream by count-weighted
     interpolation between the two marker sets; unlike
-    :meth:`RunningMoments.merge` it is not exact, which is documented
-    behaviour — quantiles, unlike moments, cannot be merged exactly
-    from constant-size summaries.
+    :meth:`RunningMoments.merge` it is not exact — quantiles, unlike
+    moments, cannot be merged exactly from constant-size summaries.
+    Any pipeline that reports a merged quantile must surface
+    :data:`MERGE_CAVEAT` in its provenance (``QualityReport.notes`` /
+    ``MonitorReport.notes``), not just rely on this docstring.
     """
+
+    #: Provenance caveat for reports built on merged P² summaries.
+    #: The wire chaos harness stamps this into ``QualityReport.notes``
+    #: whenever quantile-bearing statistics cross a lossy codec or a
+    #: merged summary.
+    MERGE_CAVEAT = (
+        "P2 quantile merge is approximate (count-weighted marker "
+        "interpolation), not an exact roll-up"
+    )
 
     __slots__ = ("q", "_heights", "_positions", "_desired", "_rate", "_buffer")
 

@@ -66,6 +66,11 @@ class MonitorReport:
     there is nothing to judge, so every compliance field is pinned
     conservative (not-compliant) and this flag tells the reader the
     report is a *non-verdict*, not a failure.
+
+    ``notes`` carries provenance caveats that are not verdicts — e.g.
+    :data:`~repro.stream.estimators.P2Quantile.MERGE_CAVEAT` when
+    quantile summaries were merged approximately, or when the samples
+    crossed a lossy wire codec.
     """
 
     t_now_s: float
@@ -82,12 +87,14 @@ class MonitorReport:
     outlier_nodes: tuple[NodeFlags, ...] = field(default_factory=tuple)
     excursion_nodes: tuple[NodeFlags, ...] = field(default_factory=tuple)
     insufficient_data: bool = False
+    notes: tuple[str, ...] = ()
 
     def to_dict(self) -> dict:
         """JSON-friendly rendering."""
         return {
             "t_now_s": self.t_now_s,
             "insufficient_data": self.insufficient_data,
+            "notes": list(self.notes),
             "samples_seen": self.samples_seen,
             "nodes_seen": self.nodes_seen,
             "interval_ok": self.interval_ok,
@@ -139,6 +146,7 @@ class MonitorReport:
                 "excursion nodes: "
                 + ", ".join(str(f.node_id) for f in self.excursion_nodes)
             )
+        out.extend(f"note: {note}" for note in self.notes)
         return out
 
 

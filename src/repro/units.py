@@ -19,6 +19,8 @@ import numpy as np
 __all__ = [
     "watts_to_kilowatts",
     "kilowatts_to_watts",
+    "watts_to_milliwatts",
+    "milliwatts_to_watts",
     "watts_to_megawatts",
     "megawatts_to_watts",
     "joules_to_kilowatt_hours",
@@ -33,12 +35,14 @@ __all__ = [
     "SECONDS_PER_HOUR",
     "SECONDS_PER_DAY",
     "JOULES_PER_KWH",
+    "MILLIWATTS_PER_WATT",
 ]
 
 SECONDS_PER_MINUTE = 60.0
 SECONDS_PER_HOUR = 3600.0
 SECONDS_PER_DAY = 24.0 * SECONDS_PER_HOUR
 JOULES_PER_KWH = 3.6e6
+MILLIWATTS_PER_WATT = 1e3
 
 
 def watts_to_kilowatts(watts):
@@ -49,6 +53,20 @@ def watts_to_kilowatts(watts):
 def kilowatts_to_watts(kilowatts):
     """Convert kilowatts to watts."""
     return np.asarray(kilowatts, dtype=float) * 1e3 if np.ndim(kilowatts) else float(kilowatts) * 1e3
+
+
+def watts_to_milliwatts(watts):
+    """Convert watts to milliwatts (the wire codecs' integer grid)."""
+    if np.ndim(watts):
+        return np.asarray(watts, dtype=float) * MILLIWATTS_PER_WATT
+    return float(watts) * MILLIWATTS_PER_WATT
+
+
+def milliwatts_to_watts(milliwatts):
+    """Convert milliwatts to watts."""
+    if np.ndim(milliwatts):
+        return np.asarray(milliwatts, dtype=float) / MILLIWATTS_PER_WATT
+    return float(milliwatts) / MILLIWATTS_PER_WATT
 
 
 def watts_to_megawatts(watts):

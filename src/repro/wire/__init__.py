@@ -1,0 +1,81 @@
+"""Framed binary telemetry transport for per-node power streams.
+
+The paper's statistics assume every per-node sample arrives intact;
+this package models the part of a real measurement campaign that sits
+*between* the meters and the statistics — a lossy, bandwidth-starved
+collection network — and quantifies what it does to the results.
+
+Layout:
+
+* :mod:`repro.wire.framing` — the self-delimiting frame format (magic,
+  version, sequence, tick, node range, CRC-32 trailer) and the
+  crash-proof incremental parser.
+* :mod:`repro.wire.codecs` — the payload codec registry: ``raw64``,
+  ``delta-varint`` (lossless at 1 mW), ``quant8``/``quant12`` (lossy
+  with declared bounds), and ``zlib`` as a composable outer layer.
+* :mod:`repro.wire.session` — :class:`WireWriter` / :class:`WireReader`
+  sessions: sequence numbering, reordering windows, gap detection, and
+  the bridge into the :mod:`repro.faults` recovery layer.
+* :mod:`repro.wire.chaos` — transport chaos harness: inject frame
+  drops/corruption, recover, and audit the provenance label exactly.
+* :mod:`repro.wire.frontier` — the bandwidth-vs-accuracy frontier the
+  X-WIRE experiment reports.
+"""
+
+from repro.wire.chaos import WireChaosOutcome, WireScenario, run_wire_chaos
+from repro.wire.codecs import (
+    Codec,
+    DeltaVarintCodec,
+    Quant8Codec,
+    Quant12Codec,
+    Raw64Codec,
+    ZlibCodec,
+    available_codecs,
+    codec_for_frame,
+    make_codec,
+)
+from repro.wire.framing import (
+    FLAG_ZLIB,
+    HEADER_LEN,
+    MAGIC,
+    MAX_PAYLOAD_LEN,
+    TRAILER_LEN,
+    WIRE_VERSION,
+    FrameEvent,
+    FrameHeader,
+    FrameParser,
+    encode_frame,
+)
+from repro.wire.frontier import FrontierCell, frontier_cell, wire_frontier
+from repro.wire.session import WireFrame, WireReader, WireWriter
+
+__all__ = [
+    "Codec",
+    "DeltaVarintCodec",
+    "FLAG_ZLIB",
+    "FrameEvent",
+    "FrameHeader",
+    "FrameParser",
+    "FrontierCell",
+    "HEADER_LEN",
+    "MAGIC",
+    "MAX_PAYLOAD_LEN",
+    "Quant12Codec",
+    "Quant8Codec",
+    "Raw64Codec",
+    "TRAILER_LEN",
+    "WIRE_VERSION",
+    "WireChaosOutcome",
+    "WireFrame",
+    "WireReader",
+    "WireScenario",
+    "WireWriter",
+    "ZlibCodec",
+    "available_codecs",
+    "codec_for_frame",
+    "encode_frame",
+    "frontier_cell",
+    "make_codec",
+    "run_wire_chaos",
+    "wire_frontier",
+]

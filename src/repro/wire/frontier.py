@@ -1,0 +1,178 @@
+"""The bandwidth-vs-accuracy frontier of the wire codecs.
+
+The question the X-WIRE experiment answers: **how many bytes per node
+per second does a telemetry collector have to spend before the paper's
+statistics stop moving?**  Each :class:`FrontierCell` is one point of
+the trade-off — a (codec, drop rate, corruption rate) triple run
+through the full wire chaos path — reporting the wire cost
+(bytes/node/s, compression ratio vs ``raw64``) against the drift it
+induces in the quantities the paper actually publishes:
+
+* the fleet-mean power (Table 4's headline number),
+* the node-to-node CV,
+* the Table 5 required sample size ``n`` recomputed from the degraded
+  CV (the operational consequence of CV drift), and
+* the EE HPC WG compliance verdict (did the circuit breaker downgrade
+  the level?).
+
+Every cell also carries the two audit verdicts from
+:mod:`repro.wire.chaos` — exact ledger reconciliation and stated-bound
+containment — so a frontier point is only trusted when its accounting
+closed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sampling import recommend_sample_size
+from repro.wire.chaos import WireScenario, run_wire_chaos
+
+__all__ = [
+    "FrontierCell",
+    "frontier_cell",
+    "wire_frontier",
+    "RAW64_BYTES_PER_SAMPLE",
+]
+
+#: Wire cost of the uncompressed baseline codec, excluding framing
+#: (8 bytes per IEEE-754 float64 sample).
+RAW64_BYTES_PER_SAMPLE = 8.0
+
+#: Fleet size for the Table 5 required-n recomputation.  The paper's
+#: survey argument is about populations of thousands of nodes; the
+#: required-n flip is most visible there.
+_REQUIRED_N_FLEET = 10_000
+
+
+@dataclass(frozen=True)
+class FrontierCell:
+    """One point on the bandwidth-vs-accuracy frontier."""
+
+    codec: str
+    drop_rate: float
+    corrupt_rate: float
+    frames_sent: int
+    frames_lost: int
+    node_bps: float
+    bytes_per_sample: float
+    compression_ratio: float
+    codec_error_bound_w: float
+    rel_err_fleet_mean: float
+    rel_err_node_cv: float
+    required_n_clean: int
+    required_n_degraded: int
+    verdict_flipped: bool
+    reconciled: bool
+    within_bounds: bool
+
+    @property
+    def required_n_drift(self) -> int:
+        """How far the Table 5 recommendation moved (signed nodes)."""
+        return self.required_n_degraded - self.required_n_clean
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering."""
+        return {
+            "codec": self.codec,
+            "drop_rate": self.drop_rate,
+            "corrupt_rate": self.corrupt_rate,
+            "frames_sent": self.frames_sent,
+            "frames_lost": self.frames_lost,
+            "node_bps": self.node_bps,
+            "bytes_per_sample": self.bytes_per_sample,
+            "compression_ratio": self.compression_ratio,
+            "codec_error_bound_w": self.codec_error_bound_w,
+            "rel_err_fleet_mean": self.rel_err_fleet_mean,
+            "rel_err_node_cv": self.rel_err_node_cv,
+            "required_n_clean": self.required_n_clean,
+            "required_n_degraded": self.required_n_degraded,
+            "required_n_drift": self.required_n_drift,
+            "verdict_flipped": self.verdict_flipped,
+            "reconciled": self.reconciled,
+            "within_bounds": self.within_bounds,
+        }
+
+
+def _required_n(cv: float) -> int:
+    """Table 5 recommendation for the frontier's reference fleet."""
+    return recommend_sample_size(_REQUIRED_N_FLEET, cv).n
+
+
+def frontier_cell(run, scenario: WireScenario, **kwargs) -> FrontierCell:
+    """Run one wire chaos trial and project it onto the frontier."""
+    outcome = run_wire_chaos(run, scenario, **kwargs)
+    dt_s = float(run.dt)
+    node_bytes_per_tick = outcome.bytes_per_sample  # one sample/node/tick
+    return FrontierCell(
+        codec=scenario.codec,
+        drop_rate=scenario.drop_rate,
+        corrupt_rate=scenario.corrupt_rate,
+        frames_sent=outcome.ledger.frames_sent,
+        frames_lost=outcome.ledger.frames_lost,
+        node_bps=node_bytes_per_tick / dt_s,
+        bytes_per_sample=outcome.bytes_per_sample,
+        compression_ratio=RAW64_BYTES_PER_SAMPLE
+        / outcome.bytes_per_sample,
+        codec_error_bound_w=outcome.report.codec_error_bound_w,
+        rel_err_fleet_mean=outcome.rel_err_fleet_mean,
+        rel_err_node_cv=outcome.rel_err_node_cv,
+        required_n_clean=_required_n(outcome.clean_node_cv),
+        required_n_degraded=_required_n(outcome.report.node_cv),
+        verdict_flipped=outcome.report.downgraded(),
+        reconciled=outcome.reconciled,
+        within_bounds=outcome.mean_within_bound
+        and outcome.cv_within_bound,
+    )
+
+
+def wire_frontier(
+    run,
+    *,
+    codecs: tuple[str, ...] = (
+        "raw64",
+        "delta-varint",
+        "zlib(delta-varint)",
+        "quant12",
+        "quant8",
+    ),
+    rates: tuple[tuple[float, float], ...] = (
+        (0.0, 0.0),
+        (0.1, 0.0),
+        (0.0, 0.1),
+        (0.1, 0.1),
+    ),
+    seed: int,
+    node_indices: np.ndarray | None = None,
+    ticks_per_batch: int = 20,
+    gap_policy: str = "hold",
+) -> list[FrontierCell]:
+    """Sweep the codec × loss grid; returns cells in sweep order.
+
+    Deterministic: each cell reuses the same root ``seed``, and the
+    per-cell fault draws are namespaced by the scenario's models inside
+    :class:`~repro.faults.wire.WireFaultPlan`, so adding a codec or a
+    rate never perturbs the other cells.
+    """
+    cells = []
+    for codec in codecs:
+        for drop_rate, corrupt_rate in rates:
+            scenario = WireScenario(
+                name=f"{codec}@d{drop_rate:g}c{corrupt_rate:g}",
+                codec=codec,
+                drop_rate=drop_rate,
+                corrupt_rate=corrupt_rate,
+            )
+            cells.append(
+                frontier_cell(
+                    run,
+                    scenario,
+                    seed=seed,
+                    node_indices=node_indices,
+                    ticks_per_batch=ticks_per_batch,
+                    gap_policy=gap_policy,
+                )
+            )
+    return cells

@@ -1,0 +1,59 @@
+"""Unit-lattice tests, including the wire layer's data/bandwidth units."""
+
+from __future__ import annotations
+
+from repro.checks.semantic.lattice import (
+    SCALAR,
+    UNKNOWN,
+    dimension_of,
+    join_units,
+    unit_of_name,
+    units_divide,
+    units_multiply,
+)
+
+
+class TestNameInference:
+    def test_power_time_energy_suffixes_still_work(self):
+        assert unit_of_name("core_power_w") == "w"
+        assert unit_of_name("duration_s") == "s"
+        assert unit_of_name("energy_j") == "j"
+
+    def test_wire_suffixes(self):
+        assert unit_of_name("payload_bytes") == "b"
+        assert unit_of_name("header_bits") == "bit"
+        assert unit_of_name("node_bps") == "b/s"
+
+    def test_wire_words(self):
+        assert unit_of_name("bytes") == "b"
+        assert unit_of_name("bits") == "bit"
+
+    def test_short_b_tail_is_not_bytes(self):
+        # ``rank_b`` means "the second of a pair", so no ``_b`` suffix.
+        assert unit_of_name("rank_b") == UNKNOWN
+
+    def test_dimensions(self):
+        assert dimension_of("b") == "data"
+        assert dimension_of("bit") == "data"
+        assert dimension_of("b/s") == "bandwidth"
+
+
+class TestWireAlgebra:
+    def test_bytes_over_time_is_bandwidth(self):
+        assert units_divide("b", "s") == "b/s"
+
+    def test_bandwidth_times_time_is_bytes(self):
+        assert units_multiply("b/s", "s") == "b"
+        assert units_multiply("s", "b/s") == "b"
+
+    def test_bytes_over_bandwidth_is_time(self):
+        assert units_divide("b", "b/s") == "s"
+
+    def test_bits_do_not_silently_mix_with_bytes(self):
+        assert join_units("b", "bit") == UNKNOWN
+        assert units_divide("bit", "s") == UNKNOWN
+
+    def test_scalar_and_unknown_behave(self):
+        assert units_multiply("b/s", SCALAR) == "b/s"
+        assert units_divide("b", "b") == SCALAR
+        assert units_multiply("b", UNKNOWN) == UNKNOWN

@@ -1,0 +1,58 @@
+"""Tests for the X-WIRE bandwidth-vs-accuracy frontier experiment."""
+
+import pytest
+
+from repro.experiments import ext_wire
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Paper-scale defaults: the whole sweep (5 codecs x 4 rate cells,
+    # run twice for the determinism check) takes a few seconds.
+    return ext_wire.run()
+
+
+class TestWireExperiment:
+    def test_all_ok(self, result):
+        assert result.all_ok(), "\n".join(
+            c.line() for c in result.comparisons() if not c.ok
+        )
+
+    def test_covers_the_full_grid(self, result):
+        assert len(result.cells) == len(ext_wire._CODECS) * len(
+            ext_wire._RATES
+        )
+        seen = {
+            (c.codec, c.drop_rate, c.corrupt_rate) for c in result.cells
+        }
+        assert len(seen) == len(result.cells)
+
+    def test_every_cell_audited(self, result):
+        for cell in result.cells:
+            assert cell.reconciled, cell.to_dict()
+            assert cell.within_bounds, cell.to_dict()
+
+    def test_lossy_cells_are_cheaper_than_raw64(self, result):
+        raw = result._cell("raw64", 0.0, 0.0)
+        for codec in ("delta-varint", "quant12", "quant8"):
+            assert (
+                result._cell(codec, 0.0, 0.0).bytes_per_sample
+                < raw.bytes_per_sample
+            )
+
+    def test_frame_loss_is_the_only_verdict_flipper(self, result):
+        for cell in result.cells:
+            assert cell.verdict_flipped == (cell.frames_lost > 0)
+
+    def test_deterministic_replay(self, result):
+        assert result.deterministic
+
+    def test_missing_cell_lookup_is_loud(self, result):
+        with pytest.raises(KeyError):
+            result._cell("morse", 0.0, 0.0)
+
+    def test_report_renders_the_frontier_table(self, result):
+        text = result.report()
+        assert "bandwidth-vs-accuracy frontier" in text
+        assert "delta-varint" in text
+        assert "bit-identical replay: True" in text

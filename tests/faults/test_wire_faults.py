@@ -1,0 +1,146 @@
+"""Wire fault model tests: determinism, disjointness, exact ledgers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.wire import (
+    FrameCorruption,
+    FrameDrop,
+    WireFaultPlan,
+)
+from repro.stream.ingest import SampleBatch
+from repro.wire.framing import HEADER_LEN
+from repro.wire.session import WireReader, WireWriter
+
+
+@pytest.fixture(scope="module")
+def frames():
+    rng = np.random.default_rng(7)
+    writer = WireWriter("raw64")
+    n_ticks, n_nodes = 4, 6
+    return writer.write_all(
+        [
+            SampleBatch(
+                times=np.arange(i * n_ticks, (i + 1) * n_ticks) * 2.0,
+                watts=300.0 + rng.standard_normal((n_ticks, n_nodes)),
+                node_ids=np.arange(n_nodes, dtype=np.int64),
+            )
+            for i in range(40)
+        ]
+    )
+
+
+class TestModels:
+    def test_rates_are_validated(self):
+        with pytest.raises(ValueError, match="drop rate"):
+            FrameDrop(rate=1.5)
+        with pytest.raises(ValueError, match="corruption rate"):
+            FrameCorruption(rate=-0.1)
+        with pytest.raises(ValueError, match="flips"):
+            FrameCorruption(rate=0.1, flips=0)
+
+    def test_labels_distinguish_tagged_instances(self):
+        assert FrameDrop(rate=0.1).label == "FrameDrop"
+        assert FrameDrop(rate=0.1, tag="a").label == "FrameDrop:a"
+
+
+class TestPlan:
+    def test_canonical_orders_corruption_before_drops(self):
+        plan = WireFaultPlan.canonical(
+            [FrameDrop(rate=0.1), FrameCorruption(rate=0.1)], seed=1
+        )
+        assert [type(m).__name__ for m in plan.models] == [
+            "FrameCorruption",
+            "FrameDrop",
+        ]
+
+    def test_empty_frame_sequence_is_refused(self, frames):
+        plan = WireFaultPlan.canonical([FrameDrop(rate=0.5)], seed=1)
+        with pytest.raises(ValueError, match="empty"):
+            plan.apply([])
+
+    def test_non_consecutive_seqs_are_refused(self, frames):
+        plan = WireFaultPlan.canonical([FrameDrop(rate=0.5)], seed=1)
+        with pytest.raises(ValueError, match="consecutive"):
+            plan.apply([frames[0], frames[2]])
+
+    def test_apply_is_bit_deterministic(self, frames):
+        plan = WireFaultPlan.canonical(
+            [FrameCorruption(rate=0.3), FrameDrop(rate=0.3)], seed=11
+        )
+        a, b = plan.apply(frames), plan.apply(frames)
+        assert a.chunks == b.chunks
+        assert a.ledger == b.ledger
+
+    def test_disjointness_drop_and_corruption_never_overlap(self, frames):
+        plan = WireFaultPlan.canonical(
+            [FrameCorruption(rate=0.6), FrameDrop(rate=0.6)], seed=23
+        )
+        ledger = plan.apply(frames).ledger
+        assert not set(ledger.dropped_seqs) & set(ledger.corrupted_seqs)
+        assert (
+            ledger.frames_dropped + ledger.frames_corrupted
+            == len(ledger.dropped_seqs) + len(ledger.corrupted_seqs)
+        )
+
+    def test_ledger_arithmetic(self, frames):
+        plan = WireFaultPlan.canonical(
+            [FrameCorruption(rate=0.25), FrameDrop(rate=0.25)], seed=5
+        )
+        delivery = plan.apply(frames)
+        ledger = delivery.ledger
+        assert ledger.frames_sent == len(frames)
+        assert (
+            ledger.frames_delivered
+            == len(frames) - ledger.frames_lost
+        )
+        assert ledger.samples_lost == ledger.ticks_lost * ledger.n_nodes
+        # Dropped frames are absent, corrupted frames still ship bytes.
+        assert len(delivery.chunks) == len(frames) - ledger.frames_dropped
+        assert len(delivery.data) == sum(len(c) for c in delivery.chunks)
+
+    def test_corruption_leaves_the_header_intact(self, frames):
+        plan = WireFaultPlan.canonical([FrameCorruption(rate=1.0)], seed=9)
+        delivery = plan.apply(frames)
+        assert delivery.ledger.frames_corrupted == len(frames)
+        for chunk, frame in zip(delivery.chunks, frames):
+            assert chunk[:HEADER_LEN] == frame.data[:HEADER_LEN]
+            assert chunk != frame.data
+
+    def test_corrupted_frames_fail_crc_at_the_reader(self, frames):
+        plan = WireFaultPlan.canonical([FrameCorruption(rate=1.0)], seed=9)
+        delivery = plan.apply(frames)
+        reader = WireReader(dt_s=2.0)
+        reader.feed(delivery.data)
+        reader.close()
+        assert reader.crc_failures == len(frames)
+        assert reader.frames_ok == 0
+
+    def test_reader_counters_reconcile_against_the_ledger(self, frames):
+        plan = WireFaultPlan.canonical(
+            [FrameCorruption(rate=0.2), FrameDrop(rate=0.2)], seed=31
+        )
+        delivery = plan.apply(frames)
+        reader = WireReader(dt_s=2.0)
+        batches = reader.feed(delivery.data)
+        batches.extend(reader.close())
+        ledger = delivery.ledger
+        assert reader.crc_failures == ledger.frames_corrupted
+        assert reader.frames_ok == ledger.frames_delivered
+        assert reader.garbage_bytes == 0
+        # Gap rows delivered + trailing losses = everything the ledger
+        # says was lost.
+        nan_ticks = sum(
+            int(np.isnan(b.watts).all(axis=1).sum()) for b in batches
+        )
+        trailing = ledger.ticks_lost - nan_ticks
+        assert trailing >= 0
+        assert nan_ticks + trailing == ledger.ticks_lost
+
+    def test_zero_rates_are_a_clean_wire(self, frames):
+        plan = WireFaultPlan.canonical([], seed=3)
+        delivery = plan.apply(frames)
+        assert delivery.ledger.frames_lost == 0
+        assert delivery.data == b"".join(f.data for f in frames)

@@ -1,0 +1,231 @@
+"""Writer/reader session tests: ordering, gaps, duplicates, audit."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stream.ingest import SampleBatch
+from repro.wire.codecs import available_codecs
+from repro.wire.session import WireReader, WireWriter
+
+DT_S = 2.0
+N_NODES = 5
+
+
+def make_batches(n_batches: int = 6, n_ticks: int = 4) -> list[SampleBatch]:
+    rng = np.random.default_rng(99)
+    batches = []
+    for i in range(n_batches):
+        ticks = np.arange(i * n_ticks, (i + 1) * n_ticks)
+        batches.append(
+            SampleBatch(
+                times=ticks * DT_S,
+                watts=400.0
+                + 10.0 * rng.standard_normal((n_ticks, N_NODES)),
+                node_ids=np.arange(N_NODES, dtype=np.int64),
+            )
+        )
+    return batches
+
+
+def stitch(batches: list[SampleBatch]) -> np.ndarray:
+    return np.vstack([b.watts for b in batches])
+
+
+class TestWriter:
+    def test_assigns_consecutive_seq_and_cumulative_ticks(self):
+        writer = WireWriter("raw64")
+        frames = writer.write_all(make_batches(3, n_ticks=4))
+        assert [f.seq for f in frames] == [0, 1, 2]
+        assert [f.tick for f in frames] == [0, 4, 8]
+        assert writer.frames_written == 3
+        assert writer.samples_written == 3 * 4 * N_NODES
+        assert writer.bytes_written == sum(f.n_bytes for f in frames)
+
+    def test_rejects_non_contiguous_node_ids(self):
+        writer = WireWriter()
+        batch = SampleBatch(
+            times=np.array([0.0]),
+            watts=np.ones((1, 3)),
+            node_ids=np.array([0, 2, 5]),
+        )
+        with pytest.raises(ValueError, match="contiguous"):
+            writer.write(batch)
+
+    def test_rejects_node_range_change_mid_stream(self):
+        writer = WireWriter()
+        batches = make_batches(2)
+        writer.write(batches[0])
+        shifted = SampleBatch(
+            times=batches[1].times,
+            watts=batches[1].watts,
+            node_ids=np.arange(1, N_NODES + 1, dtype=np.int64),
+        )
+        with pytest.raises(ValueError, match="changed mid-stream"):
+            writer.write(shifted)
+
+    def test_rejects_empty_batches(self):
+        writer = WireWriter()
+        with pytest.raises(ValueError, match="empty"):
+            writer.write(
+                SampleBatch(
+                    times=np.zeros(0),
+                    watts=np.zeros((0, 2)),
+                    node_ids=np.arange(2),
+                )
+            )
+
+    def test_tracks_the_worst_lossy_bound(self):
+        writer = WireWriter("quant8")
+        writer.write_all(make_batches(3))
+        assert writer.error_bound_w > 0.0
+
+
+class TestCleanRoundTrip:
+    @pytest.mark.parametrize("spec", available_codecs())
+    def test_every_codec_round_trips_in_odd_chunks(self, spec):
+        batches = make_batches()
+        writer = WireWriter(spec)
+        data = b"".join(f.data for f in writer.write_all(batches))
+        reader = WireReader(dt_s=DT_S)
+        got = []
+        for i in range(0, len(data), 37):  # deliberately odd chunking
+            got.extend(reader.feed(data[i : i + 37]))
+        got.extend(reader.close())
+        assert reader.frames_ok == len(batches)
+        assert reader.frames_missing == 0
+        assert reader.error_bound_w == writer.error_bound_w
+        assert reader.codec_names == (spec,)
+        sent, received = stitch(batches), stitch(got)
+        assert np.abs(received - sent).max() <= writer.error_bound_w + 1e-12
+        if writer.codec.lossless and spec.startswith("raw64"):
+            assert received.tobytes() == sent.tobytes()
+        np.testing.assert_array_equal(
+            np.concatenate([b.times for b in got]),
+            np.concatenate([b.times for b in batches]),
+        )
+
+
+class TestLossAndReorder:
+    def test_dropped_frame_becomes_a_nan_gap_with_rebuilt_times(self):
+        batches = make_batches(5, n_ticks=3)
+        frames = WireWriter("raw64").write_all(batches)
+        del frames[2]  # lose seq 2
+        reader = WireReader(dt_s=DT_S)
+        got = reader.feed(b"".join(f.data for f in frames))
+        got.extend(reader.close())
+        assert reader.frames_missing == 1
+        assert reader.gap_ticks == 3
+        watts = stitch(got)
+        assert watts.shape == (15, N_NODES)
+        assert np.isnan(watts[6:9]).all()
+        assert np.isfinite(np.delete(watts, slice(6, 9), axis=0)).all()
+        times = np.concatenate([b.times for b in got])
+        np.testing.assert_allclose(times, np.arange(15) * DT_S)
+
+    def test_trailing_drop_is_only_visible_at_close(self):
+        frames = WireWriter("raw64").write_all(make_batches(4))
+        reader = WireReader(dt_s=DT_S)
+        got = reader.feed(b"".join(f.data for f in frames[:-1]))
+        got.extend(reader.close())
+        # The reader cannot know seq 3 ever existed: the chaos layer
+        # accounts for trailing drops from the ledger side.
+        assert reader.frames_missing == 0
+        assert len(got) == 3
+
+    def test_reordered_frames_are_reassembled_in_order(self):
+        batches = make_batches(4)
+        frames = WireWriter("raw64").write_all(batches)
+        shuffled = [frames[0], frames[2], frames[1], frames[3]]
+        reader = WireReader(dt_s=DT_S)
+        got = []
+        for f in shuffled:
+            got.extend(reader.feed(f.data))
+        got.extend(reader.close())
+        assert reader.frames_reordered == 1
+        assert reader.frames_missing == 0
+        assert stitch(got).tobytes() == stitch(batches).tobytes()
+
+    def test_gap_blocked_frames_are_not_counted_reordered(self):
+        frames = WireWriter("raw64").write_all(make_batches(4))
+        reader = WireReader(dt_s=DT_S)
+        for f in [frames[1], frames[2], frames[3]]:  # 0 never arrives
+            reader.feed(f.data)
+        reader.close()
+        assert reader.frames_reordered == 0
+        assert reader.frames_missing == 1
+
+    def test_duplicates_are_counted_and_dropped(self):
+        batches = make_batches(3)
+        frames = WireWriter("raw64").write_all(batches)
+        reader = WireReader(dt_s=DT_S)
+        got = []
+        for f in [frames[0], frames[0], frames[1], frames[1], frames[2]]:
+            got.extend(reader.feed(f.data))
+        got.extend(reader.close())
+        assert reader.frames_duplicate == 2
+        assert stitch(got).tobytes() == stitch(batches).tobytes()
+
+    def test_window_overflow_gives_up_on_the_oldest_gap(self):
+        frames = WireWriter("raw64").write_all(make_batches(6))
+        reader = WireReader(dt_s=DT_S, reorder_window=2)
+        got = []
+        for f in frames[1:]:  # seq 0 lost; 5 pending frames vs window 2
+            got.extend(reader.feed(f.data))
+        assert got, "window overflow should force release before close"
+        got.extend(reader.close())
+        assert reader.frames_missing == 1
+        assert np.isnan(stitch(got)[:4]).all()
+
+    def test_corrupt_frame_is_a_crc_failure_plus_gap(self):
+        batches = make_batches(4)
+        frames = WireWriter("delta-varint").write_all(batches)
+        mangled = bytearray(frames[1].data)
+        mangled[-2] ^= 0x55
+        stream = (
+            frames[0].data
+            + bytes(mangled)
+            + frames[2].data
+            + frames[3].data
+        )
+        reader = WireReader(dt_s=DT_S)
+        got = reader.feed(stream)
+        got.extend(reader.close())
+        assert reader.crc_failures == 1
+        assert reader.frames_ok == 3
+        assert reader.frames_missing == 1
+        watts = stitch(got)
+        assert np.isnan(watts[4:8]).all()
+
+    def test_undecodable_payload_is_booked_not_raised(self):
+        # A frame with a valid CRC but an unregistered codec id.
+        from repro.wire.framing import encode_frame
+
+        data = encode_frame(
+            codec_id=77,
+            flags=0,
+            seq=0,
+            node_lo=0,
+            n_nodes=2,
+            n_ticks=1,
+            tick=0,
+            payload=np.zeros(1, dtype="<f8").tobytes() + b"\x00\x00",
+        )
+        reader = WireReader(dt_s=DT_S)
+        got = reader.feed(data)
+        got.extend(reader.close())
+        assert reader.frames_undecodable == 1
+        assert reader.frames_ok == 0
+        assert got and np.isnan(got[0].watts).all()
+
+    def test_reader_refuses_feed_after_close(self):
+        reader = WireReader(dt_s=DT_S)
+        reader.close()
+        with pytest.raises(ValueError, match="closed"):
+            reader.feed(b"x")
+        assert reader.close() == []
+
+    def test_reorder_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="reorder_window"):
+            WireReader(reorder_window=0)
