@@ -9,10 +9,17 @@ Two questions a site sizing a live collector asks:
 
 Node power matrices are synthesised directly (seeded RNG, no system
 calibration) so the numbers isolate the streaming layer itself.
+
+The committed ``BENCH_stream.json`` was produced on a single-core VM
+(see its ``machine_info.cpu.count``); absolute throughput on real
+hardware will be higher, and cross-machine comparisons should go
+through ``scripts/bench_compare.py``, which refuses to compare timings
+from different machines.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -87,6 +94,7 @@ def _sweep():
 
 def bench_stream_pipeline(benchmark, report_sink):
     rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
     t = Table(
         ["nodes", "samples", "ingest (samples/s)",
          "merge/shard (us)", "pooled roll-up (us)"],

@@ -49,4 +49,16 @@ python -m repro.cli wire --system l-csc --max-nodes 12 \
 echo "== compileall"
 python -m compileall -q src
 
+# Opt-in perf gate: RUN_BENCH=1 re-runs the shard benchmark and
+# compares it against the committed baseline with the 30% regression
+# threshold.  On a different machine the comparison prints a note and
+# passes (timings from another box are not comparable).
+if [ "${RUN_BENCH:-0}" = "1" ]; then
+    echo "== shard benchmark + regression gate (RUN_BENCH=1)"
+    python -m pytest benchmarks/bench_shard.py --benchmark-only \
+        --benchmark-json=/tmp/bench_shard_fresh.json -q
+    python scripts/bench_compare.py BENCH_shard.json \
+        /tmp/bench_shard_fresh.json
+fi
+
 echo "all gates green"

@@ -347,6 +347,57 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.cluster.registry import TRACE_SYSTEMS as _TRACE
+    from repro.cluster.registry import get_trace_setup
+    from repro.shard import sharded_session
+    from repro.traces.synth import simulate_run
+    from repro.workloads.base import ConstantWorkload
+
+    name = args.system
+    if name in _TRACE:
+        system, workload = get_trace_setup(name)
+    elif name in NODE_VARIABILITY_SYSTEMS:
+        system = get_system(name)
+        workload = ConstantWorkload(
+            utilisation=workload_utilisation(name),
+            core_s=args.core_seconds,
+        )
+    else:
+        known = ", ".join((*_TRACE, *NODE_VARIABILITY_SYSTEMS))
+        raise SystemExit(f"error: unknown system {name!r} (known: {known})")
+
+    if args.shards < 1:
+        raise SystemExit("error: --shards must be >= 1")
+    processes = args.processes
+    if processes is None:
+        processes = min(args.shards, os.cpu_count() or 1)
+    if processes < 0:
+        raise SystemExit("error: --processes must be >= 0")
+
+    run = simulate_run(system, workload, dt=args.dt, seed=args.seed)
+    result = sharded_session(
+        run,
+        n_shards=min(args.shards, system.n_nodes),
+        ticks_per_batch=args.ticks_per_batch,
+        accuracy=args.accuracy,
+        confidence=args.confidence,
+        processes=processes,
+    )
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2, default=float))
+    else:
+        print(result.render_text())
+    ok = (
+        result.monitor_report.interval_ok
+        and result.stopping.should_stop
+    )
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
 
@@ -676,6 +727,39 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--format", choices=("text", "json"),
                         default="text")
     stream.set_defaults(func=_cmd_stream)
+
+    shard = sub.add_parser(
+        "shard",
+        help="replay a registry system through the sharded multiprocess "
+             "pipeline — bit-identical to serial for any shard count",
+        description="Partition the fleet into contiguous node ranges, "
+                    "run the full per-node kernel per shard (in a fork "
+                    "worker pool, or inline with --processes 0), and "
+                    "reduce through the exact merge tree.",
+    )
+    shard.add_argument("--system", default="l-csc",
+                       help="registry system to replay")
+    shard.add_argument("--shards", type=int, default=4,
+                       help="contiguous node-range shards "
+                            "(default: %(default)s)")
+    shard.add_argument("--processes", type=int, default=None, metavar="N",
+                       help="worker processes (default: min(shards, "
+                            "cpu count); 0 runs every shard inline)")
+    shard.add_argument("--dt", type=float, default=1.0,
+                       help="sample spacing in seconds")
+    shard.add_argument("--seed", type=int, default=2015,
+                       help="simulation seed")
+    shard.add_argument("--accuracy", type=float, default=0.01,
+                       help="sequential stopping target lambda")
+    shard.add_argument("--confidence", type=float, default=0.95)
+    shard.add_argument("--ticks-per-batch", type=int, default=60,
+                       help="slab capacity / collector flush interval")
+    shard.add_argument("--core-seconds", type=float,
+                       default=SECONDS_PER_HOUR,
+                       help="core-phase length for non-trace systems")
+    shard.add_argument("--format", choices=("text", "json"),
+                       default="text")
+    shard.set_defaults(func=_cmd_shard)
 
     chaos = sub.add_parser(
         "chaos",

@@ -45,7 +45,9 @@ __all__ = [
     "ResilientIngestLoop",
     "MaskedRunningMoments",
     "GAP_POLICIES",
+    "RecoveryState",
     "RecoveryPipeline",
+    "build_quality_report",
 ]
 
 #: Supported gap-repair policies.
@@ -293,6 +295,25 @@ class MaskedRunningMoments:
         valid[component] = True
         self.push_row(row, valid)
 
+    @classmethod
+    def concat(cls, parts: list["MaskedRunningMoments"]) -> "MaskedRunningMoments":
+        """Join component-partitioned estimators along the component axis.
+
+        The shard reduction for masked moments: each component already
+        keeps its own count, so joining node-disjoint shards is a pure
+        array concatenation in node order — exact to the bit, with no
+        floating-point combination at all.  Unlike
+        :meth:`repro.stream.estimators.RunningMoments.concat` the parts
+        may have *different* per-component counts (holes are per node).
+        """
+        if not parts:
+            raise ValueError("concat needs at least one part")
+        out = cls(sum(p._count.size for p in parts))
+        out._count = np.concatenate([p._count for p in parts])
+        out._mean = np.concatenate([p._mean for p in parts])
+        out._m2 = np.concatenate([p._m2 for p in parts])
+        return out
+
     @property
     def mean(self) -> np.ndarray:
         """Per-component mean (NaN where no samples)."""
@@ -309,6 +330,166 @@ class MaskedRunningMoments:
     def std(self) -> np.ndarray:
         """Per-component sample standard deviation."""
         return np.sqrt(self.variance)
+
+
+@dataclass(frozen=True)
+class RecoveryState:
+    """Snapshot of a recovery kernel's per-node state plus counters.
+
+    The unit the shard layer reduces: a
+    :class:`RecoveryPipeline` over node range ``[lo, hi)`` produces a
+    ``RecoveryState`` whose arrays are exactly the ``[lo, hi)`` column
+    slice of the state a full-fleet pipeline would hold — every
+    detection, repair and quarantine decision reads only the node's own
+    column.  :meth:`concat` therefore reassembles the fleet state bit
+    for bit, and :func:`build_quality_report` renders either a serial
+    or a merged state into the identical :class:`QualityReport`.
+    """
+
+    node_ids: np.ndarray
+    quarantined: np.ndarray
+    usable_per_node: np.ndarray
+    moments: MaskedRunningMoments
+    ticks_seen: int
+    original_level: int
+    samples_missing: int
+    samples_stuck: int
+    samples_spiked: int
+    samples_held: int
+    samples_interpolated: int
+    samples_excluded: int
+
+    @property
+    def n_nodes(self) -> int:
+        """Nodes covered by this state."""
+        return int(self.node_ids.size)
+
+    @staticmethod
+    def concat(parts: list["RecoveryState"]) -> "RecoveryState":
+        """Reassemble node-partitioned states in node order (exact).
+
+        Per-node arrays concatenate; scalar fault counters add (each
+        faulted cell is counted by exactly one shard); ``ticks_seen``
+        and ``original_level`` must agree across shards because every
+        shard replays the same tick grid.
+        """
+        if not parts:
+            raise ValueError("concat needs at least one part")
+        first = parts[0]
+        for i, part in enumerate(parts):
+            if part.ticks_seen != first.ticks_seen:
+                raise ValueError(
+                    f"part {i} saw {part.ticks_seen} ticks, part 0 saw "
+                    f"{first.ticks_seen}; shards must cover the same ticks"
+                )
+            if part.original_level != first.original_level:
+                raise ValueError("parts disagree on original_level")
+        return RecoveryState(
+            node_ids=np.concatenate([p.node_ids for p in parts]),
+            quarantined=np.concatenate([p.quarantined for p in parts]),
+            usable_per_node=np.concatenate(
+                [p.usable_per_node for p in parts]
+            ),
+            moments=MaskedRunningMoments.concat([p.moments for p in parts]),
+            ticks_seen=first.ticks_seen,
+            original_level=first.original_level,
+            samples_missing=sum(p.samples_missing for p in parts),
+            samples_stuck=sum(p.samples_stuck for p in parts),
+            samples_spiked=sum(p.samples_spiked for p in parts),
+            samples_held=sum(p.samples_held for p in parts),
+            samples_interpolated=sum(p.samples_interpolated for p in parts),
+            samples_excluded=sum(p.samples_excluded for p in parts),
+        )
+
+
+def _breaker_level(
+    original_level: int, coverage: float, any_quarantined: bool
+) -> int:
+    """Grade surviving coverage into an effective compliance level."""
+    level = original_level
+    if coverage < 0.995 or any_quarantined:
+        level = min(level, 2)
+    if coverage < 0.98:
+        level = min(level, 1)
+    if coverage < 0.60:
+        level = 0
+    return level
+
+
+def build_quality_report(
+    state: RecoveryState,
+    *,
+    expected_ticks: int,
+    batches_retried: int = 0,
+    batches_abandoned: int = 0,
+) -> QualityReport:
+    """Render a recovery state into its quality-labelled statistics.
+
+    The single rendering path for serial and sharded runs:
+    :meth:`RecoveryPipeline.finalize` calls it on its own snapshot, and
+    the shard reducer calls it on the :meth:`RecoveryState.concat` of
+    the per-shard snapshots — so a sharded report is bit-identical to
+    the serial one by construction, not by coincidence.
+
+    ``expected_ticks`` is the planned horizon (what a perfect meter
+    would have delivered); the gap between it and what arrived is
+    attributed to truncation/abandonment (``samples_never_arrived``).
+    """
+    if expected_ticks < state.ticks_seen:
+        raise ValueError(
+            "expected_ticks cannot be below the ticks actually seen"
+        )
+    n = state.n_nodes
+    kept = ~state.quarantined
+    samples_expected = int(expected_ticks) * n
+    samples_arrived = state.ticks_seen * n
+    coverage = float(state.usable_per_node[kept].sum()) / max(
+        samples_expected, 1
+    )
+    quarantined_ids = tuple(
+        int(i) for i in state.node_ids[state.quarantined]
+    )
+    # Fleet statistics over surviving nodes.
+    node_means = state.moments.mean
+    node_stds = state.moments.std
+    counts = state.moments.count
+    used = kept & (counts >= 2)
+    n_used = int(used.sum())
+    if n_used >= 2:
+        means = node_means[used]
+        fleet_mean_w = float(means.mean())
+        sigma_node_w = float(means.std(ddof=1))
+        node_cv = sigma_node_w / fleet_mean_w
+        sigma_tick_w = float(node_stds[used].mean())
+    else:
+        fleet_mean_w = float(node_means[used][0]) if n_used else 0.0
+        sigma_node_w = 0.0
+        node_cv = 0.0
+        sigma_tick_w = 0.0
+    return QualityReport(
+        samples_expected=samples_expected,
+        samples_arrived=samples_arrived,
+        samples_missing=state.samples_missing,
+        samples_never_arrived=samples_expected - samples_arrived,
+        samples_stuck=state.samples_stuck,
+        samples_spiked=state.samples_spiked,
+        samples_held=state.samples_held,
+        samples_interpolated=state.samples_interpolated,
+        samples_excluded=state.samples_excluded,
+        nodes_quarantined=quarantined_ids,
+        batches_retried=batches_retried,
+        batches_abandoned=batches_abandoned,
+        effective_coverage=coverage,
+        original_level=state.original_level,
+        effective_level=_breaker_level(
+            state.original_level, coverage, bool(state.quarantined.any())
+        ),
+        fleet_mean_w=fleet_mean_w,
+        node_cv=node_cv,
+        sigma_node_w=sigma_node_w,
+        sigma_tick_w=sigma_tick_w,
+        n_nodes_used=n_used,
+    )
 
 
 class _NodeState:
@@ -522,16 +703,34 @@ class RecoveryPipeline:
             self.samples_held += gap
             nodes.gap_len[j] = 0
 
-    def _breaker_level(self, coverage: float, any_quarantined: bool) -> int:
-        """Grade surviving coverage into an effective compliance level."""
-        level = self.original_level
-        if coverage < 0.995 or any_quarantined:
-            level = min(level, 2)
-        if coverage < 0.98:
-            level = min(level, 1)
-        if coverage < 0.60:
-            level = 0
-        return level
+    def state_snapshot(self) -> RecoveryState:
+        """Snapshot the per-node state + counters for shard reduction.
+
+        Flushes still-open interpolation gaps first (tail gaps hold), so
+        the snapshot is the same state :meth:`finalize` would render.
+        The arrays are copies — the pipeline can keep streaming.
+        """
+        if self._nodes is None:
+            raise ValueError("no batches observed")
+        self._flush_tail_gaps()
+        moments = MaskedRunningMoments(self._node_ids.size)
+        moments._count = self._moments._count.copy()
+        moments._mean = self._moments._mean.copy()
+        moments._m2 = self._moments._m2.copy()
+        return RecoveryState(
+            node_ids=self._node_ids.copy(),
+            quarantined=self._nodes.quarantined.copy(),
+            usable_per_node=self._usable_per_node.copy(),
+            moments=moments,
+            ticks_seen=self.ticks_seen,
+            original_level=self.original_level,
+            samples_missing=self.samples_missing,
+            samples_stuck=self.samples_stuck,
+            samples_spiked=self.samples_spiked,
+            samples_held=self.samples_held,
+            samples_interpolated=self.samples_interpolated,
+            samples_excluded=self.samples_excluded,
+        )
 
     def finalize(
         self,
@@ -542,69 +741,13 @@ class RecoveryPipeline:
     ) -> QualityReport:
         """Close the stream and emit the quality-labelled statistics.
 
-        ``expected_ticks`` is the planned horizon (what a perfect meter
-        would have delivered); the gap between it and what arrived is
-        attributed to truncation/abandonment (``samples_never_arrived``).
+        A thin wrapper over :func:`build_quality_report` on this
+        pipeline's own :meth:`state_snapshot` — the same rendering path
+        the shard reducer uses on merged state.
         """
-        if self._nodes is None:
-            raise ValueError("no batches observed")
-        if expected_ticks < self.ticks_seen:
-            raise ValueError(
-                "expected_ticks cannot be below the ticks actually seen"
-            )
-        self._flush_tail_gaps()
-        nodes = self._nodes
-        n = nodes.quarantined.size
-        usable = (
-            self._usable_per_node
-            if self._usable_per_node is not None
-            else np.zeros(n, dtype=np.int64)
-        )
-        kept = ~nodes.quarantined
-        samples_expected = int(expected_ticks) * n
-        samples_arrived = self.ticks_seen * n
-        coverage = float(usable[kept].sum()) / max(samples_expected, 1)
-        quarantined_ids = tuple(
-            int(i) for i in self._node_ids[nodes.quarantined]
-        )
-        # Fleet statistics over surviving nodes.
-        node_means = self._moments.mean
-        node_stds = self._moments.std
-        counts = self._moments.count
-        used = kept & (counts >= 2)
-        n_used = int(used.sum())
-        if n_used >= 2:
-            means = node_means[used]
-            fleet_mean_w = float(means.mean())
-            sigma_node_w = float(means.std(ddof=1))
-            node_cv = sigma_node_w / fleet_mean_w
-            sigma_tick_w = float(node_stds[used].mean())
-        else:
-            fleet_mean_w = float(node_means[used][0]) if n_used else 0.0
-            sigma_node_w = 0.0
-            node_cv = 0.0
-            sigma_tick_w = 0.0
-        return QualityReport(
-            samples_expected=samples_expected,
-            samples_arrived=samples_arrived,
-            samples_missing=self.samples_missing,
-            samples_never_arrived=samples_expected - samples_arrived,
-            samples_stuck=self.samples_stuck,
-            samples_spiked=self.samples_spiked,
-            samples_held=self.samples_held,
-            samples_interpolated=self.samples_interpolated,
-            samples_excluded=self.samples_excluded,
-            nodes_quarantined=quarantined_ids,
+        return build_quality_report(
+            self.state_snapshot(),
+            expected_ticks=expected_ticks,
             batches_retried=batches_retried,
             batches_abandoned=batches_abandoned,
-            effective_coverage=coverage,
-            original_level=self.original_level,
-            effective_level=self._breaker_level(
-                coverage, bool(nodes.quarantined.any())
-            ),
-            fleet_mean_w=fleet_mean_w,
-            node_cv=node_cv,
-            sigma_node_w=sigma_node_w,
-            sigma_tick_w=sigma_tick_w,
-            n_nodes_used=n_used,
         )

@@ -1,0 +1,373 @@
+"""Sharded multiprocess ingest over contiguous node ranges.
+
+The driver for the million-node hot path:
+
+* :func:`fleet_reference` — one vectorised streaming pass computing the
+  global per-tick fleet mean.  Every shard judges covariance and
+  excursion ratios against this *same* series, which is what makes the
+  per-shard state the exact column slice of a full-fleet run's.
+* :func:`run_shard` — the per-shard kernel: synthesize the shard's node
+  columns straight into a :class:`~repro.shard.slab.SlabRing` (zero
+  copies, no per-batch allocation), feed the compliance monitor, the
+  covariance tracker, the P² quantiles and the masked row-push recovery
+  kernel, and snapshot the result as a picklable
+  :class:`~repro.shard.reduce.ShardState`.
+* :func:`run_sharded` — fan the plan's shards over a ``fork`` worker
+  pool (or run them inline when ``processes`` is 0, the deterministic
+  default), then reduce through the exact merge tree.
+* :func:`sharded_session` — the full-session entry point: Eq. 1–5
+  sequential stopping, the merged :class:`MonitorReport` and the
+  :class:`~repro.faults.quality.QualityReport` all rendered from merged
+  shard state, bit-identical for any shard count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.quality import QualityReport
+from repro.faults.recovery import RecoveryPipeline, build_quality_report
+from repro.shard.plan import ShardPlan, ShardSpec, plan_shards
+from repro.shard.reduce import FleetState, ShardState, reduce_states
+from repro.shard.slab import SlabRing
+from repro.stream.estimators import P2Quantile, RunningCovariance, RunningMoments
+from repro.stream.monitor import ComplianceMonitor, MonitorReport
+from repro.stream.stopping import SequentialStopper, StoppingDecision
+from repro.traces.synth import SimulatedRun
+
+__all__ = [
+    "fleet_reference",
+    "run_shard",
+    "run_sharded",
+    "ShardSessionResult",
+    "sharded_session",
+]
+
+
+def fleet_reference(
+    run: SimulatedRun,
+    *,
+    ticks_per_batch: int = 60,
+    core_only: bool = True,
+) -> np.ndarray:
+    """The global per-tick fleet mean power, computed in one pass.
+
+    Streams the whole fleet through
+    :meth:`~repro.traces.synth.SimulatedRun.stream_run` (slab-backed,
+    never materialising the run) and keeps only the across-node mean of
+    each tick — O(n_ticks) memory.  The values are bit-identical to the
+    ``batch.fleet_means()`` a serial session computes, so a shard
+    pushing ratios or covariance against this series reproduces the
+    serial arithmetic exactly.
+    """
+    ring = SlabRing(ticks_per_batch, run.system.n_nodes)
+    chunks = [
+        batch.fleet_means()
+        for batch in run.stream_run(
+            ticks_per_batch=ticks_per_batch, core_only=core_only, ring=ring
+        )
+    ]
+    return np.concatenate(chunks)
+
+
+def run_shard(
+    run: SimulatedRun,
+    spec: ShardSpec,
+    *,
+    ticks_per_batch: int,
+    reference_w: np.ndarray,
+    quantiles: tuple[float, ...] = (0.5, 0.95),
+    core_only: bool = True,
+    gap_policy: str = "hold",
+    original_level: int = 2,
+) -> ShardState:
+    """Run the full per-shard kernel over one contiguous node range.
+
+    This is the unit of work a pool worker executes — and the unit the
+    shard benchmark times.  ``reference_w`` is the
+    :func:`fleet_reference` series; its length must match the shard's
+    tick count.
+    """
+    ring = SlabRing(ticks_per_batch, spec.n_nodes)
+    monitor = ComplianceMonitor(
+        run.core_window, required_interval_s=max(run.dt, 1.0)
+    )
+    covar = RunningCovariance()
+    p2 = {q: P2Quantile(q) for q in quantiles}
+    pipeline = RecoveryPipeline(
+        gap_policy=gap_policy, original_level=original_level
+    )
+    ticks_seen = 0
+    for batch in run.stream_run(
+        node_indices=spec.node_indices,
+        ticks_per_batch=ticks_per_batch,
+        core_only=core_only,
+        ring=ring,
+    ):
+        n_t = batch.n_ticks
+        if ticks_seen + n_t > reference_w.size:
+            raise ValueError(
+                "reference series shorter than the shard's tick stream"
+            )
+        ref_w = reference_w[ticks_seen : ticks_seen + n_t]
+        monitor.observe(batch, fleet_w=ref_w)
+        for est in p2.values():
+            est.push_batch(batch.watts)
+        covar.push_batch(
+            batch.watts,
+            np.broadcast_to(ref_w[:, None], batch.watts.shape),
+        )
+        pipeline.observe(batch)
+        ticks_seen += n_t
+    if ticks_seen != reference_w.size:
+        raise ValueError(
+            f"shard saw {ticks_seen} ticks but the reference series has "
+            f"{reference_w.size}"
+        )
+    return ShardState(
+        spec=spec,
+        monitor=monitor,
+        covar=covar,
+        quantiles=p2,
+        recovery=pipeline.state_snapshot(),
+        samples_ingested=ticks_seen * spec.n_nodes,
+    )
+
+
+def _shard_worker(payload: tuple) -> ShardState:
+    """Pool entry point: unpack one shard task and run its kernel."""
+    (
+        run,
+        spec,
+        ticks_per_batch,
+        reference_w,
+        quantiles,
+        core_only,
+        gap_policy,
+        original_level,
+    ) = payload
+    return run_shard(
+        run,
+        spec,
+        ticks_per_batch=ticks_per_batch,
+        reference_w=reference_w,
+        quantiles=quantiles,
+        core_only=core_only,
+        gap_policy=gap_policy,
+        original_level=original_level,
+    )
+
+
+def run_sharded(
+    run: SimulatedRun,
+    plan: ShardPlan,
+    *,
+    processes: int = 0,
+    quantiles: tuple[float, ...] = (0.5, 0.95),
+    core_only: bool = True,
+    gap_policy: str = "hold",
+    original_level: int = 2,
+    reference_w: np.ndarray | None = None,
+) -> FleetState:
+    """Execute every shard of a plan and reduce to the fleet state.
+
+    ``processes`` is the worker-pool width: 0 (the default) runs every
+    shard inline in this process — still through the identical kernel,
+    so results are bit-identical either way; ``>= 2`` fans shards over
+    a ``fork`` multiprocessing pool (falling back to inline where fork
+    is unavailable).  ``reference_w`` lets a caller reuse an already
+    computed :func:`fleet_reference` series.
+    """
+    if plan.n_nodes != run.system.n_nodes:
+        raise ValueError(
+            f"plan covers {plan.n_nodes} nodes but the run has "
+            f"{run.system.n_nodes}"
+        )
+    if processes < 0:
+        raise ValueError("processes must be >= 0")
+    if reference_w is None:
+        reference_w = fleet_reference(
+            run,
+            ticks_per_batch=plan.ticks_per_batch,
+            core_only=core_only,
+        )
+    payloads = [
+        (
+            run,
+            spec,
+            plan.ticks_per_batch,
+            reference_w,
+            quantiles,
+            core_only,
+            gap_policy,
+            original_level,
+        )
+        for spec in plan
+    ]
+    use_pool = (
+        processes >= 2
+        and plan.n_shards >= 2
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+    if use_pool:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(min(processes, plan.n_shards)) as pool:
+            states = pool.map(_shard_worker, payloads)
+    else:
+        states = [_shard_worker(p) for p in payloads]
+    return reduce_states(states, plan)
+
+
+@dataclass
+class ShardSessionResult:
+    """A finished sharded session: fleet statistics plus provenance."""
+
+    plan: ShardPlan
+    monitor_report: MonitorReport
+    stopping: StoppingDecision
+    quality: QualityReport
+    fleet_moments: RunningMoments
+    node_moments: RunningMoments
+    node_fleet_correlation: float
+    quantiles_w: dict[float, float]
+    samples_ingested: int
+    notes: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering of the final state."""
+        pooled = self.fleet_moments
+        return {
+            "n_shards": self.plan.n_shards,
+            "plan_key": self.plan.plan_key,
+            "samples_ingested": self.samples_ingested,
+            "fleet_mean_w": float(np.asarray(pooled.mean)),
+            "fleet_std_w": float(np.asarray(pooled.std())),
+            "quantiles_w": {
+                f"{q:g}": v for q, v in self.quantiles_w.items()
+            },
+            "node_fleet_correlation": self.node_fleet_correlation,
+            "stopping": self.stopping.to_dict(),
+            "monitor": self.monitor_report.to_dict(),
+            "quality": self.quality.to_dict(),
+            "notes": list(self.notes),
+        }
+
+    def render_text(self) -> str:
+        """Plain-text session summary."""
+        lines = [
+            f"== sharded session ({self.plan.n_shards} shards, "
+            f"{self.plan.n_nodes} nodes) ==",
+            f"samples ingested: {self.samples_ingested}",
+            f"fleet per-node power: mean "
+            f"{float(np.asarray(self.fleet_moments.mean)):.1f} W, "
+            f"sd {float(np.asarray(self.fleet_moments.std())):.1f} W",
+        ]
+        for q, v in self.quantiles_w.items():
+            lines.append(f"  p{int(round(q * 100))}: {v:.1f} W")
+        lines.append(
+            f"node-vs-fleet correlation: {self.node_fleet_correlation:.3f}"
+        )
+        lines.extend(self.monitor_report.lines())
+        d = self.stopping
+        verdict = "met" if d.should_stop else "NOT met"
+        lam = (
+            f"{d.achieved_lambda:.2%}"
+            if np.isfinite(d.achieved_lambda)
+            else "inf"
+        )
+        lines.append(
+            f"sequential stopping: target {verdict} at n={d.n_observed} "
+            f"nodes (achieved lambda {lam})"
+        )
+        lines.append(
+            f"quality: coverage {self.quality.effective_coverage:.1%}, "
+            f"effective level L{self.quality.effective_level}"
+        )
+        lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def sharded_session(
+    run: SimulatedRun,
+    *,
+    n_shards: int = 1,
+    ticks_per_batch: int = 60,
+    quantiles: tuple[float, ...] = (0.5, 0.95),
+    accuracy: float = 0.01,
+    confidence: float = 0.95,
+    core_only: bool = True,
+    processes: int = 0,
+    gap_policy: str = "hold",
+    original_level: int = 2,
+    expected_ticks: int | None = None,
+) -> ShardSessionResult:
+    """Run a full streaming session through the shard engine.
+
+    The sharded counterpart of
+    :func:`~repro.stream.session.stream_session`: identical Eq. 1–5
+    stopping mathematics, compliance monitoring and quality labelling,
+    evaluated over merged shard state.  The result is **bit-identical
+    for any ``n_shards``** — the per-node reductions are exact
+    concatenations and every fleet scalar derives from the merged
+    vectors by the same deterministic expressions.  The one documented
+    exception is the P² quantile set, whose cross-shard merge is
+    approximate; sessions with more than one shard carry
+    :data:`~repro.stream.estimators.P2Quantile.MERGE_CAVEAT` in
+    ``notes``.
+    """
+    for q in quantiles:
+        if not (0.0 < q < 1.0):
+            raise ValueError(f"quantiles must be in (0, 1), got {q}")
+    plan = plan_shards(
+        run.system.n_nodes, n_shards, ticks_per_batch=ticks_per_batch
+    )
+    fleet = run_sharded(
+        run,
+        plan,
+        processes=processes,
+        quantiles=quantiles,
+        core_only=core_only,
+        gap_policy=gap_policy,
+        original_level=original_level,
+    )
+    # Eq. 1–5 sequential stopping over the merged node means, admitted
+    # in node order — deterministic and shard-count independent.
+    stopper = SequentialStopper(
+        accuracy=accuracy,
+        population=run.system.n_nodes,
+        confidence=confidence,
+        method="t",
+    )
+    decision = stopper.evaluate()
+    for mean_w in np.asarray(fleet.node_moments.mean):
+        decision = stopper.update(float(mean_w))
+    quality = build_quality_report(
+        fleet.recovery,
+        expected_ticks=(
+            fleet.recovery.ticks_seen
+            if expected_ticks is None
+            else expected_ticks
+        ),
+    )
+    notes = (
+        (P2Quantile.MERGE_CAVEAT,)
+        if fleet.quantile_merge_approximate
+        else ()
+    )
+    return ShardSessionResult(
+        plan=plan,
+        monitor_report=fleet.monitor.report(),
+        stopping=decision,
+        quality=quality,
+        fleet_moments=fleet.fleet_moments(),
+        node_moments=fleet.node_moments,
+        node_fleet_correlation=float(
+            np.mean(np.asarray(fleet.covar.correlation()))
+        ),
+        quantiles_w={q: est.value for q, est in fleet.quantiles.items()},
+        samples_ingested=fleet.samples_ingested,
+        notes=notes,
+    )

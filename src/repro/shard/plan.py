@@ -1,0 +1,166 @@
+"""Shard planning: partition a fleet into contiguous node ranges.
+
+:func:`plan_shards` splits ``n_nodes`` into ``n_shards`` contiguous,
+near-equal ranges — the partition under which every per-node estimator
+in the pipeline is column-independent, so shard results reassemble
+bit-identically (see :mod:`repro.shard.reduce`).
+
+Each shard carries a **content-address key** built with the PR 3
+machinery (:mod:`repro.parallel.hashing`): a digest over the shard
+package's import-closure source plus the shard's coordinates.  Two
+plans agree on a shard key exactly when re-running that shard would
+execute the same code over the same node range with the same batching —
+which is what lets a scheduler cache or dedupe shard work safely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.parallel.hashing import closure_digest
+
+__all__ = ["ShardSpec", "ShardPlan", "plan_shards"]
+
+
+@lru_cache(maxsize=1)
+def _shard_code_digest() -> str:
+    """Digest of the shard package's import closure (cached per process)."""
+    return closure_digest("repro.shard")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard: a contiguous node range and its content-address key."""
+
+    shard_index: int
+    n_shards: int
+    node_lo: int
+    node_hi: int
+    key: str
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.shard_index < self.n_shards):
+            raise ValueError("shard_index must be in [0, n_shards)")
+        if not (0 <= self.node_lo < self.node_hi):
+            raise ValueError("need 0 <= node_lo < node_hi")
+
+    @property
+    def n_nodes(self) -> int:
+        """Nodes covered by this shard."""
+        return self.node_hi - self.node_lo
+
+    @property
+    def node_indices(self) -> np.ndarray:
+        """The shard's node ids, ``[node_lo, node_hi)``."""
+        return np.arange(self.node_lo, self.node_hi, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A full fleet partition: ordered, contiguous, gap-free shards."""
+
+    n_nodes: int
+    ticks_per_batch: int
+    shards: tuple[ShardSpec, ...]
+    plan_key: str
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ValueError("a plan needs at least one shard")
+        expected_lo = 0
+        for i, spec in enumerate(self.shards):
+            if spec.shard_index != i:
+                raise ValueError("shards must be ordered by index")
+            if spec.node_lo != expected_lo:
+                raise ValueError(
+                    f"shard {i} starts at node {spec.node_lo}, expected "
+                    f"{expected_lo}: shards must tile the fleet"
+                )
+            expected_lo = spec.node_hi
+        if expected_lo != self.n_nodes:
+            raise ValueError(
+                f"shards cover [0, {expected_lo}) but the fleet has "
+                f"{self.n_nodes} nodes"
+            )
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards in the plan."""
+        return len(self.shards)
+
+    def __iter__(self):
+        """Iterate the shards in index order."""
+        return iter(self.shards)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def shard_for_range(
+        self, node_lo: int, n_nodes: int
+    ) -> ShardSpec | None:
+        """The shard exactly matching ``[node_lo, node_lo + n_nodes)``.
+
+        The wire router's lookup: a frame header's node range either
+        names a planned shard exactly or the frame is unroutable
+        (``None``) — partial overlaps are never silently split.
+        """
+        for spec in self.shards:
+            if spec.node_lo == node_lo and spec.n_nodes == n_nodes:
+                return spec
+        return None
+
+
+def plan_shards(
+    n_nodes: int,
+    n_shards: int,
+    *,
+    ticks_per_batch: int = 60,
+    code_digest: str | None = None,
+) -> ShardPlan:
+    """Partition ``n_nodes`` into ``n_shards`` contiguous ranges.
+
+    Ranges are near-equal: the first ``n_nodes % n_shards`` shards get
+    one extra node (``np.array_split`` semantics).  ``code_digest``
+    overrides the shard package's import-closure digest — injectable so
+    tests can pin keys without hashing real sources.
+    """
+    if n_nodes < 1:
+        raise ValueError("n_nodes must be >= 1")
+    if not (1 <= n_shards <= n_nodes):
+        raise ValueError(
+            f"n_shards must be in [1, n_nodes={n_nodes}], got {n_shards}"
+        )
+    if ticks_per_batch < 1:
+        raise ValueError("ticks_per_batch must be >= 1")
+    digest = code_digest if code_digest is not None else _shard_code_digest()
+    base, extra = divmod(n_nodes, n_shards)
+    shards = []
+    lo = 0
+    for i in range(n_shards):
+        hi = lo + base + (1 if i < extra else 0)
+        key = hashlib.sha256(
+            f"{digest}:{i}/{n_shards}:[{lo},{hi}):{ticks_per_batch}".encode()
+        ).hexdigest()
+        shards.append(
+            ShardSpec(
+                shard_index=i,
+                n_shards=n_shards,
+                node_lo=lo,
+                node_hi=hi,
+                key=key,
+            )
+        )
+        lo = hi
+    plan_key = hashlib.sha256(
+        f"{digest}:{n_nodes}:{n_shards}:{ticks_per_batch}".encode()
+    ).hexdigest()
+    return ShardPlan(
+        n_nodes=n_nodes,
+        ticks_per_batch=ticks_per_batch,
+        shards=tuple(shards),
+        plan_key=plan_key,
+    )

@@ -1,0 +1,152 @@
+"""Route wire frames into shard slabs by node-range header.
+
+The :mod:`repro.wire` frame header already carries the shard key in
+plain sight: ``(node_lo, n_nodes)``.  :class:`FrameShardRouter` uses it
+to dispatch each validated frame to the matching shard of a
+:class:`~repro.shard.plan.ShardPlan` and decode its payload **straight
+into that shard's slab ring** via
+:meth:`~repro.wire.codecs.Codec.decode_into` — the receive path's
+zero-copy counterpart of
+:meth:`~repro.traces.synth.SimulatedRun.stream_run`: no per-frame
+matrix allocation, and the decoded batch is a view into preallocated
+storage.
+
+Frames whose node range does not name a planned shard exactly are
+counted unroutable, never split or silently dropped; corrupt events are
+counted, matching the wire layer's nothing-disappears bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.shard.plan import ShardPlan
+from repro.shard.slab import SlabRing
+from repro.stream.ingest import SampleBatch
+from repro.wire.codecs import codec_for_frame
+from repro.wire.framing import FrameEvent, FrameParser
+
+__all__ = ["RoutedBatch", "FrameShardRouter"]
+
+
+@dataclass(frozen=True)
+class RoutedBatch:
+    """One decoded frame, addressed to its shard.
+
+    ``batch`` is a zero-copy view into the shard's slab ring: it stays
+    valid until one more frame routes to the *same* shard (double
+    buffering), after which its rows are recycled.
+    """
+
+    shard_index: int
+    batch: SampleBatch
+
+
+class FrameShardRouter:
+    """Dispatch validated frames into per-shard slab storage.
+
+    One :class:`~repro.shard.slab.SlabRing` per planned shard, sized to
+    the plan's ``ticks_per_batch``.  Feed either raw bytes
+    (:meth:`feed`, which runs the crash-proof
+    :class:`~repro.wire.framing.FrameParser`) or already-parsed
+    :class:`~repro.wire.framing.FrameEvent` objects (:meth:`route`).
+    """
+
+    def __init__(
+        self, plan: ShardPlan, *, depth: int = 2, shared: bool = False
+    ) -> None:
+        self._plan = plan
+        self._rings = [
+            SlabRing(
+                plan.ticks_per_batch,
+                spec.n_nodes,
+                depth=depth,
+                shared=shared,
+            )
+            for spec in plan
+        ]
+        self._held: list[list] = [[] for _ in plan]
+        self._parser = FrameParser()
+        self.frames_routed = 0
+        self.frames_unroutable = 0
+        self.frames_corrupt = 0
+        self.frames_undecodable = 0
+        self.error_bound_w = 0.0
+
+    @property
+    def plan(self) -> ShardPlan:
+        """The plan frames are routed against."""
+        return self._plan
+
+    def feed(self, data: bytes):
+        """Parse a byte chunk; lazily route the frames it completes.
+
+        A generator: each frame is decoded into its shard's slab only
+        as the caller advances, so a yielded view is never recycled
+        before the caller has seen it — consume (or copy) each batch
+        before requesting the next, exactly as with
+        :meth:`~repro.traces.synth.SimulatedRun.stream_run`.
+        """
+        for event in self._parser.feed(data):
+            routed = self.route(event)
+            if routed is not None:
+                yield routed
+
+    def route(self, event: FrameEvent) -> RoutedBatch | None:
+        """Route one parser event; ``None`` if it produced no batch."""
+        if not event.ok:
+            self.frames_corrupt += 1
+            return None
+        header = event.header
+        spec = self._plan.shard_for_range(header.node_lo, header.n_nodes)
+        if spec is None or header.n_ticks < 1:
+            self.frames_unroutable += 1
+            return None
+        if header.n_ticks > self._plan.ticks_per_batch:
+            self.frames_unroutable += 1
+            return None
+        times_len = header.n_ticks * 8
+        if len(event.payload) < times_len:
+            self.frames_undecodable += 1
+            return None
+        i = spec.shard_index
+        ring = self._rings[i]
+        while len(self._held[i]) >= ring.depth - 1:
+            ring.release(self._held[i].pop(0))
+        slab = ring.acquire()
+        n_t = header.n_ticks
+        slab.times[:n_t] = np.frombuffer(
+            event.payload[:times_len], dtype="<f8"
+        )
+        slab.node_ids[:] = spec.node_indices
+        try:
+            codec = codec_for_frame(header.codec_id, header.flags)
+            bound_w = codec.decode_into(
+                event.payload[times_len:], slab.watts[:n_t]
+            )
+        except ValueError:
+            ring.release(slab)
+            self.frames_undecodable += 1
+            return None
+        if not np.all(np.isfinite(slab.times[:n_t])):
+            ring.release(slab)
+            self.frames_undecodable += 1
+            return None
+        self._held[i].append(slab)
+        self.frames_routed += 1
+        self.error_bound_w = max(self.error_bound_w, bound_w)
+        return RoutedBatch(
+            shard_index=i, batch=slab.view(n_t).as_batch()
+        )
+
+    def close(self) -> None:
+        """Flush the parser and return every borrowed slab."""
+        for event in self._parser.close():
+            if not event.ok:
+                self.frames_corrupt += 1
+        for i, ring in enumerate(self._rings):
+            while self._held[i]:
+                ring.release(self._held[i].pop())
+            ring.close()

@@ -39,6 +39,24 @@ def _as_observation(x) -> np.ndarray:
     return arr
 
 
+def _axis0_sum(xs: np.ndarray) -> np.ndarray:
+    """Row-sequential sum over the observation axis of a matrix.
+
+    ``ndarray.sum(axis=0)`` takes numpy's pairwise-summation path when
+    the reduction stride happens to be contiguous (a single-column
+    matrix) and a row-sequential path otherwise — so the *same column
+    of samples* would accumulate with different roundings depending on
+    how many columns ride along in the batch.  Summing rows explicitly
+    pins the sequential order for every width, which is what makes a
+    one-node shard's estimator state bit-identical to that node's
+    column inside any wider batch (the shard layer's contract).
+    """
+    total = np.array(xs[0], dtype=np.float64, copy=True)
+    for k in range(1, xs.shape[0]):
+        total += xs[k]
+    return total
+
+
 class RunningMoments:
     """Welford mean/variance with streaming min/max.
 
@@ -139,8 +157,14 @@ class RunningMoments:
             return
         batch = RunningMoments()
         batch._count = n
-        batch._mean = xs.mean(axis=0)
-        batch._m2 = ((xs - batch._mean) ** 2).sum(axis=0)
+        if xs.ndim >= 2:
+            # Width-independent accumulation (see _axis0_sum); for
+            # multi-column batches the bits match numpy's own path.
+            batch._mean = _axis0_sum(xs) / n
+            batch._m2 = _axis0_sum((xs - batch._mean) ** 2)
+        else:
+            batch._mean = xs.mean(axis=0)
+            batch._m2 = ((xs - batch._mean) ** 2).sum(axis=0)
         batch._min = xs.min(axis=0)
         batch._max = xs.max(axis=0)
         if self._mean is None:
@@ -171,6 +195,45 @@ class RunningMoments:
         self._max = np.maximum(self._max, other._max)
         self._count = n
         return self
+
+    @classmethod
+    def concat(cls, parts: list["RunningMoments"]) -> "RunningMoments":
+        """Join node-partitioned vector estimators along the component axis.
+
+        The shard reduction: when a fleet's nodes are partitioned into
+        contiguous ranges and each shard tracks a vector estimator over
+        *its* nodes only, the full-fleet estimator is the ordered
+        concatenation of the per-shard component arrays.  Because every
+        component's Welford state depends only on its own stream, this
+        roll-up is *exact to the bit* — unlike :meth:`merge`, no
+        floating-point combination happens at all, so the result is
+        independent of how many shards the fleet was split into.
+
+        All parts must be non-empty vector estimators (``ndim >= 1``)
+        with identical observation counts (every shard saw the same
+        ticks).
+        """
+        if not parts:
+            raise ValueError("concat needs at least one part")
+        for i, part in enumerate(parts):
+            if part._mean is None:
+                raise ValueError(f"part {i} has no observations")
+            if part._mean.ndim == 0:
+                raise ValueError(
+                    f"part {i} is scalar; concat joins vector estimators"
+                )
+            if part._count != parts[0]._count:
+                raise ValueError(
+                    f"part {i} saw {part._count} observations, part 0 saw "
+                    f"{parts[0]._count}; shards must cover the same ticks"
+                )
+        out = cls()
+        out._count = parts[0]._count
+        out._mean = np.concatenate([p._mean for p in parts])
+        out._m2 = np.concatenate([p._m2 for p in parts])
+        out._min = np.concatenate([p._min for p in parts])
+        out._max = np.concatenate([p._max for p in parts])
+        return out
 
     def pooled(self) -> "RunningMoments":
         """Collapse a vector estimator into one scalar estimator.
@@ -291,11 +354,23 @@ class RunningCovariance:
             return
         batch = RunningCovariance()
         batch._count = n
-        batch._mean_x = xs.mean(axis=0)
-        batch._mean_y = ys.mean(axis=0)
-        batch._c = ((xs - batch._mean_x) * (ys - batch._mean_y)).sum(axis=0)
-        batch._m2x = ((xs - batch._mean_x) ** 2).sum(axis=0)
-        batch._m2y = ((ys - batch._mean_y) ** 2).sum(axis=0)
+        if xs.ndim >= 2:
+            # Width-independent accumulation (see _axis0_sum).
+            batch._mean_x = _axis0_sum(xs) / n
+            batch._mean_y = _axis0_sum(ys) / n
+            batch._c = _axis0_sum(
+                (xs - batch._mean_x) * (ys - batch._mean_y)
+            )
+            batch._m2x = _axis0_sum((xs - batch._mean_x) ** 2)
+            batch._m2y = _axis0_sum((ys - batch._mean_y) ** 2)
+        else:
+            batch._mean_x = xs.mean(axis=0)
+            batch._mean_y = ys.mean(axis=0)
+            batch._c = (
+                (xs - batch._mean_x) * (ys - batch._mean_y)
+            ).sum(axis=0)
+            batch._m2x = ((xs - batch._mean_x) ** 2).sum(axis=0)
+            batch._m2y = ((ys - batch._mean_y) ** 2).sum(axis=0)
         self.merge(batch)
 
     def merge(self, other: "RunningCovariance") -> "RunningCovariance":
@@ -322,6 +397,38 @@ class RunningCovariance:
         self._mean_y = self._mean_y + dy * (nb / n)
         self._count = n
         return self
+
+    @classmethod
+    def concat(cls, parts: list["RunningCovariance"]) -> "RunningCovariance":
+        """Join node-partitioned vector covariances along the component axis.
+
+        The covariance analogue of :meth:`RunningMoments.concat`: exact
+        to the bit, because componentwise co-moment state never crosses
+        components.  All parts must be non-empty vector estimators with
+        identical pair counts.
+        """
+        if not parts:
+            raise ValueError("concat needs at least one part")
+        for i, part in enumerate(parts):
+            if part._mean_x is None:
+                raise ValueError(f"part {i} has no observations")
+            if part._mean_x.ndim == 0:
+                raise ValueError(
+                    f"part {i} is scalar; concat joins vector estimators"
+                )
+            if part._count != parts[0]._count:
+                raise ValueError(
+                    f"part {i} saw {part._count} pairs, part 0 saw "
+                    f"{parts[0]._count}; shards must cover the same ticks"
+                )
+        out = cls()
+        out._count = parts[0]._count
+        out._mean_x = np.concatenate([p._mean_x for p in parts])
+        out._mean_y = np.concatenate([p._mean_y for p in parts])
+        out._c = np.concatenate([p._c for p in parts])
+        out._m2x = np.concatenate([p._m2x for p in parts])
+        out._m2y = np.concatenate([p._m2y for p in parts])
+        return out
 
     def covariance(self, ddof: int = 1) -> np.ndarray | float:
         """Running covariance (sample covariance by default)."""

@@ -87,14 +87,25 @@ class SimClock:
 class SampleBatch:
     """A block of per-node power samples.
 
+    The constructor *normalises*: inputs are coerced to C-contiguous
+    float64 (``times``/``watts``) and integer (``node_ids``) arrays,
+    copying when the caller hands over a strided or mistyped array, so
+    every downstream kernel sees the one layout it is vectorised for
+    and never silently falls onto a strided slow path.  The hot path —
+    the shard layer's preallocated slabs — uses :meth:`from_columns`,
+    which refuses to copy instead.
+
     Attributes
     ----------
     times:
-        Tick timestamps in simulated seconds, shape ``(n_ticks,)``.
+        Tick timestamps in simulated seconds, shape ``(n_ticks,)``,
+        float64.
     watts:
-        Per-node readings, shape ``(n_ticks, n_nodes)``.
+        Per-node readings, shape ``(n_ticks, n_nodes)``, C-contiguous
+        float64.
     node_ids:
-        Fleet node indices for the columns, shape ``(n_nodes,)``.
+        Fleet node indices for the columns, shape ``(n_nodes,)``,
+        integer.
     """
 
     times: np.ndarray
@@ -102,12 +113,53 @@ class SampleBatch:
     node_ids: np.ndarray
 
     def __post_init__(self) -> None:
-        if self.watts.ndim != 2:
+        times = np.ascontiguousarray(self.times, dtype=np.float64)
+        watts = np.ascontiguousarray(self.watts, dtype=np.float64)
+        node_ids = np.asarray(self.node_ids)
+        if node_ids.dtype.kind not in "iu":
+            raise ValueError(
+                f"node_ids must be integers, got dtype {node_ids.dtype}"
+            )
+        if watts.ndim != 2:
             raise ValueError("watts must be 2-D (n_ticks, n_nodes)")
-        if self.times.shape != (self.watts.shape[0],):
+        if times.shape != (watts.shape[0],):
             raise ValueError("times length must match watts rows")
-        if self.node_ids.shape != (self.watts.shape[1],):
+        if node_ids.shape != (watts.shape[1],):
             raise ValueError("node_ids length must match watts columns")
+        # Store the normalised arrays (no-ops when already conforming).
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "watts", watts)
+        object.__setattr__(self, "node_ids", node_ids)
+
+    @classmethod
+    def from_columns(
+        cls,
+        times: np.ndarray,
+        watts: np.ndarray,
+        node_ids: np.ndarray,
+    ) -> "SampleBatch":
+        """Zero-copy constructor over already-conforming column arrays.
+
+        The shard layer's entry point: the arrays are used as given —
+        typically views into a preallocated
+        :class:`~repro.shard.slab.Slab` — so a layout violation raises
+        instead of silently copying, keeping the hot path allocation-
+        free by contract.
+        """
+        times = np.asarray(times)
+        watts = np.asarray(watts)
+        if times.dtype != np.float64 or watts.dtype != np.float64:
+            raise ValueError(
+                "from_columns requires float64 times/watts, got "
+                f"{times.dtype}/{watts.dtype}"
+            )
+        if watts.ndim != 2 or not watts.flags["C_CONTIGUOUS"]:
+            raise ValueError(
+                "from_columns requires a C-contiguous 2-D watts matrix"
+            )
+        if not times.flags["C_CONTIGUOUS"]:
+            raise ValueError("from_columns requires C-contiguous times")
+        return cls(times=times, watts=watts, node_ids=node_ids)
 
     @property
     def n_ticks(self) -> int:

@@ -221,8 +221,19 @@ class ComplianceMonitor:
         """Scalar samples observed so far."""
         return self._samples
 
-    def observe(self, batch: SampleBatch) -> None:
-        """Fold one batch into the monitor's state."""
+    def observe(
+        self, batch: SampleBatch, fleet_w: np.ndarray | None = None
+    ) -> None:
+        """Fold one batch into the monitor's state.
+
+        ``fleet_w`` optionally supplies the per-tick fleet mean power
+        to judge ratios (and feed the rolling window) against; the
+        default is the batch's own across-node mean.  A shard-local
+        monitor — one observing only a node slice of the fleet — must
+        pass the *global* reference series here, so its excursion and
+        rolling state is exactly the column slice of what a full-fleet
+        monitor would hold (the :meth:`merge_shards` contract).
+        """
         if batch.n_ticks == 0:
             return  # an empty flush carries nothing to judge
         if self._node_ids is None:
@@ -253,7 +264,14 @@ class ComplianceMonitor:
         # fleet at the same tick (scale-free, so common-mode ramps
         # cancel), against the node's ratio history *before* this batch
         # folds in — a step change must not mask itself.
-        fleet_w = batch.fleet_means()
+        if fleet_w is None:
+            fleet_w = batch.fleet_means()
+        else:
+            fleet_w = np.asarray(fleet_w, dtype=np.float64)
+            if fleet_w.shape != (batch.n_ticks,):
+                raise ValueError(
+                    "fleet_w must carry one reference mean per tick"
+                )
         with np.errstate(invalid="ignore", divide="ignore"):
             ratios = np.where(
                 fleet_w[:, None] > 0,
@@ -270,9 +288,61 @@ class ComplianceMonitor:
 
         self.node_moments.push_batch(batch.watts)
         self._ratio_moments.push_batch(ratios)
-        for t_s, fleet_w in zip(times, batch.fleet_means()):
-            self._rolling.push(float(t_s), float(fleet_w))
+        for t_s, ref_w in zip(times, fleet_w):
+            self._rolling.push(float(t_s), float(ref_w))
         self._samples += batch.n_samples
+
+    @classmethod
+    def merge_shards(
+        cls, monitors: list["ComplianceMonitor"]
+    ) -> "ComplianceMonitor":
+        """Reassemble node-partitioned shard monitors (exact).
+
+        Each input observed a disjoint, contiguous node slice of the
+        same tick stream, with :meth:`observe` given the global fleet
+        reference.  All per-node state (moments, ratio moments,
+        excursion counts) is then column-independent, so the fleet
+        monitor is the node-ordered concatenation of the shard arrays —
+        bit-identical to a single monitor over the whole fleet, for
+        any shard count.  Scalar stream state (span, worst interval,
+        rolling window) is identical in every shard by construction
+        and is validated before being adopted from the first.
+        """
+        if not monitors:
+            raise ValueError("merge_shards needs at least one monitor")
+        first = monitors[0]
+        for i, m in enumerate(monitors):
+            if m._node_ids is None:
+                raise ValueError(f"shard monitor {i} saw no samples")
+            if m._core != first._core:
+                raise ValueError("shard monitors disagree on core window")
+            if m._span != first._span or m._last_t_s != first._last_t_s:
+                raise ValueError(
+                    f"shard monitor {i} covered a different tick span; "
+                    "shards must replay the same stream"
+                )
+        out = cls(
+            first._core,
+            required_interval_s=first._required_interval_s,
+            outlier_z=first._outlier_z,
+            excursion_z=first._excursion_z,
+            excursion_ratio_floor=first._ratio_floor,
+            min_samples_for_flags=first._min_flag_samples,
+        )
+        out.node_moments = RunningMoments.concat(
+            [m.node_moments for m in monitors]
+        )
+        out._ratio_moments = RunningMoments.concat(
+            [m._ratio_moments for m in monitors]
+        )
+        out._node_ids = np.concatenate([m._node_ids for m in monitors])
+        out._excursions = np.concatenate([m._excursions for m in monitors])
+        out._span = first._span
+        out._worst_interval_s = max(m._worst_interval_s for m in monitors)
+        out._last_t_s = first._last_t_s
+        out._samples = sum(m._samples for m in monitors)
+        out._rolling = first._rolling
+        return out
 
     # ------------------------------------------------------------------
     def _coverage(self) -> float:

@@ -210,6 +210,166 @@ class SimulatedRun:
             )
         return times, watts * noise[:, None]
 
+    def _validated_indices(
+        self, node_indices: np.ndarray | None
+    ) -> np.ndarray:
+        """Resolve and validate a node subset (default: every node)."""
+        if node_indices is None:
+            return np.arange(self.system.n_nodes, dtype=np.int64)
+        idx = np.asarray(node_indices, dtype=np.int64).ravel()
+        if idx.size == 0:
+            raise ValueError("node subset must be non-empty")
+        if np.any(idx < 0) or np.any(idx >= self.system.n_nodes):
+            raise ValueError("node index out of range")
+        if np.unique(idx).size != idx.size:
+            raise ValueError("node indices must be unique")
+        return idx
+
+    def stream_run(
+        self,
+        *,
+        node_indices: np.ndarray | None = None,
+        ticks_per_batch: int = 60,
+        core_only: bool = True,
+        ring=None,
+    ):
+        """Stream per-node power batches without materialising the run.
+
+        A generator over :class:`~repro.stream.ingest.SampleBatch`
+        chunks that synthesises each tick block directly into its
+        output buffer — the full ``(n_ticks, n_nodes)`` matrix of
+        :meth:`node_power_matrix` never exists.  Cell for cell the
+        yielded samples are *bit-identical* to the corresponding
+        ``node_power_matrix`` slice (the interpolation arithmetic is
+        the same elementwise expressions, evaluated chunkwise), so the
+        streaming and batch layers agree exactly; the property suite
+        locks this.
+
+        Parameters
+        ----------
+        node_indices:
+            Fleet subset to stream (default: every node) — a shard
+            worker passes its contiguous node range.
+        ticks_per_batch:
+            Ticks per yielded batch (the collector's flush interval).
+        core_only:
+            Restrict to the core phase, as a methodology measurement
+            would; ``False`` streams the full run.
+        ring:
+            Optional :class:`~repro.shard.slab.SlabRing` (anything with
+            ``acquire()``/``release()`` and slab ``times``/``watts``/
+            ``node_ids`` columns of capacity ``ticks_per_batch`` ×
+            ``len(node_indices)``).  When given, batches are
+            zero-copy views into the ring's preallocated slabs and a
+            yielded view stays valid until one further batch has been
+            yielded (double buffering); when ``None`` each batch is a
+            fresh allocation, matching :func:`~repro.stream.ingest.replay_run`
+            semantics.
+        """
+        if ticks_per_batch < 1:
+            raise ValueError("ticks_per_batch must be >= 1")
+        idx = self._validated_indices(node_indices)
+        if core_only:
+            t0_s, t1_s = self.core_window
+            in_span = (self._times >= t0_s - 1e-9) & (
+                self._times <= t1_s + 1e-9
+            )
+        else:
+            in_span = np.ones(self._times.size, dtype=bool)
+        times = self._times[in_span]
+        if times.size == 0:
+            raise ValueError("no grid samples inside the requested span")
+        util = self._util[in_span]
+        noise = self._noise[in_span]
+        u_grid = np.linspace(0.0, 1.0, _U_GRID)
+        if self._freq_mult is None:
+            levels = np.array([1.0])
+            level_of = np.zeros(times.size, dtype=np.int64)
+        else:
+            fm = self._freq_mult[in_span]
+            levels, level_of = np.unique(fm, return_inverse=True)
+        # Per-level utilisation→per-node power grids, tabulated once:
+        # O(G · n_idx · n_levels) memory, independent of run length.
+        grids = []
+        for mult in levels:
+            per_node = np.empty((_U_GRID, idx.size))
+            for gi, ui in enumerate(u_grid):
+                per_node[gi] = self.system.node_total_powers(
+                    float(ui), indices=idx, freq_multiplier=float(mult)
+                )
+            grids.append(per_node)
+        ids = idx.copy()
+        # Scratch buffers reused across batches (single-level fast path).
+        scratch_lo = np.empty((ticks_per_batch, idx.size))
+        scratch_hi = np.empty((ticks_per_batch, idx.size))
+        # Deferred import: repro.stream.ingest imports this module.
+        from repro.stream.ingest import SampleBatch
+
+        held: list = []
+        try:
+            for lo in range(0, times.size, ticks_per_batch):
+                hi = min(lo + ticks_per_batch, times.size)
+                n_t = hi - lo
+                if ring is not None:
+                    while len(held) >= max(ring.depth - 1, 1):
+                        ring.release(held.pop(0))
+                    slab = ring.acquire()
+                    out = slab.watts[:n_t]
+                    slab.times[:n_t] = times[lo:hi]
+                    slab.node_ids[:] = ids
+                    batch_times = slab.times[:n_t]
+                    batch_ids = slab.node_ids
+                    held.append(slab)
+                else:
+                    out = np.empty((n_t, idx.size))
+                    batch_times = times[lo:hi]
+                    batch_ids = ids
+                chunk_levels = level_of[lo:hi]
+                if levels.size == 1:
+                    u_sel = util[lo:hi]
+                    cell = np.clip(
+                        np.searchsorted(u_grid, u_sel) - 1, 0, _U_GRID - 2
+                    )
+                    w = (u_sel - u_grid[cell]) / (
+                        u_grid[cell + 1] - u_grid[cell]
+                    )
+                    # out = grid[cell]·(1−w) + grid[cell+1]·w, evaluated
+                    # with the same elementwise ops node_power_matrix
+                    # uses so chunked results match it bit for bit.
+                    a = scratch_lo[:n_t]
+                    b = scratch_hi[:n_t]
+                    np.take(grids[0], cell, axis=0, out=a)
+                    np.take(grids[0], cell + 1, axis=0, out=b)
+                    a *= (1 - w)[:, None]
+                    b *= w[:, None]
+                    np.add(a, b, out=out)
+                else:
+                    for li in range(levels.size):
+                        mask = chunk_levels == li
+                        if not mask.any():
+                            continue
+                        u_sel = util[lo:hi][mask]
+                        cell = np.clip(
+                            np.searchsorted(u_grid, u_sel) - 1,
+                            0,
+                            _U_GRID - 2,
+                        )
+                        w = (u_sel - u_grid[cell]) / (
+                            u_grid[cell + 1] - u_grid[cell]
+                        )
+                        out[mask] = (
+                            grids[li][cell] * (1 - w)[:, None]
+                            + grids[li][cell + 1] * w[:, None]
+                        )
+                out *= noise[lo:hi, None]
+                yield SampleBatch.from_columns(
+                    times=batch_times, watts=out, node_ids=batch_ids
+                )
+        finally:
+            if ring is not None:
+                for slab in held:
+                    ring.release(slab)
+
     def node_average_powers(self) -> np.ndarray:
         """True per-node time-averaged power over the core phase.
 

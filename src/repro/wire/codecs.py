@@ -60,6 +60,20 @@ __all__ = [
 #: Half a milliwatt, in watts: the delta-varint grid's worst rounding.
 _HALF_MILLIWATT_W = 0.5 / MILLIWATTS_PER_WATT
 
+
+def _grid_bound_w(grid: np.ndarray) -> float:
+    """Advertised error bound for a milliwatt-grid integer matrix.
+
+    Half a milliwatt is exact in real arithmetic, but the
+    float64-computed ``|decoded - original|`` can overshoot it by an
+    ulp when a sample sits exactly on a half-grid boundary (e.g.
+    1.1425 W), so pad by a few ulps at the peak magnitude.  Derived
+    from the quantised grid — which encode and decode both hold — so
+    writer and reader advertise bit-identical bounds.
+    """
+    peak_w = float(milliwatts_to_watts(np.abs(grid).max(initial=0)))
+    return _HALF_MILLIWATT_W + 4.0 * float(np.spacing(max(peak_w, 1.0)))
+
 #: Longest possible varint for a 64-bit value (ceil(64/7) bytes).
 _MAX_VARINT_LEN = 10
 
@@ -88,6 +102,24 @@ class Codec:
     ) -> tuple[np.ndarray, float]:
         """Decode a payload; returns ``(watts, error_bound_w)``."""
         raise NotImplementedError  # pragma: no cover - abstract
+
+    def decode_into(self, payload: bytes, out: np.ndarray) -> float:
+        """Decode a payload straight into a preallocated matrix view.
+
+        ``out`` is a C-contiguous float64 ``(n_ticks, n_nodes)`` view —
+        typically a :class:`~repro.shard.slab.Slab` region — so frame
+        decode lands in shard storage without allocating a fresh batch
+        matrix per frame.  Returns the error bound.  The base
+        implementation decodes then copies; codecs with a natural
+        in-place path override it.
+        """
+        if out.ndim != 2 or out.dtype != np.float64:
+            raise ValueError("out must be a 2-D float64 matrix view")
+        if not out.flags["C_CONTIGUOUS"] or not out.flags["WRITEABLE"]:
+            raise ValueError("out must be C-contiguous and writeable")
+        watts, bound_w = self.decode(payload, out.shape[0], out.shape[1])
+        np.copyto(out, watts)
+        return bound_w
 
 
 def _as_matrix(watts: np.ndarray) -> np.ndarray:
@@ -124,6 +156,18 @@ class Raw64Codec(Codec):
             n_ticks, n_nodes
         )
         return watts.copy(), 0.0
+
+    def decode_into(self, payload: bytes, out: np.ndarray) -> float:
+        """Copy the payload bytes straight into the target view."""
+        if out.ndim != 2 or out.dtype != np.float64:
+            raise ValueError("out must be a 2-D float64 matrix view")
+        if not out.flags["C_CONTIGUOUS"] or not out.flags["WRITEABLE"]:
+            raise ValueError("out must be C-contiguous and writeable")
+        _expect_len(payload, out.size * 8, self.name)
+        np.copyto(
+            out, np.frombuffer(payload, dtype="<f8").reshape(out.shape)
+        )
+        return 0.0
 
 
 def _zigzag(deltas: np.ndarray) -> np.ndarray:
@@ -242,7 +286,7 @@ class DeltaVarintCodec(Codec):
         deltas = np.empty_like(column_major)
         deltas[:, 0] = column_major[:, 0]
         deltas[:, 1:] = column_major[:, 1:] - column_major[:, :-1]
-        return _varint_encode(_zigzag(deltas.ravel())), _HALF_MILLIWATT_W
+        return _varint_encode(_zigzag(deltas.ravel())), _grid_bound_w(grid)
 
     def decode(
         self, payload: bytes, n_ticks: int, n_nodes: int
@@ -253,7 +297,12 @@ class DeltaVarintCodec(Codec):
         grid = np.cumsum(
             deltas.reshape(n_nodes, n_ticks), axis=1, dtype=np.int64
         )
-        return milliwatts_to_watts(grid.T), _HALF_MILLIWATT_W
+        # grid.T is a transpose view; force the (n_ticks, n_nodes)
+        # result C-contiguous so batch kernels stay on the fast path.
+        return (
+            np.ascontiguousarray(milliwatts_to_watts(grid.T)),
+            _grid_bound_w(grid),
+        )
 
 
 class _AffineQuantCodec(Codec):

@@ -1,0 +1,51 @@
+"""Shared fixtures for the shard-layer tests.
+
+``small_run`` mirrors the streaming suite's 32-node GPU run for the
+serial cross-checks; ``tiny_run`` is a deliberately cheap 12-node CPU
+run the hypothesis properties can afford to re-shard many times per
+test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.components import CpuModel, DramModel, FanModel
+from repro.cluster.node import NodeConfig
+from repro.cluster.system import SystemModel
+from repro.cluster.thermal import FanController
+from repro.cluster.variability import ManufacturingVariation
+from repro.traces.synth import SimulatedRun, simulate_run
+from repro.workloads.hpl import HplWorkload
+
+
+@pytest.fixture()
+def small_run(gpu_system, gpu_hpl) -> SimulatedRun:
+    """A fast 32-node GPU HPL run (1800 s core at 2 s ticks)."""
+    return simulate_run(gpu_system, gpu_hpl, dt=2.0, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tiny_run() -> SimulatedRun:
+    """A 12-node CPU run small enough to re-shard per example."""
+    config = NodeConfig(
+        cpu=CpuModel(idle_watts=20.0, peak_watts=120.0),
+        n_cpus=1,
+        dram=DramModel.for_capacity(16.0),
+        fan=FanModel(max_watts=30.0),
+        other_watts=10.0,
+    )
+    system = SystemModel(
+        "tiny-shard",
+        12,
+        config,
+        variation=ManufacturingVariation(sigma=0.02),
+        fan_controller=FanController(
+            fan_model=config.fan, reference_watts=200.0
+        ),
+        seed=21,
+    )
+    workload = HplWorkload.cpu_out_of_core(
+        240.0, setup_s=20.0, teardown_s=10.0
+    )
+    return simulate_run(system, workload, dt=2.0, seed=9)

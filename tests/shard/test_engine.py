@@ -1,0 +1,140 @@
+"""Shard engine: bit-identity across shard counts, pools, and serial."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.shard.engine import fleet_reference, run_sharded, sharded_session
+from repro.shard.plan import plan_shards
+from repro.stream.estimators import P2Quantile
+from repro.stream.session import stream_session
+
+
+def _identity_view(result) -> dict:
+    """The fields of a session result that must be shard-count
+    invariant to the bit (everything except the approximate P² merge
+    and the plan provenance)."""
+    d = result.to_dict()
+    return {
+        "samples_ingested": d["samples_ingested"],
+        "fleet_mean_w": d["fleet_mean_w"],
+        "fleet_std_w": d["fleet_std_w"],
+        "node_fleet_correlation": d["node_fleet_correlation"],
+        "stopping": d["stopping"],
+        "monitor": d["monitor"],
+        "quality": d["quality"],
+        "node_means": np.asarray(result.node_moments.mean).tolist(),
+        "node_stds": np.asarray(result.node_moments.std()).tolist(),
+    }
+
+
+class TestFleetReference:
+    def test_matches_the_serial_fleet_mean(self, tiny_run):
+        t0_s, t1_s = tiny_run.core_window
+        _, watts = tiny_run.node_power_matrix(t0_s, t1_s)
+        ref_w = fleet_reference(tiny_run, ticks_per_batch=17)
+        assert np.array_equal(ref_w, watts.mean(axis=1))
+
+
+class TestShardCountInvariance:
+    def test_sharded_equals_unsharded_bit_for_bit(self, tiny_run):
+        baseline = _identity_view(
+            sharded_session(tiny_run, n_shards=1, ticks_per_batch=16)
+        )
+        for k in (2, 5, 12):
+            view = _identity_view(
+                sharded_session(tiny_run, n_shards=k, ticks_per_batch=16)
+            )
+            assert view == baseline, f"{k} shards diverged from serial"
+
+    def test_merge_caveat_is_stamped_only_when_merging(self, tiny_run):
+        single = sharded_session(tiny_run, n_shards=1, ticks_per_batch=16)
+        multi = sharded_session(tiny_run, n_shards=3, ticks_per_batch=16)
+        assert single.notes == ()
+        assert P2Quantile.MERGE_CAVEAT in multi.notes
+
+    def test_single_node_shards_match_too(self, tiny_run):
+        # The extreme partition: every node its own shard.  This is the
+        # case that catches width-dependent reduction paths (numpy's
+        # pairwise summation on single-column batches).
+        n = tiny_run.system.n_nodes
+        baseline = _identity_view(
+            sharded_session(tiny_run, n_shards=1, ticks_per_batch=13)
+        )
+        extreme = _identity_view(
+            sharded_session(tiny_run, n_shards=n, ticks_per_batch=13)
+        )
+        assert extreme == baseline
+
+
+class TestPoolEquivalence:
+    def test_fork_pool_matches_inline_exactly(self, tiny_run):
+        inline = sharded_session(
+            tiny_run, n_shards=4, ticks_per_batch=16, processes=0
+        )
+        pooled = sharded_session(
+            tiny_run, n_shards=4, ticks_per_batch=16, processes=2
+        )
+        assert pooled.to_dict() == inline.to_dict()
+
+
+class TestSerialCrossCheck:
+    def test_matches_stream_session_state(self, small_run):
+        serial = stream_session(small_run, ticks_per_batch=60)
+        sharded = sharded_session(
+            small_run, n_shards=3, ticks_per_batch=60
+        )
+        assert np.array_equal(
+            np.asarray(sharded.node_moments.mean),
+            np.asarray(serial.node_moments.mean),
+        )
+        assert np.array_equal(
+            np.asarray(sharded.node_moments.std()),
+            np.asarray(serial.node_moments.std()),
+        )
+        assert (
+            sharded.node_fleet_correlation
+            == serial.node_fleet_correlation
+        )
+        assert (
+            sharded.monitor_report.to_dict()
+            == serial.monitor_report.to_dict()
+        )
+        assert sharded.samples_ingested == serial.samples_ingested
+        # The pooled fleet scalar is the one documented exception: the
+        # serial session pushes samples in a different order, so it
+        # agrees only to floating-point round-off, not to the bit.
+        assert float(
+            np.asarray(sharded.fleet_moments.mean)
+        ) == pytest.approx(
+            float(np.asarray(serial.fleet_moments.mean)), rel=1e-12
+        )
+
+
+class TestValidation:
+    def test_plan_must_cover_the_fleet(self, tiny_run):
+        plan = plan_shards(tiny_run.system.n_nodes - 1, 2)
+        with pytest.raises(ValueError, match="plan covers"):
+            run_sharded(tiny_run, plan)
+
+    def test_reference_length_is_checked(self, tiny_run):
+        plan = plan_shards(tiny_run.system.n_nodes, 2, ticks_per_batch=16)
+        with pytest.raises(ValueError, match="reference series"):
+            run_sharded(tiny_run, plan, reference_w=np.zeros(3))
+
+    def test_negative_processes_and_bad_quantiles(self, tiny_run):
+        plan = plan_shards(tiny_run.system.n_nodes, 2)
+        with pytest.raises(ValueError):
+            run_sharded(tiny_run, plan, processes=-1)
+        with pytest.raises(ValueError, match="quantiles"):
+            sharded_session(tiny_run, quantiles=(1.5,))
+
+    def test_render_text_and_to_dict_are_complete(self, tiny_run):
+        result = sharded_session(tiny_run, n_shards=2, ticks_per_batch=16)
+        text = result.render_text()
+        assert "sharded session (2 shards" in text
+        assert "sequential stopping" in text
+        d = result.to_dict()
+        assert d["n_shards"] == 2
+        assert set(d["quantiles_w"]) == {"0.5", "0.95"}

@@ -1,0 +1,118 @@
+"""Slab storage: layout, zero-copy views, ring borrow discipline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.shard.slab import ColumnBatch, Slab, SlabRing
+
+
+class TestSlab:
+    def test_validates_dimensions(self):
+        with pytest.raises(ValueError):
+            Slab(0, 4)
+        with pytest.raises(ValueError):
+            Slab(4, 0)
+
+    def test_columns_are_c_contiguous_float64(self):
+        slab = Slab(8, 3)
+        assert slab.times.dtype == np.float64
+        assert slab.watts.dtype == np.float64
+        assert slab.watts.flags["C_CONTIGUOUS"]
+        assert slab.watts.shape == (8, 3)
+        assert slab.node_ids.dtype == np.int64
+        assert slab.capacity_ticks == 8
+        assert slab.n_nodes == 3
+        assert not slab.shared
+        assert slab.nbytes == 8 * 8 + 8 * 3 * 8 + 3 * 8
+
+    def test_view_is_zero_copy(self):
+        slab = Slab(8, 3)
+        view = slab.view(5)
+        assert isinstance(view, ColumnBatch)
+        assert view.n_ticks == 5
+        assert view.n_nodes == 3
+        slab.watts[2, 1] = 42.0
+        assert view.watts[2, 1] == 42.0
+        assert np.shares_memory(view.watts, slab.watts)
+        assert np.shares_memory(view.times, slab.times)
+
+    def test_view_bounds_are_enforced(self):
+        slab = Slab(8, 3)
+        with pytest.raises(ValueError):
+            slab.view(0)
+        with pytest.raises(ValueError):
+            slab.view(9)
+
+    def test_as_batch_shares_slab_memory(self):
+        slab = Slab(6, 2)
+        slab.times[:] = np.arange(6.0)
+        slab.node_ids[:] = [3, 7]
+        slab.watts[:, :] = 1.5
+        batch = slab.view(4).as_batch()
+        assert batch.n_ticks == 4
+        assert batch.n_nodes == 2
+        assert np.shares_memory(batch.watts, slab.watts)
+        np.testing.assert_array_equal(batch.node_ids, [3, 7])
+
+    def test_private_close_is_a_noop(self):
+        slab = Slab(4, 2)
+        slab.close()
+        slab.unlink()
+        assert slab.watts is not None
+
+
+class TestSharedSlab:
+    def test_shared_segment_round_trips_and_unlinks(self):
+        slab = Slab(5, 2, shared=True)
+        assert slab.shared
+        slab.times[:] = np.arange(5.0)
+        slab.watts[:, :] = 7.25
+        slab.node_ids[:] = [0, 1]
+        view = slab.view(5)
+        np.testing.assert_array_equal(view.times, np.arange(5.0))
+        assert float(view.watts.min()) == 7.25
+        assert np.shares_memory(view.watts, slab.watts)
+        # The contract: drop every view before releasing the mapping.
+        del view
+        slab.unlink()
+        assert not slab.shared
+        assert slab.watts is None
+
+
+class TestSlabRing:
+    def test_depth_below_two_is_refused(self):
+        with pytest.raises(ValueError):
+            SlabRing(4, 2, depth=1)
+
+    def test_round_robin_borrow_and_release(self):
+        ring = SlabRing(4, 2, depth=2)
+        a = ring.acquire()
+        ring.release(a)
+        b = ring.acquire()
+        assert b is not a
+        ring.release(b)
+        c = ring.acquire()
+        assert c is a
+        assert ring.acquired_total == 3
+
+    def test_acquiring_a_borrowed_slab_raises(self):
+        ring = SlabRing(4, 2, depth=2)
+        ring.acquire()
+        ring.acquire()
+        assert ring.borrowed == 2
+        with pytest.raises(RuntimeError, match="still borrowed"):
+            ring.acquire()
+
+    def test_release_of_foreign_slab_raises(self):
+        ring = SlabRing(4, 2, depth=2)
+        with pytest.raises(ValueError):
+            ring.release(Slab(4, 2))
+
+    def test_double_release_raises(self):
+        ring = SlabRing(4, 2, depth=2)
+        slab = ring.acquire()
+        ring.release(slab)
+        with pytest.raises(RuntimeError, match="not borrowed"):
+            ring.release(slab)

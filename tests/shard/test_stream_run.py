@@ -1,0 +1,100 @@
+"""`stream_run` must reproduce `node_power_matrix` cell-for-cell."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.shard.slab import SlabRing
+
+
+def _collect(run, **kwargs):
+    """Materialise a stream back into (times, watts) for comparison."""
+    times, watts = [], []
+    for batch in run.stream_run(**kwargs):
+        times.append(batch.times.copy())
+        watts.append(batch.watts.copy())
+    return np.concatenate(times), np.vstack(watts)
+
+
+class TestStreamRunEquality:
+    def test_core_window_matches_serial_matrix(self, small_run):
+        t0_s, t1_s = small_run.core_window
+        ref_times, ref_watts = small_run.node_power_matrix(t0_s, t1_s)
+        times, watts = _collect(small_run, ticks_per_batch=60)
+        np.testing.assert_array_equal(times, ref_times)
+        assert np.array_equal(watts, ref_watts)
+
+    def test_full_run_matches_serial_matrix(self, small_run):
+        ref_times, ref_watts = small_run.node_power_matrix()
+        times, watts = _collect(
+            small_run, ticks_per_batch=97, core_only=False
+        )
+        np.testing.assert_array_equal(times, ref_times)
+        assert np.array_equal(watts, ref_watts)
+
+    def test_node_subset_matches_serial_matrix(self, small_run):
+        idx = np.array([1, 5, 30], dtype=np.int64)
+        t0_s, t1_s = small_run.core_window
+        _, ref_watts = small_run.node_power_matrix(
+            t0_s, t1_s, node_indices=idx
+        )
+        _, watts = _collect(
+            small_run, node_indices=idx, ticks_per_batch=13
+        )
+        assert np.array_equal(watts, ref_watts)
+
+    def test_batch_size_never_changes_the_cells(self, small_run):
+        _, ref_watts = _collect(small_run, ticks_per_batch=1_000_000)
+        for ticks in (1, 7, 60, 901):
+            _, watts = _collect(small_run, ticks_per_batch=ticks)
+            assert np.array_equal(watts, ref_watts)
+
+    def test_batches_carry_fleet_node_ids(self, small_run):
+        idx = np.array([4, 9], dtype=np.int64)
+        batch = next(
+            small_run.stream_run(node_indices=idx, ticks_per_batch=8)
+        )
+        np.testing.assert_array_equal(batch.node_ids, idx)
+        assert batch.n_ticks == 8
+
+
+class TestStreamRunRing:
+    def test_ring_path_is_bit_identical_and_zero_copy(self, small_run):
+        _, ref_watts = _collect(small_run, ticks_per_batch=64)
+        ring = SlabRing(64, small_run.system.n_nodes)
+        chunks = []
+        for batch in small_run.stream_run(ticks_per_batch=64, ring=ring):
+            assert any(
+                np.shares_memory(batch.watts, slab.watts)
+                for slab in ring._slabs
+            )
+            chunks.append(batch.watts.copy())
+        assert np.array_equal(np.vstack(chunks), ref_watts)
+        assert ring.borrowed == 0
+
+    def test_ring_views_stay_valid_for_one_step(self, small_run):
+        # Double buffering: the previous batch must still hold its
+        # values while the caller inspects the current one.
+        ring = SlabRing(32, small_run.system.n_nodes)
+        previous = None
+        previous_copy = None
+        for batch in small_run.stream_run(ticks_per_batch=32, ring=ring):
+            if previous is not None:
+                assert np.array_equal(previous.watts, previous_copy)
+            previous = batch
+            previous_copy = batch.watts.copy()
+
+
+class TestStreamRunValidation:
+    def test_bad_ticks_per_batch(self, small_run):
+        with pytest.raises(ValueError):
+            next(small_run.stream_run(ticks_per_batch=0))
+
+    def test_bad_node_subsets(self, small_run):
+        with pytest.raises(ValueError):
+            next(small_run.stream_run(node_indices=np.array([], int)))
+        with pytest.raises(ValueError):
+            next(small_run.stream_run(node_indices=np.array([99], int)))
+        with pytest.raises(ValueError):
+            next(small_run.stream_run(node_indices=np.array([1, 1], int)))

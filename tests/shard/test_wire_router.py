@@ -1,0 +1,172 @@
+"""Wire-to-slab routing: frames decode straight into shard storage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.shard.plan import plan_shards
+from repro.shard.wire import FrameShardRouter, RoutedBatch
+from repro.wire.codecs import make_codec
+from repro.wire.framing import encode_frame
+
+
+def _frame(
+    spec,
+    times: np.ndarray,
+    watts: np.ndarray,
+    *,
+    seq: int,
+    codec_name: str = "raw64",
+    node_lo: int | None = None,
+    n_nodes: int | None = None,
+    payload_override: bytes | None = None,
+) -> bytes:
+    codec = make_codec(codec_name)
+    payload = (
+        times.astype("<f8").tobytes() + codec.encode(watts)[0]
+        if payload_override is None
+        else payload_override
+    )
+    return encode_frame(
+        codec_id=codec.codec_id,
+        flags=0,
+        seq=seq,
+        node_lo=spec.node_lo if node_lo is None else node_lo,
+        n_nodes=spec.n_nodes if n_nodes is None else n_nodes,
+        n_ticks=times.size,
+        tick=seq * times.size,
+        payload=payload,
+    )
+
+
+@pytest.fixture()
+def plan():
+    return plan_shards(10, 2, ticks_per_batch=4, code_digest="d")
+
+
+def _shard_data(spec, seq, n_ticks=4):
+    rng = np.random.default_rng(100 + spec.shard_index * 13 + seq)
+    times = np.arange(n_ticks, dtype=np.float64) + seq * n_ticks
+    watts = rng.uniform(50.0, 500.0, size=(n_ticks, spec.n_nodes))
+    return times, watts
+
+
+class TestRouting:
+    def test_frames_decode_into_the_right_shard_bit_exactly(self, plan):
+        router = FrameShardRouter(plan)
+        sent: dict[int, list[np.ndarray]] = {0: [], 1: []}
+        stream = b""
+        for seq in range(10):
+            spec = plan.shards[seq % 2]
+            times, watts = _shard_data(spec, seq)
+            sent[spec.shard_index].append(watts)
+            stream += _frame(spec, times, watts, seq=seq)
+        got: dict[int, list[np.ndarray]] = {0: [], 1: []}
+        # Feed in awkward chunk sizes to exercise the parser.
+        for lo in range(0, len(stream), 97):
+            for routed in router.feed(stream[lo : lo + 97]):
+                assert isinstance(routed, RoutedBatch)
+                got[routed.shard_index].append(routed.batch.watts.copy())
+                np.testing.assert_array_equal(
+                    routed.batch.node_ids,
+                    plan.shards[routed.shard_index].node_indices,
+                )
+        assert router.frames_routed == 10
+        assert router.frames_corrupt == 0
+        for i in (0, 1):
+            assert np.array_equal(
+                np.vstack(got[i]), np.vstack(sent[i])
+            )
+        router.close()
+
+    def test_routed_batch_is_a_slab_view(self, plan):
+        router = FrameShardRouter(plan)
+        spec = plan.shards[0]
+        times, watts = _shard_data(spec, 0)
+        (routed,) = list(router.feed(_frame(spec, times, watts, seq=0)))
+        ring = router._rings[0]
+        assert any(
+            np.shares_memory(routed.batch.watts, slab.watts)
+            for slab in ring._slabs
+        )
+        router.close()
+
+    def test_feed_is_lazy_so_views_survive_until_consumed(self, plan):
+        # Two frames to the SAME shard in one chunk: with an eager
+        # router the first view would be recycled before the caller
+        # ever saw it.  Lazily, each view is valid when yielded.
+        router = FrameShardRouter(plan)
+        spec = plan.shards[0]
+        t0, w0 = _shard_data(spec, 0)
+        t1, w1 = _shard_data(spec, 1)
+        chunk = _frame(spec, t0, w0, seq=0) + _frame(spec, t1, w1, seq=1)
+        seen = []
+        for routed in router.feed(chunk):
+            seen.append(routed.batch.watts.copy())
+        assert np.array_equal(seen[0], w0)
+        assert np.array_equal(seen[1], w1)
+        router.close()
+
+    def test_delta_varint_decodes_through_the_slab_path(self, plan):
+        router = FrameShardRouter(plan)
+        spec = plan.shards[1]
+        times, watts = _shard_data(spec, 3)
+        frame = _frame(spec, times, watts, seq=0, codec_name="delta-varint")
+        (routed,) = list(router.feed(frame))
+        grid = np.rint(watts * 1000.0) / 1000.0
+        np.testing.assert_array_equal(routed.batch.watts, grid)
+        assert router.error_bound_w >= 0.0005
+        router.close()
+
+
+class TestRoutingErrors:
+    def test_unplanned_node_range_is_unroutable(self, plan):
+        router = FrameShardRouter(plan)
+        spec = plan.shards[0]
+        times, watts = _shard_data(spec, 0)
+        frame = _frame(spec, times, watts, seq=0, node_lo=1)
+        assert list(router.feed(frame)) == []
+        assert router.frames_unroutable == 1
+        router.close()
+
+    def test_oversized_batch_is_unroutable(self, plan):
+        router = FrameShardRouter(plan)
+        spec = plan.shards[0]
+        times, watts = _shard_data(spec, 0, n_ticks=9)
+        assert list(router.feed(_frame(spec, times, watts, seq=0))) == []
+        assert router.frames_unroutable == 1
+        router.close()
+
+    def test_corrupt_frame_is_counted_not_raised(self, plan):
+        router = FrameShardRouter(plan)
+        spec = plan.shards[0]
+        times, watts = _shard_data(spec, 0)
+        frame = bytearray(_frame(spec, times, watts, seq=0))
+        frame[len(frame) // 2] ^= 0xFF
+        assert list(router.feed(bytes(frame))) == []
+        assert router.frames_corrupt == 1
+        assert router.frames_routed == 0
+        router.close()
+
+    def test_short_payload_is_undecodable(self, plan):
+        router = FrameShardRouter(plan)
+        spec = plan.shards[0]
+        times, watts = _shard_data(spec, 0)
+        frame = _frame(
+            spec, times, watts, seq=0, payload_override=b"\x00" * 8
+        )
+        assert list(router.feed(frame)) == []
+        assert router.frames_undecodable == 1
+        router.close()
+
+    def test_non_finite_times_are_undecodable(self, plan):
+        router = FrameShardRouter(plan)
+        spec = plan.shards[0]
+        times, watts = _shard_data(spec, 0)
+        times[2] = np.nan
+        assert list(router.feed(_frame(spec, times, watts, seq=0))) == []
+        assert router.frames_undecodable == 1
+        # The slab was released, so the ring is fully available again.
+        assert router._rings[0].borrowed == 0
+        router.close()

@@ -1,0 +1,94 @@
+"""SampleBatch construction: normalising default vs strict zero-copy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stream.ingest import SampleBatch
+
+
+class TestNormalisingConstructor:
+    def test_coerces_to_c_contiguous_float64(self):
+        strided = np.asfortranarray(
+            np.arange(12, dtype=np.float32).reshape(3, 4)
+        )
+        batch = SampleBatch(
+            times=[0.0, 1.0, 2.0],
+            watts=strided,
+            node_ids=np.arange(4),
+        )
+        assert batch.watts.dtype == np.float64
+        assert batch.watts.flags["C_CONTIGUOUS"]
+        assert batch.times.dtype == np.float64
+        np.testing.assert_array_equal(batch.watts, strided)
+
+    def test_conforming_arrays_are_not_copied(self):
+        watts = np.zeros((3, 4))
+        batch = SampleBatch(
+            times=np.zeros(3), watts=watts, node_ids=np.arange(4)
+        )
+        assert batch.watts is watts
+
+    def test_shape_mismatches_raise(self):
+        with pytest.raises(ValueError, match="2-D"):
+            SampleBatch(
+                times=np.zeros(3),
+                watts=np.zeros(12),
+                node_ids=np.arange(4),
+            )
+        with pytest.raises(ValueError, match="times length"):
+            SampleBatch(
+                times=np.zeros(2),
+                watts=np.zeros((3, 4)),
+                node_ids=np.arange(4),
+            )
+        with pytest.raises(ValueError, match="node_ids length"):
+            SampleBatch(
+                times=np.zeros(3),
+                watts=np.zeros((3, 4)),
+                node_ids=np.arange(5),
+            )
+
+    def test_float_node_ids_raise(self):
+        with pytest.raises(ValueError, match="integers"):
+            SampleBatch(
+                times=np.zeros(3),
+                watts=np.zeros((3, 4)),
+                node_ids=np.arange(4.0),
+            )
+
+
+class TestFromColumns:
+    def test_zero_copy_on_conforming_views(self):
+        watts = np.zeros((3, 4))
+        times = np.zeros(3)
+        batch = SampleBatch.from_columns(
+            times=times, watts=watts, node_ids=np.arange(4)
+        )
+        assert batch.watts is watts
+        assert batch.times is times
+
+    def test_refuses_wrong_dtype(self):
+        with pytest.raises(ValueError, match="float64"):
+            SampleBatch.from_columns(
+                times=np.zeros(3),
+                watts=np.zeros((3, 4), dtype=np.float32),
+                node_ids=np.arange(4),
+            )
+
+    def test_refuses_non_contiguous_watts(self):
+        with pytest.raises(ValueError, match="C-contiguous"):
+            SampleBatch.from_columns(
+                times=np.zeros(3),
+                watts=np.asfortranarray(np.zeros((3, 4))),
+                node_ids=np.arange(4),
+            )
+
+    def test_refuses_strided_times(self):
+        with pytest.raises(ValueError, match="C-contiguous times"):
+            SampleBatch.from_columns(
+                times=np.zeros(6)[::2],
+                watts=np.zeros((3, 4)),
+                node_ids=np.arange(4),
+            )
