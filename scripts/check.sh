@@ -46,19 +46,30 @@ python -m repro.cli wire --system l-csc --max-nodes 12 \
     --core-seconds 600 --codecs delta-varint,quant8 \
     --drop 0 0.1 --corrupt 0.1
 
+echo "== serve smoke (service self-test over one TCP lifecycle)"
+# Boot the telemetry service on an ephemeral port, run a full
+# create/ingest/verdict/close lifecycle against it over real sockets,
+# and require the verdict to match the directly computed one.
+python -m repro.cli serve --self-test
+
 echo "== compileall"
 python -m compileall -q src
 
-# Opt-in perf gate: RUN_BENCH=1 re-runs the shard benchmark and
-# compares it against the committed baseline with the 30% regression
-# threshold.  On a different machine the comparison prints a note and
-# passes (timings from another box are not comparable).
+# Opt-in perf gate: RUN_BENCH=1 re-runs the shard and serve benchmarks
+# and compares them against the committed baselines with the 30%
+# regression threshold.  On a different machine the comparison prints
+# a note and passes (timings from another box are not comparable).
 if [ "${RUN_BENCH:-0}" = "1" ]; then
     echo "== shard benchmark + regression gate (RUN_BENCH=1)"
     python -m pytest benchmarks/bench_shard.py --benchmark-only \
         --benchmark-json=/tmp/bench_shard_fresh.json -q
     python scripts/bench_compare.py BENCH_shard.json \
         /tmp/bench_shard_fresh.json
+    echo "== serve benchmark + regression gate (RUN_BENCH=1)"
+    python -m pytest benchmarks/bench_serve.py --benchmark-only \
+        --benchmark-json=/tmp/bench_serve_fresh.json -q
+    python scripts/bench_compare.py BENCH_serve.json \
+        /tmp/bench_serve_fresh.json
 fi
 
 echo "all gates green"

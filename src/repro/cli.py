@@ -6,6 +6,7 @@ The subcommands mirror the workflows the paper prescribes for sites::
     python -m repro.cli assess --nodes 9216 --watts 207.1,210.4,...
     python -m repro.cli systems
     python -m repro.cli stream --system l-csc --accuracy 0.02
+    python -m repro.cli serve --port 8350
     python -m repro.cli run --jobs 4
     python -m repro.cli experiments T5 F3 --markdown out.md
     python -m repro.cli lint src/repro --format json
@@ -19,6 +20,9 @@ statistics, rule compliance and the sequential stopping verdict);
 ``run`` executes the experiment sweep on a process pool with the
 content-addressed result cache on by default (``--no-cache`` disables,
 ``--refresh`` re-runs; results are byte-identical to a serial run);
+``serve`` boots the :mod:`repro.serve` multi-tenant telemetry service
+on a monotonic wall clock (``--self-test`` runs one TCP session
+lifecycle and requires the verdict to match a direct replay);
 ``experiments`` is the classic serial shortcut to
 :mod:`repro.experiments.runner`; ``lint`` runs the :mod:`repro.checks`
 reproducibility/units/RNG static analysis and exits non-zero on
@@ -584,6 +588,213 @@ def _wire_fuzz(iterations: int, *, seed: int) -> int:
     return 0
 
 
+class _WallClock:
+    """Monotonic wall clock behind the injected-clock interface.
+
+    The service reads ``now_s`` for every limiter decision and idle
+    sweep; tests inject a :class:`~repro.stream.ingest.SimClock`, real
+    deployments get this (monotonic, so NTP steps can't starve or
+    flood the token buckets).
+    """
+
+    def __init__(self) -> None:
+        import time
+
+        self._monotonic = time.monotonic
+        self._t0_s = self._monotonic()
+
+    @property
+    def now_s(self) -> float:
+        return self._monotonic() - self._t0_s
+
+
+async def _http_exchange(reader, writer, payload: bytes) -> tuple[int, dict]:
+    """One request/response over an open connection; JSON body."""
+    import json
+
+    writer.write(payload)
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    n_body = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            n_body = int(value)
+    body = await reader.readexactly(n_body)
+    return status, json.loads(body)
+
+
+def _http_request(method: str, target: str, *, tenant: str = "",
+                  body: bytes = b"", close: bool = False) -> bytes:
+    lines = [f"{method} {target} HTTP/1.1", "Host: localhost"]
+    if tenant:
+        lines.append(f"X-Tenant: {tenant}")
+    if body:
+        lines.append("Content-Type: application/json")
+        lines.append(f"Content-Length: {len(body)}")
+    if close:
+        lines.append("Connection: close")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
+
+
+def _serve_self_test(seed: int) -> int:
+    """Full TCP lifecycle against the service; verdict must match a
+    direct :func:`~repro.stream.session.stream_session` replay."""
+    import asyncio
+    import json
+
+    from repro.cluster.components import CpuModel, DramModel, FanModel
+    from repro.cluster.node import NodeConfig
+    from repro.cluster.system import SystemModel
+    from repro.cluster.thermal import FanController
+    from repro.cluster.variability import ManufacturingVariation
+    from repro.serve import ServiceConfig, TelemetryApp
+    from repro.stream.ingest import SimClock, replay_run
+    from repro.stream.session import stream_session
+    from repro.traces.synth import simulate_run
+    from repro.workloads.hpl import HplWorkload
+
+    accuracy, report_every_s, ticks_per_batch = 0.05, 60.0, 15
+    node = NodeConfig(
+        cpu=CpuModel(idle_watts=20.0, peak_watts=120.0),
+        n_cpus=2,
+        dram=DramModel.for_capacity(32.0),
+        fan=FanModel(max_watts=40.0),
+        other_watts=20.0,
+    )
+    system = SystemModel(
+        "serve-selftest", 8, node,
+        variation=ManufacturingVariation(sigma=0.02),
+        fan_controller=FanController(
+            fan_model=node.fan, reference_watts=300.0
+        ),
+        seed=21,
+    )
+    workload = HplWorkload.cpu_out_of_core(
+        240.0, setup_s=20.0, teardown_s=20.0
+    )
+    run = simulate_run(system, workload, dt=2.0, seed=seed)
+    batches = list(replay_run(run, ticks_per_batch=ticks_per_batch))
+    direct = stream_session(
+        run, ticks_per_batch=ticks_per_batch, accuracy=accuracy,
+        report_every_s=report_every_s,
+    )
+    want = json.loads(json.dumps(direct.to_dict(), default=float))
+    t0_s, t1_s = run.core_window
+    config = {
+        "population": run.system.n_nodes,
+        "core_t0_s": t0_s,
+        "core_t1_s": t1_s,
+        "interval_s": max(run.dt, 1.0),
+        "accuracy": accuracy,
+        "report_every_s": report_every_s,
+    }
+
+    async def scenario() -> dict:
+        app = TelemetryApp(SimClock(dt_s=1.0), ServiceConfig())
+        server = await app.serve_tcp("127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            status, payload = await _http_exchange(
+                reader, writer,
+                _http_request(
+                    "POST", "/v1/sessions", tenant="selftest",
+                    body=json.dumps(config).encode(),
+                ),
+            )
+            assert status == 201, f"create -> {status}"
+            sid = payload["session"]["session_id"]
+            for batch in batches:
+                body = json.dumps({
+                    "times": batch.times.tolist(),
+                    "watts": batch.watts.tolist(),
+                    "node_ids": batch.node_ids.tolist(),
+                }).encode()
+                status, payload = await _http_exchange(
+                    reader, writer,
+                    _http_request(
+                        "POST", f"/v1/sessions/{sid}/batches",
+                        tenant="selftest", body=body,
+                    ),
+                )
+                assert status == 202, f"ingest -> {status}: {payload}"
+            status, payload = await _http_exchange(
+                reader, writer,
+                _http_request(
+                    "DELETE", f"/v1/sessions/{sid}",
+                    tenant="selftest", close=True,
+                ),
+            )
+            assert status == 200, f"close -> {status}"
+            return payload["summary"]
+        finally:
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            await app.shutdown()
+
+    got = asyncio.run(scenario())
+    # Queue bookkeeping belongs to the driver, not the verdict.
+    for key in ("queue_stalls", "queue_high_watermark", "session_id",
+                "quality"):
+        want.pop(key, None)
+        got.pop(key, None)
+    if got != want:
+        diff = sorted(
+            k for k in set(want) | set(got)
+            if want.get(k) != got.get(k)
+        )
+        print("serve self-test: MISMATCH in " + ", ".join(diff))
+        return 1
+    print(
+        "serve self-test: TCP lifecycle ok — "
+        f"{len(batches)} batches, "
+        f"{got['samples_ingested']} samples, verdict bit-identical "
+        "to the direct stream_session replay"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServiceConfig, TelemetryApp
+
+    if args.self_test:
+        return _serve_self_test(seed=args.seed)
+
+    config = ServiceConfig(
+        rate_capacity=args.rate_capacity,
+        rate_refill_per_request_s=args.rate_refill,
+        idle_timeout_s=args.idle_timeout,
+    )
+
+    async def run_forever() -> None:
+        app = TelemetryApp(_WallClock(), config)
+        server = await app.serve_tcp(args.host, args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        print(f"repro serve: listening on http://{host}:{port}")
+        sweeper = asyncio.ensure_future(app.sweep_forever())
+        try:
+            await server.serve_forever()
+        finally:
+            sweeper.cancel()
+            server.close()
+            await server.wait_closed()
+            await app.shutdown()
+
+    try:
+        asyncio.run(run_forever())
+    except KeyboardInterrupt:
+        print("repro serve: shut down")
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as runner_main
 
@@ -842,6 +1053,38 @@ def build_parser() -> argparse.ArgumentParser:
     wire.add_argument("--format", choices=("text", "json"),
                       default="text")
     wire.set_defaults(func=_cmd_wire)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant telemetry service (HTTP/JSON + RPWR)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8350, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--rate-capacity", type=float, default=100.0,
+        help="token-bucket burst capacity per tenant",
+    )
+    serve.add_argument(
+        "--rate-refill", type=float, default=50.0,
+        help="token-bucket refill rate (requests/s) per tenant",
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=SECONDS_PER_HOUR,
+        help="seconds of inactivity before a drained session is evicted",
+    )
+    serve.add_argument(
+        "--self-test", action="store_true",
+        help="boot on an ephemeral port, run one TCP session lifecycle "
+             "and require the verdict to match a direct replay",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=11, help="self-test run seed"
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     run = sub.add_parser(
         "run",

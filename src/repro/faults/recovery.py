@@ -39,6 +39,7 @@ from repro.rng import stream
 from repro.stream.ingest import BoundedQueue, SampleBatch, SimClock
 
 __all__ = [
+    "breaker_level",
     "TransientMeterError",
     "RetryPolicy",
     "FlakySource",
@@ -402,7 +403,7 @@ class RecoveryState:
         )
 
 
-def _breaker_level(
+def breaker_level(
     original_level: int, coverage: float, any_quarantined: bool
 ) -> int:
     """Grade surviving coverage into an effective compliance level."""
@@ -481,7 +482,7 @@ def build_quality_report(
         batches_abandoned=batches_abandoned,
         effective_coverage=coverage,
         original_level=state.original_level,
-        effective_level=_breaker_level(
+        effective_level=breaker_level(
             state.original_level, coverage, bool(state.quarantined.any())
         ),
         fleet_mean_w=fleet_mean_w,

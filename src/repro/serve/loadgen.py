@@ -1,0 +1,254 @@
+"""Deterministic wave-based load generator for the telemetry service.
+
+The harness drives a :class:`~repro.serve.app.TelemetryApp` *in
+process* through :meth:`~repro.serve.app.TelemetryApp.dispatch` — no
+sockets, no wall clock, no OS scheduler in the loop.  Time is a shared
+:class:`~repro.stream.ingest.SimClock` that only the harness advances,
+in *waves*:
+
+1. every still-active client issues at most one request, all launched
+   concurrently with :func:`asyncio.gather` (so middleware contention —
+   token buckets, quotas, queue slots — is genuinely concurrent);
+2. the harness lets every session's drain worker catch up;
+3. the clock advances one wave tick and the next wave begins.
+
+A client answered ``429`` simply retries the same step next wave —
+after the clock (and therefore every token bucket) has moved — so
+rate-limit recovery is part of the deterministic schedule rather than
+a sleep-and-hope affair.  Within a wave clients fire in a seeded
+shuffled order (:func:`repro.rng.stream`), which perturbs bucket
+contention across waves without sacrificing replayability: the same
+seed always yields the same request trace, byte for byte.
+
+This is what lets ``tests/serve/test_load.py`` run hundreds of
+concurrent clients across many tenants and assert *exact* outcomes —
+bit-identical verdicts against a direct
+:func:`~repro.stream.session.stream_session` run, precise 429 counts —
+with zero flakiness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+from repro import rng
+from repro.serve.app import RPWR_CONTENT_TYPE, TelemetryApp
+from repro.serve.http import Request
+
+__all__ = [
+    "make_request",
+    "BatchPayload",
+    "ClientScript",
+    "ClientResult",
+    "LoadHarness",
+]
+
+
+def make_request(
+    method: str,
+    path: str,
+    *,
+    tenant: str = "",
+    query: dict[str, str] | None = None,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    headers: dict[str, str] | None = None,
+) -> Request:
+    """Build an in-process :class:`Request` (test/harness helper)."""
+    all_headers = {k.lower(): v for k, v in (headers or {}).items()}
+    if tenant:
+        all_headers["x-tenant"] = tenant
+    if body:
+        all_headers.setdefault("content-type", content_type)
+    return Request(
+        method=method,
+        path=path,
+        query=dict(query or {}),
+        headers=all_headers,
+        body=body,
+    )
+
+
+@dataclass(frozen=True)
+class BatchPayload:
+    """One ingest request body a client will send."""
+
+    body: bytes
+    content_type: str = "application/json"
+
+    @classmethod
+    def from_json_batch(cls, obj: dict) -> "BatchPayload":
+        """Serialise a ``{times, watts, node_ids}`` dict to a payload."""
+        return cls(body=json.dumps(obj).encode("utf-8"))
+
+    @classmethod
+    def from_frames(cls, chunk: bytes) -> "BatchPayload":
+        """Wrap pre-encoded RPWR frame bytes."""
+        return cls(body=chunk, content_type=RPWR_CONTENT_TYPE)
+
+
+@dataclass
+class ClientScript:
+    """One client's scripted life: open, ingest everything, close."""
+
+    name: str
+    tenant: str
+    config: dict
+    payloads: list[BatchPayload]
+    close_at_end: bool = True
+
+
+@dataclass
+class ClientResult:
+    """Everything observed about one client's run."""
+
+    name: str
+    tenant: str
+    session_id: str = ""
+    done: bool = False
+    summary: dict | None = None
+    statuses: list[int] = field(default_factory=list)
+    rate_limited: int = 0
+    backpressured: int = 0
+    quota_refused: int = 0
+    errors: list[dict] = field(default_factory=list)
+
+    @property
+    def requests_sent(self) -> int:
+        """Total requests this client issued, including retries."""
+        return len(self.statuses)
+
+
+class _ClientState:
+    """Progress cursor for one scripted client."""
+
+    __slots__ = ("script", "result", "stage", "payload_index")
+
+    def __init__(self, script: ClientScript) -> None:
+        self.script = script
+        self.result = ClientResult(name=script.name, tenant=script.tenant)
+        self.stage = "create"  # create -> ingest -> close -> done
+        self.payload_index = 0
+
+    def _classify_reject(self, payload: dict) -> None:
+        code = payload.get("error", {}).get("code", "")
+        if code == "rate-limited":
+            self.result.rate_limited += 1
+        elif code == "backpressure":
+            self.result.backpressured += 1
+        elif code.endswith("quota-exhausted"):
+            self.result.quota_refused += 1
+
+    async def step(self, app: TelemetryApp) -> None:
+        """Issue this client's next request and fold in the response."""
+        script, result = self.script, self.result
+        if self.stage == "create":
+            request = make_request(
+                "POST", "/v1/sessions", tenant=script.tenant,
+                body=json.dumps(script.config).encode("utf-8"),
+            )
+        elif self.stage == "ingest":
+            payload = script.payloads[self.payload_index]
+            request = make_request(
+                "POST",
+                f"/v1/sessions/{result.session_id}/batches",
+                tenant=script.tenant,
+                body=payload.body,
+                content_type=payload.content_type,
+            )
+        elif self.stage == "close":
+            request = make_request(
+                "DELETE",
+                f"/v1/sessions/{result.session_id}",
+                tenant=script.tenant,
+            )
+        else:
+            return
+
+        response = await app.dispatch(request)
+        result.statuses.append(response.status)
+        payload_out = json.loads(response.body) if response.body else {}
+
+        if response.status == 429:
+            self._classify_reject(payload_out)
+            return  # same stage retries next wave
+        if response.status >= 400:
+            result.errors.append(
+                {"stage": self.stage, "status": response.status,
+                 "body": payload_out}
+            )
+            self.stage = "done"
+            result.done = True
+            return
+
+        if self.stage == "create":
+            result.session_id = payload_out["session"]["session_id"]
+            self.stage = self._next_after_create()
+        elif self.stage == "ingest":
+            self.payload_index += 1
+            if self.payload_index >= len(script.payloads):
+                self.stage = "close" if script.close_at_end else "done"
+        elif self.stage == "close":
+            result.summary = payload_out.get("summary")
+            self.stage = "done"
+        if self.stage == "done":
+            result.done = True
+
+    def _next_after_create(self) -> str:
+        if self.script.payloads:
+            return "ingest"
+        return "close" if self.script.close_at_end else "done"
+
+
+class LoadHarness:
+    """Drives many scripted clients against one app, wave by wave."""
+
+    def __init__(
+        self,
+        app: TelemetryApp,
+        clock,
+        scripts: list[ClientScript],
+        *,
+        wave_ticks: int = 1,
+        max_waves: int = 100_000,
+        seed: int = 0,
+    ) -> None:
+        if wave_ticks < 1:
+            raise ValueError("wave_ticks must be >= 1")
+        if max_waves < 1:
+            raise ValueError("max_waves must be >= 1")
+        self.app = app
+        self.clock = clock
+        self.states = [_ClientState(s) for s in scripts]
+        self.wave_ticks = int(wave_ticks)
+        self.max_waves = int(max_waves)
+        self.waves_run = 0
+        self._order_rng = rng.stream(seed, "serve.loadgen.wave-order")
+
+    async def run(self) -> list[ClientResult]:
+        """Run every client to completion; results in script order.
+
+        Raises ``RuntimeError`` if clients are still unfinished after
+        ``max_waves`` — a stuck harness should fail loudly, not hang.
+        """
+        while True:
+            active = [s for s in self.states if not s.result.done]
+            if not active:
+                return [s.result for s in self.states]
+            if self.waves_run >= self.max_waves:
+                raise RuntimeError(
+                    f"{len(active)} client(s) unfinished after "
+                    f"{self.max_waves} waves"
+                )
+            order = list(self._order_rng.permutation(len(active)))
+            await asyncio.gather(
+                *(active[i].step(self.app) for i in order)
+            )
+            # Let every drain worker fold queued batches into state
+            # before the clock moves — wave boundaries are quiescent.
+            for session in self.app.registry.all_sessions():
+                await session.drain()
+            self.clock.advance(self.wave_ticks)
+            self.waves_run += 1

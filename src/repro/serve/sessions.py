@@ -1,0 +1,601 @@
+"""Per-tenant telemetry sessions and the session registry.
+
+One :class:`TelemetrySession` wraps one
+:class:`~repro.stream.session.LiveStreamState` — the same incremental
+core :func:`~repro.stream.session.stream_session` drives — behind a
+bounded :class:`asyncio.Queue` drained by a single worker task.  The
+queue is the backpressure boundary: when it is full,
+:meth:`TelemetrySession.try_submit` refuses and the route layer turns
+the refusal into ``429 + Retry-After``.  Because exactly one worker
+drains each session's queue in FIFO order, the estimator state is a
+pure function of the accepted batch sequence — which is what makes an
+HTTP-fed verdict bit-identical to a direct :func:`stream_session` run
+over the same batches.
+
+The :class:`SessionRegistry` owns the id space, per-tenant session
+caps, and idle eviction on the injected clock.  Eviction never drops
+queued work: a session with batches still in its queue is skipped no
+matter how stale its last-touch time is (locked by a hypothesis
+property in ``tests/serve/test_registry.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.quality import QualityReport
+from repro.faults.recovery import breaker_level
+from repro.stream.ingest import SampleBatch
+from repro.stream.session import LiveStreamState
+from repro.units import SECONDS_PER_HOUR
+from repro.wire.session import WireReader
+
+__all__ = [
+    "SessionConfig",
+    "batch_from_json",
+    "FrameIngest",
+    "TelemetrySession",
+    "SessionRegistry",
+]
+
+#: Hard ceiling on ticks × nodes accepted in one JSON batch.
+MAX_BATCH_CELLS = 4_000_000
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything a tenant declares when opening a session."""
+
+    population: int
+    core_t0_s: float
+    core_t1_s: float
+    interval_s: float
+    quantiles: tuple[float, ...] = (0.5, 0.95)
+    accuracy: float = 0.01
+    confidence: float = 0.95
+    report_every_s: float = 600.0
+    queue_capacity: int = 8
+    compliance_level: int = 2
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise ValueError("population must be >= 2")
+        if not self.core_t1_s > self.core_t0_s:
+            raise ValueError("core window must have positive duration")
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.compliance_level not in (0, 1, 2, 3):
+            raise ValueError(
+                f"unknown compliance level {self.compliance_level}"
+            )
+
+    @classmethod
+    def from_json(cls, obj: object) -> "SessionConfig":
+        """Build from a decoded JSON body; ``ValueError`` on bad input."""
+        if not isinstance(obj, dict):
+            raise ValueError("session config must be a JSON object")
+        known = {
+            "population", "core_t0_s", "core_t1_s", "interval_s",
+            "quantiles", "accuracy", "confidence", "report_every_s",
+            "queue_capacity", "compliance_level",
+        }
+        unknown = sorted(set(obj) - known)
+        if unknown:
+            raise ValueError(f"unknown config key(s): {', '.join(unknown)}")
+        required = {"population", "core_t0_s", "core_t1_s", "interval_s"}
+        missing = sorted(required - set(obj))
+        if missing:
+            raise ValueError(
+                f"missing config key(s): {', '.join(missing)}"
+            )
+        kwargs = dict(obj)
+        if "quantiles" in kwargs:
+            raw = kwargs["quantiles"]
+            if not isinstance(raw, (list, tuple)) or not raw:
+                raise ValueError("quantiles must be a non-empty list")
+            kwargs["quantiles"] = tuple(float(q) for q in raw)
+        try:
+            return cls(
+                population=int(kwargs["population"]),
+                core_t0_s=float(kwargs["core_t0_s"]),
+                core_t1_s=float(kwargs["core_t1_s"]),
+                interval_s=float(kwargs["interval_s"]),
+                **{
+                    k: v for k, v in kwargs.items()
+                    if k not in ("population", "core_t0_s", "core_t1_s",
+                                 "interval_s")
+                },
+            )
+        except TypeError as exc:
+            raise ValueError(f"bad session config: {exc}") from exc
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering."""
+        return {
+            "population": self.population,
+            "core_t0_s": self.core_t0_s,
+            "core_t1_s": self.core_t1_s,
+            "interval_s": self.interval_s,
+            "quantiles": list(self.quantiles),
+            "accuracy": self.accuracy,
+            "confidence": self.confidence,
+            "report_every_s": self.report_every_s,
+            "queue_capacity": self.queue_capacity,
+            "compliance_level": self.compliance_level,
+        }
+
+
+def batch_from_json(obj: object) -> SampleBatch:
+    """Decode a JSON ingest body into a validated :class:`SampleBatch`.
+
+    Raises ``ValueError`` on any malformed input — wrong shapes,
+    non-finite readings, oversized matrices — *before* anything touches
+    session state, so a bad request can never corrupt a session.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError("batch must be a JSON object")
+    missing = sorted(
+        {"times", "watts", "node_ids"} - set(obj)
+    )
+    if missing:
+        raise ValueError(f"missing batch key(s): {', '.join(missing)}")
+    try:
+        times = np.asarray(obj["times"], dtype=np.float64)
+        watts = np.asarray(obj["watts"], dtype=np.float64)
+        node_ids = np.asarray(obj["node_ids"], dtype=np.int64)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"unparseable batch arrays: {exc}") from exc
+    if times.ndim != 1 or times.size == 0:
+        raise ValueError("times must be a non-empty 1-D array")
+    if watts.ndim != 2:
+        raise ValueError("watts must be a 2-D [ticks x nodes] matrix")
+    if watts.size > MAX_BATCH_CELLS:
+        raise ValueError(
+            f"batch of {watts.size} cells exceeds the "
+            f"{MAX_BATCH_CELLS}-cell limit"
+        )
+    if not np.all(np.isfinite(times)):
+        raise ValueError("times must be finite")
+    if not np.all(np.isfinite(watts)):
+        raise ValueError("watts must be finite")
+    if np.any(watts < 0):
+        raise ValueError("watts must be non-negative")
+    if np.any(np.diff(times) <= 0):
+        raise ValueError("times must be strictly increasing")
+    try:
+        return SampleBatch(times=times, watts=watts, node_ids=node_ids)
+    except ValueError as exc:
+        raise ValueError(f"inconsistent batch shapes: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FrameIngest:
+    """Outcome of feeding one RPWR request body into a session."""
+
+    batches_accepted: int
+    samples_accepted: int
+    frames_corrupt: int
+    gap_cells: int
+    refused: bool
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering."""
+        return {
+            "batches_accepted": self.batches_accepted,
+            "samples_accepted": self.samples_accepted,
+            "frames_corrupt": self.frames_corrupt,
+            "gap_cells": self.gap_cells,
+            "refused": self.refused,
+        }
+
+
+class TelemetrySession:
+    """One tenant's live compliance session behind a bounded queue."""
+
+    def __init__(
+        self,
+        session_id: str,
+        tenant: str,
+        config: SessionConfig,
+        *,
+        now_s: float,
+    ) -> None:
+        self.session_id = session_id
+        self.tenant = tenant
+        self.config = config
+        self.state = LiveStreamState(
+            population=config.population,
+            core_window=(config.core_t0_s, config.core_t1_s),
+            required_interval_s=config.interval_s,
+            quantiles=config.quantiles,
+            accuracy=config.accuracy,
+            confidence=config.confidence,
+            report_every_s=config.report_every_s,
+        )
+        self.queue: asyncio.Queue[SampleBatch] = asyncio.Queue(
+            maxsize=config.queue_capacity
+        )
+        #: Test hook: clearing the gate stalls the consumer, modelling a
+        #: slow estimator backend so backpressure can be exercised
+        #: deterministically.
+        self.gate = asyncio.Event()
+        self.gate.set()
+        self.created_s = float(now_s)
+        self.last_active_s = float(now_s)
+        self.closed = False
+        self.batches_accepted = 0
+        self.batches_folded = 0
+        self.batches_rejected = 0
+        self.bytes_ingested = 0
+        self.queue_high_watermark = 0
+        self.worker_errors: list[str] = []
+        self._reader: WireReader | None = None
+        self._gap_cells = 0
+        self._frames_corrupt_seen = 0
+        self._worker: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the drain worker (requires a running event loop)."""
+        if self._worker is None:
+            self._worker = asyncio.create_task(
+                self._drain_forever(), name=f"drain-{self.session_id}"
+            )
+
+    async def _drain_forever(self) -> None:
+        while True:
+            batch = await self.queue.get()
+            try:
+                await self.gate.wait()
+                self.state.push(batch)
+            except Exception as exc:  # record, never lose silently
+                self.worker_errors.append(f"{type(exc).__name__}: {exc}")
+            finally:
+                self.batches_folded += 1
+                self.queue.task_done()
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Batches sitting in the queue right now."""
+        return self.queue.qsize()
+
+    @property
+    def pending_batches(self) -> int:
+        """Accepted batches not yet folded into the stream state.
+
+        Unlike :attr:`queue_depth` this also counts a batch the drain
+        worker has popped but not yet pushed (e.g. while stalled on the
+        gate) — the count eviction safety must be judged against.
+        """
+        return self.batches_accepted - self.batches_folded
+
+    def touch(self, now_s: float) -> None:
+        """Refresh the idle-eviction deadline."""
+        self.last_active_s = float(now_s)
+
+    def try_submit(self, batch: SampleBatch, *, n_bytes: int,
+                   now_s: float) -> bool:
+        """Offer one batch to the ingest queue; ``False`` when full."""
+        if self.closed:
+            raise ValueError("session is closed")
+        try:
+            self.queue.put_nowait(batch)
+        except asyncio.QueueFull:
+            self.batches_rejected += 1
+            return False
+        self.batches_accepted += 1
+        self.bytes_ingested += n_bytes
+        self.queue_high_watermark = max(
+            self.queue_high_watermark, self.queue.qsize()
+        )
+        self.touch(now_s)
+        return True
+
+    def ingest_frames(self, body: bytes, *, now_s: float) -> FrameIngest:
+        """Feed an RPWR byte chunk through the session's wire reader.
+
+        Decoded in-order batches go through the same
+        :meth:`try_submit` path as JSON batches; all-NaN gap batches
+        (sequence holes the reader declares missing) are *counted* into
+        the quality provenance but never pushed into the estimators.
+        Refusal semantics are all-or-nothing per decoded batch: once a
+        batch is refused for backpressure the rest of the body's
+        batches are refused too, keeping the accepted prefix in order.
+        """
+        if self.closed:
+            raise ValueError("session is closed")
+        if self._reader is None:
+            self._reader = WireReader(dt_s=self.config.interval_s)
+        corrupt_before = (
+            self._reader.crc_failures + self._reader.frames_undecodable
+        )
+        batches = self._reader.feed(body)
+        accepted = 0
+        samples = 0
+        refused = False
+        for batch in batches:
+            if np.isnan(batch.watts).any():
+                # Gap batches (sequence holes the reader reconstructs)
+                # are all-NaN by construction; their cells go into the
+                # provenance ledger, never into the estimators.  A
+                # hypothetical mixed frame is written off whole, which
+                # errs conservative.
+                self._gap_cells += int(batch.watts.size)
+                continue
+            if refused or not self.try_submit(
+                batch, n_bytes=0, now_s=now_s
+            ):
+                refused = True
+                continue
+            accepted += 1
+            samples += batch.n_samples
+        if accepted:
+            self.bytes_ingested += len(body)
+        corrupt_now = (
+            self._reader.crc_failures + self._reader.frames_undecodable
+        )
+        self._frames_corrupt_seen = corrupt_now
+        return FrameIngest(
+            batches_accepted=accepted,
+            samples_accepted=samples,
+            frames_corrupt=corrupt_now - corrupt_before,
+            gap_cells=self._gap_cells,
+            refused=refused,
+        )
+
+    async def drain(self) -> None:
+        """Wait until every queued batch has been folded into state."""
+        await self.queue.join()
+
+    async def close(self) -> None:
+        """Stop ingest, drain the queue, finalize the stream state."""
+        if self.closed:
+            return
+        self.closed = True
+        self.gate.set()
+        await self.queue.join()
+        if self._worker is not None:
+            self._worker.cancel()
+            try:
+                await self._worker
+            except asyncio.CancelledError:
+                self._worker = None
+        self.state.finalize()
+
+    # ------------------------------------------------------------------
+    def info(self) -> dict:
+        """Liveness/bookkeeping view for ``GET /v1/sessions/{id}``."""
+        return {
+            "session_id": self.session_id,
+            "tenant": self.tenant,
+            "closed": self.closed,
+            "created_s": self.created_s,
+            "last_active_s": self.last_active_s,
+            "queue_depth": self.queue_depth,
+            "pending_batches": self.pending_batches,
+            "queue_capacity": self.config.queue_capacity,
+            "queue_high_watermark": self.queue_high_watermark,
+            "batches_accepted": self.batches_accepted,
+            "batches_rejected": self.batches_rejected,
+            "samples_ingested": self.state.samples_ingested,
+            "bytes_ingested": self.bytes_ingested,
+            "worker_errors": list(self.worker_errors),
+            "config": self.config.to_dict(),
+        }
+
+    def quality_report(self) -> QualityReport | None:
+        """Provenance label for everything this session has served.
+
+        ``None`` until the first sample lands (there is nothing to
+        label).  Counts are matrix cells; wire provenance comes from
+        the session's reader when frames were used.
+        """
+        state = self.state
+        if state.samples_ingested == 0:
+            return None
+        arrived = state.samples_ingested + self._gap_cells
+        coverage = state.samples_ingested / arrived if arrived else 0.0
+        node_means = np.asarray(state.monitor.node_moments.mean)
+        fleet_mean_w = float(node_means.mean())
+        sigma_node_w = (
+            float(node_means.std(ddof=1)) if node_means.size > 1 else 0.0
+        )
+        reader = self._reader
+        return QualityReport(
+            samples_expected=arrived,
+            samples_arrived=arrived,
+            samples_missing=self._gap_cells,
+            samples_never_arrived=0,
+            samples_stuck=0,
+            samples_spiked=0,
+            samples_held=0,
+            samples_interpolated=0,
+            samples_excluded=self._gap_cells,
+            nodes_quarantined=(),
+            batches_retried=0,
+            batches_abandoned=0,
+            effective_coverage=coverage,
+            original_level=self.config.compliance_level,
+            effective_level=breaker_level(
+                self.config.compliance_level, coverage, False
+            ),
+            fleet_mean_w=fleet_mean_w,
+            node_cv=(
+                sigma_node_w / fleet_mean_w if fleet_mean_w > 0 else 0.0
+            ),
+            sigma_node_w=sigma_node_w,
+            sigma_tick_w=float(np.asarray(state.fleet.std()))
+            if state.fleet.count >= 2 else 0.0,
+            n_nodes_used=int(node_means.size),
+            codec=", ".join(reader.codec_names) if reader else "",
+            codec_error_bound_w=reader.error_bound_w if reader else 0.0,
+            frames_dropped=reader.frames_missing if reader else 0,
+            frames_corrupt=self._frames_corrupt_seen,
+        )
+
+    def final_summary(self) -> dict:
+        """The close/eviction response body."""
+        state = self.state
+        if state.samples_ingested == 0:
+            return {
+                "session_id": self.session_id,
+                "samples_ingested": 0,
+                "insufficient_data": True,
+                "stopping": state.decision.to_dict(),
+                "monitor": state.monitor.report().to_dict(),
+            }
+        result = state.result(
+            queue_high_watermark=self.queue_high_watermark
+        )
+        out = result.to_dict()
+        out["session_id"] = self.session_id
+        quality = self.quality_report()
+        out["quality"] = quality.to_dict() if quality else None
+        return out
+
+
+class SessionRegistry:
+    """All live sessions, with ownership checks and idle eviction."""
+
+    def __init__(
+        self,
+        *,
+        idle_timeout_s: float = SECONDS_PER_HOUR,
+        max_sessions_per_tenant: int = 64,
+        max_sessions_total: int = 4096,
+    ) -> None:
+        if idle_timeout_s <= 0:
+            raise ValueError("idle_timeout_s must be positive")
+        if max_sessions_per_tenant < 1 or max_sessions_total < 1:
+            raise ValueError("session caps must be >= 1")
+        self.idle_timeout_s = float(idle_timeout_s)
+        self.max_sessions_per_tenant = int(max_sessions_per_tenant)
+        self.max_sessions_total = int(max_sessions_total)
+        self._sessions: dict[str, TelemetrySession] = {}
+        self._next_id = 0
+        self.sessions_created = 0
+        self.sessions_closed = 0
+        self.sessions_evicted = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def tenant_count(self, tenant: str) -> int:
+        """Live sessions owned by ``tenant``."""
+        return sum(
+            1 for s in self._sessions.values() if s.tenant == tenant
+        )
+
+    def tenant_sessions(self, tenant: str) -> list[TelemetrySession]:
+        """All live sessions owned by ``tenant``, in id order."""
+        return [
+            s for _, s in sorted(self._sessions.items())
+            if s.tenant == tenant
+        ]
+
+    def all_sessions(self) -> list[TelemetrySession]:
+        """Every live session, in id order."""
+        return [s for _, s in sorted(self._sessions.items())]
+
+    def create(
+        self, tenant: str, config: SessionConfig, *, now_s: float
+    ) -> TelemetrySession:
+        """Open (and start) a new session for ``tenant``.
+
+        Raises ``ValueError`` when a cap is hit — the route layer maps
+        that to a 429.
+        """
+        if len(self._sessions) >= self.max_sessions_total:
+            raise ValueError(
+                f"service at capacity ({self.max_sessions_total} sessions)"
+            )
+        if self.tenant_count(tenant) >= self.max_sessions_per_tenant:
+            raise ValueError(
+                f"tenant {tenant!r} at capacity "
+                f"({self.max_sessions_per_tenant} sessions)"
+            )
+        session_id = f"s-{self._next_id:08d}"
+        self._next_id += 1
+        session = TelemetrySession(
+            session_id, tenant, config, now_s=now_s
+        )
+        session.start()
+        self._sessions[session_id] = session
+        self.sessions_created += 1
+        return session
+
+    def get(self, tenant: str, session_id: str) -> TelemetrySession:
+        """Look up a session, enforcing tenant ownership.
+
+        Raises ``KeyError`` when absent and ``PermissionError`` when
+        owned by a different tenant (the routes map these to 404/403).
+        """
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise KeyError(session_id)
+        if session.tenant != tenant:
+            raise PermissionError(
+                f"session {session_id} belongs to another tenant"
+            )
+        return session
+
+    async def close(self, tenant: str, session_id: str) -> dict:
+        """Close a session, remove it, and return its final summary."""
+        session = self.get(tenant, session_id)
+        await session.close()
+        del self._sessions[session_id]
+        self.sessions_closed += 1
+        return session.final_summary()
+
+    def evictable(self, now_s: float) -> list[TelemetrySession]:
+        """Sessions past the idle deadline with *no* pending work.
+
+        ``pending_batches`` (not ``queue_depth``) is the safety test:
+        a batch the worker has popped but not yet folded still counts.
+        """
+        deadline_s = now_s - self.idle_timeout_s
+        return [
+            s for _, s in sorted(self._sessions.items())
+            if s.last_active_s <= deadline_s and s.pending_batches == 0
+        ]
+
+    async def evict_idle(self, now_s: float) -> list[str]:
+        """Close and drop every evictable session; returns their ids.
+
+        A session with batches still queued is never evicted, however
+        stale its last-touch time — queued work always lands in the
+        estimators first (the registry hypothesis property).
+        """
+        evicted: list[str] = []
+        for session in self.evictable(now_s):
+            await session.close()
+            del self._sessions[session.session_id]
+            self.sessions_evicted += 1
+            evicted.append(session.session_id)
+        return evicted
+
+    async def close_all(self) -> None:
+        """Shut every session down (service shutdown path)."""
+        for session_id in sorted(self._sessions):
+            session = self._sessions.pop(session_id)
+            await session.close()
+            self.sessions_closed += 1
+
+    def gauges(self) -> dict:
+        """Registry gauges for ``/metrics``."""
+        depths = [s.queue_depth for s in self._sessions.values()]
+        return {
+            "sessions_live": len(self._sessions),
+            "sessions_created": self.sessions_created,
+            "sessions_closed": self.sessions_closed,
+            "sessions_evicted": self.sessions_evicted,
+            "queue_depth_total": sum(depths),
+            "queue_depth_max": max(depths, default=0),
+        }

@@ -40,6 +40,7 @@ from repro.stream.ingest import (
 from repro.stream.monitor import ComplianceMonitor, MonitorReport
 from repro.stream.ring import RingBuffer, TimeRing
 from repro.stream.session import (
+    LiveStreamState,
     StreamSessionResult,
     StreamSnapshot,
     stream_session,
@@ -60,6 +61,7 @@ __all__ = [
     "MonitorReport",
     "RingBuffer",
     "TimeRing",
+    "LiveStreamState",
     "StreamSessionResult",
     "StreamSnapshot",
     "stream_session",

@@ -1,11 +1,20 @@
 """End-to-end streaming sessions: replay → estimate → monitor → stop.
 
-:func:`stream_session` is what the ``repro stream`` CLI subcommand
-drives: it replays a :class:`~repro.traces.synth.SimulatedRun` through
-the bounded-queue ingestion loop, keeps every streaming estimator and
-the compliance monitor up to date, evaluates the sequential stopping
-boundary as node means firm up, and emits periodic
-:class:`StreamSnapshot` records plus a final summary.
+:class:`LiveStreamState` is the incremental core: one object holding
+every streaming estimator, the compliance monitor and the sequential
+stopping boundary, advanced one :class:`~repro.stream.ingest.SampleBatch`
+at a time.  Two drivers share it:
+
+* :func:`stream_session` — the batch driver the ``repro stream`` CLI
+  subcommand runs: replay a :class:`~repro.traces.synth.SimulatedRun`
+  through the bounded-queue ingestion loop into one state.
+* :mod:`repro.serve` — the multi-tenant telemetry service, which hosts
+  one state per tenant session and feeds it batches POSTed over HTTP.
+
+Because both paths push identical batches through the *same* update
+code, a verdict served over the wire is bit-identical to the verdict a
+direct :func:`stream_session` call computes — the property the
+``tests/serve`` load suite locks.
 
 The session is deterministic: the simulated tick clock is the only
 time source, and all estimator state is a pure function of the replayed
@@ -24,7 +33,12 @@ from repro.stream.monitor import ComplianceMonitor, MonitorReport
 from repro.stream.stopping import SequentialStopper, StoppingDecision
 from repro.traces.synth import SimulatedRun
 
-__all__ = ["StreamSnapshot", "StreamSessionResult", "stream_session"]
+__all__ = [
+    "StreamSnapshot",
+    "StreamSessionResult",
+    "LiveStreamState",
+    "stream_session",
+]
 
 
 @dataclass(frozen=True)
@@ -165,6 +179,226 @@ class StreamSessionResult:
         return "\n".join(lines)
 
 
+class LiveStreamState:
+    """Incremental estimator/monitor/stopper state, one batch at a time.
+
+    The single source of truth for "what does the stream look like so
+    far": every driver — the batch replay in :func:`stream_session`,
+    the per-tenant sessions in :mod:`repro.serve` — pushes its batches
+    through :meth:`push` and reads verdicts with :meth:`live_snapshot`
+    / :meth:`result`, so identical batch streams always produce
+    identical verdicts regardless of how the bytes arrived.
+
+    Parameters
+    ----------
+    population:
+        Fleet size ``N`` for the finite-population correction.
+    core_window:
+        ``(t0_s, t1_s)`` of the core phase the compliance monitor
+        judges coverage against.
+    required_interval_s:
+        Maximum legal sample spacing (the Level 1/2 cadence rule).
+    quantiles:
+        Fleet power quantiles tracked by P² estimators.
+    accuracy / confidence:
+        Sequential stopping target (λ, 1 − α).
+    report_every_s:
+        Snapshot cadence in simulated seconds.
+    """
+
+    def __init__(
+        self,
+        *,
+        population: int,
+        core_window: tuple[float, float],
+        required_interval_s: float,
+        quantiles: tuple[float, ...] = (0.5, 0.95),
+        accuracy: float = 0.01,
+        confidence: float = 0.95,
+        report_every_s: float = 600.0,
+    ) -> None:
+        if report_every_s <= 0:
+            raise ValueError("report_every_s must be positive")
+        for q in quantiles:
+            if not (0.0 < q < 1.0):
+                raise ValueError(f"quantiles must be in (0, 1), got {q}")
+        self.monitor = ComplianceMonitor(
+            core_window, required_interval_s=required_interval_s
+        )
+        self.fleet = RunningMoments()
+        self.p2 = {q: P2Quantile(q) for q in quantiles}
+        self.covar = RunningCovariance()
+        self.stopper = SequentialStopper(
+            accuracy=accuracy,
+            population=population,
+            confidence=confidence,
+            method="t",
+        )
+        self.snapshots: list[StreamSnapshot] = []
+        self.report_every_s = float(report_every_s)
+        self.samples_ingested = 0
+        self.batches_ingested = 0
+        self._next_report_s: float | None = None
+        self._decision = self.stopper.evaluate()
+        self._nodes_fed = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    @property
+    def decision(self) -> StoppingDecision:
+        """The latest sequential stopping decision."""
+        return self._decision
+
+    @property
+    def finalized(self) -> bool:
+        """Whether :meth:`finalize` has run (no more pushes allowed)."""
+        return self._finalized
+
+    def push(self, batch: SampleBatch) -> None:
+        """Ingest one batch: estimators, compliance, stopping."""
+        if self._finalized:
+            raise ValueError("cannot push into a finalized stream state")
+        self.monitor.observe(batch)
+        self.fleet.push_batch(batch.watts.ravel())
+        for est in self.p2.values():
+            est.push_batch(batch.watts)
+        self.covar.push_batch(
+            batch.watts, np.broadcast_to(
+                batch.fleet_means()[:, None], batch.watts.shape
+            ),
+        )
+        self.samples_ingested += batch.n_samples
+        self.batches_ingested += 1
+
+        # Sequential stopping: nodes "report in" one at a time as the
+        # stream progresses — node k's running mean is admitted once
+        # the stream has warmed up past k batches, modelling staggered
+        # instrumentation roll-out across the fleet.
+        node_means = np.asarray(self.monitor.node_moments.mean)
+        admitted = min(
+            self._nodes_fed + max(1, batch.n_nodes // 8),
+            node_means.size,
+        )
+        if admitted > self._nodes_fed:
+            fresh = node_means[self._nodes_fed:admitted]
+            self._decision = self._stopper_feed(fresh)
+            self._nodes_fed = admitted
+
+        t_now = batch.t1_s
+        if self._next_report_s is None:
+            self._next_report_s = batch.t0_s + self.report_every_s
+        while t_now >= self._next_report_s - 1e-9:
+            self.snapshots.append(self.snapshot_at(t_now))
+            self._next_report_s += self.report_every_s
+
+    def _stopper_feed(self, means: np.ndarray) -> StoppingDecision:
+        decision = self._decision
+        for w in means:
+            decision = self.stopper.update(float(w))
+        return decision
+
+    def snapshot_at(self, t_s: float) -> StreamSnapshot:
+        """Build a snapshot of the current state, stamped ``t_s``."""
+        report = self.monitor.report()
+        decision = self._decision
+        have_sd = self.fleet.count >= 2
+        node_means = np.asarray(self.monitor.node_moments.mean)
+        mu = float(node_means.mean())
+        sd_nodes = (
+            float(node_means.std(ddof=1)) if node_means.size > 1 else 0.0
+        )
+        return StreamSnapshot(
+            t_s=float(t_s),
+            samples_seen=self.fleet.count,
+            fleet_mean_w=float(np.asarray(self.fleet.mean)),
+            fleet_std_w=(
+                float(np.asarray(self.fleet.std())) if have_sd else 0.0
+            ),
+            node_cv=(sd_nodes / mu if mu > 0 else 0.0),
+            quantiles_w={q: est.value for q, est in self.p2.items()},
+            rolling_mean_w=report.rolling_mean_w,
+            coverage=report.window_fraction_covered,
+            interval_ok=report.interval_ok,
+            legal_level1_window=report.legal_level1_window,
+            n_outliers=len(report.outlier_nodes),
+            achieved_lambda=decision.achieved_lambda,
+            should_stop=decision.should_stop,
+        )
+
+    def live_snapshot(self) -> StreamSnapshot:
+        """A snapshot stamped with the monitor's current stream time.
+
+        Requires at least one ingested batch (an empty stream has no
+        moments to snapshot — callers serving live queries should check
+        :attr:`samples_ingested` first).
+        """
+        if self.samples_ingested == 0:
+            raise ValueError("cannot snapshot an empty stream")
+        return self.snapshot_at(self.monitor.report().t_now_s)
+
+    def finalize(self) -> StoppingDecision:
+        """Close the stream: admit any not-yet-reported node means.
+
+        Idempotent; after this :meth:`push` refuses further batches.
+        """
+        if self._finalized:
+            return self._decision
+        self._finalized = True
+        if self.monitor.samples_seen > 0:
+            node_means = np.asarray(self.monitor.node_moments.mean)
+            if self._nodes_fed < node_means.size:
+                self._decision = self._stopper_feed(
+                    node_means[self._nodes_fed:]
+                )
+                self._nodes_fed = node_means.size
+        return self._decision
+
+    def result(
+        self,
+        *,
+        queue_stalls: int = 0,
+        queue_high_watermark: int = 0,
+        samples_ingested: int | None = None,
+    ) -> StreamSessionResult:
+        """Assemble the final :class:`StreamSessionResult`.
+
+        Must run after :meth:`finalize`; queue statistics are the
+        driver's to report (the replay loop's stalls, or a service
+        session's high-water mark).
+        """
+        if not self._finalized:
+            raise ValueError("finalize() the state before result()")
+        if self.samples_ingested == 0:
+            raise ValueError("cannot summarise an empty stream")
+        final_monitor = self.monitor.report()
+        snapshots = list(self.snapshots)
+        if not snapshots:
+            snapshots.append(self.snapshot_at(final_monitor.t_now_s))
+        try:
+            correlation = float(np.mean(np.asarray(self.covar.correlation())))
+        except ValueError:
+            # Degenerate stream (a single tick, or constant readings):
+            # the correlation is undefined, not zero — surface as NaN.
+            correlation = float("nan")
+        return StreamSessionResult(
+            snapshots=snapshots,
+            monitor_report=final_monitor,
+            stopping=self._decision,
+            fleet_moments=self.fleet,
+            node_moments=self.monitor.node_moments,
+            node_fleet_correlation=correlation,
+            quantiles_w={q: est.value for q, est in self.p2.items()},
+            queue_stalls=queue_stalls,
+            queue_high_watermark=queue_high_watermark,
+            samples_ingested=(
+                self.samples_ingested
+                if samples_ingested is None
+                else samples_ingested
+            ),
+            stopped_at_nodes=self.stopper.stopped_at,
+        )
+
+
 def stream_session(
     run: SimulatedRun,
     *,
@@ -198,96 +432,15 @@ def stream_session(
     core_only:
         Stream only the core phase (the methodology's view).
     """
-    if report_every_s <= 0:
-        raise ValueError("report_every_s must be positive")
-    for q in quantiles:
-        if not (0.0 < q < 1.0):
-            raise ValueError(f"quantiles must be in (0, 1), got {q}")
-
-    monitor = ComplianceMonitor(
-        run.core_window, required_interval_s=max(run.dt, 1.0)
-    )
-    fleet = RunningMoments()
-    p2 = {q: P2Quantile(q) for q in quantiles}
-    covar = RunningCovariance()
-    stopper = SequentialStopper(
-        accuracy=accuracy,
+    state = LiveStreamState(
         population=run.system.n_nodes,
+        core_window=run.core_window,
+        required_interval_s=max(run.dt, 1.0),
+        quantiles=quantiles,
+        accuracy=accuracy,
         confidence=confidence,
-        method="t",
+        report_every_s=report_every_s,
     )
-    snapshots: list[StreamSnapshot] = []
-    state = {
-        "next_report_s": None,
-        "decision": stopper.evaluate(),
-        "nodes_fed": 0,
-    }
-
-    def consume(batch: SampleBatch) -> None:
-        monitor.observe(batch)
-        fleet.push_batch(batch.watts.ravel())
-        for est in p2.values():
-            est.push_batch(batch.watts)
-        covar.push_batch(
-            batch.watts, np.broadcast_to(
-                batch.fleet_means()[:, None], batch.watts.shape
-            ),
-        )
-
-        # Sequential stopping: nodes "report in" one at a time as the
-        # stream progresses — node k's running mean is admitted once
-        # the stream has warmed up past k batches, modelling staggered
-        # instrumentation roll-out across the fleet.
-        node_means = np.asarray(monitor.node_moments.mean)
-        admitted = min(
-            state["nodes_fed"] + max(1, batch.n_nodes // 8),
-            node_means.size,
-        )
-        if admitted > state["nodes_fed"]:
-            fresh = node_means[state["nodes_fed"]:admitted]
-            state["decision"] = stopper_feed(fresh)
-            state["nodes_fed"] = admitted
-
-        t_now = batch.t1_s
-        if state["next_report_s"] is None:
-            state["next_report_s"] = batch.t0_s + report_every_s
-        while t_now >= state["next_report_s"] - 1e-9:
-            snapshots.append(snapshot_at(t_now))
-            state["next_report_s"] += report_every_s
-
-    def stopper_feed(means: np.ndarray) -> StoppingDecision:
-        decision = state["decision"]
-        for w in means:
-            decision = stopper.update(float(w))
-        return decision
-
-    def snapshot_at(t_s: float) -> StreamSnapshot:
-        report = monitor.report()
-        decision = state["decision"]
-        have_sd = fleet.count >= 2
-        node_means = np.asarray(monitor.node_moments.mean)
-        mu = float(node_means.mean())
-        sd_nodes = (
-            float(node_means.std(ddof=1)) if node_means.size > 1 else 0.0
-        )
-        return StreamSnapshot(
-            t_s=float(t_s),
-            samples_seen=fleet.count,
-            fleet_mean_w=float(np.asarray(fleet.mean)),
-            fleet_std_w=(
-                float(np.asarray(fleet.std())) if have_sd else 0.0
-            ),
-            node_cv=(sd_nodes / mu if mu > 0 else 0.0),
-            quantiles_w={q: est.value for q, est in p2.items()},
-            rolling_mean_w=report.rolling_mean_w,
-            coverage=report.window_fraction_covered,
-            interval_ok=report.interval_ok,
-            legal_level1_window=report.legal_level1_window,
-            n_outliers=len(report.outlier_nodes),
-            achieved_lambda=decision.achieved_lambda,
-            should_stop=decision.should_stop,
-        )
-
     source = replay_run(
         run,
         node_indices=node_indices,
@@ -295,30 +448,11 @@ def stream_session(
         core_only=core_only,
     )
     loop = IngestLoop(
-        source, consume, queue_capacity=queue_capacity
+        source, state.push, queue_capacity=queue_capacity
     ).run()
-
-    # Any nodes not yet admitted to the stopper report in at shutdown.
-    node_means = np.asarray(monitor.node_moments.mean)
-    if state["nodes_fed"] < node_means.size:
-        state["decision"] = stopper_feed(node_means[state["nodes_fed"]:])
-        state["nodes_fed"] = node_means.size
-
-    final_monitor = monitor.report()
-    if not snapshots:
-        snapshots.append(snapshot_at(final_monitor.t_now_s))
-    return StreamSessionResult(
-        snapshots=snapshots,
-        monitor_report=final_monitor,
-        stopping=state["decision"],
-        fleet_moments=fleet,
-        node_moments=monitor.node_moments,
-        node_fleet_correlation=float(
-            np.mean(np.asarray(covar.correlation()))
-        ),
-        quantiles_w={q: est.value for q, est in p2.items()},
+    state.finalize()
+    return state.result(
         queue_stalls=loop.stalls,
         queue_high_watermark=loop.queue.high_watermark,
         samples_ingested=loop.samples_ingested,
-        stopped_at_nodes=stopper.stopped_at,
     )

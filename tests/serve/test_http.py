@@ -1,0 +1,198 @@
+"""Tests for repro.serve.http (wire parsing and rendering)."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    MAX_HEADER_BYTES,
+    MAX_REQUEST_LINE_BYTES,
+    ProtocolError,
+    Response,
+    error_response,
+    json_response,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw: bytes, **kwargs):
+    """Feed raw bytes to the request reader and return the result."""
+
+    async def inner():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(inner())
+
+
+def parse_error(raw: bytes, **kwargs) -> ProtocolError:
+    """Parse bytes expected to be malformed; return the error."""
+    with pytest.raises(ProtocolError) as excinfo:
+        parse(raw, **kwargs)
+    return excinfo.value
+
+
+class TestReadRequest:
+    def test_simple_get(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.query == {}
+        assert request.body == b""
+
+    def test_query_and_percent_decoding(self):
+        request = parse(
+            b"GET /v1/plan?population=200&cv=0.05 HTTP/1.1\r\n\r\n"
+        )
+        assert request.path == "/v1/plan"
+        assert request.query == {"population": "200", "cv": "0.05"}
+
+    def test_post_with_body(self):
+        body = b'{"a": 1}'
+        raw = (
+            b"POST /v1/sessions HTTP/1.1\r\n"
+            b"X-Tenant: acme\r\nContent-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = parse(raw)
+        assert request.tenant == "acme"
+        assert request.content_type == "application/json"
+        assert request.json() == {"a": 1}
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_two_requests_keep_alive(self):
+        raw = (
+            b"GET /a HTTP/1.1\r\n\r\n"
+            b"GET /b HTTP/1.1\r\n\r\n"
+        )
+
+        async def inner():
+            reader = asyncio.StreamReader()
+            reader.feed_data(raw)
+            reader.feed_eof()
+            first = await read_request(reader)
+            second = await read_request(reader)
+            third = await read_request(reader)
+            return first, second, third
+
+        first, second, third = asyncio.run(inner())
+        assert first.path == "/a"
+        assert second.path == "/b"
+        assert third is None
+
+    def test_malformed_request_line(self):
+        err = parse_error(b"GETHTTP/1.1\r\n\r\n")
+        assert err.status == 400
+        assert err.code == "bad-request-line"
+
+    def test_unsupported_method(self):
+        err = parse_error(b"BREW /coffee HTTP/1.1\r\n\r\n")
+        assert err.status == 405
+
+    def test_unsupported_version(self):
+        err = parse_error(b"GET / SPDY/99\r\n\r\n")
+        assert err.status == 400
+        assert err.code == "bad-version"
+
+    def test_request_line_too_long(self):
+        raw = b"GET /" + b"a" * MAX_REQUEST_LINE_BYTES + b" HTTP/1.1\r\n\r\n"
+        err = parse_error(raw)
+        assert err.status == 431
+
+    def test_header_block_too_large(self):
+        filler = b"X-Pad: " + b"y" * 4096 + b"\r\n"
+        raw = (
+            b"GET / HTTP/1.1\r\n"
+            + filler * (MAX_HEADER_BYTES // len(filler) + 2)
+            + b"\r\n"
+        )
+        err = parse_error(raw)
+        assert err.status == 431
+
+    def test_malformed_header(self):
+        err = parse_error(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+        assert err.status == 400
+        assert err.code == "bad-header"
+
+    def test_bad_content_length(self):
+        err = parse_error(
+            b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"
+        )
+        assert err.code == "bad-content-length"
+
+    def test_negative_content_length(self):
+        err = parse_error(
+            b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n"
+        )
+        assert err.code == "bad-content-length"
+
+    def test_body_over_limit(self):
+        raw = (
+            b"POST / HTTP/1.1\r\nContent-Length: 1000\r\n\r\n" + b"x" * 1000
+        )
+        err = parse_error(raw, max_body_bytes=100)
+        assert err.status == 413
+
+    def test_truncated_body(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"
+        err = parse_error(raw)
+        assert err.status == 400
+        assert err.code == "truncated"
+
+    def test_truncated_headers(self):
+        err = parse_error(b"GET / HTTP/1.1\r\nX-Half: yes\r\n")
+        assert err.code == "truncated"
+
+    def test_chunked_rejected(self):
+        err = parse_error(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        )
+        assert err.status == 501
+
+    def test_bad_json_body(self):
+        raw = (
+            b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n{not json"
+        )
+        request = parse(raw)
+        with pytest.raises(ProtocolError) as excinfo:
+            request.json()
+        assert excinfo.value.code == "bad-json"
+
+
+class TestRenderResponse:
+    def test_roundtrip_shape(self):
+        raw = render_response(
+            json_response({"ok": True}), keep_alive=True
+        )
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK")
+        assert b"Connection: keep-alive" in head
+        assert json.loads(body) == {"ok": True}
+        assert f"Content-Length: {len(body)}".encode() in head
+
+    def test_close_and_custom_headers(self):
+        response = Response(
+            status=429, body=b"{}", headers={"Retry-After": "2.000"}
+        )
+        raw = render_response(response, keep_alive=False)
+        assert b"HTTP/1.1 429 Too Many Requests" in raw
+        assert b"Connection: close" in raw
+        assert b"Retry-After: 2.000" in raw
+
+    def test_error_shape(self):
+        response = error_response(
+            404, "no-session", "nope", hint="gone"
+        )
+        payload = json.loads(response.body)
+        assert payload["error"]["status"] == 404
+        assert payload["error"]["code"] == "no-session"
+        assert payload["error"]["hint"] == "gone"

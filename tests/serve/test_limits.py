@@ -1,0 +1,174 @@
+"""Property tests for repro.serve.limits (buckets and quotas).
+
+Hypothesis drives arbitrary admission schedules against the token
+bucket and ledger and checks the invariants the service's fairness
+story rests on: token levels bounded, refill monotone, refusals free,
+charges exact and all-or-nothing.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.limits import QuotaLedger, TenantQuota, TokenBucket
+
+# One admission attempt: (time step forward, token cost).
+steps = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0,
+                  allow_nan=False, allow_infinity=False),
+        st.floats(min_value=0.01, max_value=20.0,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+bucket_params = st.tuples(
+    st.floats(min_value=0.5, max_value=500.0, allow_nan=False),
+    st.floats(min_value=0.01, max_value=50.0, allow_nan=False),
+)
+
+
+class TestTokenBucketProperties:
+    @settings(max_examples=120)
+    @given(params=bucket_params, schedule=steps)
+    def test_tokens_always_bounded(self, params, schedule):
+        """0 <= tokens <= capacity after every operation."""
+        capacity, rate = params
+        bucket = TokenBucket(capacity, rate)
+        now_s = 0.0
+        for dt_s, cost in schedule:
+            now_s += dt_s
+            decision = bucket.acquire(now_s, cost=cost)
+            assert 0.0 <= decision.tokens_left <= capacity
+            assert 0.0 <= bucket.available(now_s) <= capacity
+
+    @settings(max_examples=120)
+    @given(params=bucket_params, schedule=steps)
+    def test_refusal_takes_nothing(self, params, schedule):
+        """A refused acquire leaves the token level untouched."""
+        capacity, rate = params
+        bucket = TokenBucket(capacity, rate)
+        now_s = 0.0
+        for dt_s, cost in schedule:
+            now_s += dt_s
+            before = bucket.available(now_s)
+            decision = bucket.acquire(now_s, cost=cost)
+            if decision.granted:
+                assert decision.tokens_left == pytest.approx(
+                    before - cost, abs=1e-9
+                )
+            else:
+                assert decision.tokens_left == before
+                assert decision.retry_after_s > 0.0
+                # Actually waiting the advertised time makes the cost
+                # payable (time moves forward; probing must too).
+                now_s += decision.retry_after_s + 1e-6
+                ready = bucket.available(now_s)
+                assert ready >= min(cost, capacity) - 1e-6
+
+    @settings(max_examples=100)
+    @given(
+        params=bucket_params,
+        t_obs=st.lists(
+            st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+            min_size=2, max_size=40,
+        ),
+    )
+    def test_observation_monotone(self, params, t_obs):
+        """Observing the bucket never removes tokens, even when clock
+        readings arrive out of order (stale reads refill nothing)."""
+        capacity, rate = params
+        bucket = TokenBucket(capacity, rate)
+        bucket.acquire(0.0, cost=min(capacity, 1.0))  # dent it
+        level = bucket.available(0.0)
+        for t_s in t_obs:
+            new_level = bucket.available(t_s)
+            assert new_level >= level - 1e-12
+            level = new_level
+
+    def test_full_bucket_burst_then_starve(self):
+        """Deterministic spot check: burst capacity, then exact refill."""
+        bucket = TokenBucket(3.0, 1.0)
+        assert all(
+            bucket.acquire(0.0).granted for _ in range(3)
+        )
+        refused = bucket.acquire(0.0)
+        assert not refused.granted
+        assert refused.retry_after_s == pytest.approx(1.0)
+        assert bucket.acquire(1.0).granted  # exactly one token back
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0, 1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, -1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, 1.0).acquire(0.0, cost=0.0)
+
+
+class TestQuotaLedgerProperties:
+    @settings(max_examples=100)
+    @given(
+        max_samples=st.integers(min_value=0, max_value=500),
+        charges=st.lists(
+            st.integers(min_value=0, max_value=120),
+            min_size=1, max_size=40,
+        ),
+    )
+    def test_never_exceeds_budget(self, max_samples, charges):
+        """Usage never crosses the quota, and refused charges leave the
+        ledger untouched (retries never double-bill)."""
+        ledger = QuotaLedger(TenantQuota(max_samples=max_samples))
+        for n in charges:
+            before = ledger.usage("t")
+            outcome = ledger.charge("t", n_bytes=0, n_samples=n)
+            _, used = ledger.usage("t")
+            assert used <= max_samples
+            if not outcome.granted:
+                assert ledger.usage("t") == before
+                assert outcome.reason == "sample-quota-exhausted"
+
+    @settings(max_examples=60)
+    @given(
+        charges=st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=0, max_value=50),
+            ),
+            min_size=1, max_size=40,
+        ),
+    )
+    def test_tenants_isolated(self, charges):
+        """Granted charges add up exactly, per tenant, regardless of
+        interleaving."""
+        ledger = QuotaLedger(
+            TenantQuota(max_bytes=400, max_samples=400)
+        )
+        expect: dict[str, list[int]] = {}
+        for tenant, n_bytes, n_samples in charges:
+            outcome = ledger.charge(
+                tenant, n_bytes=n_bytes, n_samples=n_samples
+            )
+            if outcome.granted:
+                totals = expect.setdefault(tenant, [0, 0])
+                totals[0] += n_bytes
+                totals[1] += n_samples
+        for tenant, (b, s) in expect.items():
+            assert ledger.usage(tenant) == (b, s)
+
+    def test_unlimited_quota_never_refuses(self):
+        ledger = QuotaLedger(TenantQuota())
+        for _ in range(10):
+            assert ledger.charge(
+                "t", n_bytes=10**9, n_samples=10**9
+            ).granted
+
+    def test_negative_charge_rejected(self):
+        ledger = QuotaLedger(TenantQuota(max_bytes=10))
+        with pytest.raises(ValueError):
+            ledger.charge("t", n_bytes=-1, n_samples=0)

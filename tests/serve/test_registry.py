@@ -1,0 +1,196 @@
+"""Property tests for the session registry (eviction safety).
+
+Hypothesis drives arbitrary interleavings of session creation, ingest,
+consumer stalls, clock jumps and eviction sweeps, and checks the
+registry's core promise: *eviction never drops work* — a session with
+accepted-but-unfolded batches survives every sweep, and by shutdown
+every accepted batch has been folded into its stream state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.sessions import SessionConfig, SessionRegistry
+from repro.stream.ingest import SampleBatch, SimClock
+
+CONFIG = SessionConfig(
+    population=2,
+    core_t0_s=0.0,
+    core_t1_s=100.0,
+    interval_s=1.0,
+    queue_capacity=4,
+)
+
+
+def tiny_batch(t0_s: float) -> SampleBatch:
+    """A 2-tick x 2-node batch starting at ``t0_s``."""
+    return SampleBatch(
+        times=np.array([t0_s, t0_s + 1.0]),
+        watts=np.array([[100.0, 101.0], [99.0, 100.0]]),
+        node_ids=np.array([0, 1]),
+    )
+
+
+# An operation stream over a small tenant pool.
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("create"), st.sampled_from(["a", "b"])),
+        st.tuples(st.just("submit"), st.integers(0, 5)),
+        st.tuples(st.just("stall"), st.integers(0, 5)),
+        st.tuples(st.just("wake"), st.integers(0, 5)),
+        st.tuples(st.just("advance"), st.integers(1, 400)),
+        st.tuples(st.just("sweep"), st.just(0)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestRegistryEvictionSafety:
+    @settings(max_examples=60, deadline=None)
+    @given(schedule=ops)
+    def test_eviction_never_drops_pending_work(self, schedule):
+        async def scenario():
+            clock = SimClock(dt_s=1.0)
+            registry = SessionRegistry(
+                idle_timeout_s=100.0, max_sessions_per_tenant=8,
+                max_sessions_total=16,
+            )
+            live: list = []  # sessions in creation order
+            accepted: dict[str, int] = {}
+
+            for op, arg in schedule:
+                if op == "create":
+                    if (
+                        registry.tenant_count(arg)
+                        < registry.max_sessions_per_tenant
+                    ):
+                        session = registry.create(
+                            arg, CONFIG, now_s=clock.now_s
+                        )
+                        live.append(session)
+                        accepted[session.session_id] = 0
+                elif op == "submit" and live:
+                    session = live[arg % len(live)]
+                    if not session.closed:
+                        if session.try_submit(
+                            tiny_batch(float(session.batches_accepted)),
+                            n_bytes=64, now_s=clock.now_s,
+                        ):
+                            accepted[session.session_id] += 1
+                    await asyncio.sleep(0)
+                elif op == "stall" and live:
+                    live[arg % len(live)].gate.clear()
+                elif op == "wake" and live:
+                    live[arg % len(live)].gate.set()
+                    await asyncio.sleep(0)
+                elif op == "advance":
+                    clock.advance(arg)
+                elif op == "sweep":
+                    victims = set(registry.evictable(clock.now_s))
+                    # THE invariant: nothing evictable has pending work.
+                    assert all(
+                        s.pending_batches == 0 for s in victims
+                    )
+                    await registry.evict_idle(clock.now_s)
+
+            # Shutdown: wake everyone, close everything, and check that
+            # every accepted batch was folded into its stream state.
+            for session in live:
+                session.gate.set()
+            await registry.close_all()
+            for session in live:
+                assert session.closed
+                assert session.pending_batches == 0
+                assert session.batches_folded == accepted[
+                    session.session_id
+                ]
+                assert not session.worker_errors
+            return True
+
+        assert asyncio.run(scenario())
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n_sessions=st.integers(1, 6),
+        idle_jumps=st.lists(st.integers(1, 300), min_size=1, max_size=8),
+    )
+    def test_eviction_is_exactly_the_idle_set(self, n_sessions, idle_jumps):
+        """After each jump, the evicted set is precisely the sessions
+        whose last activity predates the deadline."""
+
+        async def scenario():
+            clock = SimClock(dt_s=1.0)
+            registry = SessionRegistry(idle_timeout_s=50.0)
+            stamps = {}
+            for i in range(n_sessions):
+                session = registry.create(
+                    "t", CONFIG, now_s=clock.now_s
+                )
+                stamps[session.session_id] = clock.now_s
+                clock.advance(7)
+            for jump in idle_jumps:
+                clock.advance(jump)
+                deadline_s = clock.now_s - 50.0
+                expected = sorted(
+                    sid for sid, t in stamps.items()
+                    if t <= deadline_s
+                )
+                evicted = await registry.evict_idle(clock.now_s)
+                assert sorted(evicted) == expected
+                for sid in evicted:
+                    del stamps[sid]
+            assert len(registry) == len(stamps)
+            await registry.close_all()
+            return True
+
+        assert asyncio.run(scenario())
+
+
+class TestRegistryBasics:
+    def test_caps_enforced(self):
+        async def scenario():
+            registry = SessionRegistry(
+                max_sessions_per_tenant=2, max_sessions_total=3
+            )
+            registry.create("a", CONFIG, now_s=0.0)
+            registry.create("a", CONFIG, now_s=0.0)
+            with pytest.raises(ValueError, match="tenant"):
+                registry.create("a", CONFIG, now_s=0.0)
+            registry.create("b", CONFIG, now_s=0.0)
+            with pytest.raises(ValueError, match="capacity"):
+                registry.create("b", CONFIG, now_s=0.0)
+            await registry.close_all()
+
+        asyncio.run(scenario())
+
+    def test_ids_deterministic(self):
+        async def scenario():
+            registry = SessionRegistry()
+            ids = [
+                registry.create("t", CONFIG, now_s=0.0).session_id
+                for _ in range(3)
+            ]
+            assert ids == ["s-00000000", "s-00000001", "s-00000002"]
+            await registry.close_all()
+
+        asyncio.run(scenario())
+
+    def test_close_returns_summary_and_removes(self):
+        async def scenario():
+            registry = SessionRegistry()
+            session = registry.create("t", CONFIG, now_s=0.0)
+            session.try_submit(tiny_batch(0.0), n_bytes=8, now_s=0.0)
+            summary = await registry.close("t", session.session_id)
+            assert summary["samples_ingested"] == 4
+            assert len(registry) == 0
+            with pytest.raises(KeyError):
+                registry.get("t", session.session_id)
+
+        asyncio.run(scenario())

@@ -1,0 +1,183 @@
+"""End-to-end TCP tests: real sockets on localhost, raw HTTP bytes.
+
+These cover the transport glue (`serve_tcp` / `handle_connection`) the
+in-process dispatch tests can't: keep-alive across requests, the
+malformed-request close path, and a full session lifecycle over a real
+connection.  No timing assertions — sockets are real but the service
+clock is still simulated.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serve import ServiceConfig, TelemetryApp
+from repro.stream.ingest import SimClock
+
+from .conftest import batch_to_json
+
+
+async def read_response(reader: asyncio.StreamReader) -> tuple[int, dict, dict]:
+    """Parse one HTTP response: (status, headers, json body)."""
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = await reader.readexactly(int(headers["content-length"]))
+    return status, headers, json.loads(body)
+
+
+def request_bytes(
+    method: str,
+    target: str,
+    *,
+    tenant: str = "",
+    body: bytes = b"",
+    close: bool = False,
+) -> bytes:
+    lines = [f"{method} {target} HTTP/1.1", "Host: localhost"]
+    if tenant:
+        lines.append(f"X-Tenant: {tenant}")
+    if body:
+        lines.append("Content-Type: application/json")
+        lines.append(f"Content-Length: {len(body)}")
+    if close:
+        lines.append("Connection: close")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
+
+
+class TestTcpTransport:
+    def test_keep_alive_lifecycle(self, session_config, serve_batches):
+        """Create, ingest, verdict and close — one connection."""
+
+        async def scenario():
+            clock = SimClock(dt_s=1.0)
+            app = TelemetryApp(clock, ServiceConfig())
+            server = await app.serve_tcp("127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            try:
+                writer.write(request_bytes("GET", "/healthz"))
+                await writer.drain()
+                status, headers, payload = await read_response(reader)
+                assert status == 200 and payload["ok"] is True
+                assert headers["connection"] == "keep-alive"
+
+                writer.write(request_bytes(
+                    "POST", "/v1/sessions", tenant="acme",
+                    body=json.dumps(session_config).encode(),
+                ))
+                await writer.drain()
+                status, _, payload = await read_response(reader)
+                assert status == 201
+                sid = payload["session"]["session_id"]
+
+                for batch in serve_batches:
+                    writer.write(request_bytes(
+                        "POST", f"/v1/sessions/{sid}/batches",
+                        tenant="acme",
+                        body=json.dumps(batch_to_json(batch)).encode(),
+                    ))
+                    await writer.drain()
+                    status, _, payload = await read_response(reader)
+                    assert status == 202
+
+                writer.write(request_bytes(
+                    "GET", f"/v1/sessions/{sid}/verdict", tenant="acme"
+                ))
+                await writer.drain()
+                status, _, verdict = await read_response(reader)
+                assert status == 200
+                assert verdict["samples_ingested"] == sum(
+                    b.n_samples for b in serve_batches
+                )
+
+                writer.write(request_bytes(
+                    "DELETE", f"/v1/sessions/{sid}", tenant="acme",
+                    close=True,
+                ))
+                await writer.drain()
+                status, headers, payload = await read_response(reader)
+                assert status == 200
+                assert headers["connection"] == "close"
+                assert payload["summary"]["samples_ingested"] == sum(
+                    b.n_samples for b in serve_batches
+                )
+                assert await reader.read() == b""  # server closed
+            finally:
+                writer.close()
+                server.close()
+                await server.wait_closed()
+                await app.shutdown()
+
+        asyncio.run(scenario())
+
+    def test_malformed_request_gets_400_and_close(self):
+        async def scenario():
+            clock = SimClock(dt_s=1.0)
+            app = TelemetryApp(clock, ServiceConfig())
+            server = await app.serve_tcp("127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            try:
+                writer.write(b"THIS IS NOT HTTP\r\n\r\n")
+                await writer.drain()
+                status, headers, payload = await read_response(reader)
+                assert status in (400, 405)
+                assert headers["connection"] == "close"
+                assert "error" in payload
+                assert await reader.read() == b""
+            finally:
+                writer.close()
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_parallel_connections(self, session_config):
+        """Several tenants on separate connections, concurrently."""
+
+        async def one_client(port: int, tenant: str) -> str:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            try:
+                writer.write(request_bytes(
+                    "POST", "/v1/sessions", tenant=tenant,
+                    body=json.dumps(session_config).encode(),
+                    close=True,
+                ))
+                await writer.drain()
+                status, _, payload = await read_response(reader)
+                assert status == 201
+                return payload["session"]["session_id"]
+            finally:
+                writer.close()
+
+        async def scenario():
+            clock = SimClock(dt_s=1.0)
+            app = TelemetryApp(clock, ServiceConfig())
+            server = await app.serve_tcp("127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                ids = await asyncio.gather(*(
+                    one_client(port, f"tenant-{i}") for i in range(8)
+                ))
+                assert len(set(ids)) == 8
+                assert len(app.registry) == 8
+            finally:
+                server.close()
+                await server.wait_closed()
+                await app.shutdown()
+
+        asyncio.run(scenario())

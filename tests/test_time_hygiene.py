@@ -1,0 +1,140 @@
+"""Wall-clock hygiene lock for the test suite itself.
+
+Every subsystem takes an injected clock (SimClock or compatible), so
+no test has any business reading the wall clock or sleeping for real:
+wall-clock tests are the canonical source of flakes.  This suite walks
+the AST of every test file and fails on ``time.time()``,
+``time.sleep()``, ``datetime.now()`` and friends — with an allowlist
+for the lint-rule fixture trees, whose whole point is to *contain*
+violations for RPX004 to find.
+
+``asyncio.sleep(0)`` stays legal: that is a deterministic scheduling
+yield, not a timed wait.  Any other ``asyncio.sleep`` argument is
+banned too.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+TESTS_DIR = Path(__file__).parent
+
+#: Directory names whose files may (intentionally) violate the rules.
+EXEMPT_DIR_NAMES = frozenset({"fixtures"})
+
+#: Banned ``module.attr`` call targets (matched on the last two parts
+#: of the dotted chain, so ``datetime.datetime.now`` is caught too).
+BANNED_CALLS = frozenset({
+    ("time", "time"),
+    ("time", "sleep"),
+    ("time", "monotonic"),
+    ("time", "perf_counter"),
+    ("time", "process_time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+})
+
+#: Banned ``from time import ...`` names.
+BANNED_FROM_TIME = frozenset({
+    "time", "sleep", "monotonic", "perf_counter", "process_time",
+})
+
+
+def dotted_tail(node: ast.expr) -> tuple[str, ...]:
+    """The trailing dotted-name parts of an attribute chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+def is_zero_literal(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value in (0, 0.0)
+
+
+def scan_file(path: Path) -> list[str]:
+    """All wall-clock violations in one file, as readable strings."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    violations: list[str] = []
+    rel = path.relative_to(TESTS_DIR)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            bad = sorted(
+                alias.name for alias in node.names
+                if alias.name in BANNED_FROM_TIME
+            )
+            if bad:
+                violations.append(
+                    f"{rel}:{node.lineno}: from time import "
+                    f"{', '.join(bad)}"
+                )
+        elif isinstance(node, ast.Call):
+            tail = dotted_tail(node.func)
+            if len(tail) >= 2 and tail[-2:] in BANNED_CALLS:
+                violations.append(
+                    f"{rel}:{node.lineno}: {'.'.join(tail)}()"
+                )
+            elif (
+                len(tail) >= 2
+                and tail[-2:] == ("asyncio", "sleep")
+                and not (node.args and is_zero_literal(node.args[0]))
+            ):
+                violations.append(
+                    f"{rel}:{node.lineno}: asyncio.sleep(nonzero) — "
+                    "use SimClock/gate hooks instead"
+                )
+    return violations
+
+
+def test_no_wall_clock_in_tests():
+    """No test reads the wall clock or sleeps for real."""
+    violations: list[str] = []
+    for path in sorted(TESTS_DIR.rglob("*.py")):
+        if EXEMPT_DIR_NAMES & set(path.parts):
+            continue
+        violations.extend(scan_file(path))
+    assert not violations, (
+        "wall-clock usage in tests (inject a SimClock instead):\n"
+        + "\n".join(violations)
+    )
+
+
+def test_the_scanner_actually_detects(tmp_path):
+    """Self-check: the scanner flags each banned construct."""
+    sample = tmp_path / "sample.py"
+    sample.write_text(
+        "import time, asyncio, datetime\n"
+        "from time import sleep\n"
+        "a = time.time()\n"
+        "time.sleep(1)\n"
+        "b = datetime.datetime.now()\n"
+        "async def f():\n"
+        "    await asyncio.sleep(0)\n"  # legal yield
+        "    await asyncio.sleep(0.5)\n"
+    )
+    # Scan it in place via the module-level helpers, rebasing paths.
+    tree = ast.parse(sample.read_text())
+    hits = 0
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            hits += sum(
+                1 for alias in node.names
+                if alias.name in BANNED_FROM_TIME
+            )
+        elif isinstance(node, ast.Call):
+            tail = dotted_tail(node.func)
+            if len(tail) >= 2 and tail[-2:] in BANNED_CALLS:
+                hits += 1
+            elif (
+                len(tail) >= 2
+                and tail[-2:] == ("asyncio", "sleep")
+                and not (node.args and is_zero_literal(node.args[0]))
+            ):
+                hits += 1
+    assert hits == 5  # sleep-import, time(), sleep(), now(), sleep(0.5)
