@@ -18,8 +18,15 @@ import time
 import numpy as np
 
 from repro.analysis.report import Table
+from repro.faults.detectors import CorrelatedDetectors
 from repro.faults.models import FaultPlan, NodeLoss, SampleDropout, StuckAtLastValue
+from repro.faults.pathology import (
+    AliasingMeter,
+    DeviceSpreadModel,
+    EntropyPowerModel,
+)
 from repro.faults.recovery import RecoveryPipeline
+from repro.stream.ingest import SampleBatch
 
 _TICKS = 600
 _TICKS_PER_BATCH = 60
@@ -70,6 +77,59 @@ def _sweep():
     ]
 
 
+def _pathology_cost(n_nodes: int) -> tuple[float, float, int]:
+    """Correlated-pathology injection + streaming detection cost."""
+    times, watts = _matrix(n_nodes)
+    plan = FaultPlan.canonical(
+        [
+            AliasingMeter(period_ticks=10, duty_frac=0.6),
+            EntropyPowerModel(amplitude_w=20.0, segment_ticks=60),
+            DeviceSpreadModel(spread_frac=0.03),
+        ],
+        seed=11,
+    )
+    t0 = time.perf_counter()
+    injection = plan.apply(times, watts)
+    inject_s = time.perf_counter() - t0
+
+    node_ids = np.arange(n_nodes)
+    detectors = CorrelatedDetectors(segment_ticks=60)
+    t1 = time.perf_counter()
+    for lo in range(0, _TICKS, _TICKS_PER_BATCH):
+        hi = lo + _TICKS_PER_BATCH
+        detectors.observe(
+            SampleBatch(
+                times=times[lo:hi],
+                watts=injection.watts[lo:hi],
+                node_ids=node_ids,
+            )
+        )
+    verdict = detectors.verdict()
+    detect_s = time.perf_counter() - t1
+
+    # Same exactness contract: no timing unless the bias ledger
+    # reconciles against the per-cell matrix and the detectors see
+    # the injected structure.
+    assert injection.ledger.samples_aliased == int(
+        injection.aliased_mask.sum()
+    )
+    assert abs(
+        injection.ledger.aliasing_bias_w_sum
+        + injection.ledger.entropy_bias_w_sum
+        + injection.ledger.spread_bias_w_sum
+        - float(injection.bias_w.sum())
+    ) <= 1e-6 * max(1.0, abs(float(injection.bias_w.sum())))
+    assert verdict.aliasing.suspected and verdict.offset.suspected
+    n_samples = _TICKS * n_nodes
+    return n_samples / inject_s, n_samples / detect_s, n_samples
+
+
+def _pathology_sweep():
+    return [
+        (n_nodes, *_pathology_cost(n_nodes)) for n_nodes in (1_000, 10_000)
+    ]
+
+
 def bench_fault_recovery(benchmark, report_sink):
     rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
     t = Table(
@@ -87,3 +147,22 @@ def bench_fault_recovery(benchmark, report_sink):
         )
     report_sink("fault recovery throughput", t.render())
     assert all(r[2] > 500_000 for r in rows), "recovery slower than 500k/s"
+
+
+def bench_pathology_detection(benchmark, report_sink):
+    rows = benchmark.pedantic(_pathology_sweep, rounds=1, iterations=1)
+    t = Table(
+        ["nodes", "inject (samples/s)", "detect (samples/s)", "samples"],
+        title="correlated pathologies — injection and streaming detection",
+    )
+    for n_nodes, inject_rate, detect_rate, n_samples in rows:
+        t.add_row(
+            [
+                f"{n_nodes}",
+                f"{inject_rate:,.0f}",
+                f"{detect_rate:,.0f}",
+                f"{n_samples}",
+            ]
+        )
+    report_sink("pathology detection throughput", t.render())
+    assert all(r[2] > 500_000 for r in rows), "detection slower than 500k/s"

@@ -35,6 +35,12 @@ echo "== chaos smoke (fault injection + recovery reconciliation)"
 # reconciliation plus estimates inside the stated error bounds.
 python -m repro.cli chaos --system l-csc --max-nodes 24 \
     --core-seconds 600 --dropout 0.02,0.05 --node-loss 1
+# The correlated-pathology edition: aliasing meter, entropy-dependent
+# power and device spread must reconcile their exact bias ledgers,
+# stay inside the correlation-widened bounds, and trip the matching
+# streaming detector in every cell.
+python -m repro.cli chaos --system l-csc --max-nodes 16 \
+    --core-seconds 600 --pathology all --intensity high
 
 echo "== wire smoke (parser fuzz + codec frontier reconciliation)"
 # Fuzz the frame parser (mutated streams must never crash it), then
@@ -55,8 +61,8 @@ python -m repro.cli serve --self-test
 echo "== compileall"
 python -m compileall -q src
 
-# Opt-in perf gate: RUN_BENCH=1 re-runs the shard and serve benchmarks
-# and compares them against the committed baselines with the 30%
+# Opt-in perf gate: RUN_BENCH=1 re-runs the shard, serve and faults
+# benchmarks and compares them against the committed baselines with the 30%
 # regression threshold.  On a different machine the comparison prints
 # a note and passes (timings from another box are not comparable).
 if [ "${RUN_BENCH:-0}" = "1" ]; then
@@ -70,6 +76,11 @@ if [ "${RUN_BENCH:-0}" = "1" ]; then
         --benchmark-json=/tmp/bench_serve_fresh.json -q
     python scripts/bench_compare.py BENCH_serve.json \
         /tmp/bench_serve_fresh.json
+    echo "== faults benchmark + regression gate (RUN_BENCH=1)"
+    python -m pytest benchmarks/bench_faults.py --benchmark-only \
+        --benchmark-json=/tmp/bench_faults_fresh.json -q
+    python scripts/bench_compare.py BENCH_faults.json \
+        /tmp/bench_faults_fresh.json
 fi
 
 echo "all gates green"

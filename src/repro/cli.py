@@ -419,6 +419,53 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     else:
         known = ", ".join((*_TRACE, *NODE_VARIABILITY_SYSTEMS))
         raise SystemExit(f"error: unknown system {name!r} (known: {known})")
+
+    node_indices = None
+    if args.max_nodes is not None:
+        if args.max_nodes < 1:
+            raise SystemExit("error: --max-nodes must be >= 1")
+        n = min(args.max_nodes, system.n_nodes)
+        node_indices = np.arange(n)
+
+    if args.pathology:
+        from repro.faults.pathology import run_pathology, standard_scenarios
+        from repro.workloads.hpl import HplWorkload
+
+        kinds = tuple(
+            k.strip() for k in args.pathology.split(",") if k.strip()
+        )
+        if kinds == ("all",):
+            kinds = ("aliasing", "entropy", "spread")
+        try:
+            scenarios = standard_scenarios(
+                kinds, intensity=args.intensity
+            )
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from exc
+        # A trending (tail-off) trace, so the duty-cycled meter's hold
+        # bias is real signal rather than zero-mean noise.
+        workload = HplWorkload.gpu_in_core(core_s=args.core_seconds)
+        run = simulate_run(system, workload, dt=args.dt, seed=args.seed)
+        outcomes = [
+            run_pathology(
+                run,
+                scenario,
+                gap_policy=args.policy,
+                seed=args.seed,
+                node_indices=node_indices,
+            )
+            for scenario in scenarios
+        ]
+        if args.format == "json":
+            print(json.dumps(
+                [o.to_dict() for o in outcomes], indent=2, default=float
+            ))
+        else:
+            for outcome in outcomes:
+                print("\n".join(outcome.lines()))
+                print()
+        return 0 if all(o.ok() for o in outcomes) else 1
+
     workload = ConstantWorkload(
         utilisation=0.95, core_s=args.core_seconds
     )
@@ -431,13 +478,6 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         raise SystemExit(f"error: bad --dropout list: {exc}") from exc
     if not rates or not all(0.0 <= r < 1.0 for r in rates):
         raise SystemExit("error: dropout rates must be in [0, 1)")
-
-    node_indices = None
-    if args.max_nodes is not None:
-        if args.max_nodes < 1:
-            raise SystemExit("error: --max-nodes must be >= 1")
-        n = min(args.max_nodes, system.n_nodes)
-        node_indices = np.arange(n)
 
     run = simulate_run(system, workload, dt=args.dt, seed=args.seed)
     outcomes = []
@@ -995,6 +1035,14 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--delivery-failure-rate", type=float, default=0.0,
                        help="per-attempt transient delivery failure "
                             "probability (default 0)")
+    chaos.add_argument("--pathology", default="",
+                       help="run correlated meter pathologies instead of "
+                            "independent faults: comma-separated subset "
+                            "of aliasing,entropy,spread, or 'all'")
+    chaos.add_argument("--intensity", choices=("low", "high"),
+                       default="high",
+                       help="pathology intensity grid row "
+                            "(with --pathology; default high)")
     chaos.add_argument("--policy", choices=("hold", "interpolate",
                                             "exclude"),
                        default="hold", help="gap-repair policy")

@@ -23,6 +23,7 @@ from repro.experiments import (
     ext_faults,
     ext_imbalance,
     ext_meter_quality,
+    ext_pathology,
     ext_streaming,
     ext_subsystems,
     ext_wire,
@@ -73,6 +74,7 @@ ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "X-STR": ext_streaming.run,
     "X-FAULT": ext_faults.run,
     "X-WIRE": ext_wire.run,
+    "X-PATH": ext_pathology.run,
 }
 
 

@@ -21,9 +21,23 @@ Layout:
 * :mod:`repro.faults.wire` — frame-level transport faults (drops and
   CRC-detectable corruption) over the :mod:`repro.wire` protocol,
   under the same determinism and disjointness contracts.
+* :mod:`repro.faults.pathology` — *correlated* meter pathologies from
+  the related literature (duty-cycled aliasing meters, input-entropy-
+  dependent power, per-accelerator spread), their gaming and
+  sampling-cost analyses, and the widened-bound audit harness.
+* :mod:`repro.faults.detectors` — stream-level correlated-excursion
+  detectors (repeat/beat structure, persistent per-node offsets,
+  segment-boundary jumps) the per-cell recovery layer cannot see.
 """
 
 from repro.faults.chaos import ChaosOutcome, ChaosScenario, chaos_sweep, run_chaos
+from repro.faults.detectors import (
+    AliasingDetector,
+    CorrelatedDetectors,
+    CorrelatedVerdict,
+    EntropyDriftDetector,
+    PersistentOffsetDetector,
+)
 from repro.faults.models import (
     BurstDropout,
     ClockDrift,
@@ -38,6 +52,15 @@ from repro.faults.models import (
     StuckAtLastValue,
     TruncatedTail,
     inject_run,
+)
+from repro.faults.pathology import (
+    AliasingMeter,
+    DeviceSpreadModel,
+    EntropyPowerModel,
+    PathologyOutcome,
+    PathologyScenario,
+    run_pathology,
+    standard_scenarios,
 )
 from repro.faults.quality import QualityReport
 from repro.faults.recovery import (
@@ -58,11 +81,18 @@ from repro.faults.wire import (
 )
 
 __all__ = [
+    "AliasingDetector",
+    "AliasingMeter",
     "BurstDropout",
     "ChaosOutcome",
     "ChaosScenario",
     "ClockDrift",
     "ClockJitter",
+    "CorrelatedDetectors",
+    "CorrelatedVerdict",
+    "DeviceSpreadModel",
+    "EntropyDriftDetector",
+    "EntropyPowerModel",
     "FaultInjection",
     "FaultLedger",
     "FaultModel",
@@ -72,6 +102,9 @@ __all__ = [
     "FrameDrop",
     "MaskedRunningMoments",
     "NodeLoss",
+    "PathologyOutcome",
+    "PathologyScenario",
+    "PersistentOffsetDetector",
     "QualityReport",
     "RecoveryPipeline",
     "ResilientIngestLoop",
@@ -88,4 +121,6 @@ __all__ = [
     "chaos_sweep",
     "inject_run",
     "run_chaos",
+    "run_pathology",
+    "standard_scenarios",
 ]

@@ -82,6 +82,18 @@ class FaultLedger:
         Whole trailing ticks removed from the matrix (log ends early).
     jittered_ticks / max_jitter_s / drift_frac:
         Timestamp perturbations (these move ``times``, not ``watts``).
+    samples_aliased / aliasing_bias_w_sum / aliasing_bias_abs_max_w:
+        Cells replaced by a duty-cycled meter's held reading
+        (:class:`~repro.faults.pathology.AliasingMeter`), the signed sum
+        of the per-cell bias they carry, and the worst single-cell bias.
+    samples_entropy_shifted / entropy_bias_w_sum / entropy_bias_abs_max_w:
+        Cells shifted by an input-entropy-dependent power offset
+        (:class:`~repro.faults.pathology.EntropyPowerModel`) and the
+        exact bias they carry.
+    nodes_spread / spread_max_abs_frac / spread_bias_w_sum:
+        Nodes rescaled by persistent efficiency draws
+        (:class:`~repro.faults.pathology.DeviceSpreadModel`), the
+        largest |factor − 1|, and the signed watt-sum of the rescaling.
     """
 
     n_ticks_planned: int
@@ -96,6 +108,15 @@ class FaultLedger:
     jittered_ticks: int = 0
     max_jitter_s: float = 0.0
     drift_frac: float = 0.0
+    samples_aliased: int = 0
+    aliasing_bias_w_sum: float = 0.0
+    aliasing_bias_abs_max_w: float = 0.0
+    samples_entropy_shifted: int = 0
+    entropy_bias_w_sum: float = 0.0
+    entropy_bias_abs_max_w: float = 0.0
+    nodes_spread: int = 0
+    spread_max_abs_frac: float = 0.0
+    spread_bias_w_sum: float = 0.0
 
     @property
     def samples_planned(self) -> int:
@@ -121,6 +142,16 @@ class FaultLedger:
         """Cells delivered finite but wrong (stuck + spiked)."""
         return self.samples_stuck + self.samples_spiked
 
+    @property
+    def samples_biased(self) -> int:
+        """Cells carrying correlated (pathology) bias, exact count."""
+        return self.samples_aliased + self.samples_entropy_shifted
+
+    @property
+    def any_correlated(self) -> bool:
+        """Whether any correlated pathology touched the matrix."""
+        return self.samples_biased > 0 or self.nodes_spread > 0
+
     def to_dict(self) -> dict:
         """JSON-friendly rendering."""
         return {
@@ -136,6 +167,15 @@ class FaultLedger:
             "jittered_ticks": self.jittered_ticks,
             "max_jitter_s": self.max_jitter_s,
             "drift_frac": self.drift_frac,
+            "samples_aliased": self.samples_aliased,
+            "aliasing_bias_w_sum": self.aliasing_bias_w_sum,
+            "aliasing_bias_abs_max_w": self.aliasing_bias_abs_max_w,
+            "samples_entropy_shifted": self.samples_entropy_shifted,
+            "entropy_bias_w_sum": self.entropy_bias_w_sum,
+            "entropy_bias_abs_max_w": self.entropy_bias_abs_max_w,
+            "nodes_spread": self.nodes_spread,
+            "spread_max_abs_frac": self.spread_max_abs_frac,
+            "spread_bias_w_sum": self.spread_bias_w_sum,
         }
 
 
@@ -154,6 +194,10 @@ class _InjectionState:
         self.missing = np.zeros((n_ticks, n_nodes), dtype=bool)
         self.stuck = np.zeros((n_ticks, n_nodes), dtype=bool)
         self.spiked = np.zeros((n_ticks, n_nodes), dtype=bool)
+        self.aliased = np.zeros((n_ticks, n_nodes), dtype=bool)
+        # Exact correlated bias each cell carries (delivered − true),
+        # written only by the pathology models.
+        self.bias_w = np.zeros((n_ticks, n_nodes), dtype=float)
         self.ledger = FaultLedger(
             n_ticks_planned=n_ticks, n_nodes=n_nodes
         )
@@ -173,7 +217,15 @@ class _InjectionState:
 
 @dataclass(frozen=True)
 class FaultInjection:
-    """A faulted matrix plus the exact record of what was done to it."""
+    """A faulted matrix plus the exact record of what was done to it.
+
+    ``aliased_mask`` marks cells replaced by a duty-cycled meter's held
+    reading; ``bias_w`` carries the *exact* correlated bias per cell
+    (delivered − true, zero wherever no pathology model wrote) — the
+    injector's side of the correlated-bound audit.  Both default to
+    ``None`` for call sites predating the pathology pack; plans always
+    fill them.
+    """
 
     times: np.ndarray
     watts: np.ndarray
@@ -182,6 +234,8 @@ class FaultInjection:
     missing_mask: np.ndarray
     stuck_mask: np.ndarray
     spike_mask: np.ndarray
+    aliased_mask: np.ndarray | None = None
+    bias_w: np.ndarray | None = None
 
     @property
     def n_ticks(self) -> int:
@@ -224,6 +278,12 @@ class FaultModel:
     #: Distinguishes two instances of the same model in one plan.
     tag: str = ""
 
+    #: Position in :meth:`FaultPlan.canonical` order (lower runs first).
+    #: Shape changes come first, then ambient/value pathologies (which
+    #: need every cell unclaimed), then per-cell corruptions, then
+    #: dropout NaNs.  Spaced by 10 so external models can interleave.
+    canonical_rank: int = 1000
+
     @property
     def label(self) -> str:
         """Stable stream label for this model."""
@@ -264,6 +324,7 @@ class SampleDropout(FaultModel):
 
     rate: float
     tag: str = ""
+    canonical_rank = 100
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.rate < 1.0):
@@ -286,6 +347,7 @@ class BurstDropout(FaultModel):
     rate: float
     mean_ticks: float = 5.0
     tag: str = ""
+    canonical_rank = 90
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.rate < 1.0):
@@ -321,6 +383,7 @@ class StuckAtLastValue(FaultModel):
     rate: float
     mean_ticks: float = 4.0
     tag: str = ""
+    canonical_rank = 60
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.rate < 1.0):
@@ -362,6 +425,7 @@ class SpikeGlitch(FaultModel):
     rate: float
     factor: float = 8.0
     tag: str = ""
+    canonical_rank = 70
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.rate < 1.0):
@@ -398,6 +462,7 @@ class ClockJitter(FaultModel):
 
     sd_s: float
     tag: str = ""
+    canonical_rank = 20
 
     def __post_init__(self) -> None:
         if self.sd_s <= 0:
@@ -427,6 +492,7 @@ class ClockDrift(FaultModel):
 
     drift_frac: float
     tag: str = ""
+    canonical_rank = 10
 
     def __post_init__(self) -> None:
         if abs(self.drift_frac) >= 0.5:
@@ -445,6 +511,7 @@ class NodeLoss(FaultModel):
     count: int = 1
     at_frac: float = 0.5
     tag: str = ""
+    canonical_rank = 80
 
     def __post_init__(self) -> None:
         if self.count < 1:
@@ -481,6 +548,7 @@ class TruncatedTail(FaultModel):
 
     frac: float
     tag: str = ""
+    canonical_rank = 0
 
     def __post_init__(self) -> None:
         if not (0.0 <= self.frac < 1.0):
@@ -500,6 +568,8 @@ class TruncatedTail(FaultModel):
         state.missing = state.missing[:keep]
         state.stuck = state.stuck[:keep]
         state.spiked = state.spiked[:keep]
+        state.aliased = state.aliased[:keep]
+        state.bias_w = state.bias_w[:keep]
         state.tally(ticks_truncated=state.ledger.ticks_truncated + cut)
 
 
@@ -529,20 +599,15 @@ class FaultPlan:
 
     @staticmethod
     def canonical(models: list[FaultModel], seed: int) -> "FaultPlan":
-        """Order models so corruption anchors precede dropout NaNs."""
-        rank = {
-            TruncatedTail: 0,
-            ClockDrift: 1,
-            ClockJitter: 2,
-            StuckAtLastValue: 3,
-            SpikeGlitch: 4,
-            NodeLoss: 5,
-            BurstDropout: 6,
-            SampleDropout: 7,
-        }
-        ordered = sorted(
-            models, key=lambda m: rank.get(type(m), len(rank))
-        )
+        """Order models so corruption anchors precede dropout NaNs.
+
+        The ordering key is each model's ``canonical_rank`` class
+        attribute (stable sort, so equal-rank models keep their given
+        order): shape changes first, then correlated pathologies (which
+        must see a fully unclaimed matrix), then value corruptions,
+        then dropout.
+        """
+        ordered = sorted(models, key=lambda m: m.canonical_rank)
         return FaultPlan(models=tuple(ordered), seed=seed)
 
     def apply(
@@ -574,6 +639,8 @@ class FaultPlan:
             missing_mask=state.missing,
             stuck_mask=state.stuck,
             spike_mask=state.spiked,
+            aliased_mask=state.aliased,
+            bias_w=state.bias_w,
         )
 
 

@@ -77,6 +77,22 @@ class QualityReport:
     - ``notes``: provenance caveats that do not fit a count — e.g. the
       :class:`~repro.stream.estimators.P2Quantile` approximate-merge
       caveat when quantile statistics crossed a lossy codec.
+
+    Correlated-fault provenance (defaulted so pre-pathology call sites
+    are unchanged):
+
+    - ``correlated_bias_w``: magnitude of the common-mode (fleet-wide)
+      mean bias injected by correlated pathologies, in watts — the
+      per-node time-mean bias averaged across nodes.
+    - ``correlated_cv_extra``: extra across-node spread carried by
+      persistent per-node biases, as a fraction of the fleet mean (the
+      standard deviation of per-node time-mean biases over the mean).
+    - ``correlated_models``: labels of the pathology models the terms
+      come from; required non-empty whenever either term is non-zero.
+
+    When all three are at their defaults the error bounds below assume
+    *independent* per-cell errors — an assumption, not a fact — and
+    :attr:`stated_notes` says so explicitly.
     """
 
     samples_expected: int
@@ -104,6 +120,18 @@ class QualityReport:
     frames_dropped: int = 0
     frames_corrupt: int = 0
     notes: tuple[str, ...] = ()
+    correlated_bias_w: float = 0.0
+    correlated_cv_extra: float = 0.0
+    correlated_models: tuple[str, ...] = ()
+
+    #: Caveat rendered whenever the bounds carry no correlated terms:
+    #: the z-bounds below are only valid if meter errors really are
+    #: independent per cell, and nothing in the data can prove that.
+    INDEPENDENCE_NOTE = (
+        "error bounds assume independent per-cell meter errors; "
+        "correlated pathologies (aliasing, common-mode offsets, device "
+        "spread) are not covered"
+    )
 
     def __post_init__(self) -> None:
         if self.samples_expected < 0 or self.samples_arrived < 0:
@@ -124,6 +152,15 @@ class QualityReport:
         if self.codec_error_bound_w > 0.0 and not self.codec:
             raise ValueError(
                 "a non-zero codec error bound requires naming the codec"
+            )
+        if self.correlated_bias_w < 0.0 or self.correlated_cv_extra < 0.0:
+            raise ValueError("correlated terms must be non-negative")
+        if (
+            self.correlated_bias_w > 0.0 or self.correlated_cv_extra > 0.0
+        ) and not self.correlated_models:
+            raise ValueError(
+                "non-zero correlated terms require naming the models "
+                "in correlated_models"
             )
 
     # -- accounting identities -----------------------------------------
@@ -154,6 +191,28 @@ class QualityReport:
         """Did the circuit breaker reduce the compliance level?"""
         return self.effective_level < self.original_level
 
+    @property
+    def assumes_independence(self) -> bool:
+        """Are the bounds computed with no correlated-fault terms?"""
+        return (
+            self.correlated_bias_w <= 0.0
+            and self.correlated_cv_extra <= 0.0
+            and not self.correlated_models
+        )
+
+    @property
+    def stated_notes(self) -> tuple[str, ...]:
+        """Notes as rendered: ``notes`` plus the independence caveat.
+
+        A computed view, not a mutation of :attr:`notes` — callers that
+        compare raw ``notes`` tuples (the wire layer does) are
+        unaffected, but every human- or JSON-facing rendering states
+        the independence assumption whenever the bounds rely on it.
+        """
+        if self.assumes_independence:
+            return self.notes + (self.INDEPENDENCE_NOTE,)
+        return self.notes
+
     # -- stated error bounds -------------------------------------------
     def error_bound_fleet_mean(self) -> float:
         """Relative bound on the degraded fleet-mean power estimate.
@@ -183,7 +242,15 @@ class QualityReport:
         cv_tick = self.sigma_tick_w / self.fleet_mean_w
         repair_term = _BOUND_Z * cv_tick * repair_frac / (1.0 - repair_frac)
         codec_term = self.codec_error_bound_w / self.fleet_mean_w
-        return subset_term + repair_term + codec_term
+        if self.correlated_bias_w >= self.fleet_mean_w:
+            return math.inf
+        # The observed mean is (clean + bias); the relative error is
+        # judged against the *clean* truth, so the worst case divides
+        # the bias by (observed − bias), not by the observed mean.
+        correlated_term = self.correlated_bias_w / (
+            self.fleet_mean_w - self.correlated_bias_w
+        )
+        return subset_term + repair_term + codec_term + correlated_term
 
     def error_bound_node_cv(self) -> float:
         """Relative bound on the degraded sigma/mu (node CV) estimate.
@@ -221,7 +288,25 @@ class QualityReport:
                 2.0 * self.codec_error_bound_w / self.sigma_node_w
                 + self.codec_error_bound_w / self.fleet_mean_w
             )
-        return sigma_term + bias_term + noise_term + codec_term
+        correlated_term = 0.0
+        if not self.assumes_independence:
+            # Persistent per-node biases add up to correlated_cv_extra
+            # of across-node spread (triangle inequality on the node
+            # sigma: |sigma(m + b) - sigma(m)| <= sigma(b)), so the
+            # clean CV can sit as low as (node_cv - extra); a common-
+            # mode bias additionally shifts the mean in the CV's
+            # denominator.  Either channel exhausting its budget makes
+            # the bound honest but useless: infinity.
+            if self.correlated_cv_extra >= self.node_cv:
+                return math.inf
+            if self.correlated_bias_w >= self.fleet_mean_w:
+                return math.inf
+            correlated_term = self.correlated_cv_extra / (
+                self.node_cv - self.correlated_cv_extra
+            ) + self.correlated_bias_w / (
+                self.fleet_mean_w - self.correlated_bias_w
+            )
+        return sigma_term + bias_term + noise_term + codec_term + correlated_term
 
     # -- rendering ------------------------------------------------------
     def to_dict(self) -> dict:
@@ -251,7 +336,10 @@ class QualityReport:
             "codec_error_bound_w": self.codec_error_bound_w,
             "frames_dropped": self.frames_dropped,
             "frames_corrupt": self.frames_corrupt,
-            "notes": list(self.notes),
+            "notes": list(self.stated_notes),
+            "correlated_bias_w": self.correlated_bias_w,
+            "correlated_cv_extra": self.correlated_cv_extra,
+            "correlated_models": list(self.correlated_models),
             "error_bound_fleet_mean": self.error_bound_fleet_mean(),
             "error_bound_node_cv": self.error_bound_node_cv(),
         }
@@ -282,7 +370,14 @@ class QualityReport:
                 f"{self.frames_dropped} frames dropped, "
                 f"{self.frames_corrupt} corrupt"
             )
-        for note in self.notes:
+        if self.correlated_models:
+            names = ", ".join(self.correlated_models)
+            out.append(
+                f"  correlated faults   {names}: common-mode bias "
+                f"{self.correlated_bias_w:.2f} W, node spread "
+                f"+{100 * self.correlated_cv_extra:.2f}% of mean"
+            )
+        for note in self.stated_notes:
             out.append(f"  note                {note}")
         level_note = (
             f"L{self.original_level} -> L{self.effective_level}"

@@ -71,6 +71,13 @@ class MonitorReport:
     :data:`~repro.stream.estimators.P2Quantile.MERGE_CAVEAT` when
     quantile summaries were merged approximately, or when the samples
     crossed a lossy wire codec.
+
+    ``correlated`` is the rendered verdict of an attached
+    correlated-excursion detector bundle (see
+    :class:`repro.faults.detectors.CorrelatedDetectors`); ``None`` —
+    and absent from :meth:`to_dict` — when no detectors are attached,
+    so reports from detector-less monitors are byte-identical to
+    pre-pathology ones.
     """
 
     t_now_s: float
@@ -88,10 +95,11 @@ class MonitorReport:
     excursion_nodes: tuple[NodeFlags, ...] = field(default_factory=tuple)
     insufficient_data: bool = False
     notes: tuple[str, ...] = ()
+    correlated: dict | None = None
 
     def to_dict(self) -> dict:
         """JSON-friendly rendering."""
-        return {
+        out = {
             "t_now_s": self.t_now_s,
             "insufficient_data": self.insufficient_data,
             "notes": list(self.notes),
@@ -116,6 +124,9 @@ class MonitorReport:
                 for f in self.excursion_nodes
             ],
         }
+        if self.correlated is not None:
+            out["correlated"] = self.correlated
+        return out
 
     def lines(self) -> list[str]:
         """Human-readable verdict lines."""
@@ -147,6 +158,12 @@ class MonitorReport:
                 + ", ".join(str(f.node_id) for f in self.excursion_nodes)
             )
         out.extend(f"note: {note}" for note in self.notes)
+        if self.correlated is not None:
+            sus = self.correlated.get("any_suspected", False)
+            out.append(
+                "correlated pathology: "
+                + ("SUSPECTED" if sus else "none detected")
+            )
         return out
 
 
@@ -177,6 +194,14 @@ class ComplianceMonitor:
         means are too noisy to accuse nodes with.
     rolling_horizon_s:
         Length of the rolling fleet-power window reported live.
+    correlated_detectors:
+        Optional correlated-excursion detector bundle — any object with
+        ``observe(batch)`` and ``verdict()`` (duck-typed so the stream
+        layer stays import-decoupled from :mod:`repro.faults`;
+        :class:`repro.faults.detectors.CorrelatedDetectors` is the
+        intended plug-in).  When attached, every observed batch is also
+        fed to the detectors and :meth:`report` carries their rendered
+        verdict in ``correlated``.
     """
 
     def __init__(
@@ -189,6 +214,7 @@ class ComplianceMonitor:
         excursion_ratio_floor: float = 0.005,
         min_samples_for_flags: int = 30,
         rolling_horizon_s: float = 60.0,
+        correlated_detectors=None,
     ) -> None:
         c0, c1 = float(core_window_s[0]), float(core_window_s[1])
         if c1 <= c0:
@@ -205,6 +231,15 @@ class ComplianceMonitor:
         self._excursion_z = float(excursion_z)
         self._ratio_floor = float(excursion_ratio_floor)
         self._min_flag_samples = int(min_samples_for_flags)
+        if correlated_detectors is not None and not (
+            callable(getattr(correlated_detectors, "observe", None))
+            and callable(getattr(correlated_detectors, "verdict", None))
+        ):
+            raise TypeError(
+                "correlated_detectors must provide observe(batch) and "
+                "verdict()"
+            )
+        self._correlated = correlated_detectors
         self.node_moments = RunningMoments()
         self._ratio_moments = RunningMoments()
         self._rolling = TimeRing(rolling_horizon_s)
@@ -291,6 +326,8 @@ class ComplianceMonitor:
         for t_s, ref_w in zip(times, fleet_w):
             self._rolling.push(float(t_s), float(ref_w))
         self._samples += batch.n_samples
+        if self._correlated is not None:
+            self._correlated.observe(batch)
 
     @classmethod
     def merge_shards(
@@ -310,6 +347,15 @@ class ComplianceMonitor:
         """
         if not monitors:
             raise ValueError("merge_shards needs at least one monitor")
+        for i, m in enumerate(monitors):
+            if m._correlated is not None:
+                raise ValueError(
+                    f"shard monitor {i} carries correlated detectors; "
+                    "their fleet-series state is not column-separable, "
+                    "so sharded monitors cannot be merged exactly — "
+                    "attach the detectors to the merged fleet stream "
+                    "instead"
+                )
         first = monitors[0]
         for i, m in enumerate(monitors):
             if m._node_ids is None:
@@ -436,5 +482,10 @@ class ComplianceMonitor:
             outlier_nodes=tuple(f for f in flags if f.flagged_outlier),
             excursion_nodes=tuple(
                 f for f in flags if f.excursion_count > 0
+            ),
+            correlated=(
+                None
+                if self._correlated is None
+                else self._correlated.verdict().to_dict()
             ),
         )

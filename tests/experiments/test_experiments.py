@@ -209,7 +209,7 @@ class TestRunner:
         assert set(ALL_EXPERIMENTS) == {
             "T2", "F1", "F2", "T4", "T5", "F3", "F4", "G1", "S1", "V1",
             "Z1", "R1", "X1", "X2", "X3", "X4", "X5", "X6", "X-STR",
-            "X-FAULT", "X-WIRE",
+            "X-FAULT", "X-WIRE", "X-PATH",
         }
 
     def test_run_selected(self):

@@ -1,0 +1,92 @@
+"""Tests for the X-PATH correlated meter-pathology audit experiment."""
+
+import pytest
+
+from repro.experiments import ext_pathology
+
+
+@pytest.fixture(scope="module")
+def result():
+    # A shortened core keeps the 6-cell grid + clean + stacked + replay
+    # sweep test-suite fast; paper scale runs in the golden full sweep.
+    return ext_pathology.run(core_s=400.0)
+
+
+class TestPathologyExperiment:
+    def test_all_ok(self, result):
+        assert result.all_ok(), "\n".join(
+            c.line() for c in result.comparisons() if not c.ok
+        )
+
+    def test_grid_covers_every_kind_and_intensity(self, result):
+        assert set(result.cells) == {
+            f"{kind}-{intensity}"
+            for kind in ("aliasing", "entropy", "spread")
+            for intensity in ("low", "high")
+        }
+
+    def test_every_cell_reconciles_within_widened_bounds(self, result):
+        for name, outcome in result.cells.items():
+            assert outcome.reconciled, (name, outcome.reconciliation)
+            assert outcome.mean_within_bound, name
+            assert outcome.cv_within_bound, name
+
+    def test_independence_only_bounds_fail(self, result):
+        # The point of the correlated terms: with them stripped, the
+        # high-intensity cells' actual error escapes the stated bound.
+        for kind in ("aliasing", "entropy", "spread"):
+            assert result.cells[
+                f"{kind}-high"
+            ].independent_bound_mean_violated, kind
+
+    def test_matching_detector_fires_per_kind(self, result):
+        expect = {"aliasing": "aliasing", "entropy": "entropy",
+                  "spread": "offset"}
+        for kind, which in expect.items():
+            for intensity in ("low", "high"):
+                outcome = result.cells[f"{kind}-{intensity}"]
+                verdict = getattr(outcome.detection, which)
+                assert verdict.suspected, (kind, intensity)
+
+    def test_clean_run_is_quiet(self, result):
+        assert not result.clean.detection.any_suspected
+        assert result.clean.report.assumes_independence
+
+    def test_every_cell_reports_gaming_and_cost(self, result):
+        for name, outcome in result.cells.items():
+            assert outcome.gaming is not None, name
+            for level in (1, 2, 3):
+                delta = result.gaming_delta_w(name, level)
+                assert delta == delta, (name, level)  # finite, not NaN
+            assert outcome.cost is not None, name
+            assert outcome.cost.multiplier >= 1.0, name
+
+    def test_spread_high_costs_more_samples_than_spread_low(self, result):
+        assert (
+            result.cells["spread-high"].cost.multiplier
+            > result.cells["spread-low"].cost.multiplier
+        )
+
+    def test_stacked_scenario_reconciles(self, result):
+        assert result.stacked.reconciled, result.stacked.reconciliation
+        assert result.stacked.mean_within_bound
+
+    def test_identity_settings_are_bit_identical(self, result):
+        assert result.identity_matches_clean
+
+    def test_deterministic_replay(self, result):
+        assert result.deterministic
+
+    def test_report_renders(self, result):
+        text = result.report()
+        assert "pathology grid" in text
+        assert "aliasing-high" in text
+        assert "gaming" in text
+        assert "n mult" in text
+        assert "restorable" in text
+        assert "bit-identical replay: True" in text
+
+    def test_registered_in_runner(self):
+        from repro.experiments.runner import ALL_EXPERIMENTS
+
+        assert ALL_EXPERIMENTS["X-PATH"] is ext_pathology.run

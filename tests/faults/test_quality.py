@@ -120,3 +120,90 @@ class TestRendering:
     def test_degenerate_bound_is_labelled_unavailable(self):
         text = "\n".join(_report(fleet_mean_w=0.0).lines())
         assert "unavailable" in text
+
+
+class TestCorrelatedProvenance:
+    def test_default_report_states_the_independence_assumption(self):
+        rep = _report()
+        assert rep.assumes_independence
+        assert rep.stated_notes[-1] == QualityReport.INDEPENDENCE_NOTE
+        # The computed view must not mutate the raw notes tuple — the
+        # wire layer round-trips and compares `.notes` directly.
+        assert QualityReport.INDEPENDENCE_NOTE not in rep.notes
+        assert rep.to_dict()["notes"][-1] == QualityReport.INDEPENDENCE_NOTE
+        assert any(
+            "assume independent" in ln for ln in rep.lines()
+        )
+
+    def test_correlated_report_drops_the_caveat(self):
+        rep = _report(
+            correlated_bias_w=12.0,
+            correlated_cv_extra=0.005,
+            correlated_models=("AliasingMeter",),
+        )
+        assert not rep.assumes_independence
+        assert QualityReport.INDEPENDENCE_NOTE not in rep.stated_notes
+        text = "\n".join(rep.lines())
+        assert "correlated faults   AliasingMeter" in text
+
+    def test_mean_bound_widens_by_the_exact_bias_term(self):
+        base = _report()
+        rep = _report(
+            correlated_bias_w=12.0, correlated_models=("AliasingMeter",)
+        )
+        # Observed mean 1200 W carries 12 W of bias; judged against the
+        # clean truth of 1188 W the extra relative error is 12/1188.
+        assert rep.error_bound_fleet_mean() == pytest.approx(
+            base.error_bound_fleet_mean() + 12.0 / 1188.0
+        )
+
+    def test_cv_bound_widens_by_spread_and_bias_terms(self):
+        base = _report()
+        rep = _report(
+            correlated_bias_w=12.0,
+            correlated_cv_extra=0.01,
+            correlated_models=("DeviceSpreadModel",),
+        )
+        # node_cv 0.04 carries 0.01 of persistent-bias spread and the
+        # denominator carries the 12 W common-mode shift.
+        expected_extra = 0.01 / (0.04 - 0.01) + 12.0 / 1188.0
+        assert rep.error_bound_node_cv() == pytest.approx(
+            base.error_bound_node_cv() + expected_extra
+        )
+
+    def test_exhausted_budgets_give_infinite_bounds(self):
+        models = ("EntropyPowerModel",)
+        assert (
+            _report(
+                correlated_bias_w=1200.0, correlated_models=models
+            ).error_bound_fleet_mean()
+            == math.inf
+        )
+        assert (
+            _report(
+                correlated_cv_extra=0.04, correlated_models=models
+            ).error_bound_node_cv()
+            == math.inf
+        )
+
+    def test_validation_of_correlated_terms(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            _report(
+                correlated_bias_w=-1.0, correlated_models=("AliasingMeter",)
+            )
+        with pytest.raises(ValueError, match="correlated_models"):
+            _report(correlated_bias_w=5.0)
+        with pytest.raises(ValueError, match="correlated_models"):
+            _report(correlated_cv_extra=0.01)
+
+    def test_to_dict_carries_correlated_fields(self):
+        doc = _report(
+            correlated_bias_w=3.0,
+            correlated_cv_extra=0.002,
+            correlated_models=("AliasingMeter", "DeviceSpreadModel"),
+        ).to_dict()
+        assert doc["correlated_bias_w"] == 3.0
+        assert doc["correlated_cv_extra"] == 0.002
+        assert doc["correlated_models"] == [
+            "AliasingMeter", "DeviceSpreadModel"
+        ]
